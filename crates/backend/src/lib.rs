@@ -1,0 +1,24 @@
+//! # llva-backend — native code generators (the "translator")
+//!
+//! Translates LLVA virtual object code to the two simulated
+//! implementation ISAs in `llva-machine`:
+//!
+//! * [`x86gen`] — IA-32-like: deliberately naive (the paper: "performs
+//!   virtually no optimization and very simple register allocation
+//!   resulting in significant spill code"), every value spilled to the
+//!   frame, memory-operand forms used where possible.
+//! * [`sparcgen`] — SPARC-V9-like: "produces higher quality code, but
+//!   requires more instructions because of the RISC architecture";
+//!   use-count-based register assignment over 14 callee-saved
+//!   registers, `sethi`/`or` materialization for wide constants.
+//!
+//! [`common`] holds shared pieces: global memory image layout,
+//! compare/branch fusion, and constant canonicalization.
+
+pub mod common;
+pub mod sparcgen;
+pub mod x86gen;
+
+pub use common::{layout_globals, GlobalImage};
+pub use sparcgen::compile_sparc;
+pub use x86gen::compile_x86;

@@ -1,0 +1,69 @@
+//! Execution-substrate bench: interpreter vs. the two simulated
+//! processors on the same workload, plus optimized-vs-unoptimized
+//! simulated cycle counts (the "run time" side of Table 2's last
+//! columns under DESIGN.md substitution #4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llva_core::layout::TargetConfig;
+use llva_engine::llee::{ExecutionManager, TargetIsa};
+use llva_engine::Interpreter;
+
+fn bench_executors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executors");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let w = llva_workloads::by_name("ptrdist-ft").expect("workload");
+    group.bench_function("interpreter", |b| {
+        let m = w.compile(TargetConfig::default());
+        b.iter(|| {
+            let mut i = Interpreter::new(&m);
+            i.run("main", &[]).expect("runs")
+        });
+    });
+    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        group.bench_function(format!("machine/{isa}"), |b| {
+            b.iter_batched(
+                || w.compile(TargetConfig::default()),
+                |m| {
+                    let mut mgr = ExecutionManager::new(m, isa);
+                    mgr.run("main", &[]).expect("runs").value
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_opt_effect_on_cycles(c: &mut Criterion) {
+    // simulated-cycle effect of the optimizer (install-time optimization
+    // benefit, §4.2 item 2)
+    let w = llva_workloads::by_name("181.mcf").expect("workload");
+    let cycles = |optimize: bool| {
+        let mut m = w.compile(TargetConfig::default());
+        if optimize {
+            let mut pm = llva_opt::link_time_pipeline(&["main"]);
+            pm.run(&mut m);
+        }
+        let mut mgr = ExecutionManager::new(m, TargetIsa::Sparc);
+        mgr.run("main", &[]).expect("runs");
+        mgr.exec_stats().cycles
+    };
+    let raw = cycles(false);
+    let opt = cycles(true);
+    println!(
+        "181.mcf simulated cycles: unoptimized = {raw}, optimized = {opt} ({:.1}% saved)",
+        100.0 * (raw as f64 - opt as f64) / raw as f64
+    );
+    let mut group = c.benchmark_group("opt_effect");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("unoptimized", |b| b.iter(|| cycles(false)));
+    group.bench_function("optimized", |b| b.iter(|| cycles(true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_executors, bench_opt_effect_on_cycles);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Optimization-pass cost (paper §5.1: the representation supports
+//! classical and interprocedural optimization; here we also measure
+//! that it supports them *quickly*, which matters for install-time and
+//! idle-time use, §4.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llva_core::layout::TargetConfig;
+use llva_opt::ModulePass;
+
+fn module_for(name: &str) -> llva_core::module::Module {
+    llva_workloads::by_name(name)
+        .expect("workload")
+        .compile(TargetConfig::default())
+}
+
+fn bench_individual_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("passes");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    let source = "300.twolf";
+    group.bench_function("mem2reg", |b| {
+        b.iter_batched(
+            || module_for(source),
+            |mut m| {
+                let mut p = llva_opt::mem2reg::Mem2Reg::new();
+                p.run(&mut m);
+                m
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("constfold", |b| {
+        b.iter_batched(
+            || module_for(source),
+            |mut m| {
+                let mut p = llva_opt::constfold::ConstFold::new();
+                p.run(&mut m);
+                m
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("gvn", |b| {
+        b.iter_batched(
+            || {
+                let mut m = module_for(source);
+                let mut p = llva_opt::mem2reg::Mem2Reg::new();
+                p.run(&mut m);
+                m
+            },
+            |mut m| {
+                let mut p = llva_opt::gvn::Gvn::new();
+                p.run(&mut m);
+                m
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("dce", |b| {
+        b.iter_batched(
+            || module_for(source),
+            |mut m| {
+                let mut p = llva_opt::dce::Dce::new();
+                p.run(&mut m);
+                m
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipelines");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for name in ["181.mcf", "255.vortex"] {
+        group.bench_function(format!("standard/{name}"), |b| {
+            b.iter_batched(
+                || module_for(name),
+                |mut m| {
+                    let mut pm = llva_opt::standard_pipeline();
+                    pm.run(&mut m);
+                    m
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("link_time/{name}"), |b| {
+            b.iter_batched(
+                || module_for(name),
+                |mut m| {
+                    let mut pm = llva_opt::link_time_pipeline(&["main"]);
+                    pm.run(&mut m);
+                    m
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyses");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    let m = module_for("255.vortex");
+    group.bench_function("callgraph", |b| {
+        b.iter(|| llva_opt::callgraph::CallGraph::build(&m));
+    });
+    let fid = m.function_by_name("main").expect("main");
+    group.bench_function("alias_analysis", |b| {
+        b.iter(|| llva_opt::alias::AliasAnalysis::compute(&m, fid));
+    });
+    group.bench_function("dominators", |b| {
+        b.iter(|| llva_core::dominators::DomTree::compute(m.function(fid)));
+    });
+    group.bench_function("verifier", |b| {
+        b.iter(|| llva_core::verifier::verify_module(&m));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_individual_passes, bench_pipelines, bench_analyses);
+criterion_main!(benches);

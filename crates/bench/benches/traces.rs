@@ -1,0 +1,86 @@
+//! Software trace cache bench (paper §4.2): cost of profile
+//! instrumentation, trace formation (including cross-procedure traces),
+//! and trace-driven reoptimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llva_core::layout::TargetConfig;
+use llva_engine::llee::{ExecutionManager, TargetIsa};
+use llva_engine::{profile, trace};
+
+fn profiled(name: &str) -> (llva_core::module::Module, profile::ProfileMap, Vec<u64>) {
+    let w = llva_workloads::by_name(name).expect("workload");
+    let mut m = w.compile(TargetConfig::default());
+    let map = profile::instrument(&mut m);
+    let clean = w.compile(TargetConfig::default());
+    let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+    mgr.run("main", &[]).expect("runs");
+    let counts = profile::read_counters(&mgr, &map);
+    (clean, map, counts)
+}
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function("instrument", |b| {
+        let w = llva_workloads::by_name("181.mcf").expect("workload");
+        b.iter_batched(
+            || w.compile(TargetConfig::default()),
+            |mut m| profile::instrument(&mut m),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    let (m, map, counts) = profiled("181.mcf");
+    group.bench_function("form_traces", |b| {
+        b.iter(|| trace::form_traces(&m, &map, &counts, 100, 16));
+    });
+    let cache = trace::form_traces(&m, &map, &counts, 100, 16);
+    println!(
+        "traces: {} formed, {} cross-procedure, hottest heat {}",
+        cache.len(),
+        cache.traces().iter().filter(|t| t.cross_procedure).count(),
+        cache.traces().first().map(|t| t.heat).unwrap_or(0)
+    );
+    group.bench_function("reoptimize", |b| {
+        b.iter_batched(
+            || (m.clone(), trace::form_traces(&m, &map, &counts, 100, 16)),
+            |(mut m, cache)| {
+                trace::reoptimize(&mut m, &cache);
+                m
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_profiling_overhead(c: &mut Criterion) {
+    // dynamic overhead of the counter instrumentation (simulated cycles)
+    let w = llva_workloads::by_name("ptrdist-ft").expect("workload");
+    let cycles_of = |instrumented: bool| {
+        let mut m = w.compile(TargetConfig::default());
+        if instrumented {
+            let _ = profile::instrument(&mut m);
+        }
+        let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+        mgr.run("main", &[]).expect("runs");
+        mgr.exec_stats().cycles
+    };
+    let base = cycles_of(false);
+    let inst = cycles_of(true);
+    println!(
+        "profiling overhead: {base} -> {inst} simulated cycles ({:.1}%)",
+        100.0 * (inst as f64 - base as f64) / base as f64
+    );
+    let mut group = c.benchmark_group("profiling_overhead");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("uninstrumented_run", |b| b.iter(|| cycles_of(false)));
+    group.bench_function("instrumented_run", |b| b.iter(|| cycles_of(true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_instrumentation, bench_profiling_overhead);
+criterion_main!(benches);

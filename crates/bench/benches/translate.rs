@@ -1,0 +1,59 @@
+//! Translation-cost bench (Table 2, columns 10–12): whole-program JIT
+//! translation time per workload, for both targets. The paper's claim:
+//! "simple translation costs under 1% of total execution time except
+//! for very short runs".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llva_core::layout::TargetConfig;
+use llva_engine::llee::{ExecutionManager, TargetIsa};
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for name in ["ptrdist-anagram", "181.mcf", "300.twolf", "254.gap"] {
+        let w = llva_workloads::by_name(name).expect("workload");
+        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            group.bench_function(format!("{name}/{isa}"), |b| {
+                b.iter_batched(
+                    || {
+                        let mut m = w.compile(TargetConfig::default());
+                        let mut pm = llva_opt::standard_pipeline();
+                        pm.run(&mut m);
+                        ExecutionManager::new(m, isa)
+                    },
+                    |mut mgr| {
+                        mgr.translate_all().expect("translates");
+                        mgr
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_translate_per_function(c: &mut Criterion) {
+    // fine-grained: cost of translating a single hot function
+    let mut group = c.benchmark_group("translate_one");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    let w = llva_workloads::by_name("186.crafty").expect("workload");
+    group.bench_function("crafty_search_x86", |b| {
+        let m = w.compile(TargetConfig::ia32());
+        let f = m.function_by_name("search").expect("search");
+        b.iter(|| llva_backend::compile_x86(&m, f));
+    });
+    group.bench_function("crafty_search_sparc", |b| {
+        let m = w.compile(TargetConfig::sparc_v9());
+        let f = m.function_by_name("search").expect("search");
+        b.iter(|| llva_backend::compile_sparc(&m, f));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate, bench_translate_per_function);
+criterion_main!(benches);

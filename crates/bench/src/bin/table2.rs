@@ -1,0 +1,19 @@
+//! Regenerates the paper's Table 2. Run with:
+//! `cargo run --release -p llva-bench --bin table2`
+
+fn main() {
+    println!("Table 2: Metrics demonstrating code size and low-level nature of the V-ISA");
+    println!("(reproduction; see EXPERIMENTS.md for the paper-vs-measured discussion)\n");
+    let rows = llva_bench::table2::compute_all();
+    print!("{}", llva_bench::table2::format_table(&rows));
+    // summary lines mirroring the paper's §5.2 claims
+    let avg_x86: f64 = rows.iter().map(llva_bench::table2::Row::x86_ratio).sum::<f64>() / rows.len() as f64;
+    let avg_sparc: f64 =
+        rows.iter().map(llva_bench::table2::Row::sparc_ratio).sum::<f64>() / rows.len() as f64;
+    let avg_size: f64 =
+        rows.iter().map(llva_bench::table2::Row::size_ratio).sum::<f64>() / rows.len() as f64;
+    println!();
+    println!("mean x86 expansion   : {avg_x86:.2} LLVA->x86   (paper: 2.2-3.3)");
+    println!("mean SPARC expansion : {avg_sparc:.2} LLVA->SPARC (paper: 2.3-4.2)");
+    println!("mean native/LLVA size: {avg_size:.2}x            (paper: 1.3-2x for large programs)");
+}

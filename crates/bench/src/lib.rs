@@ -1,0 +1,9 @@
+//! # llva-bench — the evaluation harness
+//!
+//! Regenerates the paper's evaluation (Section 5): the [`table2`]
+//! module computes every column of Table 2 for the 17 workloads, and
+//! the Criterion benches under `benches/` cover translation cost,
+//! optimization-pass cost, offline-cache effect, trace formation, and
+//! the ablations listed in DESIGN.md.
+
+pub mod table2;

@@ -1,0 +1,216 @@
+//! Table 2 of the paper: "Metrics demonstrating code size and
+//! low-level nature of the V-ISA".
+//!
+//! Columns reproduced per workload (see EXPERIMENTS.md for the
+//! paper-vs-measured comparison):
+//!
+//! 1. `#LOC` — source lines (minic instead of C),
+//! 2. native size (KB) — SPARC native code bytes (the paper's native
+//!    executables were SPARC, built by the same back end),
+//! 3. LLVA code size (KB) — the binary virtual object code,
+//! 4. `#LLVA` instructions,
+//! 5. `#x86` instructions + expansion ratio,
+//! 6. `#SPARC` instructions + expansion ratio,
+//! 7. translate time (s) — wall-clock x86 whole-program JIT,
+//! 8. run time (s) — simulated cycles at [`CLOCK_HZ`] (substitution #4
+//!    in DESIGN.md: the paper measured gcc -O3 native time on real
+//!    hardware), and the translate/run ratio.
+//!
+//! "The same LLVA optimizations were applied in both cases": the
+//! standard per-module pipeline runs before any measurement.
+
+use llva_core::layout::TargetConfig;
+use llva_engine::llee::{ExecutionManager, TargetIsa};
+use std::time::Duration;
+
+/// Simulated clock rate used to convert cycles to seconds (the paper's
+/// machines were sub-GHz; 1 GHz keeps numbers readable).
+pub const CLOCK_HZ: f64 = 1.0e9;
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name.
+    pub program: String,
+    /// Lines of source.
+    pub loc: usize,
+    /// Native (SPARC) code size in bytes.
+    pub native_bytes: usize,
+    /// LLVA virtual object code size in bytes.
+    pub llva_bytes: usize,
+    /// LLVA instruction count.
+    pub llva_insts: usize,
+    /// x86 instruction count.
+    pub x86_insts: usize,
+    /// SPARC instruction count.
+    pub sparc_insts: usize,
+    /// Whole-program x86 JIT translation wall-clock.
+    pub translate_time: Duration,
+    /// Simulated run time (cycles / [`CLOCK_HZ`]).
+    pub run_time: Duration,
+}
+
+impl Row {
+    /// x86 instructions per LLVA instruction.
+    pub fn x86_ratio(&self) -> f64 {
+        self.x86_insts as f64 / self.llva_insts as f64
+    }
+
+    /// SPARC instructions per LLVA instruction.
+    pub fn sparc_ratio(&self) -> f64 {
+        self.sparc_insts as f64 / self.llva_insts as f64
+    }
+
+    /// Native-to-LLVA size ratio (paper: ~1.3–2x for large programs).
+    pub fn size_ratio(&self) -> f64 {
+        self.native_bytes as f64 / self.llva_bytes as f64
+    }
+
+    /// Translate time over run time (paper: < 1% except short runs).
+    pub fn translate_ratio(&self) -> f64 {
+        self.translate_time.as_secs_f64() / self.run_time.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Computes one row for a workload.
+pub fn row_for(w: &llva_workloads::Workload) -> Row {
+    // "the same LLVA optimizations were applied in both cases"
+    let optimize = |mut m: llva_core::module::Module| {
+        let mut pm = llva_opt::standard_pipeline();
+        pm.run(&mut m);
+        m
+    };
+
+    // LLVA metrics
+    let m = optimize(w.compile(TargetConfig::default()));
+    let llva_bytes = llva_core::bytecode::encode_module(&m).len();
+    let llva_insts = m.total_insts();
+
+    // x86: instruction count + whole-program JIT translate time
+    let m_x86 = optimize(w.compile(TargetConfig::ia32()));
+    let mut mgr_x86 = ExecutionManager::new(m_x86, TargetIsa::X86);
+    mgr_x86.translate_all().expect("translates");
+    let x86_insts = mgr_x86.installed_insts();
+    let translate_time = mgr_x86.stats().translate_time;
+
+    // SPARC: instruction count, native size, and the simulated run
+    let m_sparc = optimize(w.compile(TargetConfig::sparc_v9()));
+    let mut mgr_sparc = ExecutionManager::new(m_sparc, TargetIsa::Sparc);
+    mgr_sparc.translate_all().expect("translates");
+    let sparc_insts = mgr_sparc.installed_insts();
+    let native_bytes = mgr_sparc.installed_bytes();
+    mgr_sparc.run("main", &[]).expect("runs");
+    let cycles = mgr_sparc.exec_stats().cycles;
+    let run_time = Duration::from_secs_f64(cycles as f64 / CLOCK_HZ);
+
+    Row {
+        program: w.name.to_string(),
+        loc: w.loc(),
+        native_bytes,
+        llva_bytes,
+        llva_insts,
+        x86_insts,
+        sparc_insts,
+        translate_time,
+        run_time,
+    }
+}
+
+/// Computes all rows (Table 2 order).
+pub fn compute_all() -> Vec<Row> {
+    llva_workloads::all().iter().map(row_for).collect()
+}
+
+/// Formats rows as the paper's Table 2.
+pub fn format_table(rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>5} {:>10} {:>10} {:>7} {:>7} {:>6} {:>7} {:>6} {:>10} {:>10} {:>7}",
+        "Program",
+        "#LOC",
+        "Native(B)",
+        "LLVA(B)",
+        "#LLVA",
+        "#X86",
+        "Ratio",
+        "#SPARC",
+        "Ratio",
+        "Trans(s)",
+        "Run(s)",
+        "Ratio"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(112));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>5} {:>10} {:>10} {:>7} {:>7} {:>6.2} {:>7} {:>6.2} {:>10.6} {:>10.6} {:>7.4}",
+            r.program,
+            r.loc,
+            r.native_bytes,
+            r.llva_bytes,
+            r.llva_insts,
+            r.x86_insts,
+            r.x86_ratio(),
+            r.sparc_insts,
+            r.sparc_ratio(),
+            r.translate_time.as_secs_f64(),
+            r.run_time.as_secs_f64(),
+            r.translate_ratio(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_shapes_match_paper_claims() {
+        // check the headline claims on a representative workload
+        let w = llva_workloads::by_name("181.mcf").expect("mcf");
+        let r = row_for(&w);
+        // "virtual object code is comparable in size to native machine
+        // code" and smaller for the SPARC comparison
+        assert!(
+            r.size_ratio() > 0.8,
+            "native/LLVA size ratio {} too small",
+            r.size_ratio()
+        );
+        // "virtual instructions expand to only 2-4 ordinary hardware
+        // instructions on average" (we allow a slightly wider band)
+        assert!(
+            (1.5..=5.0).contains(&r.x86_ratio()),
+            "x86 ratio {}",
+            r.x86_ratio()
+        );
+        assert!(
+            (1.5..=6.0).contains(&r.sparc_ratio()),
+            "sparc ratio {}",
+            r.sparc_ratio()
+        );
+        // translation is fast in absolute terms
+        assert!(r.translate_time.as_secs_f64() < 1.0);
+    }
+
+    #[test]
+    fn formatting_includes_all_programs() {
+        let rows = vec![Row {
+            program: "test".into(),
+            loc: 10,
+            native_bytes: 2000,
+            llva_bytes: 1000,
+            llva_insts: 100,
+            x86_insts: 250,
+            sparc_insts: 300,
+            translate_time: Duration::from_micros(50),
+            run_time: Duration::from_millis(10),
+        }];
+        let text = format_table(&rows);
+        assert!(text.contains("test"));
+        assert!(text.contains("2.50"));
+        assert!(text.contains("3.00"));
+    }
+}

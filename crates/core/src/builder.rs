@@ -1,0 +1,608 @@
+//! A convenience builder for constructing LLVA functions.
+//!
+//! [`FunctionBuilder`] wraps a [`Module`] + [`FuncId`] pair and offers one
+//! method per instruction, computing result types (including the typed
+//! pointer arithmetic of `getelementptr`) and enforcing the paper's
+//! strict type rules eagerly with panics; the [`verifier`](crate::verifier)
+//! re-checks everything non-panickingly afterwards.
+//!
+//! # Examples
+//!
+//! ```
+//! use llva_core::builder::FunctionBuilder;
+//! use llva_core::layout::TargetConfig;
+//! use llva_core::module::Module;
+//!
+//! let mut m = Module::new("demo", TargetConfig::default());
+//! let int = m.types_mut().int();
+//! let f = m.add_function("add1", int, vec![int]);
+//! let mut b = FunctionBuilder::new(&mut m, f);
+//! let entry = b.block("entry");
+//! b.switch_to(entry);
+//! let x = b.func().args()[0];
+//! let one = b.iconst(int, 1);
+//! let sum = b.add(x, one);
+//! b.ret(Some(sum));
+//! assert_eq!(m.function(f).num_insts(), 2);
+//! ```
+
+use crate::function::BlockId;
+use crate::instruction::{InstId, Instruction, Opcode};
+use crate::module::{FuncId, GlobalId, Module};
+use crate::types::{TypeId, TypeKind};
+use crate::value::{Constant, ValueId};
+
+/// Builds instructions into one function of a module.
+///
+/// The builder keeps a *current block*; instruction methods append there.
+#[derive(Debug)]
+pub struct FunctionBuilder<'m> {
+    module: &'m mut Module,
+    func: FuncId,
+    current: Option<BlockId>,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    /// Starts building into `func`.
+    pub fn new(module: &'m mut Module, func: FuncId) -> FunctionBuilder<'m> {
+        FunctionBuilder {
+            module,
+            func,
+            current: None,
+        }
+    }
+
+    /// The function being built.
+    pub fn func(&self) -> &crate::function::Function {
+        self.module.function(self.func)
+    }
+
+    /// Mutable access to the function being built.
+    pub fn func_mut(&mut self) -> &mut crate::function::Function {
+        self.module.function_mut(self.func)
+    }
+
+    /// The underlying module.
+    pub fn module(&mut self) -> &mut Module {
+        self.module
+    }
+
+    /// The id of the function being built.
+    pub fn func_id(&self) -> FuncId {
+        self.func
+    }
+
+    /// Creates a new basic block.
+    pub fn block(&mut self, name: &str) -> BlockId {
+        self.module.function_mut(self.func).add_block(name)
+    }
+
+    /// Makes `block` the insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = Some(block);
+    }
+
+    /// The current insertion block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been selected with
+    /// [`switch_to`](FunctionBuilder::switch_to).
+    pub fn current_block(&self) -> BlockId {
+        self.current.expect("no current block; call switch_to first")
+    }
+
+    fn emit(&mut self, inst: Instruction) -> (InstId, Option<ValueId>) {
+        let block = self.current_block();
+        let void = self.module.types_mut().void();
+        self.module
+            .function_mut(self.func)
+            .append_inst(block, inst, void)
+    }
+
+    fn emit_value(&mut self, inst: Instruction) -> ValueId {
+        self.emit(inst).1.expect("instruction produces a value")
+    }
+
+    fn value_type(&mut self, v: ValueId) -> TypeId {
+        let bool_ty = self.module.types_mut().bool();
+        self.module.function(self.func).value_type(v, bool_ty)
+    }
+
+    // ---- constants ---------------------------------------------------------
+
+    /// An integer constant of type `ty` (bits are truncated to the type's
+    /// width).
+    pub fn iconst(&mut self, ty: TypeId, value: i64) -> ValueId {
+        let bits = match self.module.types().int_bits(ty) {
+            Some(64) => value as u64,
+            Some(w) => (value as u64) & ((1u64 << w) - 1),
+            None => panic!(
+                "iconst requires an integer type, got {}",
+                self.module.types().display(ty)
+            ),
+        };
+        self.module
+            .function_mut(self.func)
+            .constant(Constant::Int { ty, bits })
+    }
+
+    /// A boolean constant.
+    pub fn bconst(&mut self, value: bool) -> ValueId {
+        self.module
+            .function_mut(self.func)
+            .constant(Constant::Bool(value))
+    }
+
+    /// A floating-point constant (`float` payloads are rounded to `f32`).
+    pub fn fconst(&mut self, ty: TypeId, value: f64) -> ValueId {
+        let bits = match self.module.types().kind(ty) {
+            TypeKind::Float => (value as f32).to_bits() as u64,
+            TypeKind::Double => value.to_bits(),
+            other => panic!("fconst requires float/double, got {other:?}"),
+        };
+        self.module
+            .function_mut(self.func)
+            .constant(Constant::Float { ty, bits })
+    }
+
+    /// The null pointer of pointer type `ty`.
+    pub fn null(&mut self, ty: TypeId) -> ValueId {
+        assert!(self.module.types().is_pointer(ty), "null requires a pointer type");
+        self.module.function_mut(self.func).constant(Constant::Null(ty))
+    }
+
+    /// The address of global `g` (type: pointer to the global's value type).
+    pub fn global_addr(&mut self, g: GlobalId) -> ValueId {
+        let vt = self.module.global(g).value_type();
+        let ty = self.module.types_mut().pointer_to(vt);
+        self.module
+            .function_mut(self.func)
+            .constant(Constant::GlobalAddr { global: g, ty })
+    }
+
+    /// The address of function `f` (type: pointer to its function type).
+    pub fn func_addr(&mut self, f: FuncId) -> ValueId {
+        let ft = self.module.function(f).type_id();
+        let ty = self.module.types_mut().pointer_to(ft);
+        self.module
+            .function_mut(self.func)
+            .constant(Constant::FunctionAddr { func: f, ty })
+    }
+
+    /// An undef value of type `ty`.
+    pub fn undef(&mut self, ty: TypeId) -> ValueId {
+        self.module.function_mut(self.func).constant(Constant::Undef(ty))
+    }
+
+    // ---- binary / comparison ------------------------------------------------
+
+    fn binary(&mut self, op: Opcode, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let lt = self.value_type(lhs);
+        let rt = self.value_type(rhs);
+        assert_eq!(
+            lt,
+            rt,
+            "no mixed-type operations: {} {} vs {}",
+            op,
+            self.module.types().display(lt),
+            self.module.types().display(rt)
+        );
+        self.emit_value(Instruction::new(op, lt, vec![lhs, rhs], vec![]))
+    }
+
+    /// `add` — addition.
+    pub fn add(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(Opcode::Add, lhs, rhs)
+    }
+    /// `sub` — subtraction.
+    pub fn sub(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(Opcode::Sub, lhs, rhs)
+    }
+    /// `mul` — multiplication.
+    pub fn mul(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(Opcode::Mul, lhs, rhs)
+    }
+    /// `div` — division (exceptions enabled by default).
+    pub fn div(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(Opcode::Div, lhs, rhs)
+    }
+    /// `rem` — remainder.
+    pub fn rem(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(Opcode::Rem, lhs, rhs)
+    }
+    /// `and` — bitwise AND.
+    pub fn and(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(Opcode::And, lhs, rhs)
+    }
+    /// `or` — bitwise OR.
+    pub fn or(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(Opcode::Or, lhs, rhs)
+    }
+    /// `xor` — bitwise XOR.
+    pub fn xor(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(Opcode::Xor, lhs, rhs)
+    }
+    /// `shl` — shift left.
+    pub fn shl(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(Opcode::Shl, lhs, rhs)
+    }
+    /// `shr` — shift right.
+    pub fn shr(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.binary(Opcode::Shr, lhs, rhs)
+    }
+
+    fn compare(&mut self, op: Opcode, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let lt = self.value_type(lhs);
+        let rt = self.value_type(rhs);
+        assert_eq!(lt, rt, "comparison operands must have identical types");
+        let b = self.module.types_mut().bool();
+        self.emit_value(Instruction::new(op, b, vec![lhs, rhs], vec![]))
+    }
+
+    /// `seteq` — equality, yields `bool`.
+    pub fn seteq(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.compare(Opcode::SetEq, lhs, rhs)
+    }
+    /// `setne` — inequality.
+    pub fn setne(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.compare(Opcode::SetNe, lhs, rhs)
+    }
+    /// `setlt` — less than.
+    pub fn setlt(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.compare(Opcode::SetLt, lhs, rhs)
+    }
+    /// `setgt` — greater than.
+    pub fn setgt(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.compare(Opcode::SetGt, lhs, rhs)
+    }
+    /// `setle` — less or equal.
+    pub fn setle(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.compare(Opcode::SetLe, lhs, rhs)
+    }
+    /// `setge` — greater or equal.
+    pub fn setge(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.compare(Opcode::SetGe, lhs, rhs)
+    }
+
+    // ---- memory --------------------------------------------------------------
+
+    /// `alloca` — allocates stack space for one `ty`, yielding `ty*`.
+    pub fn alloca(&mut self, ty: TypeId) -> ValueId {
+        let ptr = self.module.types_mut().pointer_to(ty);
+        self.emit_value(Instruction::new(Opcode::Alloca, ptr, vec![], vec![]))
+    }
+
+    /// `alloca` with a dynamic element count, yielding `ty*`.
+    pub fn alloca_array(&mut self, ty: TypeId, count: ValueId) -> ValueId {
+        let ptr = self.module.types_mut().pointer_to(ty);
+        self.emit_value(Instruction::new(Opcode::Alloca, ptr, vec![count], vec![]))
+    }
+
+    /// `load` — loads the scalar pointed to by `ptr`.
+    pub fn load(&mut self, ptr: ValueId) -> ValueId {
+        let pt = self.value_type(ptr);
+        let pointee = self
+            .module
+            .types()
+            .pointee(pt)
+            .unwrap_or_else(|| panic!("load requires a pointer, got {}", self.module.types().display(pt)));
+        assert!(
+            self.module.types().is_scalar(pointee),
+            "load of non-scalar type {}",
+            self.module.types().display(pointee)
+        );
+        self.emit_value(Instruction::new(Opcode::Load, pointee, vec![ptr], vec![]))
+    }
+
+    /// `store` — stores scalar `value` through `ptr`.
+    pub fn store(&mut self, value: ValueId, ptr: ValueId) {
+        let pt = self.value_type(ptr);
+        let pointee = self
+            .module
+            .types()
+            .pointee(pt)
+            .expect("store requires a pointer");
+        let vt = self.value_type(value);
+        assert_eq!(
+            vt,
+            pointee,
+            "store type mismatch: {} into {}",
+            self.module.types().display(vt),
+            self.module.types().display(pt)
+        );
+        let void = self.module.types_mut().void();
+        self.emit(Instruction::new(Opcode::Store, void, vec![value, ptr], vec![]));
+    }
+
+    /// Computes the result type of a `getelementptr` walk.
+    ///
+    /// The first index steps over the pointer; subsequent indices select
+    /// struct fields (constant `ubyte`) or array elements.
+    pub fn gep_result_type(module: &mut Module, func: FuncId, ptr_ty: TypeId, indices: &[ValueId]) -> TypeId {
+        let mut cur = module
+            .types()
+            .pointee(ptr_ty)
+            .expect("getelementptr requires a pointer");
+        for &idx in &indices[1..] {
+            cur = match module.types().kind(cur).clone() {
+                TypeKind::Array { elem, .. } => elem,
+                TypeKind::LiteralStruct(_) | TypeKind::Struct(_) => {
+                    let field = module
+                        .function(func)
+                        .value_as_const(idx)
+                        .and_then(Constant::as_int_bits)
+                        .expect("struct field index must be a constant") as usize;
+                    module
+                        .types()
+                        .struct_fields(cur)
+                        .expect("indexing into opaque struct")[field]
+                }
+                other => panic!("getelementptr into non-aggregate {other:?}"),
+            };
+        }
+        module.types_mut().pointer_to(cur)
+    }
+
+    /// `getelementptr` — typed pointer arithmetic (paper §3.1). `indices`
+    /// follows the paper's convention: the first index scales by whole
+    /// objects, later ones walk into structs (constant field numbers) and
+    /// arrays.
+    pub fn gep(&mut self, ptr: ValueId, indices: Vec<ValueId>) -> ValueId {
+        assert!(!indices.is_empty(), "getelementptr needs at least one index");
+        let pt = self.value_type(ptr);
+        let result = Self::gep_result_type(self.module, self.func, pt, &indices);
+        let mut operands = vec![ptr];
+        operands.extend(indices);
+        self.emit_value(Instruction::new(Opcode::GetElementPtr, result, operands, vec![]))
+    }
+
+    /// Convenience: `getelementptr` with integer indices; `true` in
+    /// `field_flags[i]` marks a struct-field (ubyte) index.
+    pub fn gep_const(&mut self, ptr: ValueId, indices: &[(i64, bool)]) -> ValueId {
+        let long = self.module.types_mut().long();
+        let ubyte = self.module.types_mut().ubyte();
+        let idx_values: Vec<ValueId> = indices
+            .iter()
+            .map(|&(v, is_field)| self.iconst(if is_field { ubyte } else { long }, v))
+            .collect();
+        self.gep(ptr, idx_values)
+    }
+
+    // ---- other ---------------------------------------------------------------
+
+    /// `cast` — converts `value` to type `to` (the sole coercion
+    /// mechanism; paper §3.1: "no implicit type coercion").
+    pub fn cast(&mut self, value: ValueId, to: TypeId) -> ValueId {
+        self.emit_value(Instruction::new(Opcode::Cast, to, vec![value], vec![]))
+    }
+
+    /// `call` — direct call to `callee`.
+    pub fn call(&mut self, callee: FuncId, args: Vec<ValueId>) -> Option<ValueId> {
+        let fv = self.func_addr(callee);
+        let ret = self.module.function(callee).return_type();
+        self.call_indirect(fv, ret, args)
+    }
+
+    /// `call` through a function-pointer value with known return type.
+    pub fn call_indirect(
+        &mut self,
+        callee: ValueId,
+        ret_ty: TypeId,
+        args: Vec<ValueId>,
+    ) -> Option<ValueId> {
+        let mut operands = vec![callee];
+        operands.extend(args);
+        self.emit(Instruction::new(Opcode::Call, ret_ty, operands, vec![])).1
+    }
+
+    /// `phi` — SSA merge; `incoming` pairs are `(value, predecessor)`.
+    pub fn phi(&mut self, ty: TypeId, incoming: Vec<(ValueId, BlockId)>) -> ValueId {
+        let (values, blocks): (Vec<_>, Vec<_>) = incoming.into_iter().unzip();
+        self.emit_value(Instruction::new(Opcode::Phi, ty, values, blocks))
+    }
+
+    // ---- control flow ----------------------------------------------------------
+
+    /// `br label %dest` — unconditional branch.
+    pub fn br(&mut self, dest: BlockId) {
+        let void = self.module.types_mut().void();
+        self.emit(Instruction::new(Opcode::Br, void, vec![], vec![dest]));
+    }
+
+    /// `br bool %cond, label %then, label %else` — conditional branch.
+    pub fn cond_br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
+        let void = self.module.types_mut().void();
+        self.emit(Instruction::new(
+            Opcode::Br,
+            void,
+            vec![cond],
+            vec![then_bb, else_bb],
+        ));
+    }
+
+    /// `mbr` — multi-way branch; `cases` pairs integer constants with
+    /// targets, falling through to `default`.
+    pub fn mbr(&mut self, value: ValueId, default: BlockId, cases: Vec<(ValueId, BlockId)>) {
+        let void = self.module.types_mut().void();
+        let mut operands = vec![value];
+        let mut blocks = vec![default];
+        for (c, b) in cases {
+            assert!(
+                self.module.function(self.func).value_as_const(c).is_some(),
+                "mbr case values must be constants"
+            );
+            operands.push(c);
+            blocks.push(b);
+        }
+        self.emit(Instruction::new(Opcode::Mbr, void, operands, blocks));
+    }
+
+    /// `ret` — return, optionally with a value.
+    pub fn ret(&mut self, value: Option<ValueId>) {
+        let void = self.module.types_mut().void();
+        let operands = value.into_iter().collect();
+        self.emit(Instruction::new(Opcode::Ret, void, operands, vec![]));
+    }
+
+    /// `invoke` — call with exceptional control flow (paper: exceptions
+    /// are implemented via explicit `invoke`/`unwind`).
+    pub fn invoke(
+        &mut self,
+        callee: FuncId,
+        args: Vec<ValueId>,
+        normal: BlockId,
+        unwind: BlockId,
+    ) -> Option<ValueId> {
+        let fv = self.func_addr(callee);
+        let ret = self.module.function(callee).return_type();
+        let mut operands = vec![fv];
+        operands.extend(args);
+        self.emit(Instruction::new(
+            Opcode::Invoke,
+            ret,
+            operands,
+            vec![normal, unwind],
+        ))
+        .1
+    }
+
+    /// `unwind` — propagate to the dynamically nearest enclosing `invoke`.
+    pub fn unwind(&mut self) {
+        let void = self.module.types_mut().void();
+        self.emit(Instruction::new(Opcode::Unwind, void, vec![], vec![]));
+    }
+
+    /// Names the most recent SSA value for pretty printing.
+    pub fn name_value(&mut self, value: ValueId, name: &str) {
+        self.module
+            .function_mut(self.func)
+            .set_value_name(value, name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::TargetConfig;
+
+    fn new_module() -> Module {
+        Module::new("t", TargetConfig::default())
+    }
+
+    #[test]
+    fn build_simple_add() {
+        let mut m = new_module();
+        let int = m.types_mut().int();
+        let f = m.add_function("add", int, vec![int, int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        let (x, y) = (b.func().args()[0], b.func().args()[1]);
+        let s = b.add(x, y);
+        b.ret(Some(s));
+        assert_eq!(m.function(f).num_insts(), 2);
+        assert!(m.function(f).has_terminators());
+    }
+
+    #[test]
+    #[should_panic(expected = "no mixed-type operations")]
+    fn mixed_types_rejected() {
+        let mut m = new_module();
+        let int = m.types_mut().int();
+        let dbl = m.types_mut().double();
+        let f = m.add_function("f", int, vec![int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        let x = b.func().args()[0];
+        let c = b.fconst(dbl, 1.0);
+        b.add(x, c);
+    }
+
+    #[test]
+    fn gep_walks_quadtree() {
+        // Reproduce the %tmp.1 getelementptr from paper Figure 2(b).
+        let mut m = new_module();
+        let qt = m.types_mut().named_struct("QT");
+        let qt_ptr = m.types_mut().pointer_to(qt);
+        let children = m.types_mut().array_of(qt_ptr, 4);
+        let dbl = m.types_mut().double();
+        m.types_mut().set_struct_body("QT", vec![dbl, children]);
+        let void = m.types_mut().void();
+        let f = m.add_function("f", void, vec![qt_ptr]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        let t = b.func().args()[0];
+        let p = b.gep_const(t, &[(0, false), (1, true), (3, false)]);
+        b.ret(None);
+        let bool_ty = m.types_mut().bool();
+        let pty = m.function(f).value_type(p, bool_ty);
+        // &T[0].Children[3] has type QT**
+        let expected = m.types_mut().pointer_to(qt_ptr);
+        assert_eq!(pty, expected);
+    }
+
+    #[test]
+    fn load_store_round_trip_types() {
+        let mut m = new_module();
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        let slot = b.alloca(int);
+        let x = b.func().args()[0];
+        b.store(x, slot);
+        let v = b.load(slot);
+        b.ret(Some(v));
+        assert_eq!(m.function(f).num_insts(), 4);
+    }
+
+    #[test]
+    fn call_returns_value_only_for_nonvoid() {
+        let mut m = new_module();
+        let int = m.types_mut().int();
+        let void = m.types_mut().void();
+        let callee = m.add_function("callee", int, vec![]);
+        let vcallee = m.add_function("vcallee", void, vec![]);
+        let f = m.add_function("f", int, vec![]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        let r = b.call(callee, vec![]);
+        assert!(r.is_some());
+        let r2 = b.call(vcallee, vec![]);
+        assert!(r2.is_none());
+        b.ret(r);
+    }
+
+    #[test]
+    fn phi_pairs() {
+        let mut m = new_module();
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let t = b.block("t");
+        let e = b.block("e");
+        let join = b.block("join");
+        b.switch_to(entry);
+        let x = b.func().args()[0];
+        let zero = b.iconst(int, 0);
+        let c = b.setgt(x, zero);
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(join);
+        b.switch_to(e);
+        b.br(join);
+        b.switch_to(join);
+        let one = b.iconst(int, 1);
+        let p = b.phi(int, vec![(one, t), (zero, e)]);
+        b.ret(Some(p));
+        assert!(m.function(f).has_terminators());
+        let join_insts = m.function(f).block(join).insts().to_vec();
+        assert_eq!(m.function(f).inst(join_insts[0]).opcode(), Opcode::Phi);
+    }
+}

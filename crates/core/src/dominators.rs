@@ -1,0 +1,321 @@
+//! Dominator analysis over the explicit CFG.
+//!
+//! The verifier uses dominance to check the SSA property ("defs dominate
+//! uses"), and `mem2reg` uses dominance frontiers to place `phi` nodes.
+//! The implementation is the Cooper–Harvey–Kennedy iterative algorithm
+//! over a reverse-postorder numbering — simple, and fast in practice.
+
+use crate::function::{BlockId, Function};
+use std::collections::HashMap;
+
+/// Dominator tree plus dominance frontiers for one function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    rpo: Vec<BlockId>,
+    rpo_index: HashMap<BlockId, usize>,
+    idom: HashMap<BlockId, BlockId>,
+    children: HashMap<BlockId, Vec<BlockId>>,
+    frontier: HashMap<BlockId, Vec<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes dominators for `func`.
+    ///
+    /// Blocks unreachable from the entry are excluded from the tree (they
+    /// have no RPO number and no immediate dominator).
+    pub fn compute(func: &Function) -> DomTree {
+        let rpo = reverse_postorder(func);
+        let rpo_index: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+
+        let preds_all = func.predecessors();
+        // Immediate dominators, CHK-style. idom[entry] = entry.
+        let entry = rpo[0];
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(entry, entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let preds: Vec<BlockId> = preds_all
+                    .get(&b)
+                    .map(|ps| {
+                        ps.iter()
+                            .copied()
+                            .filter(|p| rpo_index.contains_key(p))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds {
+                    if !idom.contains_key(&p) {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for (&b, &d) in &idom {
+            if b != d {
+                children.entry(d).or_default().push(b);
+            }
+        }
+        for c in children.values_mut() {
+            c.sort();
+        }
+
+        // Dominance frontiers (Cytron et al. via the CHK formulation).
+        let mut frontier: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &b in &rpo {
+            let preds: Vec<BlockId> = preds_all
+                .get(&b)
+                .map(|ps| {
+                    ps.iter()
+                        .copied()
+                        .filter(|p| idom.contains_key(p))
+                        .collect()
+                })
+                .unwrap_or_default();
+            if preds.len() >= 2 {
+                for &p in &preds {
+                    let mut runner = p;
+                    while runner != idom[&b] {
+                        let df = frontier.entry(runner).or_default();
+                        if !df.contains(&b) {
+                            df.push(b);
+                        }
+                        runner = idom[&runner];
+                    }
+                }
+            }
+        }
+
+        DomTree {
+            rpo,
+            rpo_index,
+            idom,
+            children,
+            frontier,
+        }
+    }
+
+    /// Blocks in reverse postorder (entry first).
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.rpo_index.contains_key(&block)
+    }
+
+    /// The immediate dominator of `block` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        let d = *self.idom.get(&block)?;
+        (d != block).then_some(d)
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom[&cur];
+            if next == cur {
+                return false; // reached entry
+            }
+            cur = next;
+        }
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Children of `block` in the dominator tree.
+    pub fn children(&self, block: BlockId) -> &[BlockId] {
+        self.children.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The dominance frontier of `block`.
+    pub fn frontier(&self, block: BlockId) -> &[BlockId] {
+        self.frontier.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    rpo_index: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Reverse-postorder DFS from the entry block.
+pub fn reverse_postorder(func: &Function) -> Vec<BlockId> {
+    let entry = func.entry_block();
+    let mut visited: HashMap<BlockId, bool> = HashMap::new();
+    let mut postorder = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+    visited.insert(entry, true);
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let succs = func.successors(b);
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if !visited.get(&s).copied().unwrap_or(false) {
+                visited.insert(s, true);
+                stack.push((s, 0));
+            }
+        } else {
+            postorder.push(b);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::layout::TargetConfig;
+    use crate::module::Module;
+
+    /// Builds the classic diamond:  entry -> {t, e} -> join -> exit
+    fn diamond() -> (Module, crate::module::FuncId, Vec<BlockId>) {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let t = b.block("t");
+        let e = b.block("e");
+        let join = b.block("join");
+        b.switch_to(entry);
+        let x = b.func().args()[0];
+        let zero = b.iconst(int, 0);
+        let c = b.setgt(x, zero);
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(join);
+        b.switch_to(e);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(Some(x));
+        (m, f, vec![entry, t, e, join])
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (m, f, blocks) = diamond();
+        let dom = DomTree::compute(m.function(f));
+        let [entry, t, e, join] = blocks[..] else { unreachable!() };
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(t), Some(entry));
+        assert_eq!(dom.idom(e), Some(entry));
+        assert_eq!(dom.idom(join), Some(entry)); // join has two preds
+        assert!(dom.dominates(entry, join));
+        assert!(!dom.dominates(t, join));
+        assert!(dom.dominates(join, join));
+        assert!(dom.strictly_dominates(entry, t));
+        assert!(!dom.strictly_dominates(t, t));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let (m, f, blocks) = diamond();
+        let dom = DomTree::compute(m.function(f));
+        let [_, t, e, join] = blocks[..] else { unreachable!() };
+        assert_eq!(dom.frontier(t), &[join]);
+        assert_eq!(dom.frontier(e), &[join]);
+        assert!(dom.frontier(join).is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let (m, f, blocks) = diamond();
+        let dom = DomTree::compute(m.function(f));
+        assert_eq!(dom.reverse_postorder()[0], blocks[0]);
+        assert_eq!(dom.reverse_postorder().len(), 4);
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let dead = b.block("dead");
+        b.switch_to(entry);
+        let x = b.func().args()[0];
+        b.ret(Some(x));
+        b.switch_to(dead);
+        b.ret(Some(x));
+        let dom = DomTree::compute(m.function(f));
+        assert!(dom.is_reachable(entry));
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(entry, dead));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // entry -> header -> body -> header (back edge), header -> exit
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let entry = b.block("entry");
+        let header = b.block("header");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let x = b.func().args()[0];
+        let zero = b.iconst(int, 0);
+        let c = b.setgt(x, zero);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(x));
+        let dom = DomTree::compute(m.function(f));
+        assert_eq!(dom.idom(header), Some(entry));
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+        // header is in its own body's frontier (back edge)
+        assert!(dom.frontier(body).contains(&header));
+        assert!(dom.frontier(header).contains(&header));
+    }
+}

@@ -1,0 +1,169 @@
+//! OS-support intrinsic functions (paper §3.5 and §4.1).
+//!
+//! LLVA supports operating systems through a small set of *intrinsic
+//! functions* implemented by the translator, gated by a privileged bit.
+//! This module defines the intrinsic namespace; their behavior is
+//! implemented by the execution engine (`llva-engine`), which is the
+//! "translator" of the paper's architecture.
+//!
+//! The set covers:
+//!
+//! * trap-handler registration and trap state access (§3.5),
+//! * stack walking in an I-ISA-independent manner (§3.5),
+//! * self-modifying-code notification (§3.4), and
+//! * the storage-API registration hook used by LLEE for offline caching
+//!   (§4.1: "one special LLVA intrinsic routine that the OS can use at
+//!   startup to register the address of the storage API routine").
+
+use std::fmt;
+
+/// The LLVA intrinsics, each corresponding to one `llva.*` function name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `llva.trap.register(int trap_no, void (int, sbyte*)* handler)` —
+    /// registers a trap handler (privileged).
+    TrapRegister,
+    /// `llva.trap.raise(int trap_no, sbyte* info)` — raises a trap.
+    TrapRaise,
+    /// `llva.priv.set(bool on)` — sets the privileged bit (privileged).
+    PrivSet,
+    /// `llva.priv.get() -> bool` — reads the privileged bit.
+    PrivGet,
+    /// `llva.stack.frames() -> int` — number of active frames.
+    StackFrames,
+    /// `llva.stack.funcname(int depth) -> sbyte*` — name of the function
+    /// executing at a given depth (I-ISA-independent stack scanning).
+    StackFuncName,
+    /// `llva.smc.invalidate(void ()* func)` — marks a function's
+    /// translated code invalid after self-modification; takes effect on
+    /// the *next* invocation (paper §3.4).
+    SmcInvalidate,
+    /// `llva.smc.replace(void ()* func, sbyte* code, uint len)` —
+    /// replaces the virtual instructions of `func` (constrained SMC).
+    SmcReplace,
+    /// `llva.storage.register(sbyte* api)` — registers the OS storage API
+    /// entry point with the translator (§4.1).
+    StorageRegister,
+    /// `llva.io.putchar(int c)` — minimal console output (stands in for
+    /// the native libraries LLEE can call through to).
+    IoPutChar,
+    /// `llva.io.getchar() -> int` — minimal console input.
+    IoGetChar,
+    /// `llva.heap.alloc(ulong bytes) -> sbyte*` — heap allocation
+    /// (memory is explicitly allocated; the translator provides the heap).
+    HeapAlloc,
+    /// `llva.heap.free(sbyte* ptr)` — heap release.
+    HeapFree,
+    /// `llva.clock() -> ulong` — cycle counter (used by workloads and
+    /// profiling).
+    Clock,
+}
+
+impl Intrinsic {
+    /// All intrinsics.
+    pub const ALL: [Intrinsic; 14] = [
+        Intrinsic::TrapRegister,
+        Intrinsic::TrapRaise,
+        Intrinsic::PrivSet,
+        Intrinsic::PrivGet,
+        Intrinsic::StackFrames,
+        Intrinsic::StackFuncName,
+        Intrinsic::SmcInvalidate,
+        Intrinsic::SmcReplace,
+        Intrinsic::StorageRegister,
+        Intrinsic::IoPutChar,
+        Intrinsic::IoGetChar,
+        Intrinsic::HeapAlloc,
+        Intrinsic::HeapFree,
+        Intrinsic::Clock,
+    ];
+
+    /// The `llva.*` function name of this intrinsic.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::TrapRegister => "llva.trap.register",
+            Intrinsic::TrapRaise => "llva.trap.raise",
+            Intrinsic::PrivSet => "llva.priv.set",
+            Intrinsic::PrivGet => "llva.priv.get",
+            Intrinsic::StackFrames => "llva.stack.frames",
+            Intrinsic::StackFuncName => "llva.stack.funcname",
+            Intrinsic::SmcInvalidate => "llva.smc.invalidate",
+            Intrinsic::SmcReplace => "llva.smc.replace",
+            Intrinsic::StorageRegister => "llva.storage.register",
+            Intrinsic::IoPutChar => "llva.io.putchar",
+            Intrinsic::IoGetChar => "llva.io.getchar",
+            Intrinsic::HeapAlloc => "llva.heap.alloc",
+            Intrinsic::HeapFree => "llva.heap.free",
+            Intrinsic::Clock => "llva.clock",
+        }
+    }
+
+    /// Looks an intrinsic up by its function name.
+    pub fn by_name(name: &str) -> Option<Intrinsic> {
+        Intrinsic::ALL.iter().copied().find(|i| i.name() == name)
+    }
+
+    /// Whether calling this intrinsic requires the privileged bit
+    /// (paper §3.5: "Intrinsics can be defined to be valid only if the
+    /// privileged bit is set to true, otherwise causing a kernel trap").
+    pub fn requires_privilege(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::TrapRegister
+                | Intrinsic::PrivSet
+                | Intrinsic::SmcReplace
+                | Intrinsic::StorageRegister
+        )
+    }
+
+    /// Whether this intrinsic may have side effects that forbid removing
+    /// a call to it (everything except pure queries).
+    pub fn has_side_effects(self) -> bool {
+        !matches!(
+            self,
+            Intrinsic::PrivGet | Intrinsic::StackFrames | Intrinsic::StackFuncName | Intrinsic::Clock
+        )
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether `name` is in the reserved intrinsic namespace.
+pub fn is_intrinsic_name(name: &str) -> bool {
+    name.starts_with("llva.")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_round_trip() {
+        for i in Intrinsic::ALL {
+            assert_eq!(Intrinsic::by_name(i.name()), Some(i));
+            assert!(is_intrinsic_name(i.name()));
+        }
+        assert_eq!(Intrinsic::by_name("llva.nonexistent"), None);
+        assert!(!is_intrinsic_name("printf"));
+    }
+
+    #[test]
+    fn privileged_set_matches_paper_model() {
+        assert!(Intrinsic::TrapRegister.requires_privilege());
+        assert!(Intrinsic::PrivSet.requires_privilege());
+        assert!(!Intrinsic::IoPutChar.requires_privilege());
+        assert!(!Intrinsic::Clock.requires_privilege());
+    }
+
+    #[test]
+    fn pure_queries_have_no_side_effects() {
+        assert!(!Intrinsic::Clock.has_side_effects());
+        assert!(!Intrinsic::PrivGet.has_side_effects());
+        assert!(Intrinsic::HeapAlloc.has_side_effects());
+        assert!(Intrinsic::TrapRaise.has_side_effects());
+    }
+}

@@ -1,0 +1,243 @@
+//! Target data layout: pointer size, endianness, and type size/offset
+//! computation (paper §3.2, "Representation Portability").
+//!
+//! LLVA abstracts pointer size and endianness from *type-safe* code, but
+//! the translator must still know them to lay out memory. The paper's
+//! example: `&T[0].Children[3]` is 20 bytes past `%T` with 32-bit pointers
+//! and 32 bytes with 64-bit pointers. [`TargetConfig`] captures exactly the
+//! two flags the paper says LLVA exposes to non-type-safe code.
+
+use crate::types::{TypeId, TypeKind, TypeTable};
+
+/// Byte order of the implementation ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Endianness {
+    /// Least-significant byte first (e.g. IA-32).
+    #[default]
+    Little,
+    /// Most-significant byte first (e.g. SPARC V9).
+    Big,
+}
+
+/// Pointer width of the implementation ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PointerSize {
+    /// 32-bit pointers.
+    Bits32,
+    /// 64-bit pointers.
+    #[default]
+    Bits64,
+}
+
+impl PointerSize {
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PointerSize::Bits32 => 4,
+            PointerSize::Bits64 => 8,
+        }
+    }
+
+    /// Size in bits.
+    pub fn bits(self) -> u32 {
+        (self.bytes() * 8) as u32
+    }
+}
+
+/// The I-ISA configuration flags encoded in every LLVA object file
+/// (paper §3.2: "currently, these are pointer size and endianness").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TargetConfig {
+    /// Pointer width.
+    pub pointer_size: PointerSize,
+    /// Byte order.
+    pub endianness: Endianness,
+}
+
+impl TargetConfig {
+    /// A 32-bit little-endian target (IA-32-like).
+    pub fn ia32() -> TargetConfig {
+        TargetConfig {
+            pointer_size: PointerSize::Bits32,
+            endianness: Endianness::Little,
+        }
+    }
+
+    /// A 64-bit big-endian target (SPARC-V9-like).
+    pub fn sparc_v9() -> TargetConfig {
+        TargetConfig {
+            pointer_size: PointerSize::Bits64,
+            endianness: Endianness::Big,
+        }
+    }
+
+    /// Size of `ty` in bytes under this target.
+    ///
+    /// Aggregates include interior padding and tail padding to their
+    /// alignment, C-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unsized types (`void`, `label`, opaque structs, function
+    /// types).
+    pub fn size_of(&self, tt: &TypeTable, ty: TypeId) -> u64 {
+        match tt.kind(ty) {
+            TypeKind::Bool | TypeKind::UByte | TypeKind::SByte => 1,
+            TypeKind::UShort | TypeKind::Short => 2,
+            TypeKind::UInt | TypeKind::Int | TypeKind::Float => 4,
+            TypeKind::ULong | TypeKind::Long | TypeKind::Double => 8,
+            TypeKind::Pointer(_) => self.pointer_size.bytes(),
+            TypeKind::Array { elem, len } => self.size_of(tt, *elem) * len,
+            TypeKind::LiteralStruct(_) | TypeKind::Struct(_) => {
+                let fields = tt
+                    .struct_fields(ty)
+                    .expect("size_of requires a non-opaque struct");
+                let mut offset = 0u64;
+                let mut max_align = 1u64;
+                for &f in fields {
+                    let a = self.align_of(tt, f);
+                    max_align = max_align.max(a);
+                    offset = round_up(offset, a) + self.size_of(tt, f);
+                }
+                round_up(offset, max_align)
+            }
+            TypeKind::Void | TypeKind::Label | TypeKind::Function { .. } => {
+                panic!("size_of: unsized type {}", tt.display(ty))
+            }
+        }
+    }
+
+    /// Alignment of `ty` in bytes under this target.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unsized types.
+    pub fn align_of(&self, tt: &TypeTable, ty: TypeId) -> u64 {
+        match tt.kind(ty) {
+            TypeKind::Array { elem, .. } => self.align_of(tt, *elem),
+            TypeKind::LiteralStruct(_) | TypeKind::Struct(_) => tt
+                .struct_fields(ty)
+                .expect("align_of requires a non-opaque struct")
+                .iter()
+                .map(|&f| self.align_of(tt, f))
+                .max()
+                .unwrap_or(1),
+            _ => self.size_of(tt, ty),
+        }
+    }
+
+    /// Byte offset of field number `field` in a struct type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not a defined struct or `field` is out of range.
+    pub fn field_offset(&self, tt: &TypeTable, ty: TypeId, field: usize) -> u64 {
+        let fields = tt
+            .struct_fields(ty)
+            .expect("field_offset requires a non-opaque struct");
+        assert!(field < fields.len(), "field index out of range");
+        let mut offset = 0u64;
+        for (i, &f) in fields.iter().enumerate() {
+            offset = round_up(offset, self.align_of(tt, f));
+            if i == field {
+                return offset;
+            }
+            offset += self.size_of(tt, f);
+        }
+        unreachable!()
+    }
+}
+
+fn round_up(value: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two() || align == 1 || align == 0);
+    if align <= 1 {
+        return value;
+    }
+    (value + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadtree(tt: &mut TypeTable) -> TypeId {
+        let qt = tt.named_struct("QT");
+        let qt_ptr = tt.pointer_to(qt);
+        let children = tt.array_of(qt_ptr, 4);
+        let dbl = tt.double();
+        tt.set_struct_body("QT", vec![dbl, children])
+    }
+
+    #[test]
+    fn paper_quadtree_offsets() {
+        // Paper §3.1: &T[0].Children[3] is offset 20 with 32-bit pointers
+        // and 32 with 64-bit pointers. Children starts at 8; +3 pointers.
+        let mut tt = TypeTable::new();
+        let qt = quadtree(&mut tt);
+        let t32 = TargetConfig::ia32();
+        let t64 = TargetConfig::sparc_v9();
+        assert_eq!(t32.field_offset(&tt, qt, 1) + 3 * 4, 20);
+        assert_eq!(t64.field_offset(&tt, qt, 1) + 3 * 8, 32);
+    }
+
+    #[test]
+    fn primitive_sizes() {
+        let mut tt = TypeTable::new();
+        let cfg = TargetConfig::default();
+        let cases = [
+            (tt.bool(), 1),
+            (tt.ubyte(), 1),
+            (tt.short(), 2),
+            (tt.int(), 4),
+            (tt.uint(), 4),
+            (tt.long(), 8),
+            (tt.float(), 4),
+            (tt.double(), 8),
+        ];
+        for (ty, size) in cases {
+            assert_eq!(cfg.size_of(&tt, ty), size, "{}", tt.display(ty));
+        }
+    }
+
+    #[test]
+    fn pointer_size_follows_target() {
+        let mut tt = TypeTable::new();
+        let int = tt.int();
+        let p = tt.pointer_to(int);
+        assert_eq!(TargetConfig::ia32().size_of(&tt, p), 4);
+        assert_eq!(TargetConfig::sparc_v9().size_of(&tt, p), 8);
+    }
+
+    #[test]
+    fn struct_padding_and_tail() {
+        // { sbyte, int, sbyte } -> 0, 4, 8; size rounds to 12 (align 4).
+        let mut tt = TypeTable::new();
+        let b = tt.sbyte();
+        let i = tt.int();
+        let s = tt.literal_struct(vec![b, i, b]);
+        let cfg = TargetConfig::ia32();
+        assert_eq!(cfg.field_offset(&tt, s, 0), 0);
+        assert_eq!(cfg.field_offset(&tt, s, 1), 4);
+        assert_eq!(cfg.field_offset(&tt, s, 2), 8);
+        assert_eq!(cfg.size_of(&tt, s), 12);
+        assert_eq!(cfg.align_of(&tt, s), 4);
+    }
+
+    #[test]
+    fn array_layout() {
+        let mut tt = TypeTable::new();
+        let i = tt.int();
+        let a = tt.array_of(i, 10);
+        let cfg = TargetConfig::default();
+        assert_eq!(cfg.size_of(&tt, a), 40);
+        assert_eq!(cfg.align_of(&tt, a), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsized")]
+    fn void_has_no_size() {
+        let mut tt = TypeTable::new();
+        let v = tt.void();
+        TargetConfig::default().size_of(&tt, v);
+    }
+}

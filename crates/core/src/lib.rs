@@ -1,0 +1,63 @@
+//! # llva-core — the LLVA Virtual Instruction Set Architecture
+//!
+//! A from-scratch reproduction of the V-ISA described in *"LLVA: A
+//! Low-level Virtual Instruction Set Architecture"* (MICRO 2003): a
+//! source-language-neutral, low-level, orthogonal, three-address virtual
+//! instruction set with
+//!
+//! * an infinite, typed SSA register file ([`value`], [`function`]),
+//! * exactly 28 instructions ([`instruction::Opcode`]),
+//! * a small language-independent type system with four derived types
+//!   ([`types`]),
+//! * explicit control-flow graphs and `phi`-based dataflow,
+//! * the `ExceptionsEnabled` attribute for flexible exception semantics
+//!   (§3.3), and
+//! * typed pointer arithmetic via `getelementptr` (§3.1).
+//!
+//! The crate also provides the textual assembly [`printer`] and
+//! [`parser`], the self-extending binary [`bytecode`] ("virtual object
+//! code"), the [`verifier`], CFG [`dominators`], and the OS-support
+//! [`intrinsics`] of §3.5.
+//!
+//! # Quick start
+//!
+//! ```
+//! use llva_core::builder::FunctionBuilder;
+//! use llva_core::layout::TargetConfig;
+//! use llva_core::module::Module;
+//!
+//! let mut m = Module::new("hello", TargetConfig::default());
+//! let int = m.types_mut().int();
+//! let f = m.add_function("double_it", int, vec![int]);
+//! let mut b = FunctionBuilder::new(&mut m, f);
+//! let entry = b.block("entry");
+//! b.switch_to(entry);
+//! let x = b.func().args()[0];
+//! let two = b.iconst(int, 2);
+//! let y = b.mul(x, two);
+//! b.ret(Some(y));
+//! llva_core::verifier::verify_module(&m).expect("well-formed module");
+//! ```
+
+pub mod builder;
+pub mod bytecode;
+pub mod dominators;
+pub mod eval;
+pub mod function;
+pub mod instruction;
+pub mod intrinsics;
+pub mod layout;
+pub mod module;
+pub mod parser;
+pub mod printer;
+pub mod types;
+pub mod value;
+pub mod verifier;
+
+pub use builder::FunctionBuilder;
+pub use function::{BasicBlock, BlockId, Function, Linkage};
+pub use instruction::{InstId, Instruction, Opcode};
+pub use layout::{Endianness, PointerSize, TargetConfig};
+pub use module::{FuncId, GlobalId, Initializer, Module};
+pub use types::{StructId, TypeId, TypeKind, TypeTable};
+pub use value::{Constant, ValueData, ValueId};

@@ -1,0 +1,357 @@
+//! Modules: the unit of virtual object code.
+//!
+//! A module owns the type table, global variables, and functions. It also
+//! records the I-ISA configuration flags (pointer size + endianness) that
+//! the paper says are encoded in every object file (§3.2).
+
+use crate::function::{Function, Linkage};
+use crate::layout::TargetConfig;
+use crate::types::{TypeId, TypeTable};
+use crate::value::Constant;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a function within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Raw index into the module's function list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a handle from a raw index.
+    pub fn from_index(index: usize) -> FuncId {
+        FuncId(u32::try_from(index).expect("function index overflow"))
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// A handle to a global variable within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(u32);
+
+impl GlobalId {
+    /// Raw index into the module's global list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a handle from a raw index.
+    pub fn from_index(index: usize) -> GlobalId {
+        GlobalId(u32::try_from(index).expect("global index overflow"))
+    }
+}
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A static initializer for a global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Initializer {
+    /// All-zero bytes of the value type's size.
+    Zero,
+    /// A scalar constant.
+    Scalar(Constant),
+    /// Element-wise array initializer.
+    Array(Vec<Initializer>),
+    /// Field-wise struct initializer.
+    Struct(Vec<Initializer>),
+    /// Raw bytes (used for string literals).
+    Bytes(Vec<u8>),
+}
+
+/// A global variable: a name, a value type, and an initializer. All
+/// global memory is explicitly allocated (paper §3.1: "Memory is
+/// partitioned into stack, heap, and global memory").
+#[derive(Debug, Clone)]
+pub struct GlobalVar {
+    name: String,
+    value_ty: TypeId,
+    init: Initializer,
+    is_const: bool,
+    linkage: Linkage,
+}
+
+impl GlobalVar {
+    /// The symbol name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The type of the *value* (the global's own type is a pointer to it).
+    pub fn value_type(&self) -> TypeId {
+        self.value_ty
+    }
+
+    /// The static initializer.
+    pub fn init(&self) -> &Initializer {
+        &self.init
+    }
+
+    /// Whether stores through this global are forbidden.
+    pub fn is_const(&self) -> bool {
+        self.is_const
+    }
+
+    /// Linkage of the symbol.
+    pub fn linkage(&self) -> Linkage {
+        self.linkage
+    }
+
+    /// Sets linkage (used by the `internalize` pass).
+    pub fn set_linkage(&mut self, linkage: Linkage) {
+        self.linkage = linkage;
+    }
+}
+
+/// A module of LLVA virtual object code.
+#[derive(Debug, Clone)]
+pub struct Module {
+    name: String,
+    target: TargetConfig,
+    types: TypeTable,
+    functions: Vec<Function>,
+    globals: Vec<GlobalVar>,
+    func_names: HashMap<String, FuncId>,
+    global_names: HashMap<String, GlobalId>,
+}
+
+impl Module {
+    /// Creates an empty module for the given I-ISA configuration.
+    pub fn new(name: impl Into<String>, target: TargetConfig) -> Module {
+        Module {
+            name: name.into(),
+            target,
+            types: TypeTable::new(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+            func_names: HashMap::new(),
+            global_names: HashMap::new(),
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The I-ISA configuration flags (§3.2).
+    pub fn target(&self) -> TargetConfig {
+        self.target
+    }
+
+    /// Overrides the target configuration (retargeting before translation).
+    pub fn set_target(&mut self, target: TargetConfig) {
+        self.target = target;
+    }
+
+    /// The module's type table.
+    pub fn types(&self) -> &TypeTable {
+        &self.types
+    }
+
+    /// Mutable access to the type table.
+    pub fn types_mut(&mut self) -> &mut TypeTable {
+        &mut self.types
+    }
+
+    // ---- functions --------------------------------------------------------
+
+    /// Adds a function with a fresh signature, returning its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name already exists.
+    pub fn add_function(
+        &mut self,
+        name: &str,
+        ret_ty: TypeId,
+        param_tys: Vec<TypeId>,
+    ) -> FuncId {
+        assert!(
+            !self.func_names.contains_key(name),
+            "duplicate function {name}"
+        );
+        let fty = self.types.function(ret_ty, param_tys.clone(), false);
+        let id = FuncId::from_index(self.functions.len());
+        self.functions
+            .push(Function::new(name, fty, ret_ty, param_tys));
+        self.func_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Immutable access to a function.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to a function.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.func_names.get(name).copied()
+    }
+
+    /// Iterates over `(id, function)` pairs.
+    pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Function handles in definition order.
+    pub fn function_ids(&self) -> Vec<FuncId> {
+        (0..self.functions.len()).map(FuncId::from_index).collect()
+    }
+
+    /// Number of functions (including declarations).
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Removes a function's body and name-table entry, leaving a tombstone
+    /// declaration (used by global dead-code elimination). Handles of
+    /// other functions remain valid.
+    pub fn discard_function_body(&mut self, id: FuncId) {
+        let name = self.functions[id.index()].name().to_string();
+        let f = &self.functions[id.index()];
+        let mut fresh = Function::new(name.clone(), f.type_id(), f.return_type(), f.param_types().to_vec());
+        fresh.set_linkage(f.linkage());
+        self.functions[id.index()] = fresh;
+    }
+
+    // ---- globals ----------------------------------------------------------
+
+    /// Adds a global variable, returning its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a global with the same name already exists.
+    pub fn add_global(
+        &mut self,
+        name: &str,
+        value_ty: TypeId,
+        init: Initializer,
+        is_const: bool,
+    ) -> GlobalId {
+        assert!(
+            !self.global_names.contains_key(name),
+            "duplicate global {name}"
+        );
+        let id = GlobalId::from_index(self.globals.len());
+        self.globals.push(GlobalVar {
+            name: name.to_string(),
+            value_ty,
+            init,
+            is_const,
+            linkage: Linkage::External,
+        });
+        self.global_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Immutable access to a global.
+    pub fn global(&self, id: GlobalId) -> &GlobalVar {
+        &self.globals[id.index()]
+    }
+
+    /// Mutable access to a global.
+    pub fn global_mut(&mut self, id: GlobalId) -> &mut GlobalVar {
+        &mut self.globals[id.index()]
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.global_names.get(name).copied()
+    }
+
+    /// Iterates over `(id, global)` pairs.
+    pub fn globals(&self) -> impl Iterator<Item = (GlobalId, &GlobalVar)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GlobalId(i as u32), g))
+    }
+
+    /// Number of globals.
+    pub fn num_globals(&self) -> usize {
+        self.globals.len()
+    }
+
+    // ---- aggregate statistics (used by the Table 2 harness) ---------------
+
+    /// Total linked LLVA instructions across all function bodies
+    /// (the "#LLVA Inst." column of Table 2).
+    pub fn total_insts(&self) -> usize {
+        self.functions.iter().map(Function::num_insts).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_look_up_function() {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let f = m.add_function("main", int, vec![]);
+        assert_eq!(m.function_by_name("main"), Some(f));
+        assert_eq!(m.function(f).name(), "main");
+        assert!(m.function(f).is_declaration());
+        assert_eq!(m.num_functions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function")]
+    fn duplicate_function_panics() {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        m.add_function("f", int, vec![]);
+        m.add_function("f", int, vec![]);
+    }
+
+    #[test]
+    fn add_and_look_up_global() {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let g = m.add_global("counter", int, Initializer::Zero, false);
+        assert_eq!(m.global_by_name("counter"), Some(g));
+        assert_eq!(m.global(g).value_type(), int);
+        assert!(!m.global(g).is_const());
+        assert_eq!(m.num_globals(), 1);
+    }
+
+    #[test]
+    fn discard_function_body_keeps_signature() {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int]);
+        m.function_mut(f).add_block("entry");
+        assert!(!m.function(f).is_declaration());
+        m.discard_function_body(f);
+        assert!(m.function(f).is_declaration());
+        assert_eq!(m.function(f).param_types().len(), 1);
+        assert_eq!(m.function_by_name("f"), Some(f));
+    }
+
+    #[test]
+    fn total_insts_starts_at_zero() {
+        let m = Module::new("m", TargetConfig::default());
+        assert_eq!(m.total_insts(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! SSA values and constants.
+//!
+//! LLVA uses an *infinite, typed register file* in SSA form (paper §3.1).
+//! Every register is a [`ValueId`] owned by its function; a value is either
+//! a function argument, the result of an instruction, or a constant.
+//! Constants include addresses of globals and functions, which is how
+//! direct calls and global accesses are expressed.
+
+use crate::module::{FuncId, GlobalId};
+use crate::types::TypeId;
+use std::fmt;
+
+/// A handle to an SSA value within a single function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// Raw index into the owning function's value arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a handle from a raw index.
+    pub fn from_index(index: usize) -> ValueId {
+        ValueId(u32::try_from(index).expect("value index overflow"))
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A compile-time constant value.
+///
+/// Floating-point payloads are stored as IEEE-754 bit patterns so that
+/// constants are `Eq + Hash` (needed for interning, value numbering and
+/// `mbr` case tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Constant {
+    /// A boolean literal.
+    Bool(bool),
+    /// An integer literal of a specific integer type. The payload is the
+    /// raw two's-complement bit pattern zero-extended to 64 bits.
+    Int {
+        /// Integer type (one of the eight integer types).
+        ty: TypeId,
+        /// Bit pattern, zero-extended.
+        bits: u64,
+    },
+    /// A floating-point literal. For `float` the payload is the `f32` bit
+    /// pattern in the low 32 bits; for `double` the full `f64` pattern.
+    Float {
+        /// `float` or `double`.
+        ty: TypeId,
+        /// IEEE-754 bit pattern.
+        bits: u64,
+    },
+    /// The null pointer of a given pointer type.
+    Null(TypeId),
+    /// The address of a global variable; the type is the pointer type.
+    GlobalAddr {
+        /// Which global.
+        global: GlobalId,
+        /// Pointer-to-value type of the global.
+        ty: TypeId,
+    },
+    /// The address of a function; the type is a pointer to its signature.
+    FunctionAddr {
+        /// Which function.
+        func: FuncId,
+        /// Pointer-to-function type.
+        ty: TypeId,
+    },
+    /// An unspecified value of a given type (used by the translator for
+    /// padding and by optimizations for dead operands).
+    Undef(TypeId),
+}
+
+impl Constant {
+    /// The type of this constant.
+    ///
+    /// `Bool` has no stored [`TypeId`]; callers that need one should use
+    /// [`TypeTable::bool`](crate::types::TypeTable::bool). For all other
+    /// variants the stored type is returned.
+    pub fn type_id(&self) -> Option<TypeId> {
+        match self {
+            Constant::Bool(_) => None,
+            Constant::Int { ty, .. }
+            | Constant::Float { ty, .. }
+            | Constant::Null(ty)
+            | Constant::GlobalAddr { ty, .. }
+            | Constant::FunctionAddr { ty, .. }
+            | Constant::Undef(ty) => Some(*ty),
+        }
+    }
+
+    /// Interprets an integer constant as `i64` (sign handling is up to the
+    /// caller's knowledge of the type). Returns `None` for non-integers.
+    pub fn as_int_bits(&self) -> Option<u64> {
+        match self {
+            Constant::Int { bits, .. } => Some(*bits),
+            Constant::Bool(b) => Some(u64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Interprets a floating constant as `f64` (widening `float`).
+    pub fn as_f64(&self, is_f32: bool) -> Option<f64> {
+        match self {
+            Constant::Float { bits, .. } => Some(if is_f32 {
+                f32::from_bits(*bits as u32) as f64
+            } else {
+                f64::from_bits(*bits)
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the null pointer constant.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Constant::Null(_))
+    }
+}
+
+/// What an SSA value *is*: an argument, an instruction result, or a
+/// constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueData {
+    /// The `index`-th formal parameter of the function.
+    Arg {
+        /// Zero-based parameter position.
+        index: u32,
+        /// Declared parameter type.
+        ty: TypeId,
+    },
+    /// The result of instruction `inst`.
+    Inst {
+        /// Defining instruction.
+        inst: crate::instruction::InstId,
+        /// Result type.
+        ty: TypeId,
+    },
+    /// A constant.
+    Const(Constant),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeTable;
+
+    #[test]
+    fn constant_type_ids() {
+        let mut tt = TypeTable::new();
+        let int = tt.int();
+        let c = Constant::Int { ty: int, bits: 42 };
+        assert_eq!(c.type_id(), Some(int));
+        assert_eq!(c.as_int_bits(), Some(42));
+        assert_eq!(Constant::Bool(true).type_id(), None);
+        assert_eq!(Constant::Bool(true).as_int_bits(), Some(1));
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let mut tt = TypeTable::new();
+        let f32t = tt.float();
+        let f64t = tt.double();
+        let cf = Constant::Float {
+            ty: f32t,
+            bits: 1.5f32.to_bits() as u64,
+        };
+        let cd = Constant::Float {
+            ty: f64t,
+            bits: 2.25f64.to_bits(),
+        };
+        assert_eq!(cf.as_f64(true), Some(1.5));
+        assert_eq!(cd.as_f64(false), Some(2.25));
+    }
+
+    #[test]
+    fn null_detection() {
+        let mut tt = TypeTable::new();
+        let int = tt.int();
+        let p = tt.pointer_to(int);
+        assert!(Constant::Null(p).is_null());
+        assert!(!Constant::Int { ty: int, bits: 0 }.is_null());
+    }
+}

@@ -1,0 +1,278 @@
+//! The translator-provided runtime environment: intrinsic functions,
+//! the privileged bit, and trap-handler registration (paper §3.5).
+//!
+//! Both the reference interpreter and the native execution manager
+//! dispatch `llva.*` intrinsic calls here, so the two execution paths
+//! observe identical semantics.
+
+use llva_core::intrinsics::Intrinsic;
+use llva_machine::common::TrapKind;
+use llva_machine::memory::Memory;
+use llva_machine::x86::FUNC_TAG;
+use std::collections::HashMap;
+
+/// Shared intrinsic state: I/O buffers, the privileged bit, the cycle
+/// counter, registered trap handlers, and SMC invalidation requests.
+#[derive(Debug, Default)]
+pub struct Env {
+    /// The privileged bit (§3.5). Starts clear (user mode); the OS
+    /// kernel would set it before registering handlers.
+    pub privileged: bool,
+    /// Console output captured from `llva.io.putchar`.
+    pub stdout: Vec<u8>,
+    /// Console input consumed by `llva.io.getchar`.
+    pub stdin: std::collections::VecDeque<u8>,
+    /// Virtual cycle counter returned by `llva.clock` (incremented by
+    /// the caller as execution progresses).
+    pub clock: u64,
+    /// Registered trap handlers: trap number → function index.
+    pub trap_handlers: HashMap<u32, u32>,
+    /// Functions whose translations were invalidated via
+    /// `llva.smc.invalidate` (§3.4); drained by the execution manager.
+    pub smc_invalidations: Vec<u32>,
+    /// The OS storage-API entry point registered at startup (§4.1).
+    pub storage_api: Option<u64>,
+    /// Pending software trap raised by `llva.trap.raise`.
+    pub raised_trap: Option<(u32, u64)>,
+}
+
+/// Information about the active call stack, supplied by whichever
+/// execution substrate is running (machine or interpreter).
+#[derive(Debug, Clone, Default)]
+pub struct StackView {
+    /// Function indices, innermost first.
+    pub functions: Vec<u32>,
+}
+
+impl Env {
+    /// Creates a fresh environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Services one intrinsic call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::PrivilegeViolation`] when a privileged
+    /// intrinsic is called with the privileged bit clear, and memory
+    /// faults from heap exhaustion.
+    pub fn handle(
+        &mut self,
+        which: Intrinsic,
+        args: &[u64],
+        mem: &mut Memory,
+        stack: &StackView,
+        func_names: &[String],
+    ) -> Result<u64, TrapKind> {
+        if which.requires_privilege() && !self.privileged {
+            return Err(TrapKind::PrivilegeViolation);
+        }
+        let arg = |i: usize| args.get(i).copied().unwrap_or(0);
+        Ok(match which {
+            Intrinsic::TrapRegister => {
+                let trap_no = arg(0) as u32;
+                let handler = arg(1);
+                if handler & FUNC_TAG == 0 {
+                    return Err(TrapKind::BadFunctionPointer);
+                }
+                self.trap_handlers
+                    .insert(trap_no, (handler & !FUNC_TAG) as u32);
+                0
+            }
+            Intrinsic::TrapRaise => {
+                self.raised_trap = Some((arg(0) as u32, arg(1)));
+                0
+            }
+            Intrinsic::PrivSet => {
+                self.privileged = arg(0) != 0;
+                0
+            }
+            Intrinsic::PrivGet => u64::from(self.privileged),
+            Intrinsic::StackFrames => stack.functions.len() as u64,
+            Intrinsic::StackFuncName => {
+                let depth = arg(0) as usize;
+                let name = stack
+                    .functions
+                    .get(depth)
+                    .and_then(|&f| func_names.get(f as usize))
+                    .cloned()
+                    .unwrap_or_default();
+                let addr = mem.heap_alloc(name.len() as u64 + 1)?;
+                mem.write_bytes(addr, name.as_bytes())?;
+                mem.store(addr + name.len() as u64, 0, llva_machine::Width::B1)?;
+                addr
+            }
+            Intrinsic::SmcInvalidate | Intrinsic::SmcReplace => {
+                let target = arg(0);
+                if target & FUNC_TAG == 0 {
+                    return Err(TrapKind::BadFunctionPointer);
+                }
+                self.smc_invalidations.push((target & !FUNC_TAG) as u32);
+                0
+            }
+            Intrinsic::StorageRegister => {
+                self.storage_api = Some(arg(0));
+                0
+            }
+            Intrinsic::IoPutChar => {
+                self.stdout.push(arg(0) as u8);
+                0
+            }
+            Intrinsic::IoGetChar => match self.stdin.pop_front() {
+                Some(b) => u64::from(b),
+                None => (-1i64) as u64,
+            },
+            Intrinsic::HeapAlloc => mem.heap_alloc(arg(0))?,
+            Intrinsic::HeapFree => {
+                mem.heap_free(arg(0));
+                0
+            }
+            Intrinsic::Clock => self.clock,
+        })
+    }
+
+    /// The captured stdout as UTF-8 (lossy).
+    pub fn stdout_string(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llva_core::layout::Endianness;
+    use llva_machine::x86::function_value;
+
+    fn mem() -> Memory {
+        Memory::new(1 << 20, 0x2000, Endianness::Little)
+    }
+
+    #[test]
+    fn putchar_accumulates() {
+        let mut env = Env::new();
+        let mut m = mem();
+        for c in b"hi" {
+            env.handle(
+                Intrinsic::IoPutChar,
+                &[u64::from(*c)],
+                &mut m,
+                &StackView::default(),
+                &[],
+            )
+            .unwrap();
+        }
+        assert_eq!(env.stdout_string(), "hi");
+    }
+
+    #[test]
+    fn privileged_intrinsics_gated() {
+        let mut env = Env::new();
+        let mut m = mem();
+        let r = env.handle(
+            Intrinsic::TrapRegister,
+            &[1, function_value(0)],
+            &mut m,
+            &StackView::default(),
+            &[],
+        );
+        assert_eq!(r, Err(TrapKind::PrivilegeViolation));
+        env.privileged = true;
+        let r = env.handle(
+            Intrinsic::TrapRegister,
+            &[1, function_value(3)],
+            &mut m,
+            &StackView::default(),
+            &[],
+        );
+        assert_eq!(r, Ok(0));
+        assert_eq!(env.trap_handlers.get(&1), Some(&3));
+    }
+
+    #[test]
+    fn priv_set_and_get() {
+        let mut env = Env::new();
+        let mut m = mem();
+        // priv.get is unprivileged
+        assert_eq!(
+            env.handle(Intrinsic::PrivGet, &[], &mut m, &StackView::default(), &[]),
+            Ok(0)
+        );
+        // priv.set requires privilege... which it cannot get by itself
+        assert_eq!(
+            env.handle(Intrinsic::PrivSet, &[1], &mut m, &StackView::default(), &[]),
+            Err(TrapKind::PrivilegeViolation)
+        );
+        env.privileged = true;
+        assert_eq!(
+            env.handle(Intrinsic::PrivSet, &[0], &mut m, &StackView::default(), &[]),
+            Ok(0)
+        );
+        assert!(!env.privileged);
+    }
+
+    #[test]
+    fn heap_alloc_returns_disjoint_blocks() {
+        let mut env = Env::new();
+        let mut m = mem();
+        let a = env
+            .handle(Intrinsic::HeapAlloc, &[64], &mut m, &StackView::default(), &[])
+            .unwrap();
+        let b = env
+            .handle(Intrinsic::HeapAlloc, &[64], &mut m, &StackView::default(), &[])
+            .unwrap();
+        assert!(b >= a + 64);
+    }
+
+    #[test]
+    fn stack_funcname_writes_cstr() {
+        let mut env = Env::new();
+        let mut m = mem();
+        let stack = StackView {
+            functions: vec![1, 0],
+        };
+        let names = vec!["main".to_string(), "helper".to_string()];
+        let addr = env
+            .handle(Intrinsic::StackFuncName, &[0], &mut m, &stack, &names)
+            .unwrap();
+        assert_eq!(m.read_cstr(addr).unwrap(), b"helper");
+        let addr = env
+            .handle(Intrinsic::StackFuncName, &[1], &mut m, &stack, &names)
+            .unwrap();
+        assert_eq!(m.read_cstr(addr).unwrap(), b"main");
+    }
+
+    #[test]
+    fn smc_invalidation_queued() {
+        let mut env = Env::new();
+        let mut m = mem();
+        env.handle(
+            Intrinsic::SmcInvalidate,
+            &[function_value(5)],
+            &mut m,
+            &StackView::default(),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(env.smc_invalidations, vec![5]);
+    }
+
+    #[test]
+    fn getchar_consumes_stdin() {
+        let mut env = Env::new();
+        env.stdin.extend(b"ab");
+        let mut m = mem();
+        let a = env
+            .handle(Intrinsic::IoGetChar, &[], &mut m, &StackView::default(), &[])
+            .unwrap();
+        assert_eq!(a, u64::from(b'a'));
+        let b = env
+            .handle(Intrinsic::IoGetChar, &[], &mut m, &StackView::default(), &[])
+            .unwrap();
+        assert_eq!(b, u64::from(b'b'));
+        let eof = env
+            .handle(Intrinsic::IoGetChar, &[], &mut m, &StackView::default(), &[])
+            .unwrap();
+        assert_eq!(eof as i64, -1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # llva-engine — LLEE, the LLVA execution environment (paper §4)
+//!
+//! The "on-chip runtime execution engine that manages the translation
+//! process": JIT-on-demand translation, the OS-independent storage API
+//! for offline caching of native code (§4.1), the reference LLVA
+//! [`interp`]reter, profiling + the software trace cache (§4.2), the
+//! intrinsic/trap [`env`]ironment (§3.5), and constrained
+//! self-modifying-code support (§3.4).
+
+pub mod codec;
+pub mod env;
+pub mod interp;
+pub mod llee;
+pub mod profile;
+pub mod storage;
+pub mod trace;
+
+pub use env::Env;
+pub use interp::{Interpreter, InterpError, LlvaTrap};
+pub use llee::{ExecutionManager, RunOutcome, TargetIsa};
+pub use storage::{DirStorage, MemStorage, Storage};

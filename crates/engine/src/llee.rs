@@ -1,0 +1,740 @@
+//! LLEE: the execution manager (paper §4.1).
+//!
+//! "Offline translation when possible, online translation whenever
+//! necessary": when control reaches an untranslated function, LLEE
+//! first consults the OS-provided storage API for a cached translation
+//! and validates its timestamp against the module; on a miss (or with
+//! no storage at all) it invokes the JIT, installs the code, and writes
+//! it back to the cache. `translate_all` is the offline-translation
+//! mode (the OS "initiating 'execution' … but flagging it for
+//! translation and not actual execution").
+
+use crate::codec;
+use crate::env::{Env, StackView};
+use crate::interp::trap_number;
+use crate::storage::Storage;
+use llva_backend::common::layout_globals;
+use llva_backend::{compile_sparc, compile_x86};
+use llva_core::module::{FuncId, Module};
+use llva_machine::common::{ExecStats, Exit, Trap};
+use llva_machine::memory::{Memory, GLOBAL_BASE};
+use llva_machine::sparc::{SparcMachine, SparcProgram};
+use llva_machine::x86::{X86Machine, X86Program};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which implementation ISA to translate to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetIsa {
+    /// The IA-32-like CISC target.
+    X86,
+    /// The SPARC-V9-like RISC target.
+    Sparc,
+}
+
+impl fmt::Display for TargetIsa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TargetIsa::X86 => "x86",
+            TargetIsa::Sparc => "sparc",
+        })
+    }
+}
+
+/// Why execution failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A hardware trap was delivered (after running any registered
+    /// trap handler).
+    Trapped(Trap),
+    /// The fuel limit was exhausted.
+    OutOfFuel,
+    /// The entry function does not exist or has no body.
+    NoSuchFunction(String),
+    /// Control reached a declaration with no body to translate.
+    MissingBody(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Trapped(t) => write!(f, "trapped: {t}"),
+            EngineError::OutOfFuel => f.write_str("out of fuel"),
+            EngineError::NoSuchFunction(n) => write!(f, "no such function %{n}"),
+            EngineError::MissingBody(n) => write!(f, "function %{n} has no body to translate"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Translation / cache statistics for one manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// Functions translated by the JIT this session.
+    pub functions_translated: usize,
+    /// Total wall-clock time spent translating.
+    pub translate_time: Duration,
+    /// Translations loaded from the offline cache.
+    pub cache_hits: usize,
+    /// Cache lookups that missed (or were stale).
+    pub cache_misses: usize,
+    /// Translations discarded by SMC invalidation.
+    pub invalidations: usize,
+}
+
+/// The result of a successful run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The entry function's return value (raw bits).
+    pub value: u64,
+    /// Machine execution statistics for the whole session so far.
+    pub stats: ExecStats,
+}
+
+enum Engine {
+    X86 {
+        program: X86Program,
+        machine: X86Machine,
+    },
+    Sparc {
+        program: SparcProgram,
+        machine: SparcMachine,
+    },
+}
+
+/// The LLVA execution environment: owns the module, the simulated
+/// processor, and the translation state.
+pub struct ExecutionManager {
+    module: Module,
+    isa: TargetIsa,
+    engine: Engine,
+    /// Intrinsic state (I/O, privileged bit, trap handlers).
+    pub env: Env,
+    storage: Option<Box<dyn Storage>>,
+    cache_name: String,
+    module_stamp: u64,
+    stats: TranslationStats,
+    func_names: Vec<String>,
+    fuel: u64,
+}
+
+impl fmt::Debug for ExecutionManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutionManager")
+            .field("module", &self.module.name())
+            .field("isa", &self.isa)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ExecutionManager {
+    /// Creates a manager with a 16 MiB simulated memory.
+    pub fn new(module: Module, isa: TargetIsa) -> ExecutionManager {
+        ExecutionManager::with_memory_size(module, isa, 1 << 24)
+    }
+
+    /// Creates a manager with a custom memory size.
+    pub fn with_memory_size(mut module: Module, isa: TargetIsa, mem_size: u64) -> ExecutionManager {
+        // the module's target flags must match the processor (§3.2)
+        let target = match isa {
+            TargetIsa::X86 => llva_core::layout::TargetConfig::ia32(),
+            TargetIsa::Sparc => llva_core::layout::TargetConfig::sparc_v9(),
+        };
+        module.set_target(target);
+        let image = layout_globals(&module);
+        let mut mem = Memory::new(mem_size, image.heap_base, target.endianness);
+        mem.write_bytes(GLOBAL_BASE, &image.image)
+            .expect("global image fits");
+        let engine = match isa {
+            TargetIsa::X86 => Engine::X86 {
+                program: X86Program::new(module.num_functions(), image.addrs.clone()),
+                machine: X86Machine::new(mem),
+            },
+            TargetIsa::Sparc => Engine::Sparc {
+                program: SparcProgram::new(module.num_functions(), image.addrs.clone()),
+                machine: SparcMachine::new(mem),
+            },
+        };
+        let func_names = module
+            .functions()
+            .map(|(_, f)| f.name().to_string())
+            .collect();
+        let module_stamp = stamp(&module);
+        ExecutionManager {
+            module,
+            isa,
+            engine,
+            env: Env::new(),
+            storage: None,
+            cache_name: String::new(),
+            module_stamp,
+            stats: TranslationStats::default(),
+            func_names,
+            fuel: 10_000_000_000,
+        }
+    }
+
+    /// Attaches an OS storage implementation for offline caching
+    /// (§4.1); `cache` names this program's cache.
+    pub fn set_storage(&mut self, mut storage: Box<dyn Storage>, cache: &str) {
+        storage.create_cache(cache);
+        self.storage = Some(storage);
+        self.cache_name = cache.to_string();
+    }
+
+    /// Detaches and returns the storage (to inspect or reuse).
+    pub fn take_storage(&mut self) -> Option<Box<dyn Storage>> {
+        self.storage.take()
+    }
+
+    /// Limits executed native instructions.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// The module being executed.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The target ISA.
+    pub fn isa(&self) -> TargetIsa {
+        self.isa
+    }
+
+    /// Translation statistics.
+    pub fn stats(&self) -> TranslationStats {
+        self.stats
+    }
+
+    /// Machine execution statistics.
+    pub fn exec_stats(&self) -> ExecStats {
+        match &self.engine {
+            Engine::X86 { machine, .. } => machine.stats(),
+            Engine::Sparc { machine, .. } => machine.stats(),
+        }
+    }
+
+    /// Total native instructions across installed translations.
+    pub fn installed_insts(&self) -> usize {
+        match &self.engine {
+            Engine::X86 { program, .. } => program.total_insts(),
+            Engine::Sparc { program, .. } => program.total_insts(),
+        }
+    }
+
+    /// Total native code bytes across installed translations.
+    pub fn installed_bytes(&self) -> usize {
+        match &self.engine {
+            Engine::X86 { program, .. } => program.total_bytes(),
+            Engine::Sparc { program, .. } => program.total_bytes(),
+        }
+    }
+
+    /// Reads `len` bytes of simulated memory (tests, profiling).
+    pub fn read_memory(&self, addr: u64, len: u64) -> Option<Vec<u8>> {
+        let mem = match &self.engine {
+            Engine::X86 { machine, .. } => &machine.mem,
+            Engine::Sparc { machine, .. } => &machine.mem,
+        };
+        mem.read_bytes(addr, len).ok().map(<[u8]>::to_vec)
+    }
+
+    /// The relocated address of a global (profiling support).
+    pub fn global_addr(&self, g: llva_core::module::GlobalId) -> u64 {
+        match &self.engine {
+            Engine::X86 { program, .. } => program.global_addr(g.index() as u32),
+            Engine::Sparc { program, .. } => program.global_addr(g.index() as u32),
+        }
+    }
+
+    fn cache_key(&self, f: u32) -> String {
+        format!("{}.{}.fn{}", self.module.name(), self.isa, f)
+    }
+
+    /// Translates one function, consulting the cache first. Returns
+    /// whether it was a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MissingBody`] for declarations.
+    pub fn translate(&mut self, f: u32) -> Result<bool, EngineError> {
+        let fid = FuncId::from_index(f as usize);
+        if self.module.function(fid).is_declaration() {
+            return Err(EngineError::MissingBody(
+                self.module.function(fid).name().to_string(),
+            ));
+        }
+        // cache lookup with timestamp validation (§4.1)
+        if let Some(storage) = &self.storage {
+            let key = self.cache_key(f);
+            if let Some((bytes, ts)) = storage.read(&self.cache_name, &key) {
+                if ts == self.module_stamp {
+                    let ok = match &mut self.engine {
+                        Engine::X86 { program, .. } => codec::decode_x86(&bytes)
+                            .map(|code| program.install(f, code))
+                            .is_ok(),
+                        Engine::Sparc { program, .. } => codec::decode_sparc(&bytes)
+                            .map(|code| program.install(f, code))
+                            .is_ok(),
+                    };
+                    if ok {
+                        self.stats.cache_hits += 1;
+                        return Ok(true);
+                    }
+                }
+            }
+            self.stats.cache_misses += 1;
+        }
+        // JIT translation
+        let start = Instant::now();
+        let blob = match &mut self.engine {
+            Engine::X86 { program, .. } => {
+                let code = compile_x86(&self.module, fid);
+                let blob = codec::encode_x86(&code);
+                program.install(f, code);
+                blob
+            }
+            Engine::Sparc { program, .. } => {
+                let code = compile_sparc(&self.module, fid);
+                let blob = codec::encode_sparc(&code);
+                program.install(f, code);
+                blob
+            }
+        };
+        self.stats.translate_time += start.elapsed();
+        self.stats.functions_translated += 1;
+        // write back to the offline cache
+        if let Some(storage) = &mut self.storage {
+            let key = format!("{}.{}.fn{}", self.module.name(), self.isa, f);
+            storage.write(&self.cache_name, &key, &blob, self.module_stamp);
+        }
+        Ok(false)
+    }
+
+    /// Offline translation of the whole program (§4.1: translation
+    /// without execution, e.g. during OS idle time).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for defined functions; declarations are skipped.
+    pub fn translate_all(&mut self) -> Result<(), EngineError> {
+        for (fid, func) in self.module.functions().map(|(a, b)| (a, b.is_declaration())).collect::<Vec<_>>() {
+            if !func {
+                self.translate(fid.index() as u32)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Invalidates a function's translation (SMC, §3.4): the current
+    /// activation keeps running old code; the *next* call retranslates.
+    pub fn invalidate_function(&mut self, name: &str) {
+        if let Some(fid) = self.module.function_by_name(name) {
+            match &mut self.engine {
+                Engine::X86 { program, .. } => program.invalidate(fid.index() as u32),
+                Engine::Sparc { program, .. } => program.invalidate(fid.index() as u32),
+            }
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Mutates the module (e.g. rewrites a function body through the
+    /// constrained SMC model) and invalidates the affected translation.
+    pub fn modify_function(&mut self, name: &str, edit: impl FnOnce(&mut Module, FuncId)) {
+        let Some(fid) = self.module.function_by_name(name) else {
+            return;
+        };
+        edit(&mut self.module, fid);
+        self.module_stamp = stamp(&self.module);
+        // self-extending code may have added functions (§3.4)
+        match &mut self.engine {
+            Engine::X86 { program, .. } => program.ensure_slots(self.module.num_functions()),
+            Engine::Sparc { program, .. } => program.ensure_slots(self.module.num_functions()),
+        }
+        self.func_names = self
+            .module
+            .functions()
+            .map(|(_, f)| f.name().to_string())
+            .collect();
+        self.invalidate_function(name);
+    }
+
+    /// Runs function `name` with the given raw argument values.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineError`].
+    pub fn run(&mut self, name: &str, args: &[u64]) -> Result<RunOutcome, EngineError> {
+        let fid = self
+            .module
+            .function_by_name(name)
+            .filter(|&f| !self.module.function(f).is_declaration())
+            .ok_or_else(|| EngineError::NoSuchFunction(name.to_string()))?;
+        let f = fid.index() as u32;
+        match &mut self.engine {
+            Engine::X86 { machine, .. } => machine
+                .call_entry(f, args)
+                .map_err(EngineError::Trapped)?,
+            Engine::Sparc { machine, .. } => machine
+                .call_entry(f, args)
+                .map_err(EngineError::Trapped)?,
+        }
+        loop {
+            let exit = match &mut self.engine {
+                Engine::X86 { program, machine } => machine.run(program, self.fuel),
+                Engine::Sparc { program, machine } => machine.run(program, self.fuel),
+            };
+            match exit {
+                Exit::Halt(value) => {
+                    return Ok(RunOutcome {
+                        value,
+                        stats: self.exec_stats(),
+                    })
+                }
+                Exit::NeedFunction(f) => {
+                    self.translate(f)?;
+                }
+                Exit::Intrinsic { which, args } => {
+                    self.service_intrinsic(which, &args)?;
+                }
+                Exit::Trapped(trap) => {
+                    self.deliver_trap(trap);
+                    return Err(EngineError::Trapped(trap));
+                }
+                Exit::OutOfFuel => return Err(EngineError::OutOfFuel),
+            }
+        }
+    }
+
+    fn service_intrinsic(
+        &mut self,
+        which: llva_core::intrinsics::Intrinsic,
+        args: &[u64],
+    ) -> Result<(), EngineError> {
+        // advance the virtual clock with execution progress
+        self.env.clock = self.exec_stats().cycles;
+        let (stack, location) = match &self.engine {
+            Engine::X86 { machine, .. } => (
+                StackView {
+                    functions: (0..machine.call_depth())
+                        .filter_map(|d| machine.frame_function(d))
+                        .collect(),
+                },
+                machine.current_location(),
+            ),
+            Engine::Sparc { machine, .. } => (
+                StackView {
+                    functions: (0..machine.call_depth())
+                        .filter_map(|d| machine.frame_function(d))
+                        .collect(),
+                },
+                machine.current_location(),
+            ),
+        };
+        let result = match &mut self.engine {
+            Engine::X86 { machine, .. } => {
+                self.env
+                    .handle(which, args, &mut machine.mem, &stack, &self.func_names)
+            }
+            Engine::Sparc { machine, .. } => {
+                self.env
+                    .handle(which, args, &mut machine.mem, &stack, &self.func_names)
+            }
+        };
+        let ret = match result {
+            Ok(v) => v,
+            Err(kind) => {
+                let trap = Trap {
+                    kind,
+                    function: location.0,
+                    pc: location.1,
+                };
+                self.deliver_trap(trap);
+                return Err(EngineError::Trapped(trap));
+            }
+        };
+        // drain SMC invalidations (§3.4: takes effect on next call)
+        let pending = std::mem::take(&mut self.env.smc_invalidations);
+        for f in pending {
+            match &mut self.engine {
+                Engine::X86 { program, .. } => program.invalidate(f),
+                Engine::Sparc { program, .. } => program.invalidate(f),
+            }
+            self.stats.invalidations += 1;
+        }
+        match &mut self.engine {
+            Engine::X86 { machine, .. } => machine.finish_intrinsic(ret),
+            Engine::Sparc { machine, .. } => machine.finish_intrinsic(ret),
+        }
+        Ok(())
+    }
+
+    /// Invokes a registered trap handler, if any (§3.5). The handler is
+    /// an ordinary LLVA function taking the trap number and an info
+    /// pointer.
+    fn deliver_trap(&mut self, trap: Trap) {
+        let no = trap_number(trap.kind);
+        let Some(&handler) = self.env.trap_handlers.get(&no) else {
+            return;
+        };
+        if self
+            .module
+            .function(FuncId::from_index(handler as usize))
+            .is_declaration()
+        {
+            return;
+        }
+        // best-effort: run the handler to completion for its effects
+        let entry_ok = match &mut self.engine {
+            Engine::X86 { machine, .. } => {
+                machine.call_entry(handler, &[u64::from(no), 0]).is_ok()
+            }
+            Engine::Sparc { machine, .. } => {
+                machine.call_entry(handler, &[u64::from(no), 0]).is_ok()
+            }
+        };
+        if !entry_ok {
+            return;
+        }
+        for _ in 0..64 {
+            let exit = match &mut self.engine {
+                Engine::X86 { program, machine } => machine.run(program, 1_000_000),
+                Engine::Sparc { program, machine } => machine.run(program, 1_000_000),
+            };
+            match exit {
+                Exit::Halt(_) => break,
+                Exit::NeedFunction(f) => {
+                    if self.translate(f).is_err() {
+                        break;
+                    }
+                }
+                Exit::Intrinsic { which, args } => {
+                    if self.service_intrinsic(which, &args).is_err() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+/// A stable fingerprint of a module's virtual object code, used as the
+/// cache timestamp ("check a timestamp on an LLVA program", §4.1).
+pub fn stamp(module: &Module) -> u64 {
+    let bytes = llva_core::bytecode::encode_module(module);
+    // FNV-1a
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use llva_machine::common::TrapKind;
+
+    const FIB: &str = r#"
+int %fib(int %n) {
+entry:
+    %c = setlt int %n, 2
+    br bool %c, label %base, label %rec
+base:
+    ret int %n
+rec:
+    %n1 = sub int %n, 1
+    %a = call int %fib(int %n1)
+    %n2 = sub int %n, 2
+    %b = call int %fib(int %n2)
+    %s = add int %a, %b
+    ret int %s
+}
+
+int %main() {
+entry:
+    %r = call int %fib(int 15)
+    ret int %r
+}
+"#;
+
+    fn module(src: &str) -> Module {
+        llva_core::parser::parse_module(src).expect("parses")
+    }
+
+    #[test]
+    fn jit_on_demand_both_targets() {
+        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            let mut mgr = ExecutionManager::new(module(FIB), isa);
+            let out = mgr.run("main", &[]).expect("runs");
+            assert_eq!(out.value, 610, "{isa}");
+            // both functions translated lazily
+            assert_eq!(mgr.stats().functions_translated, 2);
+        }
+    }
+
+    #[test]
+    fn lazy_translation_skips_unused_functions() {
+        let src = r#"
+int %unused(int %x) {
+entry:
+    ret int %x
+}
+
+int %main() {
+entry:
+    ret int 5
+}
+"#;
+        let mut mgr = ExecutionManager::new(module(src), TargetIsa::X86);
+        mgr.run("main", &[]).expect("runs");
+        // "the JIT translates functions on demand, so that unused code
+        // is not translated" (§5.2)
+        assert_eq!(mgr.stats().functions_translated, 1);
+    }
+
+    #[test]
+    fn offline_cache_round_trip() {
+        let storage = crate::storage::SharedStorage::new(MemStorage::new());
+        // first run: translate + populate the cache
+        {
+            let mut mgr = ExecutionManager::new(module(FIB), TargetIsa::X86);
+            mgr.set_storage(Box::new(storage.clone()), "fib");
+            let out = mgr.run("main", &[]).expect("runs");
+            assert_eq!(out.value, 610);
+            assert_eq!(mgr.stats().functions_translated, 2);
+            assert_eq!(mgr.stats().cache_hits, 0);
+        }
+        // second run: everything loads from the cache
+        {
+            let mut mgr = ExecutionManager::new(module(FIB), TargetIsa::X86);
+            mgr.set_storage(Box::new(storage), "fib");
+            let out = mgr.run("main", &[]).expect("runs");
+            assert_eq!(out.value, 610);
+            assert_eq!(mgr.stats().functions_translated, 0, "all from cache");
+            assert_eq!(mgr.stats().cache_hits, 2);
+        }
+    }
+
+    #[test]
+    fn stale_cache_entries_rejected() {
+        let storage = crate::storage::SharedStorage::new(MemStorage::new());
+        {
+            let mut mgr = ExecutionManager::new(module(FIB), TargetIsa::X86);
+            mgr.set_storage(Box::new(storage.clone()), "fib");
+            mgr.run("main", &[]).expect("runs");
+        }
+        // a *different* program with the same names must not reuse the
+        // cached code (timestamp = module fingerprint)
+        let other = r#"
+int %fib(int %n) {
+entry:
+    ret int 0
+}
+
+int %main() {
+entry:
+    %r = call int %fib(int 15)
+    ret int %r
+}
+"#;
+        let mut mgr = ExecutionManager::new(module(other), TargetIsa::X86);
+        mgr.set_storage(Box::new(storage), "fib");
+        let out = mgr.run("main", &[]).expect("runs");
+        assert_eq!(out.value, 0, "new semantics, not cached ones");
+        assert!(mgr.stats().functions_translated > 0);
+        assert_eq!(mgr.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn offline_translation_avoids_online_jit() {
+        let mut mgr = ExecutionManager::new(module(FIB), TargetIsa::Sparc);
+        mgr.translate_all().expect("translates");
+        let before = mgr.stats().functions_translated;
+        mgr.run("main", &[]).expect("runs");
+        assert_eq!(mgr.stats().functions_translated, before, "no online JIT");
+    }
+
+    #[test]
+    fn intrinsics_via_native_code() {
+        let src = r#"
+declare int %llva.io.putchar(int)
+
+int %main() {
+entry:
+    %a = call int %llva.io.putchar(int 111)
+    %b = call int %llva.io.putchar(int 107)
+    ret int 0
+}
+"#;
+        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            let mut mgr = ExecutionManager::new(module(src), isa);
+            mgr.run("main", &[]).expect("runs");
+            assert_eq!(mgr.env.stdout_string(), "ok", "{isa}");
+        }
+    }
+
+    #[test]
+    fn heap_alloc_intrinsic_end_to_end() {
+        let src = r#"
+declare sbyte* %llva.heap.alloc(ulong)
+
+int %main() {
+entry:
+    %p = call sbyte* %llva.heap.alloc(ulong 16)
+    %ip = cast sbyte* %p to int*
+    store int 42, int* %ip
+    %v = load int* %ip
+    ret int %v
+}
+"#;
+        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            let mut mgr = ExecutionManager::new(module(src), isa);
+            let out = mgr.run("main", &[]).expect("runs");
+            assert_eq!(out.value, 42, "{isa}");
+        }
+    }
+
+    #[test]
+    fn smc_invalidation_retranslates_next_call() {
+        let mut mgr = ExecutionManager::new(module(FIB), TargetIsa::X86);
+        mgr.run("main", &[]).expect("runs");
+        let before = mgr.stats().functions_translated;
+        // SMC: change fib to return 0 for every input
+        mgr.modify_function("fib", |m, fid| {
+            m.discard_function_body(fid);
+            let int = m.types_mut().int();
+            let mut b = llva_core::builder::FunctionBuilder::new(m, fid);
+            let e = b.block("entry");
+            b.switch_to(e);
+            let zero = b.iconst(int, 0);
+            b.ret(Some(zero));
+        });
+        let out = mgr.run("main", &[]).expect("runs");
+        assert_eq!(out.value, 0, "future invocations see the new code");
+        assert!(mgr.stats().functions_translated > before);
+        assert_eq!(mgr.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn trap_reported_after_handler() {
+        let src = r#"
+int %main(int %x) {
+entry:
+    %q = div int 10, %x
+    ret int %q
+}
+"#;
+        let mut mgr = ExecutionManager::new(module(src), TargetIsa::X86);
+        match mgr.run("main", &[0]) {
+            Err(EngineError::Trapped(t)) => assert_eq!(t.kind, TrapKind::DivideByZero),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Profiling instrumentation (paper §4.2).
+//!
+//! > "Our V-ISA provides us with ability to perform static
+//! > instrumentation to assist runtime path profiling, and to use the
+//! > CFG at runtime to perform path profiling within frequently
+//! > executed loop regions while avoiding interpretation."
+//!
+//! [`instrument`] rewrites a module so every basic block bumps a
+//! counter in a dedicated global array — pure LLVA, so the same
+//! profiling runs under the interpreter or either native target. The
+//! counters are read back through the execution substrate after a run
+//! and feed the trace-formation algorithm in [`crate::trace`].
+
+use llva_core::function::BlockId;
+use llva_core::instruction::{Instruction, Opcode};
+use llva_core::module::{FuncId, GlobalId, Initializer, Module};
+use llva_core::value::Constant;
+use std::collections::HashMap;
+
+/// Maps instrumented blocks to their counter indices.
+#[derive(Debug, Clone)]
+pub struct ProfileMap {
+    /// The counter-array global.
+    pub counters: GlobalId,
+    /// Counter index of each `(function, block)`.
+    pub index: HashMap<(FuncId, BlockId), usize>,
+    /// Total number of counters.
+    pub len: usize,
+}
+
+/// Name of the injected counter array.
+pub const COUNTERS_GLOBAL: &str = "llva.profile.counters";
+
+/// Instruments every block of every defined function with a counter
+/// increment. Returns the counter map. The module still verifies.
+pub fn instrument(module: &mut Module) -> ProfileMap {
+    // assign indices
+    let mut index = HashMap::new();
+    let mut n = 0usize;
+    for (fid, func) in module.functions() {
+        if func.is_declaration() {
+            continue;
+        }
+        for &b in func.block_order() {
+            index.insert((fid, b), n);
+            n += 1;
+        }
+    }
+    let ulong = module.types_mut().ulong();
+    let arr = module.types_mut().array_of(ulong, n as u64);
+    let counters = module.add_global(COUNTERS_GLOBAL, arr, Initializer::Zero, false);
+    let arr_ptr = module.types_mut().pointer_to(arr);
+    let long = module.types_mut().long();
+    let void = module.types_mut().void();
+    let ulong_ptr = module.types_mut().pointer_to(ulong);
+    let ubyte = module.types_mut().ubyte();
+    let _ = ubyte;
+
+    let fids: Vec<FuncId> = module.function_ids();
+    for fid in fids {
+        if module.function(fid).is_declaration() {
+            continue;
+        }
+        let blocks = module.function(fid).block_order().to_vec();
+        for b in blocks {
+            let k = index[&(fid, b)];
+            let func = module.function_mut(fid);
+            // skip past leading phis
+            let pos = func
+                .block(b)
+                .insts()
+                .iter()
+                .take_while(|&&i| func.inst(i).opcode() == Opcode::Phi)
+                .count();
+            // %base = @counters ; %slot = gep %base, 0, k
+            // %v = load %slot ; %v1 = add %v, 1 ; store %v1, %slot
+            let base = func.constant(Constant::GlobalAddr {
+                global: counters,
+                ty: arr_ptr,
+            });
+            let zero = func.constant(Constant::Int { ty: long, bits: 0 });
+            let kc = func.constant(Constant::Int {
+                ty: long,
+                bits: k as u64,
+            });
+            let one = func.constant(Constant::Int { ty: ulong, bits: 1 });
+            let (_, slot) = func.insert_inst_at(
+                b,
+                pos,
+                Instruction::new(Opcode::GetElementPtr, ulong_ptr, vec![base, zero, kc], vec![]),
+                void,
+            );
+            let slot = slot.expect("gep result");
+            let (_, v) = func.insert_inst_at(
+                b,
+                pos + 1,
+                Instruction::new(Opcode::Load, ulong, vec![slot], vec![]),
+                void,
+            );
+            let v = v.expect("load result");
+            let (_, v1) = func.insert_inst_at(
+                b,
+                pos + 2,
+                Instruction::new(Opcode::Add, ulong, vec![v, one], vec![]),
+                void,
+            );
+            let v1 = v1.expect("add result");
+            func.insert_inst_at(
+                b,
+                pos + 3,
+                Instruction::new(Opcode::Store, void, vec![v1, slot], vec![]),
+                void,
+            );
+        }
+    }
+    ProfileMap {
+        counters,
+        index,
+        len: n,
+    }
+}
+
+/// Decodes counter values from the raw bytes of the counter array
+/// (endianness per the module target).
+pub fn decode_counters(bytes: &[u8], len: usize, big_endian: bool) -> Vec<u64> {
+    (0..len)
+        .map(|i| {
+            let chunk: [u8; 8] = bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes");
+            if big_endian {
+                u64::from_be_bytes(chunk)
+            } else {
+                u64::from_le_bytes(chunk)
+            }
+        })
+        .collect()
+}
+
+/// Reads the counters back from an execution manager after a run.
+pub fn read_counters(mgr: &crate::llee::ExecutionManager, map: &ProfileMap) -> Vec<u64> {
+    let addr = mgr.global_addr(map.counters);
+    let bytes = mgr
+        .read_memory(addr, (map.len * 8) as u64)
+        .expect("counters mapped");
+    let big = matches!(
+        mgr.module().target().endianness,
+        llva_core::layout::Endianness::Big
+    );
+    decode_counters(&bytes, map.len, big)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::llee::{ExecutionManager, TargetIsa};
+
+    const LOOPY: &str = r#"
+int %main(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %i
+}
+"#;
+
+    #[test]
+    fn instrumented_module_verifies_and_runs() {
+        let mut m = llva_core::parser::parse_module(LOOPY).expect("parses");
+        let map = instrument(&mut m);
+        llva_core::verifier::verify_module(&m).expect("instrumented module verifies");
+        assert_eq!(map.len, 4);
+        let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+        let out = mgr.run("main", &[10]).expect("runs");
+        assert_eq!(out.value, 10, "instrumentation must not change results");
+    }
+
+    #[test]
+    fn counters_reflect_execution_frequency() {
+        let mut m = llva_core::parser::parse_module(LOOPY).expect("parses");
+        let map = instrument(&mut m);
+        let fid = m.function_by_name("main").expect("main");
+        let blocks = m.function(fid).block_order().to_vec();
+        let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+        mgr.run("main", &[25]).expect("runs");
+        let counts = profile_of(&mgr, &map, fid, &blocks);
+        // entry 1, header 26, body 25, exit 1
+        assert_eq!(counts, vec![1, 26, 25, 1]);
+    }
+
+    #[test]
+    fn counters_identical_on_both_targets() {
+        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            let mut m = llva_core::parser::parse_module(LOOPY).expect("parses");
+            let map = instrument(&mut m);
+            let fid = m.function_by_name("main").expect("main");
+            let blocks = m.function(fid).block_order().to_vec();
+            let mut mgr = ExecutionManager::new(m, isa);
+            mgr.run("main", &[7]).expect("runs");
+            let counts = profile_of(&mgr, &map, fid, &blocks);
+            assert_eq!(counts, vec![1, 8, 7, 1], "{isa}");
+        }
+    }
+
+    fn profile_of(
+        mgr: &ExecutionManager,
+        map: &ProfileMap,
+        fid: llva_core::module::FuncId,
+        blocks: &[llva_core::function::BlockId],
+    ) -> Vec<u64> {
+        let all = read_counters(mgr, map);
+        blocks
+            .iter()
+            .map(|&b| all[map.index[&(fid, b)]])
+            .collect()
+    }
+}

@@ -1,0 +1,263 @@
+//! The OS-independent storage API (paper §4.1).
+//!
+//! > "The V-ABI defines a standard, OS-independent storage API with a
+//! > set of routines that enables LLEE to read, write, and validate
+//! > data in offline storage. … the basic storage API includes
+//! > routines to create, delete, and query the size of an offline
+//! > cache, read or write a vector of N bytes tagged by a unique
+//! > string name from/to a cache, and check a timestamp on an LLVA
+//! > program or on a cached vector."
+//!
+//! An OS implements [`Storage`] to enable offline translation and
+//! caching; it is "strictly optional and the system will operate
+//! correctly in their absence". Two implementations are provided:
+//! an in-memory one (tests / OS-less operation, like DAISY/Crusoe's
+//! memory-only translation cache) and a directory-backed one (the
+//! user-level POSIX LLEE of §4.1).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+
+/// The storage API of §4.1. All methods are infallible-or-`Option`
+/// because a failed cache interaction must never break execution.
+pub trait Storage {
+    /// Creates (or opens) a named cache.
+    fn create_cache(&mut self, cache: &str);
+
+    /// Deletes a cache and everything in it.
+    fn delete_cache(&mut self, cache: &str);
+
+    /// Total bytes stored in a cache, or `None` if it does not exist.
+    fn cache_size(&self, cache: &str) -> Option<u64>;
+
+    /// Writes a named vector of bytes with a timestamp tag.
+    fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64);
+
+    /// Reads a named vector and its timestamp.
+    fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)>;
+
+    /// Checks the timestamp of a named vector without reading it.
+    fn timestamp(&self, cache: &str, name: &str) -> Option<u64>;
+}
+
+/// A purely in-memory storage (no OS support — entries die with the
+/// process, exactly like DAISY and Crusoe's in-memory caches).
+#[derive(Debug, Default, Clone)]
+pub struct MemStorage {
+    caches: HashMap<String, HashMap<String, (Vec<u8>, u64)>>,
+}
+
+impl MemStorage {
+    /// Creates an empty storage.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+}
+
+impl Storage for MemStorage {
+    fn create_cache(&mut self, cache: &str) {
+        self.caches.entry(cache.to_string()).or_default();
+    }
+
+    fn delete_cache(&mut self, cache: &str) {
+        self.caches.remove(cache);
+    }
+
+    fn cache_size(&self, cache: &str) -> Option<u64> {
+        Some(
+            self.caches
+                .get(cache)?
+                .values()
+                .map(|(b, _)| b.len() as u64)
+                .sum(),
+        )
+    }
+
+    fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
+        self.caches
+            .entry(cache.to_string())
+            .or_default()
+            .insert(name.to_string(), (bytes.to_vec(), timestamp));
+    }
+
+    fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
+        self.caches.get(cache)?.get(name).cloned()
+    }
+
+    fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
+        self.caches.get(cache)?.get(name).map(|(_, t)| *t)
+    }
+}
+
+/// Directory-backed storage: each vector is a file whose first 8 bytes
+/// are the little-endian timestamp (the user-level LLEE of §4.1 that
+/// "reads and writes disk files directly").
+#[derive(Debug, Clone)]
+pub struct DirStorage {
+    root: PathBuf,
+}
+
+impl DirStorage {
+    /// Creates storage rooted at `root` (created on demand).
+    pub fn new(root: impl Into<PathBuf>) -> DirStorage {
+        DirStorage { root: root.into() }
+    }
+
+    fn cache_dir(&self, cache: &str) -> PathBuf {
+        self.root.join(sanitize(cache))
+    }
+
+    fn entry_path(&self, cache: &str, name: &str) -> PathBuf {
+        self.cache_dir(cache).join(sanitize(name))
+    }
+}
+
+impl fmt::Display for DirStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DirStorage({})", self.root.display())
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl Storage for DirStorage {
+    fn create_cache(&mut self, cache: &str) {
+        let _ = std::fs::create_dir_all(self.cache_dir(cache));
+    }
+
+    fn delete_cache(&mut self, cache: &str) {
+        let _ = std::fs::remove_dir_all(self.cache_dir(cache));
+    }
+
+    fn cache_size(&self, cache: &str) -> Option<u64> {
+        let dir = std::fs::read_dir(self.cache_dir(cache)).ok()?;
+        Some(
+            dir.flatten()
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum(),
+        )
+    }
+
+    fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
+        self.create_cache(cache);
+        let mut blob = timestamp.to_le_bytes().to_vec();
+        blob.extend_from_slice(bytes);
+        let _ = std::fs::write(self.entry_path(cache, name), blob);
+    }
+
+    fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
+        let blob = std::fs::read(self.entry_path(cache, name)).ok()?;
+        if blob.len() < 8 {
+            return None;
+        }
+        let ts = u64::from_le_bytes(blob[..8].try_into().ok()?);
+        Some((blob[8..].to_vec(), ts))
+    }
+
+    fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
+        self.read(cache, name).map(|(_, t)| t)
+    }
+}
+
+/// A cloneable handle sharing one underlying storage — lets a test or
+/// benchmark keep inspecting the cache that an execution manager owns a
+/// boxed handle to.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStorage<S>(std::rc::Rc<std::cell::RefCell<S>>);
+
+impl<S: Storage> SharedStorage<S> {
+    /// Wraps `storage` in a shared handle.
+    pub fn new(storage: S) -> SharedStorage<S> {
+        SharedStorage(std::rc::Rc::new(std::cell::RefCell::new(storage)))
+    }
+}
+
+impl<S: Storage> Storage for SharedStorage<S> {
+    fn create_cache(&mut self, cache: &str) {
+        self.0.borrow_mut().create_cache(cache);
+    }
+    fn delete_cache(&mut self, cache: &str) {
+        self.0.borrow_mut().delete_cache(cache);
+    }
+    fn cache_size(&self, cache: &str) -> Option<u64> {
+        self.0.borrow().cache_size(cache)
+    }
+    fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
+        self.0.borrow_mut().write(cache, name, bytes, timestamp);
+    }
+    fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
+        self.0.borrow().read(cache, name)
+    }
+    fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
+        self.0.borrow().timestamp(cache, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(storage: &mut dyn Storage) {
+        storage.create_cache("app");
+        assert_eq!(storage.cache_size("app"), Some(0));
+        storage.write("app", "fn0", b"code0", 100);
+        storage.write("app", "fn1", b"code11", 101);
+        assert_eq!(storage.read("app", "fn0"), Some((b"code0".to_vec(), 100)));
+        assert_eq!(storage.timestamp("app", "fn1"), Some(101));
+        assert_eq!(storage.cache_size("app").map(|s| s > 0), Some(true));
+        storage.write("app", "fn0", b"newer", 200);
+        assert_eq!(storage.read("app", "fn0"), Some((b"newer".to_vec(), 200)));
+        assert_eq!(storage.read("app", "nope"), None);
+        assert_eq!(storage.read("ghost", "fn0"), None);
+        storage.delete_cache("app");
+        assert_eq!(storage.read("app", "fn0"), None);
+    }
+
+    #[test]
+    fn mem_storage_contract() {
+        let mut s = MemStorage::new();
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn dir_storage_contract() {
+        let dir = std::env::temp_dir().join(format!("llva-storage-test-{}", std::process::id()));
+        let mut s = DirStorage::new(&dir);
+        exercise(&mut s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_storage_persists_across_instances() {
+        let dir = std::env::temp_dir().join(format!("llva-storage-persist-{}", std::process::id()));
+        {
+            let mut s = DirStorage::new(&dir);
+            s.write("app", "fn0", b"persistent", 7);
+        }
+        {
+            let s = DirStorage::new(&dir);
+            assert_eq!(s.read("app", "fn0"), Some((b"persistent".to_vec(), 7)));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitize_rejects_path_tricks() {
+        // path separators are neutralized; the result is one filename
+        assert_eq!(sanitize("../../etc/passwd"), ".._.._etc_passwd");
+        assert!(!sanitize("../../etc/passwd").contains('/'));
+        assert_eq!(sanitize("fn0.x86"), "fn0.x86");
+    }
+}

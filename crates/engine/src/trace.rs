@@ -1,0 +1,299 @@
+//! The software trace cache (paper §4.2).
+//!
+//! > "We have implemented the tracing strategy and software trace
+//! > cache, including the ability to gather cross-procedure traces."
+//!
+//! Traces are sequences of basic blocks following the hottest CFG
+//! successor from a hot seed. When a block makes a direct call to a
+//! defined hot function, the trace crosses into the callee (a
+//! cross-procedure trace). The cache indexes traces by head block; a
+//! runtime reoptimizer would lay these out contiguously and respecialize
+//! them — trace-informed inlining + re-running the scalar pipeline is
+//! provided as [`reoptimize`].
+
+use crate::profile::ProfileMap;
+use llva_core::function::BlockId;
+use llva_core::instruction::Opcode;
+use llva_core::module::{FuncId, Module};
+use llva_core::value::Constant;
+use std::collections::{HashMap, HashSet};
+
+/// One trace: a hot path through (possibly several) functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Blocks in execution order.
+    pub blocks: Vec<(FuncId, BlockId)>,
+    /// Execution count of the seed block.
+    pub heat: u64,
+    /// Whether the trace crosses a call boundary.
+    pub cross_procedure: bool,
+}
+
+impl Trace {
+    /// The head (entry) of the trace.
+    pub fn head(&self) -> (FuncId, BlockId) {
+        self.blocks[0]
+    }
+
+    /// Number of blocks in the trace.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the trace is empty (never true for formed traces).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// The software trace cache.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCache {
+    traces: Vec<Trace>,
+    by_head: HashMap<(FuncId, BlockId), usize>,
+}
+
+impl TraceCache {
+    /// All traces, hottest first.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Looks up a trace by its head block.
+    pub fn lookup(&self, head: (FuncId, BlockId)) -> Option<&Trace> {
+        self.by_head.get(&head).map(|&i| &self.traces[i])
+    }
+
+    /// Number of cached traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+}
+
+/// Forms traces from block-frequency profile data.
+///
+/// `counts` holds one counter per instrumented block (see
+/// [`crate::profile`]); blocks executing at least `threshold` times
+/// seed traces of up to `max_len` blocks.
+pub fn form_traces(
+    module: &Module,
+    map: &ProfileMap,
+    counts: &[u64],
+    threshold: u64,
+    max_len: usize,
+) -> TraceCache {
+    let count_of = |f: FuncId, b: BlockId| -> u64 {
+        map.index.get(&(f, b)).map_or(0, |&i| counts[i])
+    };
+    // hottest blocks first
+    let mut seeds: Vec<((FuncId, BlockId), u64)> = map
+        .index
+        .keys()
+        .map(|&k| (k, count_of(k.0, k.1)))
+        .filter(|&(_, c)| c >= threshold)
+        .collect();
+    seeds.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut in_trace: HashSet<(FuncId, BlockId)> = HashSet::new();
+    let mut cache = TraceCache::default();
+
+    for (seed, heat) in seeds {
+        if in_trace.contains(&seed) {
+            continue;
+        }
+        let mut blocks = Vec::new();
+        let mut cross = false;
+        let mut cur = seed;
+        let mut visited: HashSet<(FuncId, BlockId)> = HashSet::new();
+        while blocks.len() < max_len {
+            if visited.contains(&cur) || in_trace.contains(&cur) {
+                break;
+            }
+            visited.insert(cur);
+            blocks.push(cur);
+            let (fid, bid) = cur;
+            let func = module.function(fid);
+            // cross-procedure extension: a hot direct call inside the block
+            if let Some(callee) = hot_direct_callee(module, fid, bid, &count_of, threshold) {
+                let centry = module.function(callee).entry_block();
+                if !visited.contains(&(callee, centry)) && !in_trace.contains(&(callee, centry)) {
+                    cross = true;
+                    cur = (callee, centry);
+                    continue;
+                }
+            }
+            // follow the hottest successor
+            let succs = func.successors(bid);
+            let next = succs
+                .into_iter()
+                .map(|s| (s, count_of(fid, s)))
+                .max_by_key(|&(_, c)| c);
+            match next {
+                Some((s, c)) if c >= threshold => cur = (fid, s),
+                _ => break,
+            }
+        }
+        if blocks.len() >= 2 {
+            for &b in &blocks {
+                in_trace.insert(b);
+            }
+            let idx = cache.traces.len();
+            cache.by_head.insert(blocks[0], idx);
+            cache.traces.push(Trace {
+                blocks,
+                heat,
+                cross_procedure: cross,
+            });
+        }
+    }
+    cache
+}
+
+fn hot_direct_callee(
+    module: &Module,
+    fid: FuncId,
+    bid: BlockId,
+    count_of: &impl Fn(FuncId, BlockId) -> u64,
+    threshold: u64,
+) -> Option<FuncId> {
+    let func = module.function(fid);
+    for &i in func.block(bid).insts() {
+        let inst = func.inst(i);
+        if inst.opcode() != Opcode::Call {
+            continue;
+        }
+        if let Some(Constant::FunctionAddr { func: callee, .. }) =
+            func.value_as_const(inst.operands()[0])
+        {
+            let cf = module.function(*callee);
+            if !cf.is_declaration()
+                && !llva_core::intrinsics::is_intrinsic_name(cf.name())
+                && count_of(*callee, cf.entry_block()) >= threshold
+            {
+                return Some(*callee);
+            }
+        }
+    }
+    None
+}
+
+/// Trace-driven reoptimization: inline the direct calls that hot traces
+/// cross, then re-run the scalar pipeline on the module. Returns true
+/// if anything changed (callers should re-translate affected code).
+pub fn reoptimize(module: &mut Module, cache: &TraceCache) -> bool {
+    let mut changed = false;
+    let has_cross = cache.traces().iter().any(|t| t.cross_procedure);
+    if has_cross {
+        let mut inliner = llva_opt::inline::Inline::with_threshold(100);
+        changed |= llva_opt::ModulePass::run(&mut inliner, module);
+    }
+    let mut pm = llva_opt::standard_pipeline();
+    let stats = pm.run(module);
+    changed |= stats.iter().any(|s| s.changed);
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::llee::{ExecutionManager, TargetIsa};
+    use crate::profile;
+
+    const PROGRAM: &str = r#"
+int %hot_leaf(int %x) {
+entry:
+    %y = mul int %x, 3
+    %z = add int %y, 1
+    ret int %z
+}
+
+int %main(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %s = phi int [ 0, %entry ], [ %s2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %t = call int %hot_leaf(int %i)
+    %s2 = add int %s, %t
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %s
+}
+"#;
+
+    fn profiled_run(n: u64) -> (Module, ProfileMap, Vec<u64>) {
+        let mut m = llva_core::parser::parse_module(PROGRAM).expect("parses");
+        let map = profile::instrument(&mut m);
+        let clean = llva_core::parser::parse_module(PROGRAM).expect("parses");
+        let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+        mgr.run("main", &[n]).expect("runs");
+        let counts = profile::read_counters(&mgr, &map);
+        (clean, map, counts)
+    }
+
+    #[test]
+    fn forms_loop_trace() {
+        let (m, map, counts) = profiled_run(100);
+        let cache = form_traces(&m, &map, &counts, 50, 8);
+        assert!(!cache.is_empty());
+        // the hottest trace covers the loop (header/body) blocks
+        let hot = &cache.traces()[0];
+        assert!(hot.heat >= 100);
+        assert!(hot.len() >= 2);
+    }
+
+    #[test]
+    fn cross_procedure_trace_found() {
+        let (m, map, counts) = profiled_run(100);
+        let cache = form_traces(&m, &map, &counts, 50, 8);
+        assert!(
+            cache.traces().iter().any(|t| t.cross_procedure),
+            "the loop body calls hot_leaf every iteration: {:?}",
+            cache.traces()
+        );
+    }
+
+    #[test]
+    fn cold_code_not_traced() {
+        let (m, map, counts) = profiled_run(2);
+        let cache = form_traces(&m, &map, &counts, 50, 8);
+        assert!(cache.is_empty(), "nothing is hot after 2 iterations");
+    }
+
+    #[test]
+    fn lookup_by_head() {
+        let (m, map, counts) = profiled_run(100);
+        let cache = form_traces(&m, &map, &counts, 50, 8);
+        let head = cache.traces()[0].head();
+        assert_eq!(cache.lookup(head).map(Trace::head), Some(head));
+    }
+
+    #[test]
+    fn reoptimize_inlines_hot_callee_and_preserves_semantics() {
+        let (mut m, map, counts) = profiled_run(100);
+        let cache = form_traces(&m, &map, &counts, 50, 8);
+        assert!(reoptimize(&mut m, &cache));
+        llva_core::verifier::verify_module(&m).expect("still verifies");
+        let main = m.function(m.function_by_name("main").expect("main"));
+        let calls = main
+            .inst_iter()
+            .filter(|&(_, i)| main.inst(i).opcode() == Opcode::Call)
+            .count();
+        assert_eq!(calls, 0, "hot_leaf inlined into the trace region");
+        // semantics preserved
+        let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+        let out = mgr.run("main", &[100]).expect("runs");
+        // sum over i in 0..100 of (3i + 1)
+        let expect: u64 = (0..100).map(|i| 3 * i + 1).sum();
+        assert_eq!(out.value, expect);
+    }
+}

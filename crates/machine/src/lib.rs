@@ -1,0 +1,27 @@
+//! # llva-machine — simulated hardware processors (implementation ISAs)
+//!
+//! The paper evaluates LLVA by translating to two real hardware ISAs,
+//! Intel IA-32 and SPARC V9. This reproduction has no silicon, so this
+//! crate provides the substitution documented in DESIGN.md §4: two
+//! cycle-counting functional simulators whose ISAs mirror the relevant
+//! properties of the originals —
+//!
+//! * [`x86`]: CISC, two-address, 8 GPRs, memory operands, variable
+//!   instruction sizes;
+//! * [`sparc`]: RISC, three-address, 32 GPRs (`%g0` = 0), 13-bit
+//!   immediates (`sethi`/`or` for larger constants), fixed 4-byte
+//!   instructions, big-endian memory.
+//!
+//! Both expose the execution-manager interface the paper's LLEE needs:
+//! a call to untranslated code exits with [`common::Exit::NeedFunction`]
+//! so the JIT can translate on demand, intrinsic calls (§3.5) exit to
+//! the engine, and all traps are precise ([`common::Trap`] names the
+//! exact faulting instruction).
+
+pub mod common;
+pub mod memory;
+pub mod sparc;
+pub mod x86;
+
+pub use common::{ExecStats, Exit, Sym, Trap, TrapKind, Width};
+pub use memory::{Memory, GLOBAL_BASE};

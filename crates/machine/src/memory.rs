@@ -1,0 +1,272 @@
+//! Simulated flat memory with stack / heap / global segments.
+//!
+//! The paper's memory model (§3.1): "Memory is partitioned into stack,
+//! heap, and global memory, and all memory is explicitly allocated."
+//! The simulated address space reserves a null guard page, lays globals
+//! at the bottom, grows the heap upward, and grows the stack downward
+//! from the top. Loads and stores honor the module's declared
+//! endianness (§3.2).
+
+use crate::common::{TrapKind, Width};
+use llva_core::layout::Endianness;
+
+/// Base address of the globals segment (everything below traps).
+pub const GLOBAL_BASE: u64 = 0x1000;
+
+/// Flat byte-addressed memory for one simulated processor.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    endianness: Endianness,
+    heap_next: u64,
+    stack_limit: u64,
+}
+
+impl Memory {
+    /// Creates `size` bytes of memory; the heap begins at `heap_base`
+    /// (normally just past the globals) and the stack occupies the top
+    /// eighth of the space.
+    pub fn new(size: u64, heap_base: u64, endianness: Endianness) -> Memory {
+        assert!(size >= GLOBAL_BASE * 4, "memory too small");
+        assert!(
+            size < (1 << 30),
+            "memory must stay below the function-tag bit"
+        );
+        Memory {
+            bytes: vec![0; size as usize],
+            endianness,
+            heap_next: heap_base.max(GLOBAL_BASE),
+            stack_limit: size - size / 8,
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// The configured endianness.
+    pub fn endianness(&self) -> Endianness {
+        self.endianness
+    }
+
+    /// Initial stack pointer (top of memory, 16-byte aligned).
+    pub fn initial_sp(&self) -> u64 {
+        self.size() & !0xF
+    }
+
+    /// Lowest address the stack may grow to.
+    pub fn stack_limit(&self) -> u64 {
+        self.stack_limit
+    }
+
+    /// Bump-allocates `size` bytes on the heap (the translator-provided
+    /// heap behind `llva.heap.alloc`). Returns the address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::MemoryFault`] when the heap would collide
+    /// with the stack segment.
+    pub fn heap_alloc(&mut self, size: u64) -> Result<u64, TrapKind> {
+        let addr = (self.heap_next + 7) & !7;
+        let end = addr.checked_add(size.max(1)).ok_or(TrapKind::MemoryFault)?;
+        if end > self.stack_limit {
+            return Err(TrapKind::MemoryFault);
+        }
+        self.heap_next = end;
+        Ok(addr)
+    }
+
+    /// Releases a heap block. The bump allocator only reclaims when the
+    /// freed block is the most recent allocation; otherwise it is a
+    /// no-op (valid for the explicit-allocation model).
+    pub fn heap_free(&mut self, _addr: u64) {}
+
+    /// Current heap break (for statistics).
+    pub fn heap_used(&self) -> u64 {
+        self.heap_next.saturating_sub(GLOBAL_BASE)
+    }
+
+    fn check(&self, addr: u64, len: u64) -> Result<usize, TrapKind> {
+        if addr < GLOBAL_BASE {
+            return Err(TrapKind::MemoryFault); // null page
+        }
+        let end = addr.checked_add(len).ok_or(TrapKind::MemoryFault)?;
+        if end > self.size() {
+            return Err(TrapKind::MemoryFault);
+        }
+        Ok(addr as usize)
+    }
+
+    /// Loads `width` bytes at `addr`, zero-extended to 64 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::MemoryFault`] for null-page or out-of-range
+    /// accesses.
+    pub fn load(&self, addr: u64, width: Width) -> Result<u64, TrapKind> {
+        let base = self.check(addr, width.bytes())?;
+        let n = width.bytes() as usize;
+        let slice = &self.bytes[base..base + n];
+        let mut v = 0u64;
+        match self.endianness {
+            Endianness::Little => {
+                for (i, &b) in slice.iter().enumerate() {
+                    v |= u64::from(b) << (8 * i);
+                }
+            }
+            Endianness::Big => {
+                for &b in slice {
+                    v = (v << 8) | u64::from(b);
+                }
+            }
+        }
+        Ok(v)
+    }
+
+    /// Loads with sign extension from `width` to 64 bits.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`load`](Memory::load).
+    pub fn load_signed(&self, addr: u64, width: Width) -> Result<u64, TrapKind> {
+        let v = self.load(addr, width)?;
+        Ok(llva_core::eval::sign_extend(v, width.bytes() as u32 * 8) as u64)
+    }
+
+    /// Stores the low `width` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::MemoryFault`] for bad addresses.
+    pub fn store(&mut self, addr: u64, value: u64, width: Width) -> Result<(), TrapKind> {
+        let base = self.check(addr, width.bytes())?;
+        let n = width.bytes() as usize;
+        match self.endianness {
+            Endianness::Little => {
+                for i in 0..n {
+                    self.bytes[base + i] = (value >> (8 * i)) as u8;
+                }
+            }
+            Endianness::Big => {
+                for i in 0..n {
+                    self.bytes[base + i] = (value >> (8 * (n - 1 - i))) as u8;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies raw bytes into memory (used by the loader to materialize
+    /// global initializers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::MemoryFault`] for bad ranges.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), TrapKind> {
+        let base = self.check(addr, data.len() as u64)?;
+        self.bytes[base..base + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads raw bytes (used by intrinsics that take string arguments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::MemoryFault`] for bad ranges.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Result<&[u8], TrapKind> {
+        let base = self.check(addr, len)?;
+        Ok(&self.bytes[base..base + len as usize])
+    }
+
+    /// Reads a NUL-terminated string starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::MemoryFault`] if no terminator is found in
+    /// mapped memory.
+    pub fn read_cstr(&self, addr: u64) -> Result<Vec<u8>, TrapKind> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let b = self.load(a, Width::B1)? as u8;
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            a += 1;
+            if out.len() > 1 << 20 {
+                return Err(TrapKind::MemoryFault);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(endian: Endianness) -> Memory {
+        Memory::new(1 << 20, GLOBAL_BASE + 0x1000, endian)
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut m = mem(Endianness::Little);
+        m.store(0x2000, 0x1122334455667788, Width::B8).unwrap();
+        assert_eq!(m.load(0x2000, Width::B8).unwrap(), 0x1122334455667788);
+        assert_eq!(m.load(0x2000, Width::B1).unwrap(), 0x88);
+        assert_eq!(m.load(0x2000, Width::B4).unwrap(), 0x55667788);
+    }
+
+    #[test]
+    fn big_endian_round_trip() {
+        let mut m = mem(Endianness::Big);
+        m.store(0x2000, 0x1122334455667788, Width::B8).unwrap();
+        assert_eq!(m.load(0x2000, Width::B8).unwrap(), 0x1122334455667788);
+        assert_eq!(m.load(0x2000, Width::B1).unwrap(), 0x11);
+        assert_eq!(m.load(0x2007, Width::B1).unwrap(), 0x88);
+    }
+
+    #[test]
+    fn null_page_traps() {
+        let m = mem(Endianness::Little);
+        assert_eq!(m.load(0, Width::B4), Err(TrapKind::MemoryFault));
+        assert_eq!(m.load(0xFFF, Width::B1), Err(TrapKind::MemoryFault));
+        assert!(m.load(0x1000, Width::B1).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_traps() {
+        let mut m = mem(Endianness::Little);
+        let top = m.size();
+        assert_eq!(m.load(top, Width::B1), Err(TrapKind::MemoryFault));
+        assert_eq!(m.store(top - 4, 0, Width::B8), Err(TrapKind::MemoryFault));
+        assert!(m.store(top - 8, 0, Width::B8).is_ok());
+    }
+
+    #[test]
+    fn signed_loads_extend() {
+        let mut m = mem(Endianness::Little);
+        m.store(0x2000, 0xFF, Width::B1).unwrap();
+        assert_eq!(m.load(0x2000, Width::B1).unwrap(), 0xFF);
+        assert_eq!(m.load_signed(0x2000, Width::B1).unwrap() as i64, -1);
+    }
+
+    #[test]
+    fn heap_alloc_bumps_and_bounds() {
+        let mut m = mem(Endianness::Little);
+        let a = m.heap_alloc(100).unwrap();
+        let b = m.heap_alloc(100).unwrap();
+        assert!(b >= a + 100);
+        assert_eq!(a % 8, 0);
+        assert!(m.heap_alloc(1 << 30).is_err(), "cannot collide with stack");
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut m = mem(Endianness::Little);
+        m.write_bytes(0x3000, b"hello\0").unwrap();
+        assert_eq!(m.read_cstr(0x3000).unwrap(), b"hello");
+    }
+}

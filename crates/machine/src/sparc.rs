@@ -1,0 +1,1218 @@
+//! The SPARC-V9-like implementation ISA and its simulated processor.
+//!
+//! The second I-ISA of the reproduction: a big-endian, 3-address RISC
+//! with 32 integer registers (`%g0` hard-wired to zero), 13-bit
+//! immediates (larger constants need `sethi`/`or` sequences — the main
+//! reason the paper's SPARC instruction-count ratios exceed the x86
+//! ones), and fixed 4-byte instruction encoding. Deviations from real
+//! SPARC V9, documented in DESIGN.md: no register windows (the backend
+//! uses an explicit callee-save discipline instead), no branch delay
+//! slots, and return addresses live in a simulator-internal frame stack.
+
+use crate::common::{Exit, Sym, Trap, TrapKind, Width};
+use crate::memory::Memory;
+use llva_core::intrinsics::Intrinsic;
+use std::sync::Arc;
+
+/// An integer register number (0–31; register 0 always reads zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+/// The hard-wired zero register `%g0`.
+pub const G0: Reg = Reg(0);
+/// The stack pointer `%sp` (`%o6`).
+pub const SP: Reg = Reg(14);
+/// First argument / return-value register `%o0`.
+pub const O0: Reg = Reg(8);
+/// Scratch register `%g1`.
+pub const G1: Reg = Reg(1);
+/// Scratch register `%g2`.
+pub const G2: Reg = Reg(2);
+/// Scratch register `%g3`.
+pub const G3: Reg = Reg(3);
+/// Scratch register `%g4` (used for address materialization).
+pub const G4: Reg = Reg(4);
+
+/// A float register number (0–15, each 64 bits wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FReg(pub u8);
+
+/// Second ALU operand: register or 13-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegOrImm {
+    /// Register operand.
+    Reg(Reg),
+    /// Sign-extended 13-bit immediate.
+    Imm(i16),
+}
+
+/// Whether `v` fits a signed 13-bit immediate field.
+pub fn fits_imm13(v: i64) -> bool {
+    (-4096..=4095).contains(&v)
+}
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Signed division.
+    Sdiv,
+    /// Unsigned division.
+    Udiv,
+    /// Signed remainder.
+    Srem,
+    /// Unsigned remainder.
+    Urem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift left.
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+}
+
+/// Branch conditions over the condition codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal.
+    E,
+    /// Not equal.
+    Ne,
+    /// Signed less.
+    L,
+    /// Signed greater.
+    G,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned below.
+    Lu,
+    /// Unsigned above.
+    Gu,
+    /// Unsigned below-or-equal.
+    Leu,
+    /// Unsigned above-or-equal.
+    Geu,
+}
+
+/// Floating-point ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// One SPARC-like instruction (4 bytes each; `MovSym` is the
+/// `sethi`+`or` relocation pair and counts as two).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparcInst {
+    /// `sethi imm22, rd` — rd := imm22 << 10.
+    Sethi {
+        /// The 22-bit immediate.
+        imm22: u32,
+        /// Destination.
+        rd: Reg,
+    },
+    /// Three-address ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// First source.
+        rs1: Reg,
+        /// Second source (register or imm13).
+        rhs: RegOrImm,
+        /// Destination.
+        rd: Reg,
+        /// Division by zero traps when set (clear for translations of
+        /// `[noexc]` LLVA `div`, §3.3).
+        trapping: bool,
+    },
+    /// `subcc rs1, rhs, %g0` — compare, setting condition codes.
+    Cmp {
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rhs: RegOrImm,
+    },
+    /// Integer load.
+    Ld {
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Offset.
+        off: RegOrImm,
+        /// Width.
+        width: Width,
+        /// Sign-extend.
+        signed: bool,
+    },
+    /// Integer store.
+    St {
+        /// Source.
+        rs: Reg,
+        /// Base.
+        rs1: Reg,
+        /// Offset.
+        off: RegOrImm,
+        /// Width.
+        width: Width,
+    },
+    /// Float load.
+    LdF {
+        /// Destination.
+        fd: FReg,
+        /// Base.
+        rs1: Reg,
+        /// Offset.
+        off: RegOrImm,
+        /// 32-bit vs 64-bit.
+        is32: bool,
+    },
+    /// Float store.
+    StF {
+        /// Source.
+        fs: FReg,
+        /// Base.
+        rs1: Reg,
+        /// Offset.
+        off: RegOrImm,
+        /// 32-bit vs 64-bit.
+        is32: bool,
+    },
+    /// Conditional branch.
+    Br {
+        /// Condition.
+        cond: Cond,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Unconditional branch.
+    Ba {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Direct call.
+    Call {
+        /// Callee function index.
+        func: u32,
+        /// Optional unwind landing pad.
+        unwind: Option<u32>,
+    },
+    /// Indirect call through a register.
+    CallIndirect {
+        /// Register with the tagged function value.
+        rs: Reg,
+        /// Optional unwind landing pad.
+        unwind: Option<u32>,
+    },
+    /// Intrinsic call (§3.5); arguments in `%o0`–`%o5`.
+    CallIntrinsic {
+        /// Which intrinsic.
+        which: Intrinsic,
+        /// Number of register arguments.
+        nargs: u8,
+    },
+    /// Return to the caller.
+    Ret,
+    /// LLVA `unwind`.
+    Unwind,
+    /// Relocated symbol address (assembles to `sethi`+`or`, counted as
+    /// 2 instructions / 8 bytes).
+    MovSym {
+        /// Destination.
+        rd: Reg,
+        /// The symbol.
+        sym: Sym,
+    },
+    /// Float register move.
+    FMov(FReg, FReg),
+    /// Float ALU: `fd := fs1 ⊕ fs2`.
+    FAlu {
+        /// Operation.
+        op: FpOp,
+        /// First source.
+        fs1: FReg,
+        /// Second source.
+        fs2: FReg,
+        /// Destination.
+        fd: FReg,
+        /// 32-bit vs 64-bit.
+        is32: bool,
+    },
+    /// Float compare, setting the condition codes.
+    FCmp {
+        /// First source.
+        fs1: FReg,
+        /// Second source.
+        fs2: FReg,
+        /// 32-bit vs 64-bit.
+        is32: bool,
+    },
+    /// Integer → float conversion.
+    CvtIF {
+        /// Destination float register.
+        fd: FReg,
+        /// Source integer register.
+        rs: Reg,
+        /// Produce f32.
+        to32: bool,
+        /// Source is signed.
+        signed: bool,
+    },
+    /// Float → integer conversion (truncating).
+    CvtFI {
+        /// Destination integer register.
+        rd: Reg,
+        /// Source float register.
+        fs: FReg,
+        /// Source is f32.
+        from32: bool,
+        /// Produce signed.
+        signed: bool,
+    },
+    /// f32 ↔ f64 conversion.
+    CvtFF {
+        /// Destination.
+        fd: FReg,
+        /// Source.
+        fs: FReg,
+        /// Destination is f32.
+        to32: bool,
+    },
+    /// Move float bits into an integer register.
+    MovGF(Reg, FReg),
+    /// Move integer bits into a float register.
+    MovFG(FReg, Reg),
+}
+
+impl SparcInst {
+    /// How many real SPARC instructions this represents (MovSym = 2).
+    pub fn weight(&self) -> u32 {
+        match self {
+            SparcInst::MovSym { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Encoded size in bytes (4 per real instruction).
+    pub fn native_size(&self) -> u32 {
+        self.weight() * 4
+    }
+}
+
+/// A translated SPARC program.
+#[derive(Debug, Clone, Default)]
+pub struct SparcProgram {
+    functions: Vec<Option<Arc<Vec<SparcInst>>>>,
+    global_addrs: Vec<u64>,
+}
+
+impl SparcProgram {
+    /// Creates an empty program.
+    pub fn new(num_functions: usize, global_addrs: Vec<u64>) -> SparcProgram {
+        SparcProgram {
+            functions: vec![None; num_functions],
+            global_addrs,
+        }
+    }
+
+    /// Grows the translation table to at least `n` slots (self-
+    /// extending code adds functions after program creation, §3.4).
+    pub fn ensure_slots(&mut self, n: usize) {
+        if self.functions.len() < n {
+            self.functions.resize(n, None);
+        }
+    }
+
+    /// Installs translated code for a function.
+    pub fn install(&mut self, idx: u32, code: Vec<SparcInst>) {
+        self.functions[idx as usize] = Some(Arc::new(code));
+    }
+
+    /// Removes installed code (SMC invalidation).
+    pub fn invalidate(&mut self, idx: u32) {
+        self.functions[idx as usize] = None;
+    }
+
+    /// Whether function `idx` has installed code.
+    pub fn is_installed(&self, idx: u32) -> bool {
+        self.functions
+            .get(idx as usize)
+            .map(Option::is_some)
+            .unwrap_or(false)
+    }
+
+    /// Installed code for `idx`.
+    pub fn code(&self, idx: u32) -> Option<&Arc<Vec<SparcInst>>> {
+        self.functions.get(idx as usize).and_then(Option::as_ref)
+    }
+
+    /// Relocated address of global `idx`.
+    pub fn global_addr(&self, idx: u32) -> u64 {
+        self.global_addrs[idx as usize]
+    }
+
+    /// Total native instruction count (weighted; the "#SPARC Inst."
+    /// column of Table 2).
+    pub fn total_insts(&self) -> usize {
+        self.functions
+            .iter()
+            .flatten()
+            .flat_map(|c| c.iter())
+            .map(|i| i.weight() as usize)
+            .sum()
+    }
+
+    /// Total native code bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.total_insts() * 4
+    }
+}
+
+/// Tagged function value helper (same scheme as the x86 machine).
+pub use crate::x86::{function_value, FUNC_TAG};
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    func: u32,
+    ret_pc: u32,
+    saved_sp: u64,
+    unwind: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    lhs: u64,
+    rhs: u64,
+    float: bool,
+    unordered: bool,
+    flhs: f64,
+    frhs: f64,
+}
+
+/// The simulated SPARC-like processor.
+#[derive(Debug)]
+pub struct SparcMachine {
+    /// The processor's memory.
+    pub mem: Memory,
+    regs: [u64; 32],
+    fregs: [u64; 16],
+    flags: Flags,
+    frames: Vec<Frame>,
+    cur_func: u32,
+    pc: u32,
+    stats: crate::common::ExecStats,
+    pending_intrinsic: bool,
+}
+
+impl SparcMachine {
+    /// Creates a machine over `mem`.
+    pub fn new(mem: Memory) -> SparcMachine {
+        let sp = mem.initial_sp();
+        let mut m = SparcMachine {
+            mem,
+            regs: [0; 32],
+            fregs: [0; 16],
+            flags: Flags::default(),
+            frames: Vec::new(),
+            cur_func: 0,
+            pc: 0,
+            stats: crate::common::ExecStats::default(),
+            pending_intrinsic: false,
+        };
+        m.regs[SP.0 as usize] = sp;
+        m
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> crate::common::ExecStats {
+        self.stats
+    }
+
+    /// Reads a register (`%g0` reads zero).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// Writes a register (writes to `%g0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if r.0 != 0 {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    /// Reads a float register's raw bits.
+    pub fn freg(&self, r: FReg) -> u64 {
+        self.fregs[r.0 as usize]
+    }
+
+    /// Positions the machine at the entry of `func` with register
+    /// arguments in `%o0`–`%o5` (extras on the stack).
+    pub fn call_entry(&mut self, func: u32, args: &[u64]) -> Result<(), Trap> {
+        for (i, &a) in args.iter().take(6).enumerate() {
+            self.set_reg(Reg(8 + i as u8), a);
+        }
+        if args.len() > 6 {
+            let extra = &args[6..];
+            let mut sp = self.reg(SP);
+            sp -= (extra.len() as u64) * 8;
+            for (i, &a) in extra.iter().enumerate() {
+                self.mem
+                    .store(sp + 8 * i as u64, a, Width::B8)
+                    .map_err(|k| Trap {
+                        kind: k,
+                        function: func,
+                        pc: 0,
+                    })?;
+            }
+            self.set_reg(SP, sp);
+        }
+        self.cur_func = func;
+        self.pc = 0;
+        self.frames.clear();
+        Ok(())
+    }
+
+    /// The (function, pc) the machine is currently positioned at.
+    pub fn current_location(&self) -> (u32, u32) {
+        (self.cur_func, self.pc)
+    }
+
+    /// Current call depth.
+    pub fn call_depth(&self) -> usize {
+        self.frames.len() + 1
+    }
+
+    /// Function executing at `depth` (0 = innermost).
+    pub fn frame_function(&self, depth: usize) -> Option<u32> {
+        if depth == 0 {
+            return Some(self.cur_func);
+        }
+        self.frames.iter().rev().nth(depth - 1).map(|f| f.func)
+    }
+
+    fn trap_here(&self, kind: TrapKind) -> Trap {
+        Trap {
+            kind,
+            function: self.cur_func,
+            pc: self.pc,
+        }
+    }
+
+    fn operand(&self, roi: RegOrImm) -> u64 {
+        match roi {
+            RegOrImm::Reg(r) => self.reg(r),
+            RegOrImm::Imm(v) => v as i64 as u64,
+        }
+    }
+
+    fn cond(&self, c: Cond) -> bool {
+        if self.flags.float {
+            let (a, b) = (self.flags.flhs, self.flags.frhs);
+            if self.flags.unordered {
+                return matches!(c, Cond::Ne);
+            }
+            return match c {
+                Cond::E => a == b,
+                Cond::Ne => a != b,
+                Cond::L | Cond::Lu => a < b,
+                Cond::G | Cond::Gu => a > b,
+                Cond::Le | Cond::Leu => a <= b,
+                Cond::Ge | Cond::Geu => a >= b,
+            };
+        }
+        let (a, b) = (self.flags.lhs, self.flags.rhs);
+        let (sa, sb) = (a as i64, b as i64);
+        match c {
+            Cond::E => a == b,
+            Cond::Ne => a != b,
+            Cond::L => sa < sb,
+            Cond::G => sa > sb,
+            Cond::Le => sa <= sb,
+            Cond::Ge => sa >= sb,
+            Cond::Lu => a < b,
+            Cond::Gu => a > b,
+            Cond::Leu => a <= b,
+            Cond::Geu => a >= b,
+        }
+    }
+
+    /// Completes a pending intrinsic call; result goes to `%o0`.
+    pub fn finish_intrinsic(&mut self, ret: u64) {
+        debug_assert!(self.pending_intrinsic);
+        self.set_reg(O0, ret);
+        self.pending_intrinsic = false;
+        self.pc += 1;
+    }
+
+    /// Runs until an [`Exit`], executing at most `fuel` instructions.
+    pub fn run(&mut self, program: &SparcProgram, fuel: u64) -> Exit {
+        let mut remaining = fuel;
+        loop {
+            if remaining == 0 {
+                return Exit::OutOfFuel;
+            }
+            remaining -= 1;
+            let Some(code) = program.code(self.cur_func) else {
+                return Exit::NeedFunction(self.cur_func);
+            };
+            let code = Arc::clone(code);
+            let Some(inst) = code.get(self.pc as usize) else {
+                match self.do_ret() {
+                    Some(exit) => return exit,
+                    None => continue,
+                }
+            };
+            self.stats.instructions += u64::from(inst.weight());
+            match self.step(inst, program) {
+                Ok(None) => {}
+                Ok(Some(exit)) => return exit,
+                Err(kind) => return Exit::Trapped(self.trap_here(kind)),
+            }
+        }
+    }
+
+    fn do_ret(&mut self) -> Option<Exit> {
+        match self.frames.pop() {
+            None => Some(Exit::Halt(self.reg(O0))),
+            Some(f) => {
+                self.cur_func = f.func;
+                self.pc = f.ret_pc;
+                None
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, inst: &SparcInst, program: &SparcProgram) -> Result<Option<Exit>, TrapKind> {
+        use SparcInst as I;
+        let mut next_pc = self.pc + 1;
+        let mut cycles = 1u64;
+        match inst {
+            I::Sethi { imm22, rd } => {
+                self.set_reg(*rd, u64::from(*imm22) << 10);
+            }
+            I::Alu {
+                op,
+                rs1,
+                rhs,
+                rd,
+                trapping,
+            } => {
+                let a = self.reg(*rs1);
+                let b = self.operand(*rhs);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Mul => {
+                        cycles = 3;
+                        a.wrapping_mul(b)
+                    }
+                    AluOp::Sdiv | AluOp::Udiv | AluOp::Srem | AluOp::Urem => {
+                        cycles = 20;
+                        if b == 0 {
+                            if *trapping {
+                                return Err(TrapKind::DivideByZero);
+                            }
+                            0
+                        } else {
+                            match op {
+                                AluOp::Sdiv => (a as i64).wrapping_div(b as i64) as u64,
+                                AluOp::Udiv => a / b,
+                                AluOp::Srem => (a as i64).wrapping_rem(b as i64) as u64,
+                                AluOp::Urem => a % b,
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+                    AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+                    AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+                };
+                self.set_reg(*rd, v);
+            }
+            I::Cmp { rs1, rhs } => {
+                self.flags = Flags {
+                    lhs: self.reg(*rs1),
+                    rhs: self.operand(*rhs),
+                    ..Flags::default()
+                };
+            }
+            I::Ld {
+                rd,
+                rs1,
+                off,
+                width,
+                signed,
+            } => {
+                let a = self.reg(*rs1).wrapping_add(self.operand(*off));
+                let v = if *signed {
+                    self.mem.load_signed(a, *width)?
+                } else {
+                    self.mem.load(a, *width)?
+                };
+                self.set_reg(*rd, v);
+                self.stats.loads += 1;
+                cycles = 2;
+            }
+            I::St {
+                rs,
+                rs1,
+                off,
+                width,
+            } => {
+                let a = self.reg(*rs1).wrapping_add(self.operand(*off));
+                self.mem.store(a, self.reg(*rs), *width)?;
+                self.stats.stores += 1;
+                cycles = 2;
+            }
+            I::LdF { fd, rs1, off, is32 } => {
+                let a = self.reg(*rs1).wrapping_add(self.operand(*off));
+                let v = if *is32 {
+                    self.mem.load(a, Width::B4)?
+                } else {
+                    self.mem.load(a, Width::B8)?
+                };
+                self.fregs[fd.0 as usize] = v;
+                self.stats.loads += 1;
+                cycles = 2;
+            }
+            I::StF { fs, rs1, off, is32 } => {
+                let a = self.reg(*rs1).wrapping_add(self.operand(*off));
+                let v = self.fregs[fs.0 as usize];
+                if *is32 {
+                    self.mem.store(a, v & 0xFFFF_FFFF, Width::B4)?;
+                } else {
+                    self.mem.store(a, v, Width::B8)?;
+                }
+                self.stats.stores += 1;
+                cycles = 2;
+            }
+            I::Br { cond, target } => {
+                if self.cond(*cond) {
+                    next_pc = *target;
+                    self.stats.taken_branches += 1;
+                }
+            }
+            I::Ba { target } => {
+                next_pc = *target;
+                self.stats.taken_branches += 1;
+            }
+            I::Call { func, unwind } => {
+                self.stats.calls += 1;
+                cycles = 2;
+                if !program.is_installed(*func) {
+                    return Ok(Some(Exit::NeedFunction(*func)));
+                }
+                self.frames.push(Frame {
+                    func: self.cur_func,
+                    ret_pc: next_pc,
+                    saved_sp: self.reg(SP),
+                    unwind: *unwind,
+                });
+                self.cur_func = *func;
+                self.pc = 0;
+                self.stats.cycles += cycles;
+                return Ok(None);
+            }
+            I::CallIndirect { rs, unwind } => {
+                let v = self.reg(*rs);
+                if v & FUNC_TAG == 0 {
+                    return Err(TrapKind::BadFunctionPointer);
+                }
+                let func = (v & !FUNC_TAG) as u32;
+                self.stats.calls += 1;
+                cycles = 3;
+                if !program.is_installed(func) {
+                    return Ok(Some(Exit::NeedFunction(func)));
+                }
+                self.frames.push(Frame {
+                    func: self.cur_func,
+                    ret_pc: next_pc,
+                    saved_sp: self.reg(SP),
+                    unwind: *unwind,
+                });
+                self.cur_func = func;
+                self.pc = 0;
+                self.stats.cycles += cycles;
+                return Ok(None);
+            }
+            I::CallIntrinsic { which, nargs } => {
+                self.stats.calls += 1;
+                let args: Vec<u64> = (0..*nargs).map(|i| self.reg(Reg(8 + i))).collect();
+                self.pending_intrinsic = true;
+                return Ok(Some(Exit::Intrinsic {
+                    which: *which,
+                    args,
+                }));
+            }
+            I::Ret => {
+                self.stats.cycles += 2;
+                return Ok(self.do_ret());
+            }
+            I::Unwind => loop {
+                match self.frames.pop() {
+                    None => return Err(TrapKind::UnhandledUnwind),
+                    Some(f) => {
+                        if let Some(pad) = f.unwind {
+                            self.cur_func = f.func;
+                            self.pc = pad;
+                            self.set_reg(SP, f.saved_sp);
+                            self.stats.cycles += 2;
+                            return Ok(None);
+                        }
+                    }
+                }
+            },
+            I::MovSym { rd, sym } => {
+                let v = match sym {
+                    Sym::Global(g) => program.global_addr(*g),
+                    Sym::Function(f) => function_value(*f),
+                };
+                self.set_reg(*rd, v);
+                cycles = 2; // sethi + or
+            }
+            I::FMov(d, s) => self.fregs[d.0 as usize] = self.fregs[s.0 as usize],
+            I::FAlu {
+                op,
+                fs1,
+                fs2,
+                fd,
+                is32,
+            } => {
+                let a = fbits(self.fregs[fs1.0 as usize], *is32);
+                let b = fbits(self.fregs[fs2.0 as usize], *is32);
+                let r = match op {
+                    FpOp::Add => a + b,
+                    FpOp::Sub => a - b,
+                    FpOp::Mul => a * b,
+                    FpOp::Div => a / b,
+                };
+                self.fregs[fd.0 as usize] = to_fbits(r, *is32);
+                cycles = 3;
+            }
+            I::FCmp { fs1, fs2, is32 } => {
+                let a = fbits(self.fregs[fs1.0 as usize], *is32);
+                let b = fbits(self.fregs[fs2.0 as usize], *is32);
+                self.flags = Flags {
+                    float: true,
+                    unordered: a.is_nan() || b.is_nan(),
+                    flhs: a,
+                    frhs: b,
+                    ..Flags::default()
+                };
+                cycles = 2;
+            }
+            I::CvtIF {
+                fd,
+                rs,
+                to32,
+                signed,
+            } => {
+                let v = self.reg(*rs);
+                let f = if *signed { v as i64 as f64 } else { v as f64 };
+                self.fregs[fd.0 as usize] = to_fbits(f, *to32);
+                cycles = 3;
+            }
+            I::CvtFI {
+                rd,
+                fs,
+                from32,
+                signed,
+            } => {
+                let f = fbits(self.fregs[fs.0 as usize], *from32);
+                let v = if *signed { (f as i64) as u64 } else { f as u64 };
+                self.set_reg(*rd, v);
+                cycles = 3;
+            }
+            I::CvtFF { fd, fs, to32 } => {
+                let f = fbits(self.fregs[fs.0 as usize], !*to32);
+                self.fregs[fd.0 as usize] = to_fbits(f, *to32);
+                cycles = 2;
+            }
+            I::MovGF(rd, fs) => self.set_reg(*rd, self.fregs[fs.0 as usize]),
+            I::MovFG(fd, rs) => self.fregs[fd.0 as usize] = self.reg(*rs),
+        }
+        self.pc = next_pc;
+        self.stats.cycles += cycles;
+        Ok(None)
+    }
+}
+
+fn fbits(bits: u64, is32: bool) -> f64 {
+    if is32 {
+        f32::from_bits(bits as u32) as f64
+    } else {
+        f64::from_bits(bits)
+    }
+}
+
+fn to_fbits(v: f64, is32: bool) -> u64 {
+    if is32 {
+        (v as f32).to_bits() as u64
+    } else {
+        v.to_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llva_core::layout::Endianness;
+
+    fn machine() -> SparcMachine {
+        SparcMachine::new(Memory::new(1 << 20, 0x2000, Endianness::Big))
+    }
+
+    #[test]
+    fn g0_is_always_zero() {
+        let mut m = machine();
+        m.set_reg(G0, 42);
+        assert_eq!(m.reg(G0), 0);
+    }
+
+    #[test]
+    fn sethi_or_builds_constants() {
+        use SparcInst as I;
+        let mut p = SparcProgram::new(1, vec![]);
+        // build 0x12345678 into %o0: sethi hi22, o0; or o0, lo10
+        let v = 0x1234_5678u64;
+        p.install(
+            0,
+            vec![
+                I::Sethi {
+                    imm22: (v >> 10) as u32,
+                    rd: O0,
+                },
+                I::Alu {
+                    op: AluOp::Or,
+                    rs1: O0,
+                    rhs: RegOrImm::Imm((v & 0x3FF) as i16),
+                    rd: O0,
+                    trapping: false,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&p, 100), Exit::Halt(v));
+    }
+
+    #[test]
+    fn register_args_and_return() {
+        use SparcInst as I;
+        let mut p = SparcProgram::new(1, vec![]);
+        // o0 = o0 + o1
+        p.install(
+            0,
+            vec![
+                I::Alu {
+                    op: AluOp::Add,
+                    rs1: Reg(8),
+                    rhs: RegOrImm::Reg(Reg(9)),
+                    rd: O0,
+                    trapping: false,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[30, 12]).unwrap();
+        assert_eq!(m.run(&p, 100), Exit::Halt(42));
+    }
+
+    #[test]
+    fn branch_loop_sums() {
+        use SparcInst as I;
+        // sum 1..=n: l0 (r16) = acc, o0 = n
+        let mut p = SparcProgram::new(1, vec![]);
+        p.install(
+            0,
+            vec![
+                I::Alu {
+                    op: AluOp::Or,
+                    rs1: G0,
+                    rhs: RegOrImm::Imm(0),
+                    rd: Reg(16),
+                    trapping: false,
+                }, // acc = 0
+                // loop:
+                I::Alu {
+                    op: AluOp::Add,
+                    rs1: Reg(16),
+                    rhs: RegOrImm::Reg(O0),
+                    rd: Reg(16),
+                    trapping: false,
+                },
+                I::Alu {
+                    op: AluOp::Sub,
+                    rs1: O0,
+                    rhs: RegOrImm::Imm(1),
+                    rd: O0,
+                    trapping: false,
+                },
+                I::Cmp {
+                    rs1: O0,
+                    rhs: RegOrImm::Imm(0),
+                },
+                I::Br {
+                    cond: Cond::G,
+                    target: 1,
+                },
+                I::Alu {
+                    op: AluOp::Or,
+                    rs1: Reg(16),
+                    rhs: RegOrImm::Imm(0),
+                    rd: O0,
+                    trapping: false,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[5]).unwrap();
+        assert_eq!(m.run(&p, 1000), Exit::Halt(15));
+    }
+
+    #[test]
+    fn memory_is_big_endian() {
+        use SparcInst as I;
+        let mut p = SparcProgram::new(1, vec![]);
+        p.install(
+            0,
+            vec![
+                I::Alu {
+                    op: AluOp::Or,
+                    rs1: G0,
+                    rhs: RegOrImm::Imm(0x1AB),
+                    rd: G1,
+                    trapping: false,
+                },
+                I::St {
+                    rs: G1,
+                    rs1: SP,
+                    off: RegOrImm::Imm(-8),
+                    width: Width::B4,
+                },
+                I::Ld {
+                    rd: O0,
+                    rs1: SP,
+                    off: RegOrImm::Imm(-8),
+                    width: Width::B1,
+                    signed: false,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        // big-endian: first byte of 0x000001AB is 0x00
+        assert_eq!(m.run(&p, 100), Exit::Halt(0));
+    }
+
+    #[test]
+    fn div_by_zero_trap_and_nontrapping() {
+        use SparcInst as I;
+        for (trapping, expect_trap) in [(true, true), (false, false)] {
+            let mut p = SparcProgram::new(1, vec![]);
+            p.install(
+                0,
+                vec![
+                    I::Alu {
+                        op: AluOp::Sdiv,
+                        rs1: O0,
+                        rhs: RegOrImm::Reg(G0),
+                        rd: O0,
+                        trapping,
+                    },
+                    I::Ret,
+                ],
+            );
+            let mut m = machine();
+            m.call_entry(0, &[10]).unwrap();
+            match m.run(&p, 100) {
+                Exit::Trapped(t) if expect_trap => assert_eq!(t.kind, TrapKind::DivideByZero),
+                Exit::Halt(0) if !expect_trap => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn movsym_weight_counts_double() {
+        use SparcInst as I;
+        let inst = I::MovSym {
+            rd: O0,
+            sym: Sym::Global(0),
+        };
+        assert_eq!(inst.weight(), 2);
+        assert_eq!(inst.native_size(), 8);
+        let mut p = SparcProgram::new(1, vec![0x4000]);
+        p.install(0, vec![inst, I::Ret]);
+        assert_eq!(p.total_insts(), 3);
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&p, 100), Exit::Halt(0x4000));
+    }
+
+    #[test]
+    fn float_and_conversion() {
+        use SparcInst as I;
+        let mut p = SparcProgram::new(1, vec![]);
+        // o0 = (int)(1.5 + 2.25) -> 3
+        p.install(
+            0,
+            vec![
+                I::Alu {
+                    op: AluOp::Or,
+                    rs1: G0,
+                    rhs: RegOrImm::Imm(3),
+                    rd: G1,
+                    trapping: false,
+                },
+                I::CvtIF {
+                    fd: FReg(0),
+                    rs: G1,
+                    to32: false,
+                    signed: true,
+                }, // f0 = 3.0
+                I::Alu {
+                    op: AluOp::Or,
+                    rs1: G0,
+                    rhs: RegOrImm::Imm(2),
+                    rd: G1,
+                    trapping: false,
+                },
+                I::CvtIF {
+                    fd: FReg(1),
+                    rs: G1,
+                    to32: false,
+                    signed: true,
+                }, // f1 = 2.0
+                I::FAlu {
+                    op: FpOp::Div,
+                    fs1: FReg(0),
+                    fs2: FReg(1),
+                    fd: FReg(2),
+                    is32: false,
+                }, // 1.5
+                I::CvtFI {
+                    rd: O0,
+                    fs: FReg(2),
+                    from32: false,
+                    signed: true,
+                }, // 1
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&p, 100), Exit::Halt(1));
+    }
+
+    #[test]
+    fn intrinsic_args_from_o_regs() {
+        use SparcInst as I;
+        let mut p = SparcProgram::new(1, vec![]);
+        p.install(
+            0,
+            vec![
+                I::Alu {
+                    op: AluOp::Or,
+                    rs1: G0,
+                    rhs: RegOrImm::Imm(65),
+                    rd: O0,
+                    trapping: false,
+                },
+                I::CallIntrinsic {
+                    which: Intrinsic::IoPutChar,
+                    nargs: 1,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        match m.run(&p, 100) {
+            Exit::Intrinsic { which, args } => {
+                assert_eq!(which, Intrinsic::IoPutChar);
+                assert_eq!(args, vec![65]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        m.finish_intrinsic(0);
+        assert_eq!(m.run(&p, 100), Exit::Halt(0));
+    }
+
+    #[test]
+    fn unwind_across_frames() {
+        use SparcInst as I;
+        let mut p = SparcProgram::new(3, vec![]);
+        p.install(2, vec![I::Unwind]); // innermost
+        p.install(
+            1,
+            vec![
+                I::Call {
+                    func: 2,
+                    unwind: None,
+                },
+                I::Ret,
+            ],
+        ); // middle, no pad
+        p.install(
+            0,
+            vec![
+                I::Call {
+                    func: 1,
+                    unwind: Some(3),
+                },
+                I::Alu {
+                    op: AluOp::Or,
+                    rs1: G0,
+                    rhs: RegOrImm::Imm(1),
+                    rd: O0,
+                    trapping: false,
+                },
+                I::Ret,
+                I::Alu {
+                    op: AluOp::Or,
+                    rs1: G0,
+                    rhs: RegOrImm::Imm(99),
+                    rd: O0,
+                    trapping: false,
+                }, // pad
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&p, 1000), Exit::Halt(99));
+    }
+}

@@ -1,0 +1,1317 @@
+//! The IA-32-like implementation ISA and its simulated processor.
+//!
+//! This is one of the two I-ISAs of the reproduction (the paper's
+//! evaluation targets Intel IA-32 and SPARC V9). It is a CISC,
+//! two-address, 8-GPR machine with memory operands and condition-flag
+//! branching. Deviations from real IA-32, documented in DESIGN.md:
+//! registers are 64 bits wide (so LLVA `long` needs no register pairs),
+//! and return addresses live in a simulator-internal frame stack rather
+//! than in memory (arguments are still passed on the memory stack).
+//!
+//! Instruction byte sizes reported by [`native_size`](X86Inst::native_size)
+//! approximate real IA-32 encodings and feed the "Native size" column
+//! of Table 2.
+
+use crate::common::{Exit, Sym, Trap, TrapKind, Width};
+use crate::memory::Memory;
+use llva_core::intrinsics::Intrinsic;
+use std::sync::Arc;
+
+/// The eight general-purpose registers (64-bit in this simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gpr {
+    /// Accumulator / return value.
+    Eax,
+    /// Counter / scratch.
+    Ecx,
+    /// Data / division remainder.
+    Edx,
+    /// Callee-saved scratch.
+    Ebx,
+    /// Stack pointer.
+    Esp,
+    /// Frame pointer.
+    Ebp,
+    /// Source index.
+    Esi,
+    /// Destination index.
+    Edi,
+}
+
+impl Gpr {
+    /// All GPRs in encoding order.
+    pub const ALL: [Gpr; 8] = [
+        Gpr::Eax,
+        Gpr::Ecx,
+        Gpr::Edx,
+        Gpr::Ebx,
+        Gpr::Esp,
+        Gpr::Ebp,
+        Gpr::Esi,
+        Gpr::Edi,
+    ];
+
+    fn idx(self) -> usize {
+        Gpr::ALL.iter().position(|&g| g == self).expect("in ALL")
+    }
+}
+
+/// The eight SSE-like floating-point registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fpr(pub u8);
+
+/// A `[base + disp]` memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Base register.
+    pub base: Gpr,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+/// Two-address ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+}
+
+/// Branch conditions (signed L/G*, unsigned B/A*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal.
+    E,
+    /// Not equal.
+    Ne,
+    /// Signed less.
+    L,
+    /// Signed greater.
+    G,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned below.
+    B,
+    /// Unsigned above.
+    A,
+    /// Unsigned below-or-equal.
+    Be,
+    /// Unsigned above-or-equal.
+    Ae,
+}
+
+/// Floating-point ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Result-width normalization applied by ALU operations — models the
+/// fact that real IA-32 arithmetic operates at 32-bit register width
+/// for `int`-sized values (no separate extend instruction needed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Norm {
+    /// Full 64-bit result (this simulator's registers are 64-bit).
+    #[default]
+    None,
+    /// Sign-extend the low 32 bits (signed `int` semantics).
+    Sext32,
+    /// Zero-extend the low 32 bits (unsigned `uint` semantics).
+    Zext32,
+}
+
+impl Norm {
+    /// Applies the normalization.
+    pub fn apply(self, v: u64) -> u64 {
+        match self {
+            Norm::None => v,
+            Norm::Sext32 => (v as u32) as i32 as i64 as u64,
+            Norm::Zext32 => u64::from(v as u32),
+        }
+    }
+}
+
+/// One IA-32-like instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum X86Inst {
+    /// `mov r, imm`.
+    MovRI(Gpr, i64),
+    /// `mov r, r`.
+    MovRR(Gpr, Gpr),
+    /// `mov r, sym` (address constant; relocated at load time).
+    MovRSym(Gpr, Sym),
+    /// Load from memory, optionally sign-extending.
+    Load {
+        /// Destination register.
+        dst: Gpr,
+        /// Address operand.
+        mem: MemOp,
+        /// Access width.
+        width: Width,
+        /// Sign-extend narrow loads.
+        signed: bool,
+    },
+    /// Store to memory.
+    Store {
+        /// Source register.
+        src: Gpr,
+        /// Address operand.
+        mem: MemOp,
+        /// Access width.
+        width: Width,
+    },
+    /// `lea r, [base+disp]`.
+    Lea(Gpr, MemOp),
+    /// `op r, r` (at the width implied by `Norm`).
+    AluRR(AluOp, Gpr, Gpr, Norm),
+    /// `op r, imm`.
+    AluRI(AluOp, Gpr, i64, Norm),
+    /// `op r, qword [mem]`.
+    AluRM(AluOp, Gpr, MemOp, Norm),
+    /// `imul r, r`.
+    IMulRR(Gpr, Gpr, Norm),
+    /// `imul r, qword [mem]`.
+    IMulRM(Gpr, MemOp, Norm),
+    /// Sign-extend EAX into EDX (cdq/cqo).
+    Cdq,
+    /// Divide EDX:EAX by a register; quotient→EAX, remainder→EDX.
+    Div {
+        /// Signed (idiv) vs unsigned (div).
+        signed: bool,
+        /// Divisor register.
+        divisor: Gpr,
+        /// When `false`, a zero divisor yields 0 instead of trapping —
+        /// the translation of an LLVA `div` with `ExceptionsEnabled`
+        /// cleared (§3.3).
+        trapping: bool,
+        /// Result-width normalization.
+        norm: Norm,
+    },
+    /// `cmp r, r`.
+    CmpRR(Gpr, Gpr),
+    /// `cmp r, imm`.
+    CmpRI(Gpr, i64),
+    /// `cmp r, qword [mem]`.
+    CmpRM(Gpr, MemOp),
+    /// `setcc r` (r := 0/1).
+    Setcc(Cond, Gpr),
+    /// Unconditional jump to an instruction index.
+    Jmp(u32),
+    /// Conditional jump.
+    Jcc(Cond, u32),
+    /// Direct call; `unwind` is the landing pad for `unwind` (from an
+    /// LLVA `invoke`).
+    CallFn {
+        /// Callee function index.
+        func: u32,
+        /// Optional unwind landing pad (instruction index in *this*
+        /// function).
+        unwind: Option<u32>,
+    },
+    /// Indirect call through a register holding a function "address".
+    CallIndirect {
+        /// Register with the callee.
+        target: Gpr,
+        /// Optional unwind landing pad.
+        unwind: Option<u32>,
+    },
+    /// Call an LLVA intrinsic (§3.5); arguments follow the stack
+    /// convention.
+    CallIntrinsic {
+        /// Which intrinsic.
+        which: Intrinsic,
+        /// Number of stack arguments.
+        nargs: u8,
+    },
+    /// Return (restores the caller frame).
+    Ret,
+    /// LLVA `unwind`: pop frames to the nearest unwind landing pad.
+    Unwind,
+    /// `push r`.
+    Push(Gpr),
+    /// `pop r`.
+    Pop(Gpr),
+    /// Load float register from memory.
+    FLoad {
+        /// Destination.
+        dst: Fpr,
+        /// Address.
+        mem: MemOp,
+        /// 32-bit (float) vs 64-bit (double).
+        is32: bool,
+    },
+    /// Store float register to memory.
+    FStore {
+        /// Source.
+        src: Fpr,
+        /// Address.
+        mem: MemOp,
+        /// 32-bit vs 64-bit.
+        is32: bool,
+    },
+    /// `movaps`-style register move.
+    FMovRR(Fpr, Fpr),
+    /// Float ALU `dst ⊕= src`.
+    FAlu(FpOp, Fpr, Fpr, bool),
+    /// Float compare; sets flags like `ucomiss`.
+    FCmp(Fpr, Fpr, bool),
+    /// Convert integer to float.
+    CvtIF {
+        /// Destination float register.
+        dst: Fpr,
+        /// Source GPR.
+        src: Gpr,
+        /// Produce f32 (vs f64).
+        to32: bool,
+        /// Treat the integer as signed.
+        signed: bool,
+    },
+    /// Convert float to integer (truncating).
+    CvtFI {
+        /// Destination GPR.
+        dst: Gpr,
+        /// Source float register.
+        src: Fpr,
+        /// Source is f32 (vs f64).
+        from32: bool,
+        /// Produce a signed integer.
+        signed: bool,
+    },
+    /// Convert between f32 and f64.
+    CvtFF {
+        /// Destination.
+        dst: Fpr,
+        /// Source.
+        src: Fpr,
+        /// Destination is f32.
+        to32: bool,
+    },
+    /// Move float bits to a GPR (for returns through EAX).
+    MovGF(Gpr, Fpr),
+    /// Move GPR bits to a float register.
+    MovFG(Fpr, Gpr),
+    /// Sign-extend the low `width` bytes of a register in place.
+    SignExtend(Gpr, Width),
+    /// Zero-extend the low `width` bytes of a register in place.
+    ZeroExtend(Gpr, Width),
+}
+
+impl X86Inst {
+    /// Approximate encoded size in bytes of the real IA-32 equivalent.
+    pub fn native_size(&self) -> u32 {
+        fn disp_size(d: i32) -> u32 {
+            if d == 0 {
+                1
+            } else if (-128..=127).contains(&d) {
+                2
+            } else {
+                5
+            }
+        }
+        fn imm_size(v: i64) -> u32 {
+            if (-128..=127).contains(&v) {
+                1
+            } else {
+                4
+            }
+        }
+        match self {
+            X86Inst::MovRI(_, v) => {
+                if i32::try_from(*v).is_ok() {
+                    5
+                } else {
+                    10
+                }
+            }
+            X86Inst::MovRR(..) => 2,
+            X86Inst::MovRSym(..) => 5,
+            X86Inst::Load { mem, .. } | X86Inst::Store { mem, .. } => 1 + disp_size(mem.disp),
+            X86Inst::Lea(_, mem) => 1 + disp_size(mem.disp),
+            X86Inst::AluRR(..) => 2,
+            X86Inst::AluRI(_, _, v, _) => 2 + imm_size(*v),
+            X86Inst::AluRM(_, _, mem, _) | X86Inst::CmpRM(_, mem) | X86Inst::IMulRM(_, mem, _) => {
+                1 + disp_size(mem.disp) + 1
+            }
+            X86Inst::IMulRR(..) => 3,
+            X86Inst::Cdq => 1,
+            X86Inst::Div { .. } => 2,
+            X86Inst::CmpRR(..) => 2,
+            X86Inst::CmpRI(_, v) => 2 + imm_size(*v),
+            X86Inst::Setcc(..) => 3,
+            X86Inst::Jmp(_) => 5,
+            X86Inst::Jcc(..) => 6,
+            X86Inst::CallFn { .. } | X86Inst::CallIntrinsic { .. } => 5,
+            X86Inst::CallIndirect { .. } => 2,
+            X86Inst::Ret => 1,
+            X86Inst::Unwind => 5,
+            X86Inst::Push(_) | X86Inst::Pop(_) => 1,
+            X86Inst::FLoad { mem, .. } | X86Inst::FStore { mem, .. } => 3 + disp_size(mem.disp),
+            X86Inst::FMovRR(..) => 3,
+            X86Inst::FAlu(..) => 4,
+            X86Inst::FCmp(..) => 4,
+            X86Inst::CvtIF { .. } | X86Inst::CvtFI { .. } | X86Inst::CvtFF { .. } => 4,
+            X86Inst::MovGF(..) | X86Inst::MovFG(..) => 4,
+            X86Inst::SignExtend(..) | X86Inst::ZeroExtend(..) => 3,
+        }
+    }
+}
+
+/// A fully translated native program: per-function code plus the global
+/// address map produced at load/relocation time.
+#[derive(Debug, Clone, Default)]
+pub struct X86Program {
+    functions: Vec<Option<Arc<Vec<X86Inst>>>>,
+    global_addrs: Vec<u64>,
+}
+
+impl X86Program {
+    /// Creates an empty program with `num_functions` translation slots
+    /// and a global address map.
+    pub fn new(num_functions: usize, global_addrs: Vec<u64>) -> X86Program {
+        X86Program {
+            functions: vec![None; num_functions],
+            global_addrs,
+        }
+    }
+
+    /// Grows the translation table to at least `n` slots (self-
+    /// extending code adds functions after program creation, §3.4).
+    pub fn ensure_slots(&mut self, n: usize) {
+        if self.functions.len() < n {
+            self.functions.resize(n, None);
+        }
+    }
+
+    /// Installs translated code for function `idx` (JIT or cache load).
+    pub fn install(&mut self, idx: u32, code: Vec<X86Inst>) {
+        self.functions[idx as usize] = Some(Arc::new(code));
+    }
+
+    /// Removes the code for function `idx` (SMC invalidation, §3.4).
+    pub fn invalidate(&mut self, idx: u32) {
+        self.functions[idx as usize] = None;
+    }
+
+    /// Whether code for function `idx` is installed.
+    pub fn is_installed(&self, idx: u32) -> bool {
+        self.functions
+            .get(idx as usize)
+            .map(Option::is_some)
+            .unwrap_or(false)
+    }
+
+    /// The installed code for function `idx`.
+    pub fn code(&self, idx: u32) -> Option<&Arc<Vec<X86Inst>>> {
+        self.functions.get(idx as usize).and_then(Option::as_ref)
+    }
+
+    /// The relocated address of global `idx`.
+    pub fn global_addr(&self, idx: u32) -> u64 {
+        self.global_addrs[idx as usize]
+    }
+
+    /// Total native instruction count across installed functions
+    /// (the "#X86 Inst." column of Table 2).
+    pub fn total_insts(&self) -> usize {
+        self.functions
+            .iter()
+            .flatten()
+            .map(|c| c.len())
+            .sum()
+    }
+
+    /// Total approximate native code bytes across installed functions.
+    pub fn total_bytes(&self) -> usize {
+        self.functions
+            .iter()
+            .flatten()
+            .flat_map(|c| c.iter())
+            .map(|i| i.native_size() as usize)
+            .sum()
+    }
+}
+
+/// Tag bit marking a value as a function "address". Kept below bit 31
+/// so tagged function pointers survive 32-bit pointer stores on the
+/// IA-32-like target (simulated memories stay far below 1 GiB).
+pub const FUNC_TAG: u64 = 1 << 30;
+
+/// Packs a function index into a tagged function address value.
+pub fn function_value(idx: u32) -> u64 {
+    FUNC_TAG | u64::from(idx)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    func: u32,
+    ret_pc: u32,
+    saved_sp: u64,
+    unwind: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    lhs: u64,
+    rhs: u64,
+    float: bool,
+    unordered: bool,
+    flhs: f64,
+    frhs: f64,
+}
+
+/// The simulated IA-32-like processor.
+#[derive(Debug)]
+pub struct X86Machine {
+    /// The processor's memory.
+    pub mem: Memory,
+    regs: [u64; 8],
+    fregs: [u64; 8],
+    flags: Flags,
+    frames: Vec<Frame>,
+    cur_func: u32,
+    pc: u32,
+    stats: crate::common::ExecStats,
+    pending_intrinsic: bool,
+}
+
+impl X86Machine {
+    /// Creates a machine over `mem`, with the stack pointer initialized
+    /// to the top of memory.
+    pub fn new(mem: Memory) -> X86Machine {
+        let sp = mem.initial_sp();
+        let mut m = X86Machine {
+            mem,
+            regs: [0; 8],
+            fregs: [0; 8],
+            flags: Flags::default(),
+            frames: Vec::new(),
+            cur_func: 0,
+            pc: 0,
+            stats: crate::common::ExecStats::default(),
+            pending_intrinsic: false,
+        };
+        m.regs[Gpr::Esp.idx()] = sp;
+        m
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> crate::common::ExecStats {
+        self.stats
+    }
+
+    /// Reads a GPR (tests and the engine use this to fetch results).
+    pub fn reg(&self, r: Gpr) -> u64 {
+        self.regs[r.idx()]
+    }
+
+    /// Writes a GPR.
+    pub fn set_reg(&mut self, r: Gpr, v: u64) {
+        self.regs[r.idx()] = v;
+    }
+
+    /// Reads a float register's raw bits.
+    pub fn freg(&self, r: Fpr) -> u64 {
+        self.fregs[r.0 as usize]
+    }
+
+    /// Positions the machine at the entry of function `func` with the
+    /// given arguments pushed per the stack calling convention.
+    pub fn call_entry(&mut self, func: u32, args: &[u64]) -> Result<(), Trap> {
+        // push args right-to-left
+        for &a in args.iter().rev() {
+            self.push(a).map_err(|k| self.trap_here(k))?;
+        }
+        self.cur_func = func;
+        self.pc = 0;
+        self.frames.clear();
+        Ok(())
+    }
+
+    /// The (function, pc) the machine is currently positioned at.
+    pub fn current_location(&self) -> (u32, u32) {
+        (self.cur_func, self.pc)
+    }
+
+    /// The current call depth (used by `llva.stack.frames`).
+    pub fn call_depth(&self) -> usize {
+        self.frames.len() + 1
+    }
+
+    /// The function index executing at `depth` (0 = innermost).
+    pub fn frame_function(&self, depth: usize) -> Option<u32> {
+        if depth == 0 {
+            return Some(self.cur_func);
+        }
+        self.frames
+            .iter()
+            .rev()
+            .nth(depth - 1)
+            .map(|f| f.func)
+    }
+
+    fn trap_here(&self, kind: TrapKind) -> Trap {
+        Trap {
+            kind,
+            function: self.cur_func,
+            pc: self.pc,
+        }
+    }
+
+    fn push(&mut self, v: u64) -> Result<(), TrapKind> {
+        let sp = self.regs[Gpr::Esp.idx()] - 8;
+        if sp < self.mem.stack_limit() {
+            return Err(TrapKind::StackOverflow);
+        }
+        self.mem.store(sp, v, Width::B8)?;
+        self.regs[Gpr::Esp.idx()] = sp;
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<u64, TrapKind> {
+        let sp = self.regs[Gpr::Esp.idx()];
+        let v = self.mem.load(sp, Width::B8)?;
+        self.regs[Gpr::Esp.idx()] = sp + 8;
+        Ok(v)
+    }
+
+    fn addr(&self, mem: MemOp) -> u64 {
+        self.regs[mem.base.idx()].wrapping_add(mem.disp as i64 as u64)
+    }
+
+    fn cond(&self, c: Cond) -> bool {
+        if self.flags.float {
+            let (a, b) = (self.flags.flhs, self.flags.frhs);
+            if self.flags.unordered {
+                return matches!(c, Cond::Ne);
+            }
+            return match c {
+                Cond::E => a == b,
+                Cond::Ne => a != b,
+                Cond::L | Cond::B => a < b,
+                Cond::G | Cond::A => a > b,
+                Cond::Le | Cond::Be => a <= b,
+                Cond::Ge | Cond::Ae => a >= b,
+            };
+        }
+        let (a, b) = (self.flags.lhs, self.flags.rhs);
+        let (sa, sb) = (a as i64, b as i64);
+        match c {
+            Cond::E => a == b,
+            Cond::Ne => a != b,
+            Cond::L => sa < sb,
+            Cond::G => sa > sb,
+            Cond::Le => sa <= sb,
+            Cond::Ge => sa >= sb,
+            Cond::B => a < b,
+            Cond::A => a > b,
+            Cond::Be => a <= b,
+            Cond::Ae => a >= b,
+        }
+    }
+
+    /// Completes a pending intrinsic call with its return value.
+    pub fn finish_intrinsic(&mut self, ret: u64) {
+        debug_assert!(self.pending_intrinsic);
+        self.regs[Gpr::Eax.idx()] = ret;
+        self.pending_intrinsic = false;
+        self.pc += 1;
+    }
+
+    /// Runs until an [`Exit`] occurs, executing at most `fuel`
+    /// instructions.
+    pub fn run(&mut self, program: &X86Program, fuel: u64) -> Exit {
+        let mut remaining = fuel;
+        loop {
+            if remaining == 0 {
+                return Exit::OutOfFuel;
+            }
+            remaining -= 1;
+            let Some(code) = program.code(self.cur_func) else {
+                return Exit::NeedFunction(self.cur_func);
+            };
+            let code = Arc::clone(code);
+            let Some(inst) = code.get(self.pc as usize) else {
+                // falling off the end acts like `ret`
+                match self.do_ret() {
+                    Some(exit) => return exit,
+                    None => continue,
+                }
+            };
+            self.stats.instructions += 1;
+            match self.step(inst, program) {
+                Ok(None) => {}
+                Ok(Some(exit)) => return exit,
+                Err(kind) => return Exit::Trapped(self.trap_here(kind)),
+            }
+        }
+    }
+
+    fn do_ret(&mut self) -> Option<Exit> {
+        match self.frames.pop() {
+            None => Some(Exit::Halt(self.regs[Gpr::Eax.idx()])),
+            Some(f) => {
+                self.cur_func = f.func;
+                self.pc = f.ret_pc;
+                None
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, inst: &X86Inst, program: &X86Program) -> Result<Option<Exit>, TrapKind> {
+        use X86Inst as I;
+        let mut next_pc = self.pc + 1;
+        let mut cycles = 1u64;
+        match inst {
+            I::MovRI(r, v) => self.regs[r.idx()] = *v as u64,
+            I::MovRR(d, s) => self.regs[d.idx()] = self.regs[s.idx()],
+            I::MovRSym(d, sym) => {
+                self.regs[d.idx()] = match sym {
+                    Sym::Global(g) => program.global_addr(*g),
+                    Sym::Function(f) => function_value(*f),
+                }
+            }
+            I::Load {
+                dst,
+                mem,
+                width,
+                signed,
+            } => {
+                let a = self.addr(*mem);
+                let v = if *signed {
+                    self.mem.load_signed(a, *width)?
+                } else {
+                    self.mem.load(a, *width)?
+                };
+                self.regs[dst.idx()] = v;
+                self.stats.loads += 1;
+                cycles = 2;
+            }
+            I::Store { src, mem, width } => {
+                let a = self.addr(*mem);
+                self.mem.store(a, self.regs[src.idx()], *width)?;
+                self.stats.stores += 1;
+                cycles = 2;
+            }
+            I::Lea(d, mem) => self.regs[d.idx()] = self.addr(*mem),
+            I::AluRR(op, d, s, norm) => {
+                let v = self.regs[s.idx()];
+                self.regs[d.idx()] = norm.apply(alu(*op, self.regs[d.idx()], v));
+            }
+            I::AluRI(op, d, v, norm) => {
+                self.regs[d.idx()] = norm.apply(alu(*op, self.regs[d.idx()], *v as u64));
+            }
+            I::AluRM(op, d, mem, norm) => {
+                let a = self.addr(*mem);
+                let v = self.mem.load(a, Width::B8)?;
+                self.regs[d.idx()] = norm.apply(alu(*op, self.regs[d.idx()], v));
+                self.stats.loads += 1;
+                cycles = 2;
+            }
+            I::IMulRR(d, s, norm) => {
+                self.regs[d.idx()] =
+                    norm.apply(self.regs[d.idx()].wrapping_mul(self.regs[s.idx()]));
+                cycles = 3;
+            }
+            I::IMulRM(d, mem, norm) => {
+                let a = self.addr(*mem);
+                let v = self.mem.load(a, Width::B8)?;
+                self.regs[d.idx()] = norm.apply(self.regs[d.idx()].wrapping_mul(v));
+                self.stats.loads += 1;
+                cycles = 4;
+            }
+            I::Cdq => {
+                self.regs[Gpr::Edx.idx()] = ((self.regs[Gpr::Eax.idx()] as i64) >> 63) as u64;
+            }
+            I::Div {
+                signed,
+                divisor,
+                trapping,
+                norm,
+            } => {
+                let d = self.regs[divisor.idx()];
+                let a = self.regs[Gpr::Eax.idx()];
+                if d == 0 {
+                    if *trapping {
+                        return Err(TrapKind::DivideByZero);
+                    }
+                    self.regs[Gpr::Eax.idx()] = 0;
+                    self.regs[Gpr::Edx.idx()] = 0;
+                } else if *signed {
+                    let (q, r) = ((a as i64).wrapping_div(d as i64), (a as i64).wrapping_rem(d as i64));
+                    self.regs[Gpr::Eax.idx()] = norm.apply(q as u64);
+                    self.regs[Gpr::Edx.idx()] = norm.apply(r as u64);
+                } else {
+                    self.regs[Gpr::Eax.idx()] = norm.apply(a / d);
+                    self.regs[Gpr::Edx.idx()] = norm.apply(a % d);
+                }
+                cycles = 20;
+            }
+            I::CmpRR(a, b) => {
+                self.flags = Flags {
+                    lhs: self.regs[a.idx()],
+                    rhs: self.regs[b.idx()],
+                    ..Flags::default()
+                };
+            }
+            I::CmpRI(a, v) => {
+                self.flags = Flags {
+                    lhs: self.regs[a.idx()],
+                    rhs: *v as u64,
+                    ..Flags::default()
+                };
+            }
+            I::CmpRM(a, mem) => {
+                let addr = self.addr(*mem);
+                let v = self.mem.load(addr, Width::B8)?;
+                self.flags = Flags {
+                    lhs: self.regs[a.idx()],
+                    rhs: v,
+                    ..Flags::default()
+                };
+                self.stats.loads += 1;
+                cycles = 2;
+            }
+            I::Setcc(c, d) => {
+                self.regs[d.idx()] = u64::from(self.cond(*c));
+            }
+            I::Jmp(t) => {
+                next_pc = *t;
+                self.stats.taken_branches += 1;
+            }
+            I::Jcc(c, t) => {
+                if self.cond(*c) {
+                    next_pc = *t;
+                    self.stats.taken_branches += 1;
+                }
+            }
+            I::CallFn { func, unwind } => {
+                self.stats.calls += 1;
+                cycles = 2;
+                if !program.is_installed(*func) {
+                    return Ok(Some(Exit::NeedFunction(*func)));
+                }
+                self.frames.push(Frame {
+                    func: self.cur_func,
+                    ret_pc: next_pc,
+                    saved_sp: self.regs[Gpr::Esp.idx()],
+                    unwind: *unwind,
+                });
+                self.cur_func = *func;
+                self.pc = 0;
+                self.stats.cycles += cycles;
+                return Ok(None);
+            }
+            I::CallIndirect { target, unwind } => {
+                let v = self.regs[target.idx()];
+                if v & FUNC_TAG == 0 {
+                    return Err(TrapKind::BadFunctionPointer);
+                }
+                let func = (v & !FUNC_TAG) as u32;
+                self.stats.calls += 1;
+                cycles = 3;
+                if !program.is_installed(func) {
+                    return Ok(Some(Exit::NeedFunction(func)));
+                }
+                self.frames.push(Frame {
+                    func: self.cur_func,
+                    ret_pc: next_pc,
+                    saved_sp: self.regs[Gpr::Esp.idx()],
+                    unwind: *unwind,
+                });
+                self.cur_func = func;
+                self.pc = 0;
+                self.stats.cycles += cycles;
+                return Ok(None);
+            }
+            I::CallIntrinsic { which, nargs } => {
+                self.stats.calls += 1;
+                let sp = self.regs[Gpr::Esp.idx()];
+                let mut args = Vec::with_capacity(*nargs as usize);
+                for i in 0..*nargs {
+                    args.push(self.mem.load(sp + 8 * u64::from(i), Width::B8)?);
+                }
+                self.pending_intrinsic = true;
+                return Ok(Some(Exit::Intrinsic {
+                    which: *which,
+                    args,
+                }));
+            }
+            I::Ret => {
+                self.stats.cycles += 2;
+                return Ok(self.do_ret());
+            }
+            I::Unwind => loop {
+                match self.frames.pop() {
+                    None => return Err(TrapKind::UnhandledUnwind),
+                    Some(f) => {
+                        if let Some(pad) = f.unwind {
+                            self.cur_func = f.func;
+                            self.pc = pad;
+                            self.regs[Gpr::Esp.idx()] = f.saved_sp;
+                            self.stats.cycles += 2;
+                            return Ok(None);
+                        }
+                    }
+                }
+            },
+            I::Push(r) => {
+                self.push(self.regs[r.idx()])?;
+                self.stats.stores += 1;
+                cycles = 2;
+            }
+            I::Pop(r) => {
+                let v = self.pop()?;
+                self.regs[r.idx()] = v;
+                self.stats.loads += 1;
+                cycles = 2;
+            }
+            I::FLoad { dst, mem, is32 } => {
+                let a = self.addr(*mem);
+                let v = if *is32 {
+                    self.mem.load(a, Width::B4)?
+                } else {
+                    self.mem.load(a, Width::B8)?
+                };
+                self.fregs[dst.0 as usize] = v;
+                self.stats.loads += 1;
+                cycles = 2;
+            }
+            I::FStore { src, mem, is32 } => {
+                let a = self.addr(*mem);
+                let v = self.fregs[src.0 as usize];
+                if *is32 {
+                    self.mem.store(a, v & 0xFFFF_FFFF, Width::B4)?;
+                } else {
+                    self.mem.store(a, v, Width::B8)?;
+                }
+                self.stats.stores += 1;
+                cycles = 2;
+            }
+            I::FMovRR(d, s) => self.fregs[d.0 as usize] = self.fregs[s.0 as usize],
+            I::FAlu(op, d, s, is32) => {
+                let a = fbits_to_f64(self.fregs[d.0 as usize], *is32);
+                let b = fbits_to_f64(self.fregs[s.0 as usize], *is32);
+                let r = match op {
+                    FpOp::Add => a + b,
+                    FpOp::Sub => a - b,
+                    FpOp::Mul => a * b,
+                    FpOp::Div => a / b,
+                };
+                self.fregs[d.0 as usize] = f64_to_fbits(r, *is32);
+                cycles = 3;
+            }
+            I::FCmp(a, b, is32) => {
+                let x = fbits_to_f64(self.fregs[a.0 as usize], *is32);
+                let y = fbits_to_f64(self.fregs[b.0 as usize], *is32);
+                self.flags = Flags {
+                    float: true,
+                    unordered: x.is_nan() || y.is_nan(),
+                    flhs: x,
+                    frhs: y,
+                    ..Flags::default()
+                };
+                cycles = 2;
+            }
+            I::CvtIF {
+                dst,
+                src,
+                to32,
+                signed,
+            } => {
+                let v = self.regs[src.idx()];
+                let f = if *signed { v as i64 as f64 } else { v as f64 };
+                self.fregs[dst.0 as usize] = f64_to_fbits(f, *to32);
+                cycles = 3;
+            }
+            I::CvtFI {
+                dst,
+                src,
+                from32,
+                signed,
+            } => {
+                let f = fbits_to_f64(self.fregs[src.0 as usize], *from32);
+                self.regs[dst.idx()] = if *signed {
+                    (f as i64) as u64
+                } else {
+                    f as u64
+                };
+                cycles = 3;
+            }
+            I::CvtFF { dst, src, to32 } => {
+                let f = fbits_to_f64(self.fregs[src.0 as usize], !*to32);
+                self.fregs[dst.0 as usize] = f64_to_fbits(f, *to32);
+                cycles = 2;
+            }
+            I::MovGF(d, s) => self.regs[d.idx()] = self.fregs[s.0 as usize],
+            I::MovFG(d, s) => self.fregs[d.0 as usize] = self.regs[s.idx()],
+            I::SignExtend(r, w) => {
+                let bits = w.bytes() as u32 * 8;
+                self.regs[r.idx()] =
+                    llva_core::eval::sign_extend(self.regs[r.idx()], bits) as u64;
+            }
+            I::ZeroExtend(r, w) => {
+                let bits = w.bytes() as u32 * 8;
+                self.regs[r.idx()] = llva_core::eval::truncate(self.regs[r.idx()], bits);
+            }
+        }
+        self.pc = next_pc;
+        self.stats.cycles += cycles;
+        Ok(None)
+    }
+}
+
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+        AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        AluOp::Sar => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+    }
+}
+
+fn fbits_to_f64(bits: u64, is32: bool) -> f64 {
+    if is32 {
+        f32::from_bits(bits as u32) as f64
+    } else {
+        f64::from_bits(bits)
+    }
+}
+
+fn f64_to_fbits(v: f64, is32: bool) -> u64 {
+    if is32 {
+        (v as f32).to_bits() as u64
+    } else {
+        v.to_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llva_core::layout::Endianness;
+
+    fn machine() -> X86Machine {
+        X86Machine::new(Memory::new(1 << 20, 0x2000, Endianness::Little))
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        use X86Inst as I;
+        let mut program = X86Program::new(1, vec![]);
+        program.install(
+            0,
+            vec![
+                I::MovRI(Gpr::Eax, 40),
+                I::MovRI(Gpr::Ecx, 2),
+                I::AluRR(AluOp::Add, Gpr::Eax, Gpr::Ecx, Norm::None),
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&program, 1000), Exit::Halt(42));
+        assert_eq!(m.stats().instructions, 4);
+    }
+
+    #[test]
+    fn conditional_branch_loop() {
+        use X86Inst as I;
+        // sum 1..=5 : ECX counter, EAX acc
+        let mut program = X86Program::new(1, vec![]);
+        program.install(
+            0,
+            vec![
+                I::MovRI(Gpr::Eax, 0),
+                I::MovRI(Gpr::Ecx, 5),
+                // loop:
+                I::AluRR(AluOp::Add, Gpr::Eax, Gpr::Ecx, Norm::None), // 2
+                I::AluRI(AluOp::Sub, Gpr::Ecx, 1, Norm::None),
+                I::CmpRI(Gpr::Ecx, 0),
+                I::Jcc(Cond::G, 2),
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&program, 1000), Exit::Halt(15));
+    }
+
+    #[test]
+    fn call_and_stack_args() {
+        use X86Inst as I;
+        let mut program = X86Program::new(2, vec![]);
+        // callee: eax = arg0 * 2 ; args at [esp+0] (no saved ret addr in mem)
+        program.install(
+            1,
+            vec![
+                I::Load {
+                    dst: Gpr::Eax,
+                    mem: MemOp {
+                        base: Gpr::Esp,
+                        disp: 0,
+                    },
+                    width: Width::B8,
+                    signed: false,
+                },
+                I::AluRI(AluOp::Shl, Gpr::Eax, 1, Norm::None),
+                I::Ret,
+            ],
+        );
+        // main: push 21; call 1; add esp,8; ret
+        program.install(
+            0,
+            vec![
+                I::MovRI(Gpr::Ecx, 21),
+                I::Push(Gpr::Ecx),
+                I::CallFn {
+                    func: 1,
+                    unwind: None,
+                },
+                I::AluRI(AluOp::Add, Gpr::Esp, 8, Norm::None),
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&program, 1000), Exit::Halt(42));
+    }
+
+    #[test]
+    fn need_function_then_resume() {
+        use X86Inst as I;
+        let mut program = X86Program::new(2, vec![]);
+        program.install(
+            0,
+            vec![
+                I::CallFn {
+                    func: 1,
+                    unwind: None,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&program, 1000), Exit::NeedFunction(1));
+        // engine translates and installs, then resumes
+        program.install(1, vec![I::MovRI(Gpr::Eax, 7), I::Ret]);
+        assert_eq!(m.run(&program, 1000), Exit::Halt(7));
+    }
+
+    #[test]
+    fn divide_by_zero_traps_precisely() {
+        use X86Inst as I;
+        let mut program = X86Program::new(1, vec![]);
+        program.install(
+            0,
+            vec![
+                I::MovRI(Gpr::Eax, 10),
+                I::MovRI(Gpr::Ecx, 0),
+                I::Cdq,
+                I::Div {
+                    signed: true,
+                    divisor: Gpr::Ecx,
+                    trapping: true,
+                    norm: Norm::None,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        match m.run(&program, 1000) {
+            Exit::Trapped(t) => {
+                assert_eq!(t.kind, TrapKind::DivideByZero);
+                assert_eq!(t.pc, 3, "precise: trap names the div instruction");
+            }
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nontrapping_div_yields_zero() {
+        use X86Inst as I;
+        let mut program = X86Program::new(1, vec![]);
+        program.install(
+            0,
+            vec![
+                I::MovRI(Gpr::Eax, 10),
+                I::MovRI(Gpr::Ecx, 0),
+                I::Div {
+                    signed: true,
+                    divisor: Gpr::Ecx,
+                    trapping: false,
+                    norm: Norm::None,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&program, 1000), Exit::Halt(0));
+    }
+
+    #[test]
+    fn null_load_traps() {
+        use X86Inst as I;
+        let mut program = X86Program::new(1, vec![]);
+        program.install(
+            0,
+            vec![
+                I::MovRI(Gpr::Eax, 0),
+                I::Load {
+                    dst: Gpr::Ecx,
+                    mem: MemOp {
+                        base: Gpr::Eax,
+                        disp: 0,
+                    },
+                    width: Width::B8,
+                    signed: false,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        match m.run(&program, 1000) {
+            Exit::Trapped(t) => assert_eq!(t.kind, TrapKind::MemoryFault),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unwind_to_invoke_pad() {
+        use X86Inst as I;
+        let mut program = X86Program::new(2, vec![]);
+        // callee: unwind immediately
+        program.install(1, vec![I::Unwind]);
+        // main: call with unwind pad at 3; pad sets eax=99
+        program.install(
+            0,
+            vec![
+                I::CallFn {
+                    func: 1,
+                    unwind: Some(3),
+                },
+                I::MovRI(Gpr::Eax, 1), // normal path (skipped)
+                I::Ret,
+                I::MovRI(Gpr::Eax, 99), // pad
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&program, 1000), Exit::Halt(99));
+    }
+
+    #[test]
+    fn unhandled_unwind_traps() {
+        use X86Inst as I;
+        let mut program = X86Program::new(1, vec![]);
+        program.install(0, vec![I::Unwind]);
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        match m.run(&program, 1000) {
+            Exit::Trapped(t) => assert_eq!(t.kind, TrapKind::UnhandledUnwind),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intrinsic_roundtrip() {
+        use X86Inst as I;
+        let mut program = X86Program::new(1, vec![]);
+        program.install(
+            0,
+            vec![
+                I::MovRI(Gpr::Ecx, 1234),
+                I::Push(Gpr::Ecx),
+                I::CallIntrinsic {
+                    which: Intrinsic::HeapAlloc,
+                    nargs: 1,
+                },
+                I::AluRI(AluOp::Add, Gpr::Esp, 8, Norm::None),
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        match m.run(&program, 1000) {
+            Exit::Intrinsic { which, args } => {
+                assert_eq!(which, Intrinsic::HeapAlloc);
+                assert_eq!(args, vec![1234]);
+            }
+            other => panic!("expected intrinsic exit, got {other:?}"),
+        }
+        m.finish_intrinsic(0x8000);
+        assert_eq!(m.run(&program, 1000), Exit::Halt(0x8000));
+    }
+
+    #[test]
+    fn float_pipeline() {
+        use X86Inst as I;
+        let mut program = X86Program::new(1, vec![]);
+        // f0 = 1.5; f1 = 2.5; f0 += f1; eax = bits(f0)
+        program.install(
+            0,
+            vec![
+                I::MovRI(Gpr::Eax, 1.5f64.to_bits() as i64),
+                I::MovFG(Fpr(0), Gpr::Eax),
+                I::MovRI(Gpr::Eax, 2.5f64.to_bits() as i64),
+                I::MovFG(Fpr(1), Gpr::Eax),
+                I::FAlu(FpOp::Add, Fpr(0), Fpr(1), false),
+                I::MovGF(Gpr::Eax, Fpr(0)),
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&program, 1000), Exit::Halt(4.0f64.to_bits()));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        use X86Inst as I;
+        let mut program = X86Program::new(1, vec![]);
+        program.install(0, vec![I::Jmp(0)]);
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&program, 100), Exit::OutOfFuel);
+    }
+
+    #[test]
+    fn native_size_is_plausible() {
+        use X86Inst as I;
+        assert_eq!(I::Ret.native_size(), 1);
+        assert_eq!(I::MovRI(Gpr::Eax, 1).native_size(), 5);
+        assert_eq!(I::MovRI(Gpr::Eax, i64::MAX).native_size(), 10);
+        assert_eq!(I::AluRR(AluOp::Add, Gpr::Eax, Gpr::Ecx, Norm::None).native_size(), 2);
+    }
+}

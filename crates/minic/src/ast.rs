@@ -1,0 +1,288 @@
+//! The minic abstract syntax tree.
+//!
+//! minic is the reproduction's stand-in for the paper's GCC-based C
+//! front end (DESIGN.md substitution #2): a small C-like language that
+//! lowers to LLVA with exactly the patterns §3.1 describes — typed
+//! `getelementptr` for indexing, `alloca` for locals, explicit
+//! comparisons, and intrinsic calls for the runtime services.
+
+use std::fmt;
+
+/// A minic type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `void` (function returns only).
+    Void,
+    /// `char` — signed 8-bit.
+    Char,
+    /// `int` — signed 32-bit.
+    Int,
+    /// `uint` — unsigned 32-bit.
+    Uint,
+    /// `long` — signed 64-bit.
+    Long,
+    /// `ulong` — unsigned 64-bit.
+    Ulong,
+    /// `float` — 32-bit IEEE.
+    Float,
+    /// `double` — 64-bit IEEE.
+    Double,
+    /// `T*`.
+    Ptr(Box<CType>),
+    /// `T name[N]`.
+    Array(Box<CType>, u64),
+    /// `struct Name`.
+    Struct(String),
+    /// A function pointer: `ret (*)(params)`.
+    FnPtr(Box<CType>, Vec<CType>),
+}
+
+impl CType {
+    /// Whether this is one of the integer types (including `char`).
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            self,
+            CType::Char | CType::Int | CType::Uint | CType::Long | CType::Ulong
+        )
+    }
+
+    /// Whether this is `float` or `double`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, CType::Float | CType::Double)
+    }
+
+    /// Whether this is a pointer (or array, which decays).
+    pub fn is_pointer_like(&self) -> bool {
+        matches!(self, CType::Ptr(_) | CType::Array(..) | CType::FnPtr(..))
+    }
+
+    /// Whether the type is signed (for promotion decisions).
+    pub fn is_signed(&self) -> bool {
+        matches!(
+            self,
+            CType::Char | CType::Int | CType::Long | CType::Float | CType::Double
+        )
+    }
+
+    /// Conversion rank for the usual arithmetic conversions.
+    pub fn rank(&self) -> u8 {
+        match self {
+            CType::Char => 1,
+            CType::Int => 2,
+            CType::Uint => 3,
+            CType::Long => 4,
+            CType::Ulong => 5,
+            CType::Float => 6,
+            CType::Double => 7,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Void => f.write_str("void"),
+            CType::Char => f.write_str("char"),
+            CType::Int => f.write_str("int"),
+            CType::Uint => f.write_str("uint"),
+            CType::Long => f.write_str("long"),
+            CType::Ulong => f.write_str("ulong"),
+            CType::Float => f.write_str("float"),
+            CType::Double => f.write_str("double"),
+            CType::Ptr(t) => write!(f, "{t}*"),
+            CType::Array(t, n) => write!(f, "{t}[{n}]"),
+            CType::Struct(n) => write!(f, "struct {n}"),
+            CType::FnPtr(r, ps) => {
+                let inner: Vec<String> = ps.iter().map(ToString::to_string).collect();
+                write!(f, "{r} (*)({})", inner.join(", "))
+            }
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+impl BinOp {
+    /// Whether the result is boolean-ish (`int` 0/1).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+    /// `*`
+    Deref,
+    /// `&`
+    Addr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Character literal.
+    Char(u8),
+    /// String literal (NUL-terminated at codegen).
+    Str(Vec<u8>),
+    /// Variable or function reference.
+    Ident(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Assignment `lhs = rhs` (value is rhs).
+    Assign(Box<Expr>, Box<Expr>),
+    /// Call: callee expression (name or fn-pointer variable) + args.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `a.f`.
+    Member(Box<Expr>, String),
+    /// `a->f`.
+    Arrow(Box<Expr>, String),
+    /// `(T)e`.
+    Cast(CType, Box<Expr>),
+    /// `sizeof(T)`.
+    Sizeof(CType),
+    /// `c ? t : e`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+    /// Local declaration with optional initializer.
+    Decl {
+        /// Declared type.
+        ty: CType,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (c) then [else e]`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (c) body`.
+    While(Expr, Box<Stmt>),
+    /// `for (init; cond; step) body` (any part optional).
+    For(
+        Option<Box<Stmt>>,
+        Option<Expr>,
+        Option<Expr>,
+        Box<Stmt>,
+    ),
+    /// `return [e];`.
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `struct Name { ... };`
+    StructDef {
+        /// Struct tag.
+        name: String,
+        /// Ordered `(type, field name)` pairs.
+        fields: Vec<(CType, String)>,
+    },
+    /// A global variable with an optional constant initializer.
+    Global {
+        /// Declared type.
+        ty: CType,
+        /// Name.
+        name: String,
+        /// Scalar or brace-list initializer.
+        init: Option<GlobalInit>,
+    },
+    /// A function definition.
+    Func {
+        /// Return type.
+        ret: CType,
+        /// Name.
+        name: String,
+        /// Parameters.
+        params: Vec<(CType, String)>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// Initializers allowed on globals (must be compile-time constants).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// A scalar constant expression (folded at compile time).
+    Scalar(Expr),
+    /// `{ a, b, c }` for arrays.
+    List(Vec<GlobalInit>),
+    /// A string literal.
+    Str(Vec<u8>),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}

@@ -1,0 +1,1199 @@
+//! minic → LLVA lowering.
+//!
+//! Follows exactly the lowering story of paper §3.1: "array and
+//! structure indexing operations are lowered to typed pointer
+//! arithmetic with the getelementptr instruction", locals become
+//! `alloca` + loads/stores (SSA promotion is the optimizer's job),
+//! short-circuit operators become CFG diamonds, and runtime services
+//! (`malloc`, `putchar`, …) become calls to `llva.*` intrinsics.
+
+use crate::ast::*;
+use llva_core::builder::FunctionBuilder;
+use llva_core::function::BlockId;
+use llva_core::layout::TargetConfig;
+use llva_core::module::{FuncId, Initializer, Module};
+use llva_core::types::TypeId;
+use llva_core::value::{Constant, ValueId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A semantic error found during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description (minic is small enough that name context suffices).
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "minic compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+type Result<T> = std::result::Result<T, CompileError>;
+
+fn err<T>(message: impl Into<String>) -> Result<T> {
+    Err(CompileError {
+        message: message.into(),
+    })
+}
+
+/// Compiles a parsed program into an LLVA module for `target`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for type errors, unknown names, and
+/// unsupported constructs.
+pub fn compile_program(program: &Program, name: &str, target: TargetConfig) -> Result<Module> {
+    let mut cx = Cx::new(name, target);
+    cx.collect_structs(program)?;
+    cx.collect_signatures(program)?;
+    cx.emit_globals(program)?;
+    cx.emit_functions(program)?;
+    Ok(cx.module)
+}
+
+/// Built-in functions mapped to LLVA intrinsics (§3.5).
+const BUILTINS: &[(&str, &str)] = &[
+    ("putchar", "llva.io.putchar"),
+    ("getchar", "llva.io.getchar"),
+    ("malloc", "llva.heap.alloc"),
+    ("free", "llva.heap.free"),
+    ("clock", "llva.clock"),
+];
+
+struct StructInfo {
+    fields: Vec<(String, CType)>,
+}
+
+struct Cx {
+    module: Module,
+    structs: HashMap<String, StructInfo>,
+    fn_sigs: HashMap<String, (CType, Vec<CType>, FuncId)>,
+    global_tys: HashMap<String, CType>,
+    string_count: usize,
+}
+
+impl Cx {
+    fn new(name: &str, target: TargetConfig) -> Cx {
+        Cx {
+            module: Module::new(name, target),
+            structs: HashMap::new(),
+            fn_sigs: HashMap::new(),
+            global_tys: HashMap::new(),
+            string_count: 0,
+        }
+    }
+
+    fn ty(&mut self, c: &CType) -> Result<TypeId> {
+        Ok(match c {
+            CType::Void => self.module.types_mut().void(),
+            CType::Char => self.module.types_mut().sbyte(),
+            CType::Int => self.module.types_mut().int(),
+            CType::Uint => self.module.types_mut().uint(),
+            CType::Long => self.module.types_mut().long(),
+            CType::Ulong => self.module.types_mut().ulong(),
+            CType::Float => self.module.types_mut().float(),
+            CType::Double => self.module.types_mut().double(),
+            CType::Ptr(p) => {
+                let inner = self.ty(p)?;
+                self.module.types_mut().pointer_to(inner)
+            }
+            CType::Array(elem, n) => {
+                let inner = self.ty(elem)?;
+                self.module.types_mut().array_of(inner, *n)
+            }
+            CType::Struct(name) => {
+                if !self.structs.contains_key(name) {
+                    return err(format!("unknown struct '{name}'"));
+                }
+                self.module.types_mut().named_struct(name)
+            }
+            CType::FnPtr(ret, params) => {
+                let r = self.ty(ret)?;
+                let mut ps = Vec::with_capacity(params.len());
+                for p in params {
+                    ps.push(self.ty(p)?);
+                }
+                let fty = self.module.types_mut().function(r, ps, false);
+                self.module.types_mut().pointer_to(fty)
+            }
+        })
+    }
+
+    fn collect_structs(&mut self, program: &Program) -> Result<()> {
+        // two passes so structs may reference each other
+        for item in &program.items {
+            if let Item::StructDef { name, .. } = item {
+                self.module.types_mut().named_struct(name);
+                self.structs.insert(
+                    name.clone(),
+                    StructInfo {
+                        fields: Vec::new(),
+                    },
+                );
+            }
+        }
+        for item in &program.items {
+            if let Item::StructDef { name, fields } = item {
+                let mut tys = Vec::with_capacity(fields.len());
+                let mut info = Vec::with_capacity(fields.len());
+                for (ty, fname) in fields {
+                    tys.push(self.ty(ty)?);
+                    info.push((fname.clone(), ty.clone()));
+                }
+                self.module.types_mut().set_struct_body(name, tys);
+                self.structs
+                    .insert(name.clone(), StructInfo { fields: info });
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_signatures(&mut self, program: &Program) -> Result<()> {
+        for item in &program.items {
+            if let Item::Func {
+                ret, name, params, ..
+            } = item
+            {
+                let r = self.ty(ret)?;
+                let mut ps = Vec::with_capacity(params.len());
+                let mut ptys = Vec::with_capacity(params.len());
+                for (pt, _) in params {
+                    // arrays decay in parameter position
+                    let decayed = decay(pt.clone());
+                    ps.push(self.ty(&decayed)?);
+                    ptys.push(decayed);
+                }
+                if self.fn_sigs.contains_key(name) {
+                    return err(format!("duplicate function '{name}'"));
+                }
+                let fid = self.module.add_function(name, r, ps);
+                self.fn_sigs
+                    .insert(name.clone(), (ret.clone(), ptys, fid));
+            }
+        }
+        Ok(())
+    }
+
+    fn fold_const(&mut self, e: &Expr, want: &CType) -> Result<Constant> {
+        // minimal constant folding for global initializers
+        fn eval_i(e: &Expr) -> Option<i64> {
+            Some(match e {
+                Expr::Int(v) => *v,
+                Expr::Char(c) => i64::from(*c),
+                Expr::Un(UnOp::Neg, x) => -eval_i(x)?,
+                Expr::Un(UnOp::BitNot, x) => !eval_i(x)?,
+                Expr::Bin(op, a, b) => {
+                    let (a, b) = (eval_i(a)?, eval_i(b)?);
+                    match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        BinOp::Mul => a.wrapping_mul(b),
+                        BinOp::Div => a.checked_div(b)?,
+                        BinOp::Rem => a.checked_rem(b)?,
+                        BinOp::Shl => a << (b & 63),
+                        BinOp::Shr => a >> (b & 63),
+                        BinOp::And => a & b,
+                        BinOp::Or => a | b,
+                        BinOp::Xor => a ^ b,
+                        _ => return None,
+                    }
+                }
+                _ => return None,
+            })
+        }
+        fn eval_f(e: &Expr) -> Option<f64> {
+            Some(match e {
+                Expr::Float(v) => *v,
+                Expr::Int(v) => *v as f64,
+                Expr::Char(c) => f64::from(*c),
+                Expr::Un(UnOp::Neg, x) => -eval_f(x)?,
+                Expr::Bin(op, a, b) => {
+                    let (a, b) = (eval_f(a)?, eval_f(b)?);
+                    match op {
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
+                        BinOp::Div => a / b,
+                        _ => return None,
+                    }
+                }
+                _ => return None,
+            })
+        }
+        let ty = self.ty(want)?;
+        if want.is_float() {
+            let Some(v) = eval_f(e) else {
+                return err("global initializer is not a constant");
+            };
+            let bits = if matches!(want, CType::Float) {
+                (v as f32).to_bits() as u64
+            } else {
+                v.to_bits()
+            };
+            return Ok(Constant::Float { ty, bits });
+        }
+        if want.is_integer() {
+            let Some(v) = eval_i(e) else {
+                return err("global initializer is not a constant");
+            };
+            let w = self
+                .module
+                .types()
+                .int_bits(ty)
+                .expect("integer type");
+            return Ok(Constant::Int {
+                ty,
+                bits: llva_core::eval::truncate(v as u64, w),
+            });
+        }
+        if matches!(want, CType::Ptr(_)) {
+            if matches!(e, Expr::Int(0)) {
+                return Ok(Constant::Null(ty));
+            }
+            if let Expr::Ident(name) = e {
+                if let Some((_, _, fid)) = self.fn_sigs.get(name) {
+                    let fty = self.module.function(*fid).type_id();
+                    let pty = self.module.types_mut().pointer_to(fty);
+                    return Ok(Constant::FunctionAddr {
+                        func: *fid,
+                        ty: pty,
+                    });
+                }
+            }
+        }
+        err("unsupported constant initializer")
+    }
+
+    fn global_initializer(&mut self, init: &GlobalInit, ty: &CType) -> Result<Initializer> {
+        Ok(match init {
+            GlobalInit::Scalar(e) => Initializer::Scalar(self.fold_const(e, ty)?),
+            GlobalInit::Str(s) => {
+                match ty {
+                    CType::Array(..) => {
+                        let mut bytes = s.clone();
+                        bytes.push(0);
+                        Initializer::Bytes(bytes)
+                    }
+                    CType::Ptr(_) => {
+                        let g = self.string_global(s)?;
+                        let sb = self.module.types_mut().sbyte();
+                        let sbp = self.module.types_mut().pointer_to(sb);
+                        // address of the array's first element == array addr
+                        Initializer::Scalar(Constant::GlobalAddr { global: g, ty: sbp })
+                    }
+                    _ => return err("string initializer needs char[] or char*"),
+                }
+            }
+            GlobalInit::List(items) => {
+                let CType::Array(elem, _) = ty else {
+                    return err("brace initializer needs an array type");
+                };
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.global_initializer(item, elem)?);
+                }
+                Initializer::Array(out)
+            }
+        })
+    }
+
+    fn string_global(&mut self, s: &[u8]) -> Result<llva_core::module::GlobalId> {
+        let mut bytes = s.to_vec();
+        bytes.push(0);
+        let sb = self.module.types_mut().sbyte();
+        let arr = self.module.types_mut().array_of(sb, bytes.len() as u64);
+        let name = format!(".str{}", self.string_count);
+        self.string_count += 1;
+        Ok(self
+            .module
+            .add_global(&name, arr, Initializer::Bytes(bytes), true))
+    }
+
+    fn emit_globals(&mut self, program: &Program) -> Result<()> {
+        for item in &program.items {
+            if let Item::Global { ty, name, init } = item {
+                let rendered = match init {
+                    Some(i) => self.global_initializer(i, ty)?,
+                    None => Initializer::Zero,
+                };
+                let lty = self.ty(ty)?;
+                self.module.add_global(name, lty, rendered, false);
+                self.global_tys.insert(name.clone(), ty.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_functions(&mut self, program: &Program) -> Result<()> {
+        for item in &program.items {
+            if let Item::Func {
+                name, params, body, ret, ..
+            } = item
+            {
+                self.emit_function(name, ret, params, body)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn intrinsic_fid(&mut self, c_name: &str) -> Result<FuncId> {
+        let intr_name = BUILTINS
+            .iter()
+            .find(|(c, _)| *c == c_name)
+            .map(|(_, i)| *i)
+            .expect("known builtin");
+        if let Some(f) = self.module.function_by_name(intr_name) {
+            return Ok(f);
+        }
+        let int = self.module.types_mut().int();
+        let ulong = self.module.types_mut().ulong();
+        let sbyte = self.module.types_mut().sbyte();
+        let sbp = self.module.types_mut().pointer_to(sbyte);
+        let void = self.module.types_mut().void();
+        let (ret, params) = match c_name {
+            "putchar" => (int, vec![int]),
+            "getchar" => (int, vec![]),
+            "malloc" => (sbp, vec![ulong]),
+            "free" => (void, vec![sbp]),
+            "clock" => (ulong, vec![]),
+            _ => unreachable!(),
+        };
+        Ok(self.module.add_function(intr_name, ret, params))
+    }
+
+    fn emit_function(
+        &mut self,
+        name: &str,
+        ret: &CType,
+        params: &[(CType, String)],
+        body: &[Stmt],
+    ) -> Result<()> {
+        let fid = self.fn_sigs[name].2;
+        let mut fg = FnGen {
+            cx: self,
+            fid,
+            ret: ret.clone(),
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+            reachable: true,
+            current: None,
+        };
+        fg.emit(params, body)
+    }
+}
+
+/// What the builtin decay rule does to a type in rvalue/parameter
+/// position.
+fn decay(ty: CType) -> CType {
+    match ty {
+        CType::Array(elem, _) => CType::Ptr(elem),
+        other => other,
+    }
+}
+
+#[derive(Clone)]
+struct Lv {
+    ptr: ValueId,
+    ty: CType,
+}
+
+#[derive(Clone)]
+struct Rv {
+    val: ValueId,
+    ty: CType,
+}
+
+struct FnGen<'c> {
+    cx: &'c mut Cx,
+    fid: FuncId,
+    ret: CType,
+    scopes: Vec<HashMap<String, Lv>>,
+    loops: Vec<(BlockId, BlockId)>, // (break target, continue target)
+    reachable: bool,
+    current: Option<BlockId>,
+}
+
+impl<'c> FnGen<'c> {
+    fn b(&mut self) -> FunctionBuilder<'_> {
+        let mut b = FunctionBuilder::new(&mut self.cx.module, self.fid);
+        if let Some(cur) = self.current {
+            b.switch_to(cur);
+        }
+        b
+    }
+
+    fn switch_to(&mut self, block: BlockId) {
+        self.current = Some(block);
+        self.reachable = true;
+    }
+
+    fn emit(&mut self, params: &[(CType, String)], body: &[Stmt]) -> Result<()> {
+        let entry = self.b().block("entry");
+        self.switch_to(entry);
+        // home each parameter in an alloca so it is addressable
+        let args = self.cx.module.function(self.fid).args().to_vec();
+        for ((pty, pname), arg) in params.iter().zip(args) {
+            let cty = decay(pty.clone());
+            let lty = self.cx.ty(&cty)?;
+            let mut b = self.b();
+            let slot = b.alloca(lty);
+            b.store(arg, slot);
+            b.name_value(slot, &format!("{pname}.addr"));
+            self.scopes
+                .last_mut()
+                .expect("scope")
+                .insert(pname.clone(), Lv { ptr: slot, ty: cty });
+        }
+        for stmt in body {
+            self.stmt(stmt)?;
+        }
+        //終: make sure every block is terminated
+        self.finish_function()?;
+        Ok(())
+    }
+
+    fn finish_function(&mut self) -> Result<()> {
+        let ret = self.ret.clone();
+        let blocks = self.cx.module.function(self.fid).block_order().to_vec();
+        for block in blocks {
+            let needs_term = {
+                let f = self.cx.module.function(self.fid);
+                f.terminator(block).is_none()
+            };
+            if needs_term {
+                self.current = Some(block);
+                if matches!(ret, CType::Void) {
+                    self.b().ret(None);
+                } else {
+                    let lty = self.cx.ty(&ret)?;
+                    let mut b = self.b();
+                    let u = b.undef(lty);
+                    b.ret(Some(u));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<Lv> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(lv) = scope.get(name) {
+                return Some(lv.clone());
+            }
+        }
+        None
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self, s: &Stmt) -> Result<()> {
+        if !self.reachable {
+            return Ok(()); // dead code after return/break/continue
+        }
+        match s {
+            Stmt::Block(body) => {
+                self.scopes.push(HashMap::new());
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl { ty, name, init } => {
+                let lty = self.cx.ty(ty)?;
+                let slot = {
+                    let mut b = self.b();
+                    let slot = b.alloca(lty);
+                    b.name_value(slot, &format!("{name}.addr"));
+                    slot
+                };
+                self.scopes.last_mut().expect("scope").insert(
+                    name.clone(),
+                    Lv {
+                        ptr: slot,
+                        ty: ty.clone(),
+                    },
+                );
+                if let Some(e) = init {
+                    let rv = self.rvalue(e)?;
+                    let rv = self.cast_to(rv, ty)?;
+                    self.b().store(rv.val, slot);
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.rvalue(e)?;
+                Ok(())
+            }
+            Stmt::If(c, then, els) => {
+                let cond = self.condition(c)?;
+                let then_bb = self.b().block("if.then");
+                let else_bb = self.b().block("if.else");
+                let join_bb = self.b().block("if.end");
+                self.b().cond_br(cond, then_bb, else_bb);
+                self.switch_to(then_bb);
+                self.stmt(then)?;
+                if self.reachable {
+                    self.b().br(join_bb);
+                }
+                self.switch_to(else_bb);
+                if let Some(e) = els {
+                    self.stmt(e)?;
+                }
+                if self.reachable {
+                    self.b().br(join_bb);
+                }
+                self.switch_to(join_bb);
+                Ok(())
+            }
+            Stmt::While(c, body) => {
+                let header = self.b().block("while.cond");
+                let body_bb = self.b().block("while.body");
+                let exit = self.b().block("while.end");
+                self.b().br(header);
+                self.switch_to(header);
+                let cond = self.condition(c)?;
+                self.b().cond_br(cond, body_bb, exit);
+                self.switch_to(body_bb);
+                self.loops.push((exit, header));
+                self.stmt(body)?;
+                self.loops.pop();
+                if self.reachable {
+                    self.b().br(header);
+                }
+                self.switch_to(exit);
+                Ok(())
+            }
+            Stmt::For(init, cond, step, body) => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let header = self.b().block("for.cond");
+                let body_bb = self.b().block("for.body");
+                let step_bb = self.b().block("for.step");
+                let exit = self.b().block("for.end");
+                self.b().br(header);
+                self.switch_to(header);
+                match cond {
+                    Some(c) => {
+                        let cv = self.condition(c)?;
+                        self.b().cond_br(cv, body_bb, exit);
+                    }
+                    None => self.b().br(body_bb),
+                }
+                self.switch_to(body_bb);
+                self.loops.push((exit, step_bb));
+                self.stmt(body)?;
+                self.loops.pop();
+                if self.reachable {
+                    self.b().br(step_bb);
+                }
+                self.switch_to(step_bb);
+                if let Some(st) = step {
+                    self.rvalue(st)?;
+                }
+                self.b().br(header);
+                self.switch_to(exit);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(v) => {
+                match v {
+                    Some(e) => {
+                        let rv = self.rvalue(e)?;
+                        let ret = self.ret.clone();
+                        let rv = self.cast_to(rv, &ret)?;
+                        self.b().ret(Some(rv.val));
+                    }
+                    None => self.b().ret(None),
+                }
+                self.reachable = false;
+                Ok(())
+            }
+            Stmt::Break => {
+                let Some(&(exit, _)) = self.loops.last() else {
+                    return err("break outside a loop");
+                };
+                self.b().br(exit);
+                self.reachable = false;
+                Ok(())
+            }
+            Stmt::Continue => {
+                let Some(&(_, cont)) = self.loops.last() else {
+                    return err("continue outside a loop");
+                };
+                self.b().br(cont);
+                self.reachable = false;
+                Ok(())
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    /// Evaluates `e` and converts to an LLVA `bool`.
+    fn condition(&mut self, e: &Expr) -> Result<ValueId> {
+        let rv = self.rvalue(e)?;
+        let lty = self.cx.ty(&rv.ty)?;
+        let mut b = self.b();
+        let zero = if rv.ty.is_float() {
+            b.fconst(lty, 0.0)
+        } else if rv.ty.is_pointer_like() {
+            b.null(lty)
+        } else {
+            b.iconst(lty, 0)
+        };
+        Ok(b.setne(rv.val, zero))
+    }
+
+    fn lvalue(&mut self, e: &Expr) -> Result<Lv> {
+        match e {
+            Expr::Ident(name) => {
+                if let Some(lv) = self.lookup(name) {
+                    return Ok(lv);
+                }
+                if let Some(gty) = self.cx.global_tys.get(name).cloned() {
+                    let g = self
+                        .cx
+                        .module
+                        .global_by_name(name)
+                        .expect("registered global");
+                    let ptr = self.b().global_addr(g);
+                    return Ok(Lv { ptr, ty: gty });
+                }
+                err(format!("unknown variable '{name}'"))
+            }
+            Expr::Un(UnOp::Deref, inner) => {
+                let rv = self.rvalue(inner)?;
+                let CType::Ptr(t) = rv.ty else {
+                    return err("dereference of non-pointer");
+                };
+                Ok(Lv {
+                    ptr: rv.val,
+                    ty: *t,
+                })
+            }
+            Expr::Index(base, idx) => {
+                let base = self.rvalue(base)?; // arrays decay here
+                let CType::Ptr(elem) = base.ty.clone() else {
+                    return err(format!("indexing non-pointer {}", base.ty));
+                };
+                let idx = self.rvalue(idx)?;
+                let idx = self.cast_to(idx, &CType::Long)?;
+                let ptr = self.b().gep(base.val, vec![idx.val]);
+                Ok(Lv {
+                    ptr,
+                    ty: *elem,
+                })
+            }
+            Expr::Member(base, field) => {
+                let lv = self.lvalue(base)?;
+                self.field_ptr(lv, field)
+            }
+            Expr::Arrow(base, field) => {
+                let rv = self.rvalue(base)?;
+                let CType::Ptr(inner) = rv.ty.clone() else {
+                    return err("-> on non-pointer");
+                };
+                self.field_ptr(
+                    Lv {
+                        ptr: rv.val,
+                        ty: *inner,
+                    },
+                    field,
+                )
+            }
+            other => err(format!("expression is not an lvalue: {other:?}")),
+        }
+    }
+
+    fn field_ptr(&mut self, lv: Lv, field: &str) -> Result<Lv> {
+        let CType::Struct(sname) = &lv.ty else {
+            return err(format!("member access on non-struct {}", lv.ty));
+        };
+        let info = self
+            .cx
+            .structs
+            .get(sname)
+            .ok_or_else(|| CompileError {
+                message: format!("unknown struct '{sname}'"),
+            })?;
+        let Some(pos) = info.fields.iter().position(|(n, _)| n == field) else {
+            return err(format!("struct {sname} has no field '{field}'"));
+        };
+        let fty = info.fields[pos].1.clone();
+        let ptr = self
+            .b()
+            .gep_const(lv.ptr, &[(0, false), (pos as i64, true)]);
+        Ok(Lv { ptr, ty: fty })
+    }
+
+    /// Loads an lvalue (with array decay).
+    fn load_lv(&mut self, lv: Lv) -> Result<Rv> {
+        if let CType::Array(elem, _) = &lv.ty {
+            // decay: &a[0]
+            let ptr = self.b().gep_const(lv.ptr, &[(0, false), (0, false)]);
+            return Ok(Rv {
+                val: ptr,
+                ty: CType::Ptr(elem.clone()),
+            });
+        }
+        if matches!(lv.ty, CType::Struct(_)) {
+            return err("struct values cannot be loaded whole (use pointers)");
+        }
+        let val = self.b().load(lv.ptr);
+        Ok(Rv {
+            val,
+            ty: lv.ty,
+        })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn rvalue(&mut self, e: &Expr) -> Result<Rv> {
+        match e {
+            Expr::Int(v) => {
+                let (cty, lty) = if i32::try_from(*v).is_ok() {
+                    (CType::Int, self.cx.module.types_mut().int())
+                } else {
+                    (CType::Long, self.cx.module.types_mut().long())
+                };
+                let val = self.b().iconst(lty, *v);
+                Ok(Rv { val, ty: cty })
+            }
+            Expr::Float(v) => {
+                let lty = self.cx.module.types_mut().double();
+                let val = self.b().fconst(lty, *v);
+                Ok(Rv {
+                    val,
+                    ty: CType::Double,
+                })
+            }
+            Expr::Char(c) => {
+                let lty = self.cx.module.types_mut().sbyte();
+                let val = self.b().iconst(lty, i64::from(*c));
+                Ok(Rv {
+                    val,
+                    ty: CType::Char,
+                })
+            }
+            Expr::Str(s) => {
+                let g = self.cx.string_global(s)?;
+                let base = self.b().global_addr(g);
+                let ptr = self.b().gep_const(base, &[(0, false), (0, false)]);
+                Ok(Rv {
+                    val: ptr,
+                    ty: CType::Ptr(Box::new(CType::Char)),
+                })
+            }
+            Expr::Ident(name) => {
+                if self.lookup(name).is_none() && !self.cx.global_tys.contains_key(name) {
+                    // function reference?
+                    if let Some((ret, params, fid)) = self.cx.fn_sigs.get(name).cloned() {
+                        let val = self.b().func_addr(fid);
+                        return Ok(Rv {
+                            val,
+                            ty: CType::FnPtr(Box::new(ret), params),
+                        });
+                    }
+                }
+                let lv = self.lvalue(e)?;
+                self.load_lv(lv)
+            }
+            Expr::Un(UnOp::Addr, inner) => {
+                let lv = self.lvalue(inner)?;
+                // &array yields a pointer to the element type in minic
+                let ty = match lv.ty {
+                    CType::Array(elem, _) => {
+                        let ptr = self.b().gep_const(lv.ptr, &[(0, false), (0, false)]);
+                        return Ok(Rv {
+                            val: ptr,
+                            ty: CType::Ptr(elem),
+                        });
+                    }
+                    other => CType::Ptr(Box::new(other)),
+                };
+                Ok(Rv { val: lv.ptr, ty })
+            }
+            Expr::Un(UnOp::Deref, _) => {
+                let lv = self.lvalue(e)?;
+                self.load_lv(lv)
+            }
+            Expr::Un(UnOp::Neg, inner) => {
+                let rv = self.rvalue(inner)?;
+                let lty = self.cx.ty(&rv.ty)?;
+                let mut b = self.b();
+                let zero = if rv.ty.is_float() {
+                    b.fconst(lty, 0.0)
+                } else {
+                    b.iconst(lty, 0)
+                };
+                let val = b.sub(zero, rv.val);
+                Ok(Rv { val, ty: rv.ty })
+            }
+            Expr::Un(UnOp::Not, inner) => {
+                let c = self.condition(inner)?;
+                let mut b = self.b();
+                let t = b.bconst(false);
+                let val = b.seteq(c, t);
+                let int = b.module().types_mut().int();
+                let val = b.cast(val, int);
+                Ok(Rv {
+                    val,
+                    ty: CType::Int,
+                })
+            }
+            Expr::Un(UnOp::BitNot, inner) => {
+                let rv = self.rvalue(inner)?;
+                if !rv.ty.is_integer() {
+                    return err("~ requires an integer");
+                }
+                let lty = self.cx.ty(&rv.ty)?;
+                let mut b = self.b();
+                let ones = b.iconst(lty, -1);
+                let val = b.xor(rv.val, ones);
+                Ok(Rv { val, ty: rv.ty })
+            }
+            Expr::Assign(lhs, rhs) => {
+                let lv = self.lvalue(lhs)?;
+                let rv = self.rvalue(rhs)?;
+                let rv = self.cast_to(rv, &lv.ty)?;
+                self.b().store(rv.val, lv.ptr);
+                Ok(rv)
+            }
+            Expr::Bin(op, a, b) => self.binary(*op, a, b),
+            Expr::Call(callee, args) => self.call(callee, args),
+            Expr::Index(..) | Expr::Member(..) | Expr::Arrow(..) => {
+                let lv = self.lvalue(e)?;
+                self.load_lv(lv)
+            }
+            Expr::Cast(ty, inner) => {
+                let rv = self.rvalue(inner)?;
+                self.cast_to(rv, ty)
+            }
+            Expr::Sizeof(ty) => {
+                let lty = self.cx.ty(ty)?;
+                let size = self
+                    .cx
+                    .module
+                    .target()
+                    .size_of(self.cx.module.types(), lty);
+                let ulong = self.cx.module.types_mut().ulong();
+                let val = self.b().iconst(ulong, size as i64);
+                Ok(Rv {
+                    val,
+                    ty: CType::Ulong,
+                })
+            }
+            Expr::Cond(c, t, f) => {
+                let cond = self.condition(c)?;
+                let then_bb = self.b().block("sel.then");
+                let else_bb = self.b().block("sel.else");
+                let join = self.b().block("sel.end");
+                self.b().cond_br(cond, then_bb, else_bb);
+                self.switch_to(then_bb);
+                let tv = self.rvalue(t)?;
+                // evaluate both to a common type
+                self.switch_to(else_bb);
+                let fv = self.rvalue(f)?;
+                let common = promote_types(&tv.ty, &fv.ty)
+                    .unwrap_or_else(|| tv.ty.clone());
+                // cast in each arm, then merge
+                self.switch_to(then_bb);
+                // NOTE: the cast instructions must live in their own arms;
+                // we re-emit the casts at the end of each arm.
+                let tvc = self.cast_to(tv, &common)?;
+                let then_end = self.current.expect("current");
+                self.b().br(join);
+                self.switch_to(else_bb);
+                let fvc = self.cast_to(fv, &common)?;
+                let else_end = self.current.expect("current");
+                self.b().br(join);
+                self.switch_to(join);
+                let lty = self.cx.ty(&common)?;
+                let val = self
+                    .b()
+                    .phi(lty, vec![(tvc.val, then_end), (fvc.val, else_end)]);
+                Ok(Rv { val, ty: common })
+            }
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<Rv> {
+        // short-circuit logical operators
+        if matches!(op, BinOp::LAnd | BinOp::LOr) {
+            let lhs = self.condition(a)?;
+            let rhs_bb = self.b().block("sc.rhs");
+            let join = self.b().block("sc.end");
+            let lhs_end = self.current.expect("current");
+            if op == BinOp::LAnd {
+                self.b().cond_br(lhs, rhs_bb, join);
+            } else {
+                self.b().cond_br(lhs, join, rhs_bb);
+            }
+            self.switch_to(rhs_bb);
+            let rhs = self.condition(b)?;
+            let rhs_end = self.current.expect("current");
+            self.b().br(join);
+            self.switch_to(join);
+            let mut bb = self.b();
+            let boolt = bb.module().types_mut().bool();
+            let short_val = bb.bconst(op == BinOp::LOr);
+            let val = bb.phi(boolt, vec![(short_val, lhs_end), (rhs, rhs_end)]);
+            let int = bb.module().types_mut().int();
+            let val = bb.cast(val, int);
+            return Ok(Rv {
+                val,
+                ty: CType::Int,
+            });
+        }
+
+        let lhs = self.rvalue(a)?;
+        let rhs = self.rvalue(b)?;
+
+        // pointer arithmetic
+        if let CType::Ptr(elem) = lhs.ty.clone() {
+            if matches!(op, BinOp::Add | BinOp::Sub) && rhs.ty.is_integer() {
+                let idx = self.cast_to(rhs, &CType::Long)?;
+                let mut bb = self.b();
+                let idx_val = if op == BinOp::Sub {
+                    let long = bb.module().types_mut().long();
+                    let zero = bb.iconst(long, 0);
+                    bb.sub(zero, idx.val)
+                } else {
+                    idx.val
+                };
+                let val = bb.gep(lhs.val, vec![idx_val]);
+                return Ok(Rv {
+                    val,
+                    ty: CType::Ptr(elem),
+                });
+            }
+            if op == BinOp::Sub && matches!(rhs.ty, CType::Ptr(_)) {
+                // pointer difference in elements
+                let esize = {
+                    let ety = self.cx.ty(&elem)?;
+                    self.cx.module.target().size_of(self.cx.module.types(), ety)
+                };
+                let long = self.cx.module.types_mut().long();
+                let mut bb = self.b();
+                let l = bb.cast(lhs.val, long);
+                let r = bb.cast(rhs.val, long);
+                let d = bb.sub(l, r);
+                let sz = bb.iconst(long, esize as i64);
+                let val = bb.div(d, sz);
+                return Ok(Rv {
+                    val,
+                    ty: CType::Long,
+                });
+            }
+            if op.is_comparison() && rhs.ty.is_pointer_like() {
+                return self.compare(op, lhs, rhs);
+            }
+            if op.is_comparison() && matches!(b, Expr::Int(0)) {
+                let null = Rv {
+                    val: self.null_of(&lhs.ty)?,
+                    ty: lhs.ty.clone(),
+                };
+                return self.compare(op, lhs, null);
+            }
+            return err(format!("invalid pointer operation {op:?}"));
+        }
+        if matches!(rhs.ty, CType::Ptr(_)) {
+            if matches!(op, BinOp::Add) && lhs.ty.is_integer() {
+                return self.binary_swapped_ptr(lhs, rhs);
+            }
+            if op.is_comparison() && matches!(a, Expr::Int(0)) {
+                let null = Rv {
+                    val: self.null_of(&rhs.ty)?,
+                    ty: rhs.ty.clone(),
+                };
+                return self.compare(op, null, rhs);
+            }
+            return err("invalid pointer operation");
+        }
+
+        // usual arithmetic conversions
+        let common = promote_types(&lhs.ty, &rhs.ty).ok_or_else(|| CompileError {
+            message: format!("incompatible operand types {} and {}", lhs.ty, rhs.ty),
+        })?;
+        let lhs = self.cast_to(lhs, &common)?;
+        let rhs = self.cast_to(rhs, &common)?;
+        if op.is_comparison() {
+            return self.compare(op, lhs, rhs);
+        }
+        let mut bb = self.b();
+        let val = match op {
+            BinOp::Add => bb.add(lhs.val, rhs.val),
+            BinOp::Sub => bb.sub(lhs.val, rhs.val),
+            BinOp::Mul => bb.mul(lhs.val, rhs.val),
+            BinOp::Div => bb.div(lhs.val, rhs.val),
+            BinOp::Rem => bb.rem(lhs.val, rhs.val),
+            BinOp::And => bb.and(lhs.val, rhs.val),
+            BinOp::Or => bb.or(lhs.val, rhs.val),
+            BinOp::Xor => bb.xor(lhs.val, rhs.val),
+            BinOp::Shl => bb.shl(lhs.val, rhs.val),
+            BinOp::Shr => bb.shr(lhs.val, rhs.val),
+            _ => unreachable!(),
+        };
+        Ok(Rv { val, ty: common })
+    }
+
+    fn binary_swapped_ptr(&mut self, idx: Rv, ptr: Rv) -> Result<Rv> {
+        let CType::Ptr(elem) = ptr.ty.clone() else {
+            unreachable!()
+        };
+        let idx = self.cast_to(idx, &CType::Long)?;
+        let val = self.b().gep(ptr.val, vec![idx.val]);
+        Ok(Rv {
+            val,
+            ty: CType::Ptr(elem),
+        })
+    }
+
+    fn null_of(&mut self, ty: &CType) -> Result<ValueId> {
+        let lty = self.cx.ty(ty)?;
+        Ok(self.b().null(lty))
+    }
+
+    fn compare(&mut self, op: BinOp, lhs: Rv, rhs: Rv) -> Result<Rv> {
+        let mut bb = self.b();
+        let val = match op {
+            BinOp::Eq => bb.seteq(lhs.val, rhs.val),
+            BinOp::Ne => bb.setne(lhs.val, rhs.val),
+            BinOp::Lt => bb.setlt(lhs.val, rhs.val),
+            BinOp::Gt => bb.setgt(lhs.val, rhs.val),
+            BinOp::Le => bb.setle(lhs.val, rhs.val),
+            BinOp::Ge => bb.setge(lhs.val, rhs.val),
+            _ => unreachable!(),
+        };
+        let int = bb.module().types_mut().int();
+        let val = bb.cast(val, int);
+        Ok(Rv {
+            val,
+            ty: CType::Int,
+        })
+    }
+
+    fn call(&mut self, callee: &Expr, args: &[Expr]) -> Result<Rv> {
+        // builtin?
+        if let Expr::Ident(name) = callee {
+            if BUILTINS.iter().any(|(c, _)| c == name) {
+                return self.call_builtin(name, args);
+            }
+            if let Some((ret, params, fid)) = self.cx.fn_sigs.get(name).cloned() {
+                if args.len() != params.len() {
+                    return err(format!(
+                        "call to {name} passes {} args, expected {}",
+                        args.len(),
+                        params.len()
+                    ));
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for (arg, pty) in args.iter().zip(&params) {
+                    let rv = self.rvalue(arg)?;
+                    let rv = self.cast_to(rv, pty)?;
+                    vals.push(rv.val);
+                }
+                let out = self.b().call(fid, vals);
+                return Ok(Rv {
+                    val: out.unwrap_or_else(|| {
+                        // void call used in expression position: dummy 0
+                        let int = self.cx.module.types_mut().int();
+                        self.b().iconst(int, 0)
+                    }),
+                    ty: if matches!(ret, CType::Void) {
+                        CType::Int
+                    } else {
+                        ret
+                    },
+                });
+            }
+        }
+        // indirect call through a function-pointer value
+        let f = self.rvalue(callee)?;
+        let CType::FnPtr(ret, params) = f.ty.clone() else {
+            return err(format!("call of non-function {}", f.ty));
+        };
+        if args.len() != params.len() {
+            return err("indirect call arity mismatch");
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        for (arg, pty) in args.iter().zip(&params) {
+            let rv = self.rvalue(arg)?;
+            let rv = self.cast_to(rv, pty)?;
+            vals.push(rv.val);
+        }
+        let rty = self.cx.ty(&ret)?;
+        let out = self.b().call_indirect(f.val, rty, vals);
+        Ok(Rv {
+            val: out.unwrap_or_else(|| {
+                let int = self.cx.module.types_mut().int();
+                self.b().iconst(int, 0)
+            }),
+            ty: if matches!(*ret, CType::Void) {
+                CType::Int
+            } else {
+                *ret
+            },
+        })
+    }
+
+    fn call_builtin(&mut self, name: &str, args: &[Expr]) -> Result<Rv> {
+        let fid = self.cx.intrinsic_fid(name)?;
+        let (ret_cty, param_ctys): (CType, Vec<CType>) = match name {
+            "putchar" => (CType::Int, vec![CType::Int]),
+            "getchar" => (CType::Int, vec![]),
+            "malloc" => (CType::Ptr(Box::new(CType::Char)), vec![CType::Ulong]),
+            "free" => (CType::Int, vec![CType::Ptr(Box::new(CType::Char))]),
+            "clock" => (CType::Ulong, vec![]),
+            _ => unreachable!(),
+        };
+        if args.len() != param_ctys.len() {
+            return err(format!("{name} takes {} argument(s)", param_ctys.len()));
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        for (arg, pty) in args.iter().zip(&param_ctys) {
+            let rv = self.rvalue(arg)?;
+            let rv = self.cast_to(rv, pty)?;
+            vals.push(rv.val);
+        }
+        let out = self.b().call(fid, vals);
+        Ok(Rv {
+            val: out.unwrap_or_else(|| {
+                let int = self.cx.module.types_mut().int();
+                self.b().iconst(int, 0)
+            }),
+            ty: ret_cty,
+        })
+    }
+
+    fn cast_to(&mut self, rv: Rv, to: &CType) -> Result<Rv> {
+        let to = decay(to.clone());
+        if rv.ty == to {
+            return Ok(rv);
+        }
+        let lty = self.cx.ty(&to)?;
+        let val = self.b().cast(rv.val, lty);
+        Ok(Rv { val, ty: to })
+    }
+}
+
+/// The usual arithmetic conversions: promote to the higher-ranked type.
+fn promote_types(a: &CType, b: &CType) -> Option<CType> {
+    if a == b {
+        return Some(a.clone());
+    }
+    if a.is_integer() || a.is_float() {
+        if !(b.is_integer() || b.is_float()) {
+            return None;
+        }
+        let (ra, rb) = (a.rank(), b.rank());
+        return Some(if ra >= rb { a.clone() } else { b.clone() });
+    }
+    None
+}

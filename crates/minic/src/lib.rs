@@ -1,0 +1,61 @@
+//! # llva-minic — a small C-like front end for LLVA
+//!
+//! The reproduction's substitute for the paper's GCC-based C front end
+//! (see DESIGN.md, substitution #2). minic supports functions, structs,
+//! pointers, arrays, the usual statements and operators, short-circuit
+//! logic, function pointers, and a libc-flavored set of builtins
+//! (`putchar`, `getchar`, `malloc`, `free`, `clock`) that lower to the
+//! `llva.*` intrinsics of §3.5.
+//!
+//! # Quick start
+//!
+//! ```
+//! let module = llva_minic::compile(
+//!     "int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }",
+//!     "sum",
+//!     llva_core::layout::TargetConfig::default(),
+//! ).expect("compiles");
+//! llva_core::verifier::verify_module(&module).expect("verifies");
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod parser;
+
+pub use ast::{CType, Expr, Item, Program, Stmt};
+pub use codegen::{compile_program, CompileError};
+pub use parser::{parse, ParseError};
+
+use llva_core::layout::TargetConfig;
+use llva_core::module::Module;
+
+/// Errors from either phase of compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Semantic/lowering error.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse(e) => e.fmt(f),
+            Error::Compile(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compiles minic source to an LLVA module.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] for syntax errors and [`Error::Compile`]
+/// for semantic errors.
+pub fn compile(src: &str, name: &str, target: TargetConfig) -> Result<Module, Error> {
+    let program = parse(src).map_err(Error::Parse)?;
+    compile_program(&program, name, target).map_err(Error::Compile)
+}

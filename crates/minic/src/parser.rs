@@ -1,0 +1,900 @@
+//! The minic lexer and parser.
+
+use crate::ast::*;
+use std::fmt;
+
+/// A parse failure with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "minic parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Char(u8),
+    Str(Vec<u8>),
+    Punct(&'static str),
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Sp {
+    tok: Tok,
+    line: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    // longest first
+    "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+];
+
+fn lex(src: &str) -> Result<Vec<Sp>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // comments
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 2;
+                continue;
+            }
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Sp {
+                tok: Tok::Ident(src[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'.' || bytes[i] == b'_')
+            {
+                if bytes[i] == b'.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text = src[start..i].replace('_', "");
+            let tok = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))
+            {
+                Tok::Int(i64::from_str_radix(hex, 16).map_err(|_| ParseError {
+                    line,
+                    message: format!("bad hex literal {text}"),
+                })?)
+            } else if is_float {
+                Tok::Float(text.parse().map_err(|_| ParseError {
+                    line,
+                    message: format!("bad float literal {text}"),
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| ParseError {
+                    line,
+                    message: format!("bad integer literal {text}"),
+                })?)
+            };
+            toks.push(Sp { tok, line });
+            continue;
+        }
+        if c == '\'' {
+            i += 1;
+            let v = if bytes[i] == b'\\' {
+                i += 1;
+                let e = escape(bytes[i], line)?;
+                i += 1;
+                e
+            } else {
+                let v = bytes[i];
+                i += 1;
+                v
+            };
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(ParseError {
+                    line,
+                    message: "unterminated char literal".into(),
+                });
+            }
+            i += 1;
+            toks.push(Sp {
+                tok: Tok::Char(v),
+                line,
+            });
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            let mut s = Vec::new();
+            while i < bytes.len() && bytes[i] != b'"' {
+                if bytes[i] == b'\\' {
+                    i += 1;
+                    s.push(escape(bytes[i], line)?);
+                } else {
+                    s.push(bytes[i]);
+                }
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(ParseError {
+                    line,
+                    message: "unterminated string literal".into(),
+                });
+            }
+            i += 1;
+            toks.push(Sp {
+                tok: Tok::Str(s),
+                line,
+            });
+            continue;
+        }
+        // punctuation
+        let rest = &src[i..];
+        let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) else {
+            return Err(ParseError {
+                line,
+                message: format!("unexpected character '{c}'"),
+            });
+        };
+        toks.push(Sp {
+            tok: Tok::Punct(p),
+            line,
+        });
+        i += p.len();
+    }
+    toks.push(Sp {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+fn escape(b: u8, line: usize) -> Result<u8> {
+    Ok(match b {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        other => {
+            return Err(ParseError {
+                line,
+                message: format!("unknown escape \\{}", other as char),
+            })
+        }
+    })
+}
+
+/// Parses a minic translation unit.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its source line.
+pub fn parse(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut items = Vec::new();
+    while p.peek() != &Tok::Eof {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+struct Parser {
+    toks: Vec<Sp>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn eat(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(x) if *x == p) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: &str) -> Result<()> {
+        if self.eat(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{p}', found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                line: self.line(),
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if matches!(
+            s.as_str(),
+            "void" | "char" | "int" | "uint" | "long" | "ulong" | "float" | "double" | "struct"
+        ))
+    }
+
+    /// Parses a type prefix: base type + leading `*`s (array suffix is
+    /// handled at the declarator).
+    fn type_prefix(&mut self) -> Result<CType> {
+        let base = match self.next() {
+            Tok::Ident(s) => match s.as_str() {
+                "void" => CType::Void,
+                "char" => CType::Char,
+                "int" => CType::Int,
+                "uint" => CType::Uint,
+                "long" => CType::Long,
+                "ulong" => CType::Ulong,
+                "float" => CType::Float,
+                "double" => CType::Double,
+                "struct" => CType::Struct(self.ident()?),
+                other => {
+                    return Err(ParseError {
+                        line: self.line(),
+                        message: format!("unknown type '{other}'"),
+                    })
+                }
+            },
+            other => {
+                return Err(ParseError {
+                    line: self.line(),
+                    message: format!("expected type, found {other:?}"),
+                })
+            }
+        };
+        let mut ty = base;
+        loop {
+            if self.eat("*") {
+                ty = CType::Ptr(Box::new(ty));
+            } else if matches!(self.peek(), Tok::Punct("(")) && matches!(self.peek2(), Tok::Punct("*")) {
+                // function pointer: T (*)(params)
+                self.expect("(")?;
+                self.expect("*")?;
+                self.expect(")")?;
+                self.expect("(")?;
+                let mut params = Vec::new();
+                if !matches!(self.peek(), Tok::Punct(")")) {
+                    loop {
+                        params.push(self.type_prefix()?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect(")")?;
+                ty = CType::FnPtr(Box::new(ty), params);
+            } else {
+                break;
+            }
+        }
+        Ok(ty)
+    }
+
+    fn item(&mut self) -> Result<Item> {
+        // struct definition?
+        if matches!(self.peek(), Tok::Ident(s) if s == "struct")
+            && matches!(self.peek2(), Tok::Ident(_))
+            && matches!(
+                self.toks.get(self.pos + 2).map(|s| &s.tok),
+                Some(Tok::Punct("{"))
+            )
+        {
+            self.next(); // struct
+            let name = self.ident()?;
+            self.expect("{")?;
+            let mut fields = Vec::new();
+            while !self.eat("}") {
+                let ty = self.type_prefix()?;
+                let fname = self.ident()?;
+                let ty = self.array_suffix(ty)?;
+                self.expect(";")?;
+                fields.push((ty, fname));
+            }
+            self.expect(";")?;
+            return Ok(Item::StructDef { name, fields });
+        }
+        let ty = self.type_prefix()?;
+        let name = self.ident()?;
+        if self.eat("(") {
+            // function
+            let mut params = Vec::new();
+            if !matches!(self.peek(), Tok::Punct(")")) {
+                loop {
+                    let pty = self.type_prefix()?;
+                    let pname = self.ident()?;
+                    params.push((pty, pname));
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect(")")?;
+            self.expect("{")?;
+            let mut body = Vec::new();
+            while !self.eat("}") {
+                body.push(self.stmt()?);
+            }
+            Ok(Item::Func {
+                ret: ty,
+                name,
+                params,
+                body,
+            })
+        } else {
+            let ty = self.array_suffix(ty)?;
+            let init = if self.eat("=") {
+                Some(self.global_init()?)
+            } else {
+                None
+            };
+            self.expect(";")?;
+            Ok(Item::Global { ty, name, init })
+        }
+    }
+
+    fn array_suffix(&mut self, mut ty: CType) -> Result<CType> {
+        let mut dims = Vec::new();
+        while self.eat("[") {
+            let n = match self.next() {
+                Tok::Int(n) if n >= 0 => n as u64,
+                other => {
+                    return Err(ParseError {
+                        line: self.line(),
+                        message: format!("expected array length, found {other:?}"),
+                    })
+                }
+            };
+            self.expect("]")?;
+            dims.push(n);
+        }
+        for &n in dims.iter().rev() {
+            ty = CType::Array(Box::new(ty), n);
+        }
+        Ok(ty)
+    }
+
+    fn global_init(&mut self) -> Result<GlobalInit> {
+        if self.eat("{") {
+            let mut items = Vec::new();
+            if !matches!(self.peek(), Tok::Punct("}")) {
+                loop {
+                    items.push(self.global_init()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect("}")?;
+            return Ok(GlobalInit::List(items));
+        }
+        if let Tok::Str(s) = self.peek().clone() {
+            self.next();
+            return Ok(GlobalInit::Str(s));
+        }
+        Ok(GlobalInit::Scalar(self.expr()?))
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        if self.eat("{") {
+            let mut body = Vec::new();
+            while !self.eat("}") {
+                body.push(self.stmt()?);
+            }
+            return Ok(Stmt::Block(body));
+        }
+        if let Tok::Ident(word) = self.peek().clone() {
+            match word.as_str() {
+                "if" => {
+                    self.next();
+                    self.expect("(")?;
+                    let c = self.expr()?;
+                    self.expect(")")?;
+                    let then = Box::new(self.stmt()?);
+                    let els = if matches!(self.peek(), Tok::Ident(w) if w == "else") {
+                        self.next();
+                        Some(Box::new(self.stmt()?))
+                    } else {
+                        None
+                    };
+                    return Ok(Stmt::If(c, then, els));
+                }
+                "while" => {
+                    self.next();
+                    self.expect("(")?;
+                    let c = self.expr()?;
+                    self.expect(")")?;
+                    return Ok(Stmt::While(c, Box::new(self.stmt()?)));
+                }
+                "for" => {
+                    self.next();
+                    self.expect("(")?;
+                    let init = if self.eat(";") {
+                        None
+                    } else {
+                        let s = if self.is_type_start() {
+                            self.decl_stmt()?
+                        } else {
+                            let e = self.expr()?;
+                            self.expect(";")?;
+                            Stmt::Expr(e)
+                        };
+                        Some(Box::new(s))
+                    };
+                    let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect(";")?;
+                    let step = if matches!(self.peek(), Tok::Punct(")")) {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect(")")?;
+                    return Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)));
+                }
+                "return" => {
+                    self.next();
+                    let v = if matches!(self.peek(), Tok::Punct(";")) {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect(";")?;
+                    return Ok(Stmt::Return(v));
+                }
+                "break" => {
+                    self.next();
+                    self.expect(";")?;
+                    return Ok(Stmt::Break);
+                }
+                "continue" => {
+                    self.next();
+                    self.expect(";")?;
+                    return Ok(Stmt::Continue);
+                }
+                _ => {}
+            }
+        }
+        if self.is_type_start() {
+            return self.decl_stmt();
+        }
+        let e = self.expr()?;
+        self.expect(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt> {
+        let ty = self.type_prefix()?;
+        let name = self.ident()?;
+        let ty = self.array_suffix(ty)?;
+        let init = if self.eat("=") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(";")?;
+        Ok(Stmt::Decl { ty, name, init })
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr> {
+        let lhs = self.cond_expr()?;
+        for (p, op) in [
+            ("+=", Some(BinOp::Add)),
+            ("-=", Some(BinOp::Sub)),
+            ("*=", Some(BinOp::Mul)),
+            ("/=", Some(BinOp::Div)),
+            ("%=", Some(BinOp::Rem)),
+            ("&=", Some(BinOp::And)),
+            ("|=", Some(BinOp::Or)),
+            ("^=", Some(BinOp::Xor)),
+            ("<<=", Some(BinOp::Shl)),
+            (">>=", Some(BinOp::Shr)),
+            ("=", None),
+        ] {
+            if matches!(self.peek(), Tok::Punct(x) if *x == p) {
+                self.next();
+                let rhs = self.assign_expr()?;
+                return Ok(match op {
+                    None => Expr::Assign(Box::new(lhs), Box::new(rhs)),
+                    Some(op) => Expr::Assign(
+                        Box::new(lhs.clone()),
+                        Box::new(Expr::Bin(op, Box::new(lhs), Box::new(rhs))),
+                    ),
+                });
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn cond_expr(&mut self) -> Result<Expr> {
+        let c = self.binary_expr(0)?;
+        if self.eat("?") {
+            let t = self.expr()?;
+            self.expect(":")?;
+            let e = self.cond_expr()?;
+            return Ok(Expr::Cond(Box::new(c), Box::new(t), Box::new(e)));
+        }
+        Ok(c)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Punct("||") => (BinOp::LOr, 1),
+                Tok::Punct("&&") => (BinOp::LAnd, 2),
+                Tok::Punct("|") => (BinOp::Or, 3),
+                Tok::Punct("^") => (BinOp::Xor, 4),
+                Tok::Punct("&") => (BinOp::And, 5),
+                Tok::Punct("==") => (BinOp::Eq, 6),
+                Tok::Punct("!=") => (BinOp::Ne, 6),
+                Tok::Punct("<") => (BinOp::Lt, 7),
+                Tok::Punct(">") => (BinOp::Gt, 7),
+                Tok::Punct("<=") => (BinOp::Le, 7),
+                Tok::Punct(">=") => (BinOp::Ge, 7),
+                Tok::Punct("<<") => (BinOp::Shl, 8),
+                Tok::Punct(">>") => (BinOp::Shr, 8),
+                Tok::Punct("+") => (BinOp::Add, 9),
+                Tok::Punct("-") => (BinOp::Sub, 9),
+                Tok::Punct("*") => (BinOp::Mul, 10),
+                Tok::Punct("/") => (BinOp::Div, 10),
+                Tok::Punct("%") => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.next();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        // prefix ++/--
+        if self.eat("++") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Assign(
+                Box::new(e.clone()),
+                Box::new(Expr::Bin(BinOp::Add, Box::new(e), Box::new(Expr::Int(1)))),
+            ));
+        }
+        if self.eat("--") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Assign(
+                Box::new(e.clone()),
+                Box::new(Expr::Bin(BinOp::Sub, Box::new(e), Box::new(Expr::Int(1)))),
+            ));
+        }
+        if self.eat("-") {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary_expr()?)));
+        }
+        if self.eat("!") {
+            return Ok(Expr::Un(UnOp::Not, Box::new(self.unary_expr()?)));
+        }
+        if self.eat("~") {
+            return Ok(Expr::Un(UnOp::BitNot, Box::new(self.unary_expr()?)));
+        }
+        if self.eat("*") {
+            return Ok(Expr::Un(UnOp::Deref, Box::new(self.unary_expr()?)));
+        }
+        if self.eat("&") {
+            return Ok(Expr::Un(UnOp::Addr, Box::new(self.unary_expr()?)));
+        }
+        // sizeof
+        if matches!(self.peek(), Tok::Ident(w) if w == "sizeof") {
+            self.next();
+            self.expect("(")?;
+            let ty = self.type_prefix()?;
+            self.expect(")")?;
+            return Ok(Expr::Sizeof(ty));
+        }
+        // cast: '(' type ')' unary
+        if matches!(self.peek(), Tok::Punct("(")) {
+            let save = self.pos;
+            self.next();
+            if self.is_type_start() {
+                if let Ok(ty) = self.type_prefix() {
+                    if self.eat(")") {
+                        let e = self.unary_expr()?;
+                        return Ok(Expr::Cast(ty, Box::new(e)));
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat("[") {
+                let idx = self.expr()?;
+                self.expect("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if self.eat(".") {
+                let f = self.ident()?;
+                e = Expr::Member(Box::new(e), f);
+            } else if self.eat("->") {
+                let f = self.ident()?;
+                e = Expr::Arrow(Box::new(e), f);
+            } else if self.eat("(") {
+                let mut args = Vec::new();
+                if !matches!(self.peek(), Tok::Punct(")")) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect(")")?;
+                e = Expr::Call(Box::new(e), args);
+            } else if self.eat("++") {
+                // postfix increment: (e += 1) - 1
+                e = Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(Expr::Assign(
+                        Box::new(e.clone()),
+                        Box::new(Expr::Bin(BinOp::Add, Box::new(e), Box::new(Expr::Int(1)))),
+                    )),
+                    Box::new(Expr::Int(1)),
+                );
+            } else if self.eat("--") {
+                e = Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Assign(
+                        Box::new(e.clone()),
+                        Box::new(Expr::Bin(BinOp::Sub, Box::new(e), Box::new(Expr::Int(1)))),
+                    )),
+                    Box::new(Expr::Int(1)),
+                );
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.next() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Char(v) => Ok(Expr::Char(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Ident(s) => Ok(Expr::Ident(s)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            other => Err(ParseError {
+                line: self.line(),
+                message: format!("expected expression, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let p = parse(
+            r#"
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+"#,
+        )
+        .expect("parses");
+        assert_eq!(p.items.len(), 1);
+        let Item::Func { name, params, body, .. } = &p.items[0] else {
+            panic!("expected function");
+        };
+        assert_eq!(name, "fib");
+        assert_eq!(params.len(), 1);
+        assert_eq!(body.len(), 2);
+    }
+
+    #[test]
+    fn parses_struct_and_globals() {
+        let p = parse(
+            r#"
+struct Node {
+    int value;
+    struct Node* next;
+};
+
+int table[4] = {1, 2, 3, 4};
+char* msg = "hi\n";
+double ratio = 2.5;
+"#,
+        )
+        .expect("parses");
+        assert_eq!(p.items.len(), 4);
+        assert!(matches!(&p.items[0], Item::StructDef { fields, .. } if fields.len() == 2));
+        assert!(matches!(
+            &p.items[1],
+            Item::Global { ty: CType::Array(_, 4), init: Some(GlobalInit::List(v)), .. } if v.len() == 4
+        ));
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        let p = parse("int f() { return 1 + 2 * 3 - 4 / 2; }").expect("parses");
+        let Item::Func { body, .. } = &p.items[0] else {
+            panic!()
+        };
+        let Stmt::Return(Some(e)) = &body[0] else {
+            panic!()
+        };
+        // (1 + (2*3)) - (4/2)
+        let Expr::Bin(BinOp::Sub, l, r) = e else {
+            panic!("top is sub: {e:?}")
+        };
+        assert!(matches!(**l, Expr::Bin(BinOp::Add, ..)));
+        assert!(matches!(**r, Expr::Bin(BinOp::Div, ..)));
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let p = parse("int f(int x) { x += 2; return x; }").expect("parses");
+        let Item::Func { body, .. } = &p.items[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &body[0],
+            Stmt::Expr(Expr::Assign(_, r)) if matches!(**r, Expr::Bin(BinOp::Add, ..))
+        ));
+    }
+
+    #[test]
+    fn for_loops_and_increments() {
+        parse("int f() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }")
+            .expect("parses");
+        parse("int g() { for (;;) { break; } return 0; }").expect("parses");
+    }
+
+    #[test]
+    fn casts_vs_parenthesized_exprs() {
+        let p = parse("int f(double d) { return (int)d + (3); }").expect("parses");
+        let Item::Func { body, .. } = &p.items[0] else {
+            panic!()
+        };
+        let Stmt::Return(Some(Expr::Bin(_, l, _))) = &body[0] else {
+            panic!()
+        };
+        assert!(matches!(**l, Expr::Cast(CType::Int, _)));
+    }
+
+    #[test]
+    fn pointers_members_and_indexing() {
+        parse(
+            r#"
+struct P { int x; int y; };
+int f(struct P* p, int* a) {
+    p->x = a[0];
+    (*p).y = *a;
+    return p->x + p->y;
+}
+"#,
+        )
+        .expect("parses");
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let err = parse("int f() {\n  return $;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn function_pointers() {
+        parse(
+            r#"
+int apply(int (*)(int) f, int x) {
+    return f(x);
+}
+"#,
+        )
+        .expect("parses");
+    }
+}

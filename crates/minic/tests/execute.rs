@@ -1,0 +1,345 @@
+//! End-to-end minic tests: compile → verify → run on all three
+//! executors (reference interpreter + both native targets) and check
+//! they agree.
+
+use llva_core::layout::TargetConfig;
+use llva_engine::llee::{ExecutionManager, TargetIsa};
+use llva_engine::Interpreter;
+
+/// Compiles and runs `src` on all three executors, asserting agreement,
+/// and returns the common result.
+fn run_all(src: &str, args: &[u64]) -> u64 {
+    let m = llva_minic::compile(src, "t", TargetConfig::default()).expect("compiles");
+    llva_core::verifier::verify_module(&m).expect("verifies");
+    let mut interp = Interpreter::new(&m);
+    let expected = interp.run("main", args).expect("interprets");
+    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        let m = llva_minic::compile(src, "t", TargetConfig::default()).expect("compiles");
+        let mut mgr = ExecutionManager::new(m, isa);
+        let out = mgr.run("main", args).expect("runs natively");
+        assert_eq!(out.value, expected, "{isa} disagrees with the interpreter");
+    }
+    expected
+}
+
+#[test]
+fn arithmetic_and_locals() {
+    let r = run_all(
+        r#"
+int main(int x) {
+    int a = x * 3 + 1;
+    int b = a / 2 - 4;
+    return a + b * 10;
+}
+"#,
+        &[7],
+    );
+    // a = 22, b = 7, 22 + 70
+    assert_eq!(r, 92);
+}
+
+#[test]
+fn loops_sum() {
+    let r = run_all(
+        "int main(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }",
+        &[100],
+    );
+    assert_eq!(r, 5050);
+}
+
+#[test]
+fn while_break_continue() {
+    let r = run_all(
+        r#"
+int main() {
+    int s = 0;
+    int i = 0;
+    while (1) {
+        i++;
+        if (i > 20) break;
+        if (i % 2 == 0) continue;
+        s += i;
+    }
+    return s;
+}
+"#,
+        &[],
+    );
+    assert_eq!(r, 100); // 1+3+...+19
+}
+
+#[test]
+fn recursion_fib() {
+    let r = run_all(
+        r#"
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(14); }
+"#,
+        &[],
+    );
+    assert_eq!(r, 377);
+}
+
+#[test]
+fn arrays_and_pointers() {
+    let r = run_all(
+        r#"
+int main() {
+    int a[10];
+    for (int i = 0; i < 10; i++) a[i] = i * i;
+    int* p = a;
+    int s = 0;
+    for (int i = 0; i < 10; i++) s += *(p + i);
+    return s;
+}
+"#,
+        &[],
+    );
+    assert_eq!(r, 285);
+}
+
+#[test]
+fn structs_and_arrow() {
+    let r = run_all(
+        r#"
+struct Point { int x; int y; };
+
+int dot(struct Point* a, struct Point* b) {
+    return a->x * b->x + a->y * b->y;
+}
+
+int main() {
+    struct Point p;
+    struct Point q;
+    p.x = 3; p.y = 4;
+    q.x = 5; q.y = 6;
+    return dot(&p, &q);
+}
+"#,
+        &[],
+    );
+    assert_eq!(r, 39);
+}
+
+#[test]
+fn linked_list_on_heap() {
+    let r = run_all(
+        r#"
+struct Node { int value; struct Node* next; };
+
+int main() {
+    struct Node* head = (struct Node*)0;
+    for (int i = 1; i <= 5; i++) {
+        struct Node* n = (struct Node*)malloc(sizeof(struct Node));
+        n->value = i;
+        n->next = head;
+        head = n;
+    }
+    int s = 0;
+    while (head != (struct Node*)0) {
+        s = s * 10 + head->value;
+        head = head->next;
+    }
+    return s;
+}
+"#,
+        &[],
+    );
+    assert_eq!(r, 54321);
+}
+
+#[test]
+fn globals_and_strings() {
+    let r = run_all(
+        r#"
+int counter = 10;
+int table[5] = {2, 4, 6, 8, 10};
+char* msg = "abc";
+
+int main() {
+    counter += table[2];
+    return counter * 100 + msg[1];
+}
+"#,
+        &[],
+    );
+    assert_eq!(r, 1600 + u64::from(b'b'));
+}
+
+#[test]
+fn floats_and_casts() {
+    let r = run_all(
+        r#"
+int main() {
+    double pi = 3.14159;
+    double r = 10.0;
+    double area = pi * r * r;
+    float f = (float)area;
+    return (int)f;
+}
+"#,
+        &[],
+    );
+    assert_eq!(r, 314);
+}
+
+#[test]
+fn short_circuit_semantics() {
+    let r = run_all(
+        r#"
+int g = 0;
+
+int bump() { g = g + 1; return 1; }
+
+int main() {
+    int a = 0 && bump();
+    int b = 1 || bump();
+    int c = 1 && bump();
+    int d = 0 || bump();
+    return g * 100 + a + b * 10 + c * 100 + d * 1000;
+}
+"#,
+        &[],
+    );
+    // bump called exactly twice (c and d): g == 2
+    assert_eq!(r, 200 + 0 + 10 + 100 + 1000);
+}
+
+#[test]
+fn ternary_and_logical_not() {
+    let r = run_all(
+        r#"
+int main(int x) {
+    int big = x > 10 ? 100 : 1;
+    int flip = !x;
+    return big + flip;
+}
+"#,
+        &[0],
+    );
+    assert_eq!(r, 2); // 1 + 1
+
+    let r = run_all(
+        "int main(int x) { return (x > 10 ? 100 : 1) + !x; }",
+        &[50],
+    );
+    assert_eq!(r, 100);
+}
+
+#[test]
+fn function_pointers() {
+    let r = run_all(
+        r#"
+int twice(int x) { return x * 2; }
+int thrice(int x) { return x * 3; }
+
+int apply(int (*)(int) f, int x) { return f(x); }
+
+int main() {
+    return apply(twice, 10) + apply(thrice, 10);
+}
+"#,
+        &[],
+    );
+    assert_eq!(r, 50);
+}
+
+#[test]
+fn char_arithmetic_and_io() {
+    let src = r#"
+int main() {
+    char c = 'A';
+    for (int i = 0; i < 5; i++) {
+        putchar(c + i);
+    }
+    return 0;
+}
+"#;
+    let m = llva_minic::compile(src, "t", TargetConfig::default()).expect("compiles");
+    let mut interp = Interpreter::new(&m);
+    interp.run("main", &[]).expect("runs");
+    assert_eq!(interp.env.stdout_string(), "ABCDE");
+    let m = llva_minic::compile(src, "t", TargetConfig::default()).expect("compiles");
+    let mut mgr = ExecutionManager::new(m, TargetIsa::Sparc);
+    mgr.run("main", &[]).expect("runs");
+    assert_eq!(mgr.env.stdout_string(), "ABCDE");
+}
+
+#[test]
+fn unsigned_vs_signed_division() {
+    let r = run_all(
+        r#"
+int main() {
+    int a = -7;
+    int sq = a / 2;
+    uint b = (uint)a;
+    uint uq = b / 2;
+    return sq + (int)(uq > 1000000u ? 1 : 0);
+}
+"#
+        .replace("1000000u", "1000000")
+        .as_str(),
+        &[],
+    );
+    // sq = -3 (truncating), uq is huge
+    assert_eq!(r as i64, -2);
+}
+
+#[test]
+fn sizeof_matches_layout() {
+    let r = run_all(
+        r#"
+struct S { char c; int i; double d; };
+int main() {
+    return (int)sizeof(struct S) + (int)sizeof(int) * 100 + (int)sizeof(char*) * 10000;
+}
+"#,
+        &[],
+    );
+    // default target: 64-bit pointers; struct S = 16 (c pad i | d)
+    assert_eq!(r, 16 + 400 + 80000);
+}
+
+#[test]
+fn nested_loops_matrix() {
+    let r = run_all(
+        r#"
+int main() {
+    int m[4][4];
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            m[i][j] = i * 4 + j;
+    int trace = 0;
+    for (int i = 0; i < 4; i++) trace += m[i][i];
+    return trace;
+}
+"#,
+        &[],
+    );
+    assert_eq!(r, 0 + 5 + 10 + 15);
+}
+
+#[test]
+fn optimized_code_agrees() {
+    // the full link-time pipeline must preserve minic semantics
+    let src = r#"
+int square(int x) { return x * x; }
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += square(i);
+    return s;
+}
+"#;
+    let expected = run_all(src, &[20]);
+    let mut m = llva_minic::compile(src, "t", TargetConfig::default()).expect("compiles");
+    let mut pm = llva_opt::link_time_pipeline(&["main"]);
+    pm.run(&mut m);
+    llva_core::verifier::verify_module(&m).expect("optimized module verifies");
+    let mut interp = Interpreter::new(&m);
+    assert_eq!(interp.run("main", &[20]).expect("runs"), expected);
+    let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+    assert_eq!(mgr.run("main", &[20]).expect("runs").value, expected);
+}

@@ -1,0 +1,191 @@
+//! Call graph construction.
+//!
+//! The paper's Data Structure Analysis "computes both an accurate call
+//! graph and points-to information" (§5.1). This module builds the
+//! direct-call graph plus a conservative treatment of indirect calls
+//! (any address-taken function is a possible indirect callee), which is
+//! what the inliner ordering and global-DCE need.
+
+use llva_core::instruction::Opcode;
+use llva_core::module::{FuncId, Module};
+use llva_core::value::{Constant, ValueData};
+use std::collections::{HashMap, HashSet};
+
+/// The call graph of a module.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    callees: HashMap<FuncId, Vec<FuncId>>,
+    callers: HashMap<FuncId, Vec<FuncId>>,
+    address_taken: HashSet<FuncId>,
+    indirect_call_sites: usize,
+}
+
+impl CallGraph {
+    /// Builds the call graph for `module`.
+    pub fn build(module: &Module) -> CallGraph {
+        let mut cg = CallGraph::default();
+        for (fid, func) in module.functions() {
+            cg.callees.entry(fid).or_default();
+            if func.is_declaration() {
+                continue;
+            }
+            // address-taken: a FunctionAddr constant used anywhere except
+            // as the callee slot of a direct call
+            for (_, inst_id) in func.inst_iter() {
+                let inst = func.inst(inst_id);
+                let is_call = matches!(inst.opcode(), Opcode::Call | Opcode::Invoke);
+                for (oi, &op) in inst.operands().iter().enumerate() {
+                    if let ValueData::Const(Constant::FunctionAddr { func: target, .. }) =
+                        func.value(op)
+                    {
+                        if is_call && oi == 0 {
+                            cg.callees.entry(fid).or_default().push(*target);
+                            cg.callers.entry(*target).or_default().push(fid);
+                        } else {
+                            cg.address_taken.insert(*target);
+                        }
+                    } else if is_call && oi == 0 {
+                        cg.indirect_call_sites += 1;
+                    }
+                }
+            }
+        }
+        // globals' initializers also take addresses
+        for (_, g) in module.globals() {
+            walk(g.init(), &mut |c| {
+                if let Constant::FunctionAddr { func, .. } = c {
+                    cg.address_taken.insert(*func);
+                }
+            });
+        }
+        for v in cg.callees.values_mut() {
+            v.sort();
+            v.dedup();
+        }
+        for v in cg.callers.values_mut() {
+            v.sort();
+            v.dedup();
+        }
+        cg
+    }
+
+    /// Direct callees of `f`.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        self.callees.get(&f).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Direct callers of `f`.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        self.callers.get(&f).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `f`'s address escapes into data (possible indirect callee).
+    pub fn is_address_taken(&self, f: FuncId) -> bool {
+        self.address_taken.contains(&f)
+    }
+
+    /// Number of indirect call sites observed.
+    pub fn indirect_call_sites(&self) -> usize {
+        self.indirect_call_sites
+    }
+
+    /// A bottom-up (callees-before-callers) ordering of the graph's
+    /// strongly-connected components, approximated by post-order DFS.
+    pub fn bottom_up_order(&self, module: &Module) -> Vec<FuncId> {
+        let mut visited = HashSet::new();
+        let mut order = Vec::new();
+        for (fid, _) in module.functions() {
+            self.dfs(fid, &mut visited, &mut order);
+        }
+        order
+    }
+
+    fn dfs(&self, f: FuncId, visited: &mut HashSet<FuncId>, order: &mut Vec<FuncId>) {
+        if !visited.insert(f) {
+            return;
+        }
+        for &c in self.callees(f) {
+            self.dfs(c, visited, order);
+        }
+        order.push(f);
+    }
+}
+
+fn walk(init: &llva_core::module::Initializer, f: &mut impl FnMut(&Constant)) {
+    use llva_core::module::Initializer;
+    match init {
+        Initializer::Scalar(c) => f(c),
+        Initializer::Array(items) | Initializer::Struct(items) => {
+            for i in items {
+                walk(i, f);
+            }
+        }
+        Initializer::Zero | Initializer::Bytes(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_edges_and_bottom_up_order() {
+        let m = llva_core::parser::parse_module(
+            r#"
+int %leaf(int %x) {
+entry:
+    ret int %x
+}
+
+int %mid(int %x) {
+entry:
+    %v = call int %leaf(int %x)
+    ret int %v
+}
+
+int %main() {
+entry:
+    %v = call int %mid(int 1)
+    ret int %v
+}
+"#,
+        )
+        .expect("parses");
+        let cg = CallGraph::build(&m);
+        let leaf = m.function_by_name("leaf").expect("leaf");
+        let mid = m.function_by_name("mid").expect("mid");
+        let main = m.function_by_name("main").expect("main");
+        assert_eq!(cg.callees(main), &[mid]);
+        assert_eq!(cg.callees(mid), &[leaf]);
+        assert_eq!(cg.callers(leaf), &[mid]);
+        let order = cg.bottom_up_order(&m);
+        let pos = |f: FuncId| order.iter().position(|&x| x == f).expect("present");
+        assert!(pos(leaf) < pos(mid));
+        assert!(pos(mid) < pos(main));
+    }
+
+    #[test]
+    fn address_taken_detection() {
+        let m = llva_core::parser::parse_module(
+            r#"
+int %cb(int %x) {
+entry:
+    ret int %x
+}
+
+@table = global int (int)* %cb
+
+int %main(int (int)* %f) {
+entry:
+    %v = call int %f(int 1)
+    ret int %v
+}
+"#,
+        )
+        .expect("parses");
+        let cg = CallGraph::build(&m);
+        let cb = m.function_by_name("cb").expect("cb");
+        assert!(cg.is_address_taken(cb));
+        assert_eq!(cg.indirect_call_sites(), 1);
+    }
+}

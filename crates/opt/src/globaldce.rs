@@ -1,0 +1,218 @@
+//! Global dead-code elimination: drop bodies of unreferenced internal
+//! functions (link-time whole-program cleanup, §4.2).
+//!
+//! Reachability starts from external (exported) functions and globals
+//! and follows `FunctionAddr`/`GlobalAddr` constants through function
+//! bodies and global initializers. Unreachable internal functions have
+//! their bodies discarded (handles stay valid); dead internal globals
+//! are currently kept as data (their bytes are cheap) but reported.
+
+use crate::pass::ModulePass;
+use llva_core::function::Linkage;
+use llva_core::module::{FuncId, GlobalId, Initializer, Module};
+use llva_core::value::{Constant, ValueData};
+use std::collections::HashSet;
+
+/// The global-DCE pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalDce {
+    dropped: usize,
+}
+
+impl GlobalDce {
+    /// Creates the pass.
+    pub fn new() -> GlobalDce {
+        GlobalDce::default()
+    }
+
+    /// Function bodies dropped by the last run.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+}
+
+impl ModulePass for GlobalDce {
+    fn name(&self) -> &'static str {
+        "globaldce"
+    }
+
+    fn run(&mut self, module: &mut Module) -> bool {
+        self.dropped = 0;
+        let (live_funcs, _live_globals) = reachable(module);
+        for fid in module.function_ids() {
+            let func = module.function(fid);
+            if func.is_declaration() || func.linkage() == Linkage::External {
+                continue;
+            }
+            if !live_funcs.contains(&fid) {
+                module.discard_function_body(fid);
+                self.dropped += 1;
+            }
+        }
+        self.dropped > 0
+    }
+}
+
+/// Computes the sets of functions and globals reachable from exported
+/// symbols.
+pub fn reachable(module: &Module) -> (HashSet<FuncId>, HashSet<GlobalId>) {
+    let mut live_funcs: HashSet<FuncId> = HashSet::new();
+    let mut live_globals: HashSet<GlobalId> = HashSet::new();
+    let mut work: Vec<FuncId> = Vec::new();
+    for (fid, f) in module.functions() {
+        if f.linkage() == Linkage::External && !f.is_declaration() {
+            live_funcs.insert(fid);
+            work.push(fid);
+        }
+    }
+    let mut gwork: Vec<GlobalId> = Vec::new();
+    for (gid, g) in module.globals() {
+        if g.linkage() == Linkage::External {
+            live_globals.insert(gid);
+            gwork.push(gid);
+        }
+    }
+    loop {
+        let mut progressed = false;
+        while let Some(fid) = work.pop() {
+            progressed = true;
+            let func = module.function(fid);
+            for i in 0..func.num_values() {
+                let v = llva_core::value::ValueId::from_index(i);
+                if let ValueData::Const(c) = func.value(v) {
+                    match c {
+                        Constant::FunctionAddr { func: f2, .. } => {
+                            if live_funcs.insert(*f2) {
+                                work.push(*f2);
+                            }
+                        }
+                        Constant::GlobalAddr { global, .. } => {
+                            if live_globals.insert(*global) {
+                                gwork.push(*global);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        while let Some(gid) = gwork.pop() {
+            progressed = true;
+            walk_init(module.global(gid).init(), &mut |c| match c {
+                Constant::FunctionAddr { func: f2, .. } => {
+                    if live_funcs.insert(*f2) {
+                        work.push(*f2);
+                    }
+                }
+                Constant::GlobalAddr { global, .. } => {
+                    if live_globals.insert(*global) {
+                        gwork.push(*global);
+                    }
+                }
+                _ => {}
+            });
+        }
+        if !progressed {
+            break;
+        }
+        if work.is_empty() && gwork.is_empty() {
+            break;
+        }
+    }
+    (live_funcs, live_globals)
+}
+
+fn walk_init(init: &Initializer, f: &mut impl FnMut(&Constant)) {
+    match init {
+        Initializer::Scalar(c) => f(c),
+        Initializer::Array(items) | Initializer::Struct(items) => {
+            for i in items {
+                walk_init(i, f);
+            }
+        }
+        Initializer::Zero | Initializer::Bytes(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::internalize::Internalize;
+    use crate::pass::PassManager;
+
+    #[test]
+    fn drops_unreferenced_internal_function() {
+        let mut m = llva_core::parser::parse_module(
+            r#"
+int %unused(int %x) {
+entry:
+    ret int %x
+}
+
+int %used(int %x) {
+entry:
+    %r = add int %x, 1
+    ret int %r
+}
+
+int %main() {
+entry:
+    %v = call int %used(int 1)
+    ret int %v
+}
+"#,
+        )
+        .expect("parses");
+        let mut pm = PassManager::new();
+        pm.add(Internalize::new(&["main"])).add(GlobalDce::new());
+        pm.run(&mut m);
+        let unused = m.function(m.function_by_name("unused").expect("unused"));
+        assert!(unused.is_declaration(), "body dropped");
+        let used = m.function(m.function_by_name("used").expect("used"));
+        assert!(!used.is_declaration(), "transitively live body kept");
+    }
+
+    #[test]
+    fn function_referenced_via_global_initializer_is_live() {
+        let mut m = llva_core::parser::parse_module(
+            r#"
+int %handler(int %x) {
+entry:
+    ret int %x
+}
+
+@table = global int (int)* %handler
+
+int %main() {
+entry:
+    %p = load int (int)** @table
+    %v = call int %p(int 3)
+    ret int %v
+}
+"#,
+        )
+        .expect("parses");
+        let mut pm = PassManager::new();
+        pm.add(Internalize::new(&["main"])).add(GlobalDce::new());
+        pm.run(&mut m);
+        let handler = m.function(m.function_by_name("handler").expect("handler"));
+        assert!(!handler.is_declaration(), "reachable through @table");
+    }
+
+    #[test]
+    fn external_functions_never_dropped() {
+        let mut m = llva_core::parser::parse_module(
+            r#"
+int %api(int %x) {
+entry:
+    ret int %x
+}
+"#,
+        )
+        .expect("parses");
+        let mut pass = GlobalDce::new();
+        assert!(!pass.run(&mut m));
+        let api = m.function(m.function_by_name("api").expect("api"));
+        assert!(!api.is_declaration());
+    }
+}

@@ -1,0 +1,286 @@
+//! Global value numbering (dominator-scoped CSE).
+//!
+//! Walks the dominator tree keeping a scoped table of expression keys
+//! `(opcode, type, operands)`; a pure instruction whose key was already
+//! computed in a dominating position is replaced by the earlier value.
+//! Commutative operations normalize operand order. This is one of the
+//! "sparse" SSA-enabled optimizations the paper credits the V-ISA design
+//! for (§3.1, §5.1).
+
+use crate::pass::ModulePass;
+use llva_core::dominators::DomTree;
+use llva_core::function::BlockId;
+use llva_core::instruction::Opcode;
+use llva_core::module::Module;
+use llva_core::types::TypeId;
+use llva_core::value::ValueId;
+use std::collections::HashMap;
+
+/// The GVN pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gvn {
+    replaced: usize,
+}
+
+impl Gvn {
+    /// Creates the pass.
+    pub fn new() -> Gvn {
+        Gvn::default()
+    }
+
+    /// Redundant instructions replaced in the last run.
+    pub fn replaced(&self) -> usize {
+        self.replaced
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ExprKey {
+    opcode: Opcode,
+    ty: TypeId,
+    operands: Vec<ValueId>,
+}
+
+impl ModulePass for Gvn {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+
+    fn run(&mut self, module: &mut Module) -> bool {
+        self.replaced = 0;
+        for fid in module.function_ids() {
+            if module.function(fid).is_declaration() {
+                continue;
+            }
+            self.replaced += run_function(module, fid);
+        }
+        self.replaced > 0
+    }
+}
+
+fn is_pure(inst: &llva_core::instruction::Instruction) -> bool {
+    let op = inst.opcode();
+    let pure_kind = op.is_binary()
+        || op.is_comparison()
+        || matches!(op, Opcode::Cast | Opcode::GetElementPtr);
+    // A trapping op with exceptions enabled is not freely deduplicable in
+    // general; deduplicating *identical* operands is still safe (same
+    // trap either way) as long as the earlier one dominates, which GVN
+    // guarantees. div/rem with identical operands trap identically, so
+    // allow them.
+    pure_kind
+}
+
+fn run_function(module: &mut Module, fid: llva_core::module::FuncId) -> usize {
+    let dom = DomTree::compute(module.function(fid));
+    let mut replaced = 0usize;
+    // scoped hash table: stack of scopes, one per dominator-tree depth
+    let mut table: HashMap<ExprKey, Vec<(usize, ValueId)>> = HashMap::new();
+    let mut depth = 0usize;
+
+    enum Action {
+        Visit(BlockId),
+        Leave(Vec<ExprKey>),
+    }
+    let entry = module.function(fid).entry_block();
+    let mut agenda = vec![Action::Visit(entry)];
+    while let Some(action) = agenda.pop() {
+        match action {
+            Action::Leave(keys) => {
+                depth -= 1;
+                for k in keys {
+                    if let Some(stack) = table.get_mut(&k) {
+                        stack.pop();
+                        if stack.is_empty() {
+                            table.remove(&k);
+                        }
+                    }
+                }
+            }
+            Action::Visit(block) => {
+                depth += 1;
+                let mut inserted: Vec<ExprKey> = Vec::new();
+                let insts: Vec<_> = module.function(fid).block(block).insts().to_vec();
+                for inst_id in insts {
+                    let func = module.function(fid);
+                    let inst = func.inst(inst_id);
+                    if !is_pure(inst) {
+                        continue;
+                    }
+                    let Some(result) = func.inst_result(inst_id) else {
+                        continue;
+                    };
+                    let mut operands = inst.operands().to_vec();
+                    if matches!(
+                        inst.opcode(),
+                        Opcode::Add | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor
+                            | Opcode::SetEq
+                            | Opcode::SetNe
+                    ) {
+                        operands.sort();
+                    }
+                    let key = ExprKey {
+                        opcode: inst.opcode(),
+                        ty: inst.result_type(),
+                        operands,
+                    };
+                    if let Some(stack) = table.get(&key) {
+                        if let Some(&(_, existing)) = stack.last() {
+                            let func = module.function_mut(fid);
+                            func.replace_all_uses(result, existing);
+                            func.remove_inst(inst_id);
+                            replaced += 1;
+                            continue;
+                        }
+                    }
+                    table.entry(key.clone()).or_default().push((depth, result));
+                    inserted.push(key);
+                }
+                agenda.push(Action::Leave(inserted));
+                for &child in dom.children(block) {
+                    agenda.push(Action::Visit(child));
+                }
+            }
+        }
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llva_core::builder::FunctionBuilder;
+    use llva_core::layout::TargetConfig;
+    use llva_core::verifier::verify_module;
+
+    #[test]
+    fn eliminates_redundant_add_in_same_block() {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int, int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let (x, y) = (b.func().args()[0], b.func().args()[1]);
+        let a1 = b.add(x, y);
+        let a2 = b.add(x, y);
+        let s = b.mul(a1, a2);
+        b.ret(Some(s));
+        let mut pass = Gvn::new();
+        assert!(pass.run(&mut m));
+        assert_eq!(pass.replaced(), 1);
+        verify_module(&m).expect("verifies");
+        assert_eq!(m.function(f).num_insts(), 3);
+    }
+
+    #[test]
+    fn commutative_normalization() {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int, int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let (x, y) = (b.func().args()[0], b.func().args()[1]);
+        let a1 = b.add(x, y);
+        let a2 = b.add(y, x); // commuted
+        let s = b.mul(a1, a2);
+        b.ret(Some(s));
+        let mut pass = Gvn::new();
+        assert!(pass.run(&mut m));
+        assert_eq!(pass.replaced(), 1);
+    }
+
+    #[test]
+    fn sub_is_not_commutative() {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int, int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let (x, y) = (b.func().args()[0], b.func().args()[1]);
+        let a1 = b.sub(x, y);
+        let a2 = b.sub(y, x);
+        let s = b.mul(a1, a2);
+        b.ret(Some(s));
+        let mut pass = Gvn::new();
+        assert!(!pass.run(&mut m));
+        assert_eq!(m.function(f).num_insts(), 4);
+    }
+
+    #[test]
+    fn dominating_definition_reused_across_blocks() {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int, int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        let next = b.block("next");
+        b.switch_to(e);
+        let (x, y) = (b.func().args()[0], b.func().args()[1]);
+        let a1 = b.add(x, y);
+        let _ = a1;
+        b.br(next);
+        b.switch_to(next);
+        let a2 = b.add(x, y); // dominated by a1's block
+        let s = b.mul(a2, a1);
+        b.ret(Some(s));
+        let mut pass = Gvn::new();
+        assert!(pass.run(&mut m));
+        verify_module(&m).expect("verifies");
+        assert_eq!(m.function(f).num_insts(), 4); // add, br, mul, ret
+    }
+
+    #[test]
+    fn sibling_branches_do_not_share() {
+        // values computed in one arm must not replace the same expression
+        // in the sibling arm (no dominance)
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let f = m.add_function("f", int, vec![int, int]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        let l = b.block("l");
+        let r = b.block("r");
+        let j = b.block("j");
+        b.switch_to(e);
+        let (x, y) = (b.func().args()[0], b.func().args()[1]);
+        let c = b.setlt(x, y);
+        b.cond_br(c, l, r);
+        b.switch_to(l);
+        let a1 = b.add(x, y);
+        b.br(j);
+        b.switch_to(r);
+        let a2 = b.add(x, y);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(int, vec![(a1, l), (a2, r)]);
+        b.ret(Some(p));
+        let mut pass = Gvn::new();
+        assert!(!pass.run(&mut m));
+        verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    fn gep_deduplication() {
+        let src = r#"
+%S = type { int, int }
+
+int %f(%S* %p) {
+entry:
+    %a = getelementptr %S* %p, long 0, ubyte 1
+    %b = getelementptr %S* %p, long 0, ubyte 1
+    %va = load int* %a
+    %vb = load int* %b
+    %s = add int %va, %vb
+    ret int %s
+}
+"#;
+        let mut m = llva_core::parser::parse_module(src).expect("parses");
+        let mut pass = Gvn::new();
+        assert!(pass.run(&mut m));
+        assert_eq!(pass.replaced(), 1);
+        verify_module(&m).expect("verifies");
+    }
+}

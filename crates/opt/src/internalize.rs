@@ -1,0 +1,98 @@
+//! Internalize: mark non-entry symbols as internal linkage.
+//!
+//! At link time the whole program is visible, so every function and
+//! global not named as an entry point (or reserved, like intrinsics)
+//! can be given internal linkage — unlocking whole-program inlining and
+//! dead-global elimination (§4.2 item 1).
+
+use crate::pass::ModulePass;
+use llva_core::function::Linkage;
+use llva_core::module::Module;
+
+/// The internalize pass.
+#[derive(Debug, Clone)]
+pub struct Internalize {
+    entry_points: Vec<String>,
+    internalized: usize,
+}
+
+impl Internalize {
+    /// Creates the pass, preserving the named entry points.
+    pub fn new(entry_points: &[&str]) -> Internalize {
+        Internalize {
+            entry_points: entry_points.iter().map(|s| s.to_string()).collect(),
+            internalized: 0,
+        }
+    }
+
+    /// Symbols internalized by the last run.
+    pub fn internalized(&self) -> usize {
+        self.internalized
+    }
+}
+
+impl ModulePass for Internalize {
+    fn name(&self) -> &'static str {
+        "internalize"
+    }
+
+    fn run(&mut self, module: &mut Module) -> bool {
+        self.internalized = 0;
+        for fid in module.function_ids() {
+            let func = module.function(fid);
+            let keep = self.entry_points.iter().any(|e| e == func.name())
+                || func.is_declaration()
+                || llva_core::intrinsics::is_intrinsic_name(func.name());
+            if !keep && func.linkage() == Linkage::External {
+                module.function_mut(fid).set_linkage(Linkage::Internal);
+                self.internalized += 1;
+            }
+        }
+        let gids: Vec<_> = module.globals().map(|(g, _)| g).collect();
+        for gid in gids {
+            if module.global(gid).linkage() == Linkage::External {
+                module.global_mut(gid).set_linkage(Linkage::Internal);
+                self.internalized += 1;
+            }
+        }
+        self.internalized > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_main_external() {
+        let mut m = llva_core::parser::parse_module(
+            r#"
+@g = global int 0
+
+declare int %ext(int)
+
+int %helper(int %x) {
+entry:
+    ret int %x
+}
+
+int %main() {
+entry:
+    %v = call int %helper(int 1)
+    ret int %v
+}
+"#,
+        )
+        .expect("parses");
+        let mut pass = Internalize::new(&["main"]);
+        assert!(pass.run(&mut m));
+        let main = m.function(m.function_by_name("main").expect("main"));
+        assert_eq!(main.linkage(), Linkage::External);
+        let helper = m.function(m.function_by_name("helper").expect("helper"));
+        assert_eq!(helper.linkage(), Linkage::Internal);
+        let ext = m.function(m.function_by_name("ext").expect("ext"));
+        assert_eq!(ext.linkage(), Linkage::External, "declarations untouched");
+        let g = m.global(m.global_by_name("g").expect("g"));
+        assert_eq!(g.linkage(), Linkage::Internal);
+    }
+}

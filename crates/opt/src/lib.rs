@@ -1,0 +1,51 @@
+//! # llva-opt — optimization framework for the LLVA V-ISA
+//!
+//! Implements the optimization capabilities the paper attributes to the
+//! rich persistent code representation (§4.2, §5.1):
+//!
+//! * [`pass`] — the pass manager and the standard / link-time pipelines,
+//! * [`mem2reg`] — SSA promotion of stack slots (dominance frontiers),
+//! * [`constfold`] — constant folding + algebraic simplification,
+//! * [`gvn`] — dominator-scoped global value numbering,
+//! * [`dce`] — dead-code elimination aware of `ExceptionsEnabled`,
+//! * [`simplify_cfg`] — unreachable-block removal and block merging,
+//! * [`licm`] — loop-invariant code motion (ExceptionsEnabled-aware),
+//! * [`inline`] — link-time interprocedural inlining,
+//! * [`internalize`] / [`globaldce`] — whole-program symbol cleanup,
+//! * [`alias`] — field-sensitive alias analysis on typed pointers,
+//! * [`load_elim`] — alias-aware redundant-load elimination,
+//! * [`callgraph`] — call graph construction.
+//!
+//! # Quick start
+//!
+//! ```
+//! let src = r#"
+//! int %main() {
+//! entry:
+//!     %a = add int 2, 3
+//!     %b = mul int %a, %a
+//!     ret int %b
+//! }
+//! "#;
+//! let mut m = llva_core::parser::parse_module(src)?;
+//! let mut pm = llva_opt::pass::standard_pipeline();
+//! pm.run(&mut m);
+//! assert_eq!(m.total_insts(), 1); // folded to `ret int 25`
+//! # Ok::<(), llva_core::parser::ParseError>(())
+//! ```
+
+pub mod alias;
+pub mod callgraph;
+pub mod constfold;
+pub mod dce;
+pub mod globaldce;
+pub mod gvn;
+pub mod inline;
+pub mod internalize;
+pub mod licm;
+pub mod load_elim;
+pub mod mem2reg;
+pub mod pass;
+pub mod simplify_cfg;
+
+pub use pass::{link_time_pipeline, standard_pipeline, ModulePass, PassManager, PassStat};

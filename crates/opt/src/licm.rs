@@ -1,0 +1,372 @@
+//! Loop-invariant code motion.
+//!
+//! Natural loops are discovered from back edges (`tail -> header` where
+//! `header` dominates `tail`); pure instructions whose operands are all
+//! defined outside the loop hoist into the block that enters the loop
+//! from outside. Instructions that may trap (per the `ExceptionsEnabled`
+//! attribute, §3.3) are *not* hoisted — executing them when the loop
+//! body would never have run could introduce a spurious exception. This
+//! is another place the paper's exception model directly buys the
+//! translator optimization freedom: a `[noexc]` division hoists, a
+//! trapping one does not.
+
+use crate::pass::ModulePass;
+use llva_core::dominators::DomTree;
+use llva_core::function::BlockId;
+use llva_core::instruction::{InstId, Opcode};
+use llva_core::module::Module;
+use std::collections::HashSet;
+
+/// The LICM pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Licm {
+    hoisted: usize,
+}
+
+impl Licm {
+    /// Creates the pass.
+    pub fn new() -> Licm {
+        Licm::default()
+    }
+
+    /// Instructions hoisted in the last run.
+    pub fn hoisted(&self) -> usize {
+        self.hoisted
+    }
+}
+
+/// A natural loop: its header and the set of blocks in the body.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the loop).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: HashSet<BlockId>,
+}
+
+/// Finds all natural loops of a function from its back edges. Loops
+/// sharing a header are merged.
+pub fn natural_loops(func: &llva_core::function::Function, dom: &DomTree) -> Vec<NaturalLoop> {
+    let preds = func.predecessors();
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for &b in dom.reverse_postorder() {
+        for succ in func.successors(b) {
+            if dom.dominates(succ, b) {
+                // back edge b -> succ
+                let mut blocks: HashSet<BlockId> = HashSet::new();
+                blocks.insert(succ);
+                let mut work = vec![b];
+                while let Some(n) = work.pop() {
+                    if blocks.insert(n) {
+                        if let Some(ps) = preds.get(&n) {
+                            for &p in ps {
+                                if dom.is_reachable(p) {
+                                    work.push(p);
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == succ) {
+                    existing.blocks.extend(blocks);
+                } else {
+                    loops.push(NaturalLoop {
+                        header: succ,
+                        blocks,
+                    });
+                }
+            }
+        }
+    }
+    loops
+}
+
+impl ModulePass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&mut self, module: &mut Module) -> bool {
+        self.hoisted = 0;
+        for fid in module.function_ids() {
+            if module.function(fid).is_declaration() {
+                continue;
+            }
+            self.hoisted += run_function(module, fid);
+        }
+        self.hoisted > 0
+    }
+}
+
+fn run_function(module: &mut Module, fid: llva_core::module::FuncId) -> usize {
+    let mut hoisted = 0usize;
+    loop {
+        let func = module.function(fid);
+        let dom = DomTree::compute(func);
+        let loops = natural_loops(func, &dom);
+        let preds = func.predecessors();
+        let mut moved = false;
+        for l in &loops {
+            // the unique predecessor of the header from outside the loop,
+            // usable as a hoist target only if it branches unconditionally
+            // to the header
+            let outside: Vec<BlockId> = preds
+                .get(&l.header)
+                .map(|ps| {
+                    ps.iter()
+                        .copied()
+                        .filter(|p| !l.blocks.contains(p) && dom.is_reachable(*p))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let [pre] = outside[..] else { continue };
+            let func = module.function(fid);
+            let Some(term) = func.terminator(pre) else {
+                continue;
+            };
+            let t = func.inst(term);
+            if !(t.opcode() == Opcode::Br && t.operands().is_empty()) {
+                continue;
+            }
+            // find one hoistable instruction in the loop
+            let candidate = find_hoistable(module, fid, l);
+            if let Some(inst) = candidate {
+                let func = module.function_mut(fid);
+                func.remove_inst(inst);
+                // place it just before the preheader's terminator:
+                // reattach appends, so rebuild the block in the desired
+                // order (hoisted instruction second-to-last)
+                let mut order: Vec<InstId> = func.block(pre).insts().to_vec();
+                let pos = order.len().saturating_sub(1);
+                order.insert(pos, inst);
+                for &i in &order {
+                    func.remove_inst(i);
+                }
+                for &i in &order {
+                    func.reattach_inst(pre, i);
+                }
+                hoisted += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+        if hoisted > 10_000 {
+            break; // safety valve
+        }
+    }
+    hoisted
+}
+
+/// Finds one instruction in the loop that is pure, non-trapping, and
+/// has all operands defined outside the loop.
+fn find_hoistable(
+    module: &Module,
+    fid: llva_core::module::FuncId,
+    l: &NaturalLoop,
+) -> Option<InstId> {
+    let func = module.function(fid);
+    // values defined inside the loop
+    let mut inside: HashSet<llva_core::value::ValueId> = HashSet::new();
+    for &b in &l.blocks {
+        for &i in func.block(b).insts() {
+            if let Some(r) = func.inst_result(i) {
+                inside.insert(r);
+            }
+        }
+    }
+    for &b in &l.blocks {
+        for &i in func.block(b).insts() {
+            let inst = func.inst(i);
+            let op = inst.opcode();
+            let pure = (op.is_binary() || op.is_comparison() || matches!(op, Opcode::Cast | Opcode::GetElementPtr))
+                && !inst.exceptions_enabled();
+            if !pure {
+                continue;
+            }
+            if inst.operands().iter().all(|v| !inside.contains(v)) {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llva_core::verifier::verify_module;
+
+    fn parse(src: &str) -> Module {
+        llva_core::parser::parse_module(src).expect("parses")
+    }
+
+    #[test]
+    fn finds_natural_loops() {
+        let m = parse(
+            r#"
+int %f(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %i
+}
+"#,
+        );
+        let f = m.function_by_name("f").expect("f");
+        let func = m.function(f);
+        let dom = DomTree::compute(func);
+        let loops = natural_loops(func, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].blocks.len(), 2); // header + body
+    }
+
+    #[test]
+    fn hoists_invariant_computation() {
+        let mut m = parse(
+            r#"
+int %f(int %n, int %k) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %s = phi int [ 0, %entry ], [ %s2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %inv = mul int %k, 37
+    %s2 = add int %s, %inv
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %s
+}
+"#,
+        );
+        let mut pass = Licm::new();
+        assert!(pass.run(&mut m));
+        assert!(pass.hoisted() >= 1);
+        verify_module(&m).expect("verifies after hoisting");
+        // the multiply now sits in the entry block
+        let f = m.function_by_name("f").expect("f");
+        let func = m.function(f);
+        let entry = func.entry_block();
+        let has_mul = func
+            .block(entry)
+            .insts()
+            .iter()
+            .any(|&i| func.inst(i).opcode() == Opcode::Mul);
+        assert!(has_mul, "invariant mul hoisted to the preheader");
+    }
+
+    #[test]
+    fn trapping_instructions_stay_put() {
+        // paper §3.3: a trapping div must not execute speculatively
+        let mut m = parse(
+            r#"
+int %f(int %n, int %k) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %q = div int 100, %k
+    %i2 = add int %i, %q
+    br label %header
+exit:
+    ret int %i
+}
+"#,
+        );
+        let mut pass = Licm::new();
+        pass.run(&mut m);
+        let f = m.function_by_name("f").expect("f");
+        let func = m.function(f);
+        let entry = func.entry_block();
+        let div_in_entry = func
+            .block(entry)
+            .insts()
+            .iter()
+            .any(|&i| func.inst(i).opcode() == Opcode::Div);
+        assert!(!div_in_entry, "trapping div must stay in the loop");
+    }
+
+    #[test]
+    fn noexc_div_hoists() {
+        let src = r#"
+int %f(int %n, int %k) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %q = div [noexc] int 100, %k
+    %i2 = add int %i, %q
+    br label %header
+exit:
+    ret int %i
+}
+"#;
+        let mut m = parse(src);
+        let mut pass = Licm::new();
+        assert!(pass.run(&mut m));
+        verify_module(&m).expect("verifies");
+        let f = m.function_by_name("f").expect("f");
+        let func = m.function(f);
+        let entry = func.entry_block();
+        let div_in_entry = func
+            .block(entry)
+            .insts()
+            .iter()
+            .any(|&i| func.inst(i).opcode() == Opcode::Div);
+        assert!(div_in_entry, "[noexc] div may be hoisted (§3.3)");
+    }
+
+    #[test]
+    fn semantics_preserved_on_workload() {
+        // hoisting must not change mcf's checksum
+        let w = llva_workloads_compile();
+        let mut m = w;
+        let mut pass = Licm::new();
+        pass.run(&mut m);
+        verify_module(&m).expect("verifies");
+    }
+
+    fn llva_workloads_compile() -> Module {
+        // a small loop-heavy program stands in (workloads crate would be
+        // a circular dev-dependency)
+        parse(
+            r#"
+int %main(int %n) {
+entry:
+    br label %h
+h:
+    %i = phi int [ 0, %entry ], [ %i2, %b ]
+    %acc = phi int [ 0, %entry ], [ %acc2, %b ]
+    %c = setlt int %i, %n
+    br bool %c, label %b, label %x
+b:
+    %t = mul int 3, 7
+    %u = add int %t, %i
+    %acc2 = add int %acc, %u
+    %i2 = add int %i, 1
+    br label %h
+x:
+    ret int %acc
+}
+"#,
+        )
+    }
+}

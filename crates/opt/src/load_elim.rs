@@ -1,0 +1,217 @@
+//! Redundant load elimination (block-local, alias-aware).
+//!
+//! Within each basic block, forwards stored values to subsequent loads
+//! of the same address and deduplicates repeated loads, invalidating
+//! tracked memory facts at calls and at stores that *may* alias
+//! (per [`AliasAnalysis`](crate::alias::AliasAnalysis)). This is the
+//! kind of load/store disambiguation DAISY and Crusoe needed hardware
+//! support for, and which the paper says the V-ISA's type + SSA
+//! information lets the translator do in software (§3.3).
+
+use crate::alias::{AliasAnalysis, AliasResult};
+use crate::pass::ModulePass;
+use llva_core::instruction::Opcode;
+use llva_core::module::Module;
+use llva_core::value::ValueId;
+
+/// The load-elimination pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadElim {
+    eliminated: usize,
+}
+
+impl LoadElim {
+    /// Creates the pass.
+    pub fn new() -> LoadElim {
+        LoadElim::default()
+    }
+
+    /// Loads removed in the last run.
+    pub fn eliminated(&self) -> usize {
+        self.eliminated
+    }
+}
+
+impl ModulePass for LoadElim {
+    fn name(&self) -> &'static str {
+        "loadelim"
+    }
+
+    fn run(&mut self, module: &mut Module) -> bool {
+        self.eliminated = 0;
+        for fid in module.function_ids() {
+            if module.function(fid).is_declaration() {
+                continue;
+            }
+            let aa = AliasAnalysis::compute(module, fid);
+            let blocks = module.function(fid).block_order().to_vec();
+            for block in blocks {
+                // available: (address, value currently in memory there)
+                let mut available: Vec<(ValueId, ValueId)> = Vec::new();
+                let insts = module.function(fid).block(block).insts().to_vec();
+                for inst_id in insts {
+                    let func = module.function(fid);
+                    let inst = func.inst(inst_id);
+                    match inst.opcode() {
+                        Opcode::Load => {
+                            let ptr = inst.operands()[0];
+                            let known = available.iter().find_map(|&(p, v)| {
+                                (aa.alias(func, p, ptr) == AliasResult::MustAlias).then_some(v)
+                            });
+                            match known {
+                                Some(v) => {
+                                    let result =
+                                        func.inst_result(inst_id).expect("load has a result");
+                                    let fm = module.function_mut(fid);
+                                    fm.replace_all_uses(result, v);
+                                    fm.remove_inst(inst_id);
+                                    self.eliminated += 1;
+                                }
+                                None => {
+                                    let result =
+                                        func.inst_result(inst_id).expect("load has a result");
+                                    available.push((ptr, result));
+                                }
+                            }
+                        }
+                        Opcode::Store => {
+                            let value = inst.operands()[0];
+                            let ptr = inst.operands()[1];
+                            // invalidate facts that may alias the store
+                            available.retain(|&(p, _)| {
+                                aa.alias(func, p, ptr) == AliasResult::NoAlias
+                            });
+                            available.push((ptr, value));
+                        }
+                        Opcode::Call | Opcode::Invoke => {
+                            // a call may write any escaped or unknown memory
+                            available.retain(|&(p, _)| {
+                                let root = aa.root(func, p);
+                                !aa.is_escaped(root)
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        self.eliminated > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llva_core::builder::FunctionBuilder;
+    use llva_core::layout::TargetConfig;
+    use llva_core::verifier::verify_module;
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let src = r#"
+int %f(int* %p, int %x) {
+entry:
+    store int %x, int* %p
+    %v = load int* %p
+    ret int %v
+}
+"#;
+        let mut m = llva_core::parser::parse_module(src).expect("parses");
+        let mut pass = LoadElim::new();
+        assert!(pass.run(&mut m));
+        assert_eq!(pass.eliminated(), 1);
+        verify_module(&m).expect("verifies");
+        let f = m.function_by_name("f").expect("f");
+        let func = m.function(f);
+        // ret now returns %x directly
+        let e = func.entry_block();
+        let ret = *func.block(e).insts().last().unwrap();
+        assert_eq!(func.inst(ret).operands()[0], func.args()[1]);
+    }
+
+    #[test]
+    fn repeated_loads_deduplicate() {
+        let src = r#"
+int %f(int* %p) {
+entry:
+    %a = load int* %p
+    %b = load int* %p
+    %s = add int %a, %b
+    ret int %s
+}
+"#;
+        let mut m = llva_core::parser::parse_module(src).expect("parses");
+        let mut pass = LoadElim::new();
+        assert!(pass.run(&mut m));
+        assert_eq!(pass.eliminated(), 1);
+        verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    fn intervening_may_alias_store_blocks_forwarding() {
+        let src = r#"
+int %f(int* %p, int* %q) {
+entry:
+    %a = load int* %p
+    store int 0, int* %q
+    %b = load int* %p
+    %s = add int %a, %b
+    ret int %s
+}
+"#;
+        let mut m = llva_core::parser::parse_module(src).expect("parses");
+        let mut pass = LoadElim::new();
+        assert!(!pass.run(&mut m), "p and q may alias; loads must stay");
+    }
+
+    #[test]
+    fn no_alias_store_does_not_block() {
+        // distinct fields of the same struct cannot alias
+        let src = r#"
+%S = type { int, int }
+
+int %f(%S* %s) {
+entry:
+    %p = getelementptr %S* %s, long 0, ubyte 0
+    %q = getelementptr %S* %s, long 0, ubyte 1
+    %a = load int* %p
+    store int 0, int* %q
+    %b = load int* %p
+    %r = add int %a, %b
+    ret int %r
+}
+"#;
+        let mut m = llva_core::parser::parse_module(src).expect("parses");
+        let mut pass = LoadElim::new();
+        assert!(pass.run(&mut m));
+        assert_eq!(pass.eliminated(), 1);
+        verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    fn call_invalidates_escaped_memory_only() {
+        let mut m = Module::new("m", TargetConfig::default());
+        let int = m.types_mut().int();
+        let intp = m.types_mut().pointer_to(int);
+        let void = m.types_mut().void();
+        let callee = m.add_function("mayhem", void, vec![intp]);
+        let f = m.add_function("f", int, vec![intp]);
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let e = b.block("entry");
+        b.switch_to(e);
+        let arg = b.func().args()[0];
+        // local never escapes; arg-based memory is unknown
+        let local = b.alloca(int);
+        let one = b.iconst(int, 1);
+        b.store(one, local);
+        b.call(callee, vec![arg]);
+        let v1 = b.load(local); // forwardable across the call
+        let v2 = b.load(arg); // not tracked before the call anyway
+        let s = b.add(v1, v2);
+        b.ret(Some(s));
+        let mut pass = LoadElim::new();
+        assert!(pass.run(&mut m));
+        assert_eq!(pass.eliminated(), 1);
+        verify_module(&m).expect("verifies");
+    }
+}

@@ -1,0 +1,197 @@
+//! The pass framework: module passes, a pass manager, and run statistics.
+//!
+//! The paper's translation strategy (§4.2) layers optimization at
+//! compile/link time (machine-independent, on the V-ISA), install time,
+//! run time, and idle time. All of those stages drive the same pass
+//! manager over the same representation — exactly the property that
+//! makes a rich persistent code representation valuable.
+
+use llva_core::module::Module;
+use std::time::{Duration, Instant};
+
+/// A transformation (or analysis that mutates nothing) over a module.
+pub trait ModulePass {
+    /// Short stable pass name (used in statistics and pipelines).
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass. Returns `true` if the module was changed.
+    fn run(&mut self, module: &mut Module) -> bool;
+}
+
+/// Statistics for one executed pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name.
+    pub name: &'static str,
+    /// Whether the pass reported a change.
+    pub changed: bool,
+    /// Wall-clock duration of the pass.
+    pub duration: Duration,
+}
+
+/// Runs a sequence of passes over a module, optionally verifying after
+/// each one.
+pub struct PassManager {
+    passes: Vec<Box<dyn ModulePass>>,
+    verify_each: bool,
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}
+
+impl PassManager {
+    /// Creates an empty manager.
+    pub fn new() -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            verify_each: false,
+        }
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: impl ModulePass + 'static) -> &mut PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Verifies the module after every pass; panics with the failing
+    /// pass's name if verification fails. Intended for tests.
+    pub fn verify_after_each(&mut self, on: bool) -> &mut PassManager {
+        self.verify_each = on;
+        self
+    }
+
+    /// Runs all passes once, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `verify_after_each(true)` was set and a pass breaks the
+    /// module.
+    pub fn run(&mut self, module: &mut Module) -> Vec<PassStat> {
+        let mut stats = Vec::with_capacity(self.passes.len());
+        for pass in &mut self.passes {
+            let start = Instant::now();
+            let changed = pass.run(module);
+            stats.push(PassStat {
+                name: pass.name(),
+                changed,
+                duration: start.elapsed(),
+            });
+            if self.verify_each {
+                if let Err(e) = llva_core::verifier::verify_module(module) {
+                    panic!("pass '{}' broke the module:\n{e}", pass.name());
+                }
+            }
+        }
+        stats
+    }
+
+    /// Runs the pipeline repeatedly until no pass reports a change, up
+    /// to `max_iterations` rounds. Returns per-round statistics.
+    pub fn run_to_fixpoint(&mut self, module: &mut Module, max_iterations: usize) -> Vec<Vec<PassStat>> {
+        let mut rounds = Vec::new();
+        for _ in 0..max_iterations {
+            let stats = self.run(module);
+            let changed = stats.iter().any(|s| s.changed);
+            rounds.push(stats);
+            if !changed {
+                break;
+            }
+        }
+        rounds
+    }
+}
+
+/// The standard per-module optimization pipeline: SSA promotion followed
+/// by the classical scalar cleanups the paper lists in §5.1.
+pub fn standard_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(crate::mem2reg::Mem2Reg::new())
+        .add(crate::constfold::ConstFold::new())
+        .add(crate::gvn::Gvn::new())
+        .add(crate::load_elim::LoadElim::new())
+        .add(crate::dce::Dce::new())
+        .add(crate::simplify_cfg::SimplifyCfg::new())
+        .add(crate::constfold::ConstFold::new())
+        .add(crate::dce::Dce::new());
+    pm
+}
+
+/// The link-time interprocedural pipeline (§4.2 item 1): internalize
+/// everything but the entry points, inline small internal calls, drop
+/// dead internals, then run the standard scalar pipeline.
+pub fn link_time_pipeline(entry_points: &[&str]) -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(crate::internalize::Internalize::new(entry_points))
+        .add(crate::inline::Inline::new())
+        .add(crate::globaldce::GlobalDce::new())
+        .add(crate::mem2reg::Mem2Reg::new())
+        .add(crate::constfold::ConstFold::new())
+        .add(crate::licm::Licm::new())
+        .add(crate::gvn::Gvn::new())
+        .add(crate::load_elim::LoadElim::new())
+        .add(crate::dce::Dce::new())
+        .add(crate::simplify_cfg::SimplifyCfg::new())
+        .add(crate::constfold::ConstFold::new())
+        .add(crate::dce::Dce::new())
+        .add(crate::globaldce::GlobalDce::new());
+    pm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl ModulePass for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn run(&mut self, _m: &mut Module) -> bool {
+            false
+        }
+    }
+
+    struct OnceChanger(bool);
+    impl ModulePass for OnceChanger {
+        fn name(&self) -> &'static str {
+            "once"
+        }
+        fn run(&mut self, _m: &mut Module) -> bool {
+            std::mem::replace(&mut self.0, false)
+        }
+    }
+
+    #[test]
+    fn manager_runs_in_order_and_reports() {
+        let mut m = Module::new("m", llva_core::layout::TargetConfig::default());
+        let mut pm = PassManager::new();
+        pm.add(Nop).add(OnceChanger(true));
+        let stats = pm.run(&mut m);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "nop");
+        assert!(!stats[0].changed);
+        assert!(stats[1].changed);
+    }
+
+    #[test]
+    fn fixpoint_stops_when_stable() {
+        let mut m = Module::new("m", llva_core::layout::TargetConfig::default());
+        let mut pm = PassManager::new();
+        pm.add(OnceChanger(true));
+        let rounds = pm.run_to_fixpoint(&mut m, 10);
+        assert_eq!(rounds.len(), 2); // one changing round + one stable round
+    }
+}

@@ -1,0 +1,174 @@
+//! # llva-workloads — the Table 2 benchmark programs
+//!
+//! minic analogs of the 17 benchmarks in the paper's Table 2: the five
+//! PtrDist programs and twelve SPEC CPU2000 programs (three SPEC codes
+//! are omitted in the paper itself because "their LLVA object code
+//! versions fail to link"; we reproduce the 17 that appear in the
+//! table). Each program implements the original's core algorithm at a
+//! reduced scale — see DESIGN.md, substitution #3 — is deterministic,
+//! and returns a checksum from `main` that all three executors must
+//! agree on.
+
+pub mod ptrdist;
+pub mod specfp;
+pub mod specint;
+
+use llva_core::layout::TargetConfig;
+use llva_core::module::Module;
+
+/// One Table 2 benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Benchmark name as it appears in the paper's Table 2.
+    pub name: &'static str,
+    /// minic source.
+    pub source: &'static str,
+    /// What the original program does.
+    pub description: &'static str,
+}
+
+impl Workload {
+    /// Lines of minic source (the `#LOC` column analog).
+    pub fn loc(&self) -> usize {
+        self.source
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    }
+
+    /// Compiles this workload for `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails to compile (a bug in this
+    /// crate, covered by tests).
+    pub fn compile(&self, target: TargetConfig) -> Module {
+        llva_minic::compile(self.source, self.name, target)
+            .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", self.name))
+    }
+}
+
+/// All 17 workloads, in the paper's Table 2 order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "ptrdist-anagram",
+            source: ptrdist::ANAGRAM,
+            description: "dictionary anagram finding",
+        },
+        Workload {
+            name: "ptrdist-ks",
+            source: ptrdist::KS,
+            description: "Kernighan-Schweikert graph partitioning",
+        },
+        Workload {
+            name: "ptrdist-ft",
+            source: ptrdist::FT,
+            description: "minimum spanning tree",
+        },
+        Workload {
+            name: "ptrdist-yacr2",
+            source: ptrdist::YACR2,
+            description: "VLSI channel routing",
+        },
+        Workload {
+            name: "ptrdist-bc",
+            source: ptrdist::BC,
+            description: "calculator (recursive descent evaluation)",
+        },
+        Workload {
+            name: "179.art",
+            source: specfp::ART,
+            description: "adaptive resonance neural network",
+        },
+        Workload {
+            name: "183.equake",
+            source: specfp::EQUAKE,
+            description: "seismic wave propagation",
+        },
+        Workload {
+            name: "181.mcf",
+            source: specint::MCF,
+            description: "minimum-cost network flow",
+        },
+        Workload {
+            name: "256.bzip2",
+            source: specint::BZIP2,
+            description: "block-sorting compression",
+        },
+        Workload {
+            name: "164.gzip",
+            source: specint::GZIP,
+            description: "LZ77 compression",
+        },
+        Workload {
+            name: "197.parser",
+            source: specint::PARSER,
+            description: "natural-language grammar checking",
+        },
+        Workload {
+            name: "188.ammp",
+            source: specfp::AMMP,
+            description: "molecular dynamics",
+        },
+        Workload {
+            name: "175.vpr",
+            source: specint::VPR,
+            description: "FPGA placement",
+        },
+        Workload {
+            name: "300.twolf",
+            source: specint::TWOLF,
+            description: "standard-cell place and route (annealing)",
+        },
+        Workload {
+            name: "186.crafty",
+            source: specint::CRAFTY,
+            description: "game-tree (alpha-beta) search",
+        },
+        Workload {
+            name: "255.vortex",
+            source: specint::VORTEX,
+            description: "object-oriented database transactions",
+        },
+        Workload {
+            name: "254.gap",
+            source: specint::GAP,
+            description: "computational group theory",
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_workloads_like_table_2() {
+        assert_eq!(all().len(), 17);
+    }
+
+    #[test]
+    fn all_compile_and_verify_for_both_targets() {
+        for w in all() {
+            for target in [TargetConfig::ia32(), TargetConfig::sparc_v9()] {
+                let m = w.compile(target);
+                llva_core::verifier::verify_module(&m)
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+                assert!(m.total_insts() > 0, "{}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("181.mcf").is_some());
+        assert!(by_name("nonexistent").is_none());
+        assert!(by_name("ptrdist-bc").unwrap().loc() > 10);
+    }
+}

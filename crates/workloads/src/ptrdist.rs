@@ -1,0 +1,332 @@
+//! minic analogs of the PtrDist benchmark suite (Austin et al. 1995),
+//! the pointer-intensive half of the paper's Table 2. Each program
+//! implements the original benchmark's core algorithm at reduced scale
+//! (DESIGN.md substitution #3) and returns a checksum from `main`.
+
+/// `ptrdist-anagram`: dictionary anagram finding — canonicalize words
+/// by letter histogram and count anagram pairs.
+pub const ANAGRAM: &str = r#"
+// ptrdist-anagram analog: find anagram pairs in a generated dictionary.
+int words[64][8];
+int sigs[64][26];
+
+int lcg(int seed) {
+    return (seed * 1103515245 + 12345) % 2147483647;
+}
+
+void make_words() {
+    int seed = 42;
+    for (int w = 0; w < 64; w++) {
+        for (int k = 0; k < 8; k++) {
+            seed = lcg(seed);
+            int letter = seed % 26;
+            if (letter < 0) letter = -letter;
+            words[w][k] = letter;
+        }
+    }
+    // plant some anagrams: word 2i+1 is a rotation of word 2i for i < 8
+    for (int i = 0; i < 8; i++) {
+        for (int k = 0; k < 8; k++) {
+            words[2 * i + 1][k] = words[2 * i][(k + 3) % 8];
+        }
+    }
+}
+
+void signature(int w) {
+    for (int c = 0; c < 26; c++) sigs[w][c] = 0;
+    for (int k = 0; k < 8; k++) {
+        sigs[w][words[w][k]] += 1;
+    }
+}
+
+int same_sig(int a, int b) {
+    for (int c = 0; c < 26; c++) {
+        if (sigs[a][c] != sigs[b][c]) return 0;
+    }
+    return 1;
+}
+
+int main() {
+    make_words();
+    for (int w = 0; w < 64; w++) signature(w);
+    int pairs = 0;
+    for (int a = 0; a < 64; a++) {
+        for (int b = a + 1; b < 64; b++) {
+            if (same_sig(a, b)) pairs++;
+        }
+    }
+    return pairs;
+}
+"#;
+
+/// `ptrdist-ks`: Kernighan–Schweikert graph partitioning — greedy gain
+/// driven swaps between two partitions.
+pub const KS: &str = r#"
+// ptrdist-ks analog: graph bisection by pairwise-swap gain.
+int adj[32][32];
+int side[32];
+
+int lcg(int seed) {
+    return (seed * 1103515245 + 12345) % 2147483647;
+}
+
+void build_graph() {
+    int seed = 7;
+    for (int i = 0; i < 32; i++) {
+        for (int j = i + 1; j < 32; j++) {
+            seed = lcg(seed);
+            int w = seed % 10;
+            if (w < 0) w = -w;
+            adj[i][j] = w;
+            adj[j][i] = w;
+        }
+        side[i] = i % 2;
+    }
+}
+
+int cut_cost() {
+    int cost = 0;
+    for (int i = 0; i < 32; i++) {
+        for (int j = i + 1; j < 32; j++) {
+            if (side[i] != side[j]) cost += adj[i][j];
+        }
+    }
+    return cost;
+}
+
+int gain(int a, int b) {
+    int before = 0;
+    int after = 0;
+    for (int k = 0; k < 32; k++) {
+        if (k == a || k == b) continue;
+        if (side[k] != side[a]) before += adj[a][k]; else after += adj[a][k];
+        if (side[k] != side[b]) before += adj[b][k]; else after += adj[b][k];
+    }
+    return before - after;
+}
+
+int main() {
+    build_graph();
+    for (int pass = 0; pass < 4; pass++) {
+        for (int a = 0; a < 32; a++) {
+            for (int b = 0; b < 32; b++) {
+                if (side[a] == side[b]) continue;
+                if (gain(a, b) > 0) {
+                    int t = side[a];
+                    side[a] = side[b];
+                    side[b] = t;
+                }
+            }
+        }
+    }
+    return cut_cost();
+}
+"#;
+
+/// `ptrdist-ft`: minimum spanning tree (the original computes a
+/// Fibonacci-heap MST; this is Prim's with arrays).
+pub const FT: &str = r#"
+// ptrdist-ft analog: minimum spanning tree over a random graph.
+int weight[64][64];
+int intree[64];
+int dist[64];
+
+int lcg(int seed) {
+    return (seed * 1103515245 + 12345) % 2147483647;
+}
+
+int main() {
+    int seed = 5;
+    for (int i = 0; i < 64; i++) {
+        for (int j = i + 1; j < 64; j++) {
+            seed = lcg(seed);
+            int w = seed % 100;
+            if (w < 0) w = -w;
+            weight[i][j] = w + 1;
+            weight[j][i] = w + 1;
+        }
+        intree[i] = 0;
+        dist[i] = 1000000;
+    }
+    dist[0] = 0;
+    int total = 0;
+    for (int step = 0; step < 64; step++) {
+        int best = -1;
+        for (int v = 0; v < 64; v++) {
+            if (!intree[v] && (best == -1 || dist[v] < dist[best])) best = v;
+        }
+        intree[best] = 1;
+        total += dist[best];
+        for (int v = 0; v < 64; v++) {
+            if (!intree[v] && weight[best][v] < dist[v]) dist[v] = weight[best][v];
+        }
+    }
+    return total;
+}
+"#;
+
+/// `ptrdist-yacr2`: VLSI channel routing — greedy track assignment of
+/// horizontal wire intervals with vertical-constraint checking.
+pub const YACR2: &str = r#"
+// ptrdist-yacr2 analog: greedy channel routing of wire intervals.
+int lo[96];
+int hi[96];
+int track_of[96];
+int track_end[96];
+
+int lcg(int seed) {
+    return (seed * 1103515245 + 12345) % 2147483647;
+}
+
+int main() {
+    int seed = 11;
+    for (int i = 0; i < 96; i++) {
+        seed = lcg(seed);
+        int a = seed % 200;
+        if (a < 0) a = -a;
+        seed = lcg(seed);
+        int len = seed % 30;
+        if (len < 0) len = -len;
+        lo[i] = a;
+        hi[i] = a + len + 1;
+        track_of[i] = -1;
+    }
+    // sort intervals by left edge (insertion sort, pointer-walk style)
+    for (int i = 1; i < 96; i++) {
+        int kl = lo[i];
+        int kh = hi[i];
+        int j = i - 1;
+        while (j >= 0 && lo[j] > kl) {
+            lo[j + 1] = lo[j];
+            hi[j + 1] = hi[j];
+            j--;
+        }
+        lo[j + 1] = kl;
+        hi[j + 1] = kh;
+    }
+    int tracks = 0;
+    for (int t = 0; t < 96; t++) track_end[t] = -1;
+    for (int i = 0; i < 96; i++) {
+        int placed = 0;
+        for (int t = 0; t < tracks && !placed; t++) {
+            if (track_end[t] < lo[i]) {
+                track_end[t] = hi[i];
+                track_of[i] = t;
+                placed = 1;
+            }
+        }
+        if (!placed) {
+            track_end[tracks] = hi[i];
+            track_of[i] = tracks;
+            tracks++;
+        }
+    }
+    int sum = 0;
+    for (int i = 0; i < 96; i++) sum += track_of[i];
+    return tracks * 1000 + sum % 1000;
+}
+"#;
+
+/// `ptrdist-bc`: the arbitrary-precision calculator — here a recursive
+/// descent evaluator over a generated expression string.
+pub const BC: &str = r#"
+// ptrdist-bc analog: recursive-descent expression calculator.
+char expr[256];
+int pos;
+
+int parse_num() {
+    int v = 0;
+    while (expr[pos] >= '0' && expr[pos] <= '9') {
+        v = v * 10 + (expr[pos] - '0');
+        pos++;
+    }
+    return v;
+}
+
+int parse_atom() {
+    if (expr[pos] == '(') {
+        pos++;
+        int v = parse_expr();
+        pos++; // ')'
+        return v;
+    }
+    return parse_num();
+}
+
+int parse_term() {
+    int v = parse_atom();
+    while (expr[pos] == '*' || expr[pos] == '/') {
+        char op = expr[pos];
+        pos++;
+        int r = parse_atom();
+        if (op == '*') v = v * r;
+        else if (r != 0) v = v / r;
+    }
+    return v;
+}
+
+int parse_expr() {
+    int v = parse_term();
+    while (expr[pos] == '+' || expr[pos] == '-') {
+        char op = expr[pos];
+        pos++;
+        int r = parse_term();
+        if (op == '+') v = v + r; else v = v - r;
+    }
+    return v;
+}
+
+int put(int at, char c) {
+    expr[at] = c;
+    return at + 1;
+}
+
+int main() {
+    // build "((1+2)*3+4)*(5+6)-7*8+90/9" style expressions repeatedly
+    int total = 0;
+    for (int round = 0; round < 16; round++) {
+        int i = 0;
+        i = put(i, '(');
+        i = put(i, '0' + (round % 10));
+        i = put(i, '+');
+        i = put(i, '2');
+        i = put(i, ')');
+        i = put(i, '*');
+        i = put(i, '3');
+        i = put(i, '+');
+        i = put(i, '4');
+        i = put(i, '*');
+        i = put(i, '(');
+        i = put(i, '5');
+        i = put(i, '+');
+        i = put(i, '0' + (round % 7));
+        i = put(i, ')');
+        i = put(i, '-');
+        i = put(i, '9');
+        i = put(i, '/');
+        i = put(i, '3');
+        expr[i] = 0;
+        pos = 0;
+        total += parse_expr();
+    }
+    return total;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_parse() {
+        for (name, src) in [
+            ("anagram", ANAGRAM),
+            ("ks", KS),
+            ("ft", FT),
+            ("yacr2", YACR2),
+            ("bc", BC),
+        ] {
+            llva_minic::parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Differential testing: every Table 2 workload must produce the same
+//! checksum on the reference interpreter and both native targets.
+//! This is the repository's strongest end-to-end correctness check —
+//! it exercises the front end, the verifier, both code generators,
+//! both simulated processors, and the execution manager.
+
+use llva_core::layout::TargetConfig;
+use llva_engine::llee::{ExecutionManager, TargetIsa};
+use llva_engine::Interpreter;
+
+fn interp_result(w: &llva_workloads::Workload) -> u64 {
+    let m = w.compile(TargetConfig::default());
+    let mut interp = Interpreter::new(&m);
+    interp.set_fuel(2_000_000_000);
+    interp
+        .run("main", &[])
+        .unwrap_or_else(|e| panic!("{} (interp): {e}", w.name))
+}
+
+fn native_result(w: &llva_workloads::Workload, isa: TargetIsa) -> u64 {
+    let m = w.compile(TargetConfig::default());
+    let mut mgr = ExecutionManager::new(m, isa);
+    mgr.run("main", &[])
+        .unwrap_or_else(|e| panic!("{} ({isa}): {e}", w.name))
+        .value
+}
+
+#[test]
+fn all_workloads_agree_across_executors() {
+    for w in llva_workloads::all() {
+        let reference = interp_result(&w);
+        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            let native = native_result(&w, isa);
+            assert_eq!(
+                native, reference,
+                "{}: {isa} produced {native}, interpreter produced {reference}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_workloads_agree_with_unoptimized() {
+    for w in llva_workloads::all() {
+        let reference = interp_result(&w);
+        let mut m = w.compile(TargetConfig::default());
+        let mut pm = llva_opt::link_time_pipeline(&["main"]);
+        pm.run(&mut m);
+        llva_core::verifier::verify_module(&m)
+            .unwrap_or_else(|e| panic!("{} after opt: {e}", w.name));
+        let mut interp = Interpreter::new(&m);
+        interp.set_fuel(2_000_000_000);
+        let optimized = interp
+            .run("main", &[])
+            .unwrap_or_else(|e| panic!("{} (optimized interp): {e}", w.name));
+        assert_eq!(optimized, reference, "{}: optimization changed semantics", w.name);
+        // and natively
+        let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+        let native = mgr
+            .run("main", &[])
+            .unwrap_or_else(|e| panic!("{} (optimized x86): {e}", w.name))
+            .value;
+        assert_eq!(native, reference, "{}: optimized native disagrees", w.name);
+    }
+}
+
+#[test]
+fn workloads_round_trip_through_bytecode() {
+    // the virtual object code is the persistent form: encode, decode,
+    // re-run, same answer (paper §3.1 / §4.1).
+    for w in llva_workloads::all().into_iter().take(6) {
+        let reference = interp_result(&w);
+        let m = w.compile(TargetConfig::default());
+        let bytes = llva_core::bytecode::encode_module(&m);
+        let m2 = llva_core::bytecode::decode_module(&bytes)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        llva_core::verifier::verify_module(&m2)
+            .unwrap_or_else(|e| panic!("{} decoded: {e}", w.name));
+        let mut interp = Interpreter::new(&m2);
+        interp.set_fuel(2_000_000_000);
+        assert_eq!(interp.run("main", &[]), Ok(reference), "{}", w.name);
+    }
+}
+
+#[test]
+fn workloads_round_trip_through_assembly() {
+    // printer → parser round trip preserves semantics
+    for w in llva_workloads::all().into_iter().take(6) {
+        let reference = interp_result(&w);
+        let m = w.compile(TargetConfig::default());
+        let text = llva_core::printer::print_module(&m);
+        let m2 = llva_core::parser::parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        llva_core::verifier::verify_module(&m2)
+            .unwrap_or_else(|e| panic!("{} reparsed: {e}", w.name));
+        let mut interp = Interpreter::new(&m2);
+        interp.set_fuel(2_000_000_000);
+        assert_eq!(interp.run("main", &[]), Ok(reference), "{}", w.name);
+    }
+}

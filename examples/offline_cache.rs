@@ -1,0 +1,105 @@
+//! Offline translation and caching through the OS-independent storage
+//! API (paper §4.1).
+//!
+//! Launch 1 JIT-translates and writes native code into a directory
+//! cache; launch 2 loads every translation from the cache (zero JIT);
+//! then the program is modified, the timestamp check rejects the stale
+//! cache, and translation happens again — exactly the LLEE protocol:
+//! "LLEE uses it to look for a cached translation of the code, checks
+//! its timestamp if it exists, and reads it into memory if the
+//! translation is not out of date."
+//!
+//! Run with: `cargo run --example offline_cache`
+
+use llva::core::layout::TargetConfig;
+use llva::engine::llee::{ExecutionManager, TargetIsa};
+use llva::engine::storage::{DirStorage, Storage};
+
+const PROGRAM: &str = r#"
+int work(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += i * i;
+    return s;
+}
+
+int main() { return work(100); }
+"#;
+
+fn main() {
+    let cache_dir = std::env::temp_dir().join("llva-offline-cache-example");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!("=== LLEE offline caching (storage API at {}) ===\n", cache_dir.display());
+
+    let module = || {
+        llva::minic::compile(PROGRAM, "cached_app", TargetConfig::default()).expect("compiles")
+    };
+
+    // launch 1: cold — JIT everything, write back to the cache
+    {
+        let mut mgr = ExecutionManager::new(module(), TargetIsa::X86);
+        mgr.set_storage(Box::new(DirStorage::new(&cache_dir)), "cached_app");
+        let out = mgr.run("main", &[]).expect("runs");
+        let s = mgr.stats();
+        println!(
+            "launch 1: result={} | JIT translated {} functions in {:?}, cache hits {}",
+            out.value, s.functions_translated, s.translate_time, s.cache_hits
+        );
+    }
+
+    // launch 2: warm — every translation loads from offline storage
+    {
+        let mut mgr = ExecutionManager::new(module(), TargetIsa::X86);
+        mgr.set_storage(Box::new(DirStorage::new(&cache_dir)), "cached_app");
+        let out = mgr.run("main", &[]).expect("runs");
+        let s = mgr.stats();
+        println!(
+            "launch 2: result={} | JIT translated {} functions, cache hits {}",
+            out.value, s.functions_translated, s.cache_hits
+        );
+        assert_eq!(s.functions_translated, 0, "everything came from the cache");
+    }
+
+    // offline translation during "idle time" for a different program
+    {
+        let other = llva::minic::compile(
+            "int helper(int x) { return x + 1; } int main() { return helper(41); }",
+            "idle_app",
+            TargetConfig::default(),
+        )
+        .expect("compiles");
+        let mut mgr = ExecutionManager::new(other, TargetIsa::X86);
+        mgr.set_storage(Box::new(DirStorage::new(&cache_dir)), "idle_app");
+        mgr.translate_all().expect("offline translation");
+        println!(
+            "\nidle-time: translated {} functions offline without executing",
+            mgr.stats().functions_translated
+        );
+    }
+
+    // stale-cache rejection: a modified program must not reuse old code
+    {
+        let modified = llva::minic::compile(
+            PROGRAM.replace("work(100)", "work(10)").as_str(),
+            "cached_app",
+            TargetConfig::default(),
+        )
+        .expect("compiles");
+        let mut mgr = ExecutionManager::new(modified, TargetIsa::X86);
+        mgr.set_storage(Box::new(DirStorage::new(&cache_dir)), "cached_app");
+        let out = mgr.run("main", &[]).expect("runs");
+        let s = mgr.stats();
+        println!(
+            "\nmodified program: result={} | timestamps invalidated the cache \
+             (translated {}, hits {})",
+            out.value, s.functions_translated, s.cache_hits
+        );
+        assert!(s.functions_translated > 0);
+    }
+
+    let storage = DirStorage::new(&cache_dir);
+    println!(
+        "\ncache on disk: {} bytes across caches",
+        storage.cache_size("cached_app").unwrap_or(0) + storage.cache_size("idle_app").unwrap_or(0)
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

@@ -1,0 +1,90 @@
+//! Constrained self-modifying code (paper §3.4) and OS support (§3.5).
+//!
+//! LLVA allows a program to modify its own virtual instructions "but
+//! such a change only affects future invocations of that function":
+//! the translator just marks the translation invalid and regenerates it
+//! on the next call. This example also demonstrates the privileged bit
+//! and trap-handler registration.
+//!
+//! Run with: `cargo run --example self_modifying`
+
+use llva::core::builder::FunctionBuilder;
+use llva::core::layout::TargetConfig;
+use llva::engine::llee::{ExecutionManager, TargetIsa};
+
+const PROGRAM: &str = r#"
+int version() { return 1; }
+
+int main() { return version(); }
+"#;
+
+fn main() {
+    println!("=== self-modifying code (§3.4) ===\n");
+    let module =
+        llva::minic::compile(PROGRAM, "smc_demo", TargetConfig::default()).expect("compiles");
+    let mut mgr = ExecutionManager::new(module, TargetIsa::X86);
+
+    let v1 = mgr.run("main", &[]).expect("runs").value;
+    println!("before modification: version() = {v1}");
+    let translated_before = mgr.stats().functions_translated;
+
+    // rewrite version()'s virtual instructions; the translation is
+    // invalidated and the *next* invocation regenerates it
+    mgr.modify_function("version", |m, fid| {
+        m.discard_function_body(fid);
+        let int = m.types_mut().int();
+        let mut b = FunctionBuilder::new(m, fid);
+        let entry = b.block("entry");
+        b.switch_to(entry);
+        let two = b.iconst(int, 2);
+        b.ret(Some(two));
+    });
+    println!("modified %version via the constrained SMC model...");
+
+    let v2 = mgr.run("main", &[]).expect("runs").value;
+    println!(
+        "after modification : version() = {v2} (retranslated {} function(s), {} invalidation(s))",
+        mgr.stats().functions_translated - translated_before,
+        mgr.stats().invalidations
+    );
+    assert_eq!((v1, v2), (1, 2));
+
+    // ---- §3.5: privileged intrinsics + trap handlers -------------------
+    println!("\n=== OS support: privileged bit + trap handler (§3.5) ===\n");
+    let os_program = r#"
+int handler_ran = 0;
+
+void on_trap(int trap_no, char* info) {
+    handler_ran = trap_no;
+    putchar('T');
+    putchar('0' + trap_no);
+}
+
+int main(int divisor) {
+    return 100 / divisor;
+}
+"#;
+    let m = llva::minic::compile(os_program, "os_demo", TargetConfig::default()).expect("compiles");
+    let mut mgr = ExecutionManager::new(m, TargetIsa::Sparc);
+    // the "OS" boots privileged and registers a divide-by-zero handler
+    mgr.env.privileged = true;
+    let handler = mgr
+        .module()
+        .function_by_name("on_trap")
+        .expect("handler exists")
+        .index() as u32;
+    mgr.env.trap_handlers.insert(2, handler); // 2 = divide by zero
+
+    match mgr.run("main", &[0]) {
+        Err(e) => println!("main(0) trapped as expected: {e}"),
+        Ok(v) => panic!("expected a trap, got {v:?}"),
+    }
+    println!(
+        "trap handler output: {:?} (the handler ran before the trap was reported)",
+        mgr.env.stdout_string()
+    );
+    assert_eq!(mgr.env.stdout_string(), "T2");
+
+    let ok = mgr.run("main", &[4]).expect("runs").value;
+    println!("main(4) = {ok} (normal execution unaffected)");
+}

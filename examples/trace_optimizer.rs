@@ -1,0 +1,96 @@
+//! Runtime profiling + the software trace cache (paper §4.2).
+//!
+//! 1. statically instrument a program's CFG with block counters
+//!    ("static instrumentation to assist runtime path profiling"),
+//! 2. run it natively and harvest the counters,
+//! 3. form hot traces — including cross-procedure traces — and
+//! 4. reoptimize along the traces (inline the hot callee, rerun the
+//!    scalar pipeline) and show the simulated-cycle improvement.
+//!
+//! Run with: `cargo run --example trace_optimizer`
+
+use llva::core::layout::TargetConfig;
+use llva::engine::llee::{ExecutionManager, TargetIsa};
+use llva::engine::{profile, trace};
+
+const PROGRAM: &str = r#"
+int weight(int x) {
+    int w = x % 7;
+    if (w < 0) w = -w;
+    return w * w + 1;
+}
+
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 2000; i++) {
+        acc += weight(i);
+        if (acc > 1000000) acc -= 1000000;
+    }
+    return acc;
+}
+"#;
+
+fn main() {
+    println!("=== profiling + software trace cache ===\n");
+
+    // instrument and run
+    let mut instrumented =
+        llva::minic::compile(PROGRAM, "traced", TargetConfig::default()).expect("compiles");
+    let map = profile::instrument(&mut instrumented);
+    llva::core::verifier::verify_module(&instrumented).expect("verifies");
+    let mut mgr = ExecutionManager::new(instrumented, TargetIsa::X86);
+    let out = mgr.run("main", &[]).expect("runs");
+    println!("instrumented run: result={}, {} blocks profiled", out.value, map.len);
+
+    // harvest counters
+    let counts = profile::read_counters(&mgr, &map);
+    let clean = llva::minic::compile(PROGRAM, "traced", TargetConfig::default()).expect("compiles");
+    println!("\nhot blocks:");
+    let mut hot: Vec<_> = map.index.iter().map(|(&(f, b), &i)| (counts[i], f, b)).collect();
+    hot.sort_by(|a, b| b.0.cmp(&a.0));
+    for (count, f, b) in hot.iter().take(5) {
+        println!(
+            "  {:>8}x  %{}:{}",
+            count,
+            clean.function(*f).name(),
+            clean.function(*f).block(*b).name()
+        );
+    }
+
+    // form traces
+    let cache = trace::form_traces(&clean, &map, &counts, 500, 16);
+    println!("\ntraces formed: {}", cache.len());
+    for t in cache.traces() {
+        let blocks: Vec<String> = t
+            .blocks
+            .iter()
+            .map(|(f, b)| format!("{}:{}", clean.function(*f).name(), clean.function(*f).block(*b).name()))
+            .collect();
+        println!(
+            "  heat={:<7} cross_procedure={:<5} [{}]",
+            t.heat,
+            t.cross_procedure,
+            blocks.join(" -> ")
+        );
+    }
+
+    // reoptimize along the traces and compare simulated cycles
+    let cycles_of = |m: llva::core::module::Module| {
+        let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+        let out = mgr.run("main", &[]).expect("runs");
+        (out.value, mgr.exec_stats().cycles)
+    };
+    let (v0, c0) = cycles_of(clean.clone());
+    let mut reopt = clean;
+    let changed = trace::reoptimize(&mut reopt, &cache);
+    llva::core::verifier::verify_module(&reopt).expect("reoptimized module verifies");
+    let (v1, c1) = cycles_of(reopt);
+    assert_eq!(v0, v1, "reoptimization preserves semantics");
+    println!(
+        "\nreoptimize: changed={changed}, simulated cycles {} -> {} ({:.1}% saved), result {} unchanged",
+        c0,
+        c1,
+        100.0 * (c0 as f64 - c1 as f64) / c0 as f64,
+        v1
+    );
+}

@@ -1,0 +1,62 @@
+//! `llva-as` — assemble LLVA textual assembly into virtual object code.
+//!
+//! Usage: `llva-as input.ll [-o output.bc]`
+
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (input, output) = parse_args(&args);
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("llva-as: cannot read {input}: {e}");
+            exit(1);
+        }
+    };
+    let module = match llva::core::parser::parse_module(&src) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("llva-as: {input}: {e}");
+            exit(1);
+        }
+    };
+    if let Err(e) = llva::core::verifier::verify_module(&module) {
+        eprintln!("llva-as: {input}: {e}");
+        exit(1);
+    }
+    let bytes = llva::core::bytecode::encode_module(&module);
+    if let Err(e) = std::fs::write(&output, &bytes) {
+        eprintln!("llva-as: cannot write {output}: {e}");
+        exit(1);
+    }
+    let stats = llva::core::bytecode::encoding_stats(&module);
+    eprintln!(
+        "llva-as: {} -> {} ({} bytes, {} small / {} extended instructions)",
+        input, output, bytes.len(), stats.small_insts, stats.extended_insts
+    );
+}
+
+fn parse_args(args: &[String]) -> (String, String) {
+    let mut input = None;
+    let mut output = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-o" {
+            output = it.next().cloned();
+        } else if a == "-h" || a == "--help" {
+            eprintln!("usage: llva-as input.ll [-o output.bc]");
+            exit(0);
+        } else {
+            input = Some(a.clone());
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: llva-as input.ll [-o output.bc]");
+        exit(1);
+    };
+    let output = output.unwrap_or_else(|| {
+        input.strip_suffix(".ll").unwrap_or(&input).to_string() + ".bc"
+    });
+    (input, output)
+}

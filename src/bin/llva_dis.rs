@@ -1,0 +1,50 @@
+//! `llva-dis` — disassemble virtual object code to LLVA assembly.
+//!
+//! Usage: `llva-dis input.bc [-o output.ll]` (default: stdout)
+
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-o" {
+            output = it.next().cloned();
+        } else if a == "-h" || a == "--help" {
+            eprintln!("usage: llva-dis input.bc [-o output.ll]");
+            exit(0);
+        } else {
+            input = Some(a.clone());
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: llva-dis input.bc [-o output.ll]");
+        exit(1);
+    };
+    let bytes = match std::fs::read(&input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("llva-dis: cannot read {input}: {e}");
+            exit(1);
+        }
+    };
+    let module = match llva::core::bytecode::decode_module(&bytes) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("llva-dis: {input}: {e}");
+            exit(1);
+        }
+    };
+    let text = llva::core::printer::print_module(&module);
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("llva-dis: cannot write {path}: {e}");
+                exit(1);
+            }
+        }
+        None => print!("{text}"),
+    }
+}

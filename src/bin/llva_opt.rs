@@ -1,0 +1,92 @@
+//! `llva-opt` — run optimization pipelines over virtual object code.
+//!
+//! Usage: `llva-opt input.{ll,bc} [-o output.bc] [--pipeline standard|linktime]
+//!         [--entry NAME] [--print] [--stats]`
+
+use std::process::exit;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = None;
+    let mut pipeline = "standard".to_string();
+    let mut entry = "main".to_string();
+    let mut print = false;
+    let mut stats = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => output = it.next().cloned(),
+            "--pipeline" => pipeline = it.next().cloned().unwrap_or_default(),
+            "--entry" => entry = it.next().cloned().unwrap_or_default(),
+            "--print" => print = true,
+            "--stats" => stats = true,
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: llva-opt input [-o out.bc] [--pipeline standard|linktime] \
+                     [--entry NAME] [--print] [--stats]"
+                );
+                exit(0);
+            }
+            other => input = Some(other.to_string()),
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: llva-opt input [-o out.bc]");
+        exit(1);
+    };
+    let bytes = std::fs::read(&input).unwrap_or_else(|e| {
+        eprintln!("llva-opt: cannot read {input}: {e}");
+        exit(1);
+    });
+    let mut module = if bytes.starts_with(llva::core::bytecode::MAGIC) {
+        llva::core::bytecode::decode_module(&bytes).unwrap_or_else(|e| {
+            eprintln!("llva-opt: {e}");
+            exit(1);
+        })
+    } else {
+        llva::core::parser::parse_module(&String::from_utf8_lossy(&bytes)).unwrap_or_else(|e| {
+            eprintln!("llva-opt: {e}");
+            exit(1);
+        })
+    };
+    let before = module.total_insts();
+    let mut pm = match pipeline.as_str() {
+        "standard" => llva::opt::standard_pipeline(),
+        "linktime" => llva::opt::link_time_pipeline(&[entry.as_str()]),
+        other => {
+            eprintln!("llva-opt: unknown pipeline '{other}' (standard|linktime)");
+            exit(1);
+        }
+    };
+    let pass_stats = pm.run(&mut module);
+    if let Err(e) = llva::core::verifier::verify_module(&module) {
+        eprintln!("llva-opt: INTERNAL ERROR — output does not verify:\n{e}");
+        exit(2);
+    }
+    if stats {
+        for s in &pass_stats {
+            eprintln!(
+                "  {:<12} {:<8} {:?}",
+                s.name,
+                if s.changed { "changed" } else { "-" },
+                s.duration
+            );
+        }
+        eprintln!(
+            "llva-opt: {} -> {} LLVA instructions",
+            before,
+            module.total_insts()
+        );
+    }
+    if print {
+        print!("{}", llva::core::printer::print_module(&module));
+    }
+    if let Some(out) = output {
+        let bytes = llva::core::bytecode::encode_module(&module);
+        if let Err(e) = std::fs::write(&out, bytes) {
+            eprintln!("llva-opt: cannot write {out}: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! `llva-run` — LLEE from the command line: execute virtual object code
+//! (or assembly) on the reference interpreter or a simulated processor,
+//! with optional offline caching through the storage API.
+//!
+//! Usage:
+//!   llva-run program.bc [args...]
+//!       [--isa x86|sparc|interp] [--entry NAME]
+//!       [--cache DIR]            # enable the offline storage API (§4.1)
+//!       [--stats]
+
+use llva::engine::llee::{ExecutionManager, TargetIsa};
+use std::process::exit;
+
+fn load(path: &str) -> llva::core::module::Module {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("llva-run: cannot read {path}: {e}");
+        exit(1);
+    });
+    if bytes.starts_with(llva::core::bytecode::MAGIC) {
+        llva::core::bytecode::decode_module(&bytes).unwrap_or_else(|e| {
+            eprintln!("llva-run: {path}: {e}");
+            exit(1);
+        })
+    } else {
+        let src = String::from_utf8_lossy(&bytes);
+        llva::core::parser::parse_module(&src).unwrap_or_else(|e| {
+            eprintln!("llva-run: {path}: {e}");
+            exit(1);
+        })
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut isa = "x86".to_string();
+    let mut entry = "main".to_string();
+    let mut cache: Option<String> = None;
+    let mut stats = false;
+    let mut prog_args: Vec<u64> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--isa" => isa = it.next().cloned().unwrap_or_default(),
+            "--entry" => entry = it.next().cloned().unwrap_or_default(),
+            "--cache" => cache = it.next().cloned(),
+            "--stats" => stats = true,
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: llva-run program.bc [args...] [--isa x86|sparc|interp] \
+                     [--entry NAME] [--cache DIR] [--stats]"
+                );
+                exit(0);
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => prog_args.push(other.parse().unwrap_or_else(|_| {
+                eprintln!("llva-run: program arguments must be integers, got '{other}'");
+                exit(1);
+            })),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: llva-run program.bc [args...]");
+        exit(1);
+    };
+    let module = load(&path);
+
+    if isa == "interp" {
+        let mut interp = llva::engine::Interpreter::new(&module);
+        match interp.run(&entry, &prog_args) {
+            Ok(v) => {
+                print!("{}", interp.env.stdout_string());
+                if stats {
+                    eprintln!(
+                        "llva-run: result={} ({} LLVA instructions executed)",
+                        v,
+                        interp.insts_executed()
+                    );
+                }
+                exit((v & 0xff) as i32);
+            }
+            Err(e) => {
+                print!("{}", interp.env.stdout_string());
+                eprintln!("llva-run: {e}");
+                exit(101);
+            }
+        }
+    }
+
+    let target = match isa.as_str() {
+        "x86" => TargetIsa::X86,
+        "sparc" => TargetIsa::Sparc,
+        other => {
+            eprintln!("llva-run: unknown --isa '{other}' (x86|sparc|interp)");
+            exit(1);
+        }
+    };
+    let mut mgr = ExecutionManager::new(module, target);
+    if let Some(dir) = cache {
+        let name = std::path::Path::new(&path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "program".into());
+        mgr.set_storage(
+            Box::new(llva::engine::storage::DirStorage::new(dir)),
+            &name,
+        );
+    }
+    match mgr.run(&entry, &prog_args) {
+        Ok(out) => {
+            print!("{}", mgr.env.stdout_string());
+            if stats {
+                let t = mgr.stats();
+                eprintln!(
+                    "llva-run: result={} | translated {} fns in {:?}, cache hits {} | \
+                     {} native insts executed, {} simulated cycles",
+                    out.value,
+                    t.functions_translated,
+                    t.translate_time,
+                    t.cache_hits,
+                    out.stats.instructions,
+                    out.stats.cycles
+                );
+            }
+            exit((out.value & 0xff) as i32);
+        }
+        Err(e) => {
+            print!("{}", mgr.env.stdout_string());
+            eprintln!("llva-run: {e}");
+            exit(101);
+        }
+    }
+}

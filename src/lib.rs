@@ -1,0 +1,43 @@
+//! # llva — reproduction of "LLVA: A Low-level Virtual Instruction Set
+//! Architecture" (MICRO 2003)
+//!
+//! This facade crate re-exports every subsystem of the workspace:
+//!
+//! * [`core`] — the V-ISA itself: types, the 28 instructions, builder,
+//!   verifier, dominators, textual printer/parser, binary bytecode,
+//!   intrinsics (paper §3).
+//! * [`opt`] — the optimization framework: pass manager, mem2reg,
+//!   constant folding, GVN, LICM, DCE, SimplifyCFG, inlining,
+//!   internalize, global DCE, alias analysis (paper §4.2, §5.1).
+//! * [`backend`] — the translator: IA-32-like and SPARC-V9-like code
+//!   generators (paper §5.2).
+//! * [`machine`] — the simulated hardware processors and their memory.
+//! * [`engine`] — LLEE: the reference interpreter, JIT-on-demand
+//!   execution manager, OS-independent storage API, profiling and the
+//!   software trace cache (paper §4.1–§4.2).
+//! * [`minic`] — a C-like front end standing in for the paper's
+//!   GCC-based one.
+//! * [`workloads`] — the 17 Table 2 benchmarks as minic analogs.
+//!
+//! See the repository README for a tour and DESIGN.md / EXPERIMENTS.md
+//! for the reproduction methodology and results.
+//!
+//! ```
+//! use llva::engine::llee::{ExecutionManager, TargetIsa};
+//!
+//! let m = llva::minic::compile(
+//!     "int main() { return 6 * 7; }",
+//!     "demo",
+//!     llva::core::layout::TargetConfig::default(),
+//! ).expect("compiles");
+//! let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+//! assert_eq!(mgr.run("main", &[]).unwrap().value, 42);
+//! ```
+
+pub use llva_backend as backend;
+pub use llva_core as core;
+pub use llva_engine as engine;
+pub use llva_machine as machine;
+pub use llva_minic as minic;
+pub use llva_opt as opt;
+pub use llva_workloads as workloads;

@@ -1,0 +1,276 @@
+//! Property-based tests over randomly generated LLVA programs.
+//!
+//! A random "recipe" of arithmetic/compare/select steps is lowered
+//! through the builder into a verified module; properties then assert
+//! that every representation change (bytecode, assembly) and every
+//! optimization preserves the interpreter's semantics, and that both
+//! simulated processors agree with the interpreter.
+
+use llva::core::builder::FunctionBuilder;
+use llva::core::layout::TargetConfig;
+use llva::core::module::Module;
+use llva::core::value::ValueId;
+use llva::engine::llee::{ExecutionManager, TargetIsa};
+use llva::engine::Interpreter;
+use proptest::prelude::*;
+
+/// One step of a generated program.
+#[derive(Debug, Clone)]
+enum Step {
+    /// A fresh integer constant.
+    Const(i32),
+    /// A binary operation over two earlier values (by index).
+    Bin(u8, usize, usize),
+    /// `select(cond_value != 0, a, b)` lowered as a CFG diamond + phi.
+    Select(usize, usize, usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-1000i32..1000).prop_map(Step::Const),
+        (0u8..8, 0usize..64, 0usize..64).prop_map(|(op, a, b)| Step::Bin(op, a, b)),
+        (0usize..64, 0usize..64, 0usize..64).prop_map(|(c, a, b)| Step::Select(c, a, b)),
+    ]
+}
+
+/// Builds a module `long f(long, long)` from a recipe; every operation
+/// is total (division uses a guarded nonzero divisor).
+fn build(steps: &[Step]) -> Module {
+    let mut m = Module::new("prop", TargetConfig::default());
+    let long = m.types_mut().long();
+    let f = m.add_function("f", long, vec![long, long]);
+    let mut b = FunctionBuilder::new(&mut m, f);
+    let entry = b.block("entry");
+    b.switch_to(entry);
+    let mut vals: Vec<ValueId> = b.func().args().to_vec();
+    for (si, step) in steps.iter().enumerate() {
+        let pick = |i: usize| vals[i % vals.len()];
+        let v = match step {
+            Step::Const(c) => b.iconst(long, i64::from(*c)),
+            Step::Bin(op, a, c) => {
+                let (x, y) = (pick(*a), pick(*c));
+                match op % 8 {
+                    0 => b.add(x, y),
+                    1 => b.sub(x, y),
+                    2 => b.mul(x, y),
+                    3 => {
+                        // guarded division: divisor = (y | 1) so it is
+                        // never zero, and the sign stays varied
+                        let one = b.iconst(long, 1);
+                        let nz = b.or(y, one);
+                        b.div(x, nz)
+                    }
+                    4 => b.and(x, y),
+                    5 => b.or(x, y),
+                    6 => b.xor(x, y),
+                    _ => {
+                        // bounded shift: (y & 31)
+                        let mask = b.iconst(long, 31);
+                        let sh = b.and(y, mask);
+                        b.shl(x, sh)
+                    }
+                }
+            }
+            Step::Select(c, a, d) => {
+                let (cv, x, y) = (pick(*c), pick(*a), pick(*d));
+                let zero = b.iconst(long, 0);
+                let cond = b.setne(cv, zero);
+                let tb = b.block(&format!("t{si}"));
+                let eb = b.block(&format!("e{si}"));
+                let jb = b.block(&format!("j{si}"));
+                b.cond_br(cond, tb, eb);
+                b.switch_to(tb);
+                b.br(jb);
+                b.switch_to(eb);
+                b.br(jb);
+                b.switch_to(jb);
+                b.phi(long, vec![(x, tb), (y, eb)])
+            }
+        };
+        vals.push(v);
+    }
+    let ret = *vals.last().expect("at least the args");
+    b.ret(Some(ret));
+    m
+}
+
+fn interp(m: &Module, args: &[u64]) -> u64 {
+    let mut i = Interpreter::new(m);
+    i.set_fuel(10_000_000);
+    i.run("f", args).expect("random programs are total")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_modules_verify(steps in prop::collection::vec(step_strategy(), 1..40)) {
+        let m = build(&steps);
+        llva::core::verifier::verify_module(&m).expect("generated module verifies");
+    }
+
+    #[test]
+    fn bytecode_round_trip_preserves_semantics(
+        steps in prop::collection::vec(step_strategy(), 1..30),
+        a in -500i64..500,
+        b in -500i64..500,
+    ) {
+        let m = build(&steps);
+        let args = [a as u64, b as u64];
+        let expected = interp(&m, &args);
+        let bytes = llva::core::bytecode::encode_module(&m);
+        let m2 = llva::core::bytecode::decode_module(&bytes).expect("decodes");
+        prop_assert_eq!(interp(&m2, &args), expected);
+    }
+
+    #[test]
+    fn assembly_round_trip_preserves_semantics(
+        steps in prop::collection::vec(step_strategy(), 1..25),
+        a in -500i64..500,
+        b in -500i64..500,
+    ) {
+        let m = build(&steps);
+        let args = [a as u64, b as u64];
+        let expected = interp(&m, &args);
+        let text = llva::core::printer::print_module(&m);
+        let m2 = llva::core::parser::parse_module(&text).expect("parses");
+        prop_assert_eq!(interp(&m2, &args), expected);
+    }
+
+    #[test]
+    fn optimizer_preserves_semantics(
+        steps in prop::collection::vec(step_strategy(), 1..30),
+        a in -500i64..500,
+        b in -500i64..500,
+    ) {
+        let mut m = build(&steps);
+        let args = [a as u64, b as u64];
+        let expected = interp(&m, &args);
+        let mut pm = llva::opt::standard_pipeline();
+        pm.verify_after_each(true);
+        pm.run(&mut m);
+        prop_assert_eq!(interp(&m, &args), expected);
+    }
+
+    #[test]
+    fn both_processors_agree_with_interpreter(
+        steps in prop::collection::vec(step_strategy(), 1..20),
+        a in -200i64..200,
+        b in -200i64..200,
+    ) {
+        let m = build(&steps);
+        let args = [a as u64, b as u64];
+        let expected = interp(&m, &args);
+        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            let mut mgr = ExecutionManager::new(build(&steps), isa);
+            let out = mgr.run("f", &args).expect("runs");
+            prop_assert_eq!(out.value, expected, "{} disagrees", isa);
+        }
+    }
+
+    #[test]
+    fn constant_folding_agrees_with_runtime(
+        steps in prop::collection::vec(step_strategy(), 1..25),
+    ) {
+        // feed constants for the arguments so folding can collapse a lot
+        let m = build(&steps);
+        let expected = interp(&m, &[7u64, 13u64]);
+        let mut folded = build(&steps);
+        let mut pm = llva::opt::PassManager::new();
+        pm.add(llva::opt::constfold::ConstFold::new())
+            .add(llva::opt::dce::Dce::new())
+            .verify_after_each(true);
+        pm.run_to_fixpoint(&mut folded, 8);
+        prop_assert_eq!(interp(&folded, &[7u64, 13u64]), expected);
+    }
+
+    #[test]
+    fn eval_matches_interpreter_for_binaries(
+        a in any::<i64>(),
+        b in any::<i64>(),
+        op_idx in 0usize..10,
+    ) {
+        use llva::core::instruction::Opcode;
+        let ops = [
+            Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Div, Opcode::Rem,
+            Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Shl, Opcode::Shr,
+        ];
+        let op = ops[op_idx];
+        let mut m = Module::new("e", TargetConfig::default());
+        let long = m.types_mut().long();
+        let f = m.add_function("f", long, vec![long, long]);
+        let mut bb = FunctionBuilder::new(&mut m, f);
+        let entry = bb.block("entry");
+        bb.switch_to(entry);
+        let (x, y) = (bb.func().args()[0], bb.func().args()[1]);
+        let r = match op {
+            Opcode::Add => bb.add(x, y),
+            Opcode::Sub => bb.sub(x, y),
+            Opcode::Mul => bb.mul(x, y),
+            Opcode::Div => bb.div(x, y),
+            Opcode::Rem => bb.rem(x, y),
+            Opcode::And => bb.and(x, y),
+            Opcode::Or => bb.or(x, y),
+            Opcode::Xor => bb.xor(x, y),
+            Opcode::Shl => bb.shl(x, y),
+            _ => bb.shr(x, y),
+        };
+        bb.ret(Some(r));
+
+        let ca = llva::core::value::Constant::Int { ty: long, bits: a as u64 };
+        let cb = llva::core::value::Constant::Int { ty: long, bits: b as u64 };
+        let folded = llva::core::eval::fold_binary(m.types(), op, &ca, &cb);
+        let mut i = Interpreter::new(&m);
+        i.set_fuel(1000);
+        let run = i.run("f", &[a as u64, b as u64]);
+        match folded {
+            Some(c) => {
+                // the interpreter must agree with compile-time folding
+                prop_assert_eq!(run.expect("no trap when folding succeeded"), c.as_int_bits().unwrap());
+            }
+            None => {
+                // fold refuses for division by zero (must trap at run
+                // time) and for i64::MIN / -1 overflow (where the
+                // runtime wraps but folding conservatively declines)
+                prop_assert!(matches!(op, Opcode::Div | Opcode::Rem));
+                if b == 0 {
+                    prop_assert!(run.is_err());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominator_properties(
+        steps in prop::collection::vec(step_strategy(), 1..25),
+    ) {
+        use llva::core::dominators::DomTree;
+        let m = build(&steps);
+        let f = m.function_by_name("f").expect("f");
+        let func = m.function(f);
+        let dom = DomTree::compute(func);
+        let entry = func.entry_block();
+        for &b in dom.reverse_postorder() {
+            // the entry dominates every reachable block
+            prop_assert!(dom.dominates(entry, b));
+            // the immediate dominator strictly dominates its child
+            if let Some(idom) = dom.idom(b) {
+                prop_assert!(dom.strictly_dominates(idom, b));
+            } else {
+                prop_assert_eq!(b, entry);
+            }
+            // no block strictly dominates itself
+            prop_assert!(!dom.strictly_dominates(b, b));
+        }
+    }
+
+    #[test]
+    fn encoding_stats_are_consistent(
+        steps in prop::collection::vec(step_strategy(), 1..25),
+    ) {
+        let m = build(&steps);
+        let stats = llva::core::bytecode::encoding_stats(&m);
+        prop_assert_eq!(stats.small_insts + stats.extended_insts, m.total_insts());
+        prop_assert!(stats.total_bytes > 0);
+    }
+}
