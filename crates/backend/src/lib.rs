@@ -22,3 +22,85 @@ pub mod x86gen;
 pub use common::{layout_globals, GlobalImage};
 pub use sparcgen::compile_sparc;
 pub use x86gen::compile_x86;
+
+#[cfg(test)]
+mod tests {
+    //! The compile entry points are the unit of work for LLEE's
+    //! parallel offline translator: they must be pure over `&Module`
+    //! and callable concurrently from many threads.
+
+    use llva_core::layout::TargetConfig;
+    use llva_core::module::Module;
+
+    const SRC: &str = r#"
+int %helper(int %x) {
+entry:
+    %a = mul int %x, 7
+    %c = setlt int %a, 50
+    br bool %c, label %lo, label %hi
+lo:
+    ret int %a
+hi:
+    %b = sub int %a, 50
+    ret int %b
+}
+
+int %main(int %n) {
+entry:
+    %r = call int %helper(int %n)
+    ret int %r
+}
+"#;
+
+    #[test]
+    fn module_is_shareable_across_threads() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Module>();
+    }
+
+    #[test]
+    fn compile_entry_points_are_reentrant() {
+        // the same &Module compiled concurrently from many threads
+        // must produce the same code as a serial compile
+        let mut m = llva_core::parser::parse_module(SRC).expect("parses");
+        for (target, is_x86) in [(TargetConfig::ia32(), true), (TargetConfig::sparc_v9(), false)] {
+            m.set_target(target);
+            let fids: Vec<_> = m.functions().map(|(fid, _)| fid).collect();
+            if is_x86 {
+                let serial: Vec<_> = fids.iter().map(|&f| crate::compile_x86(&m, f)).collect();
+                let (m, fids) = (&m, &fids);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..4)
+                        .map(|_| {
+                            s.spawn(move || {
+                                fids.iter()
+                                    .map(|&f| crate::compile_x86(m, f))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        assert_eq!(h.join().expect("no panic"), serial);
+                    }
+                });
+            } else {
+                let serial: Vec<_> = fids.iter().map(|&f| crate::compile_sparc(&m, f)).collect();
+                let (m, fids) = (&m, &fids);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..4)
+                        .map(|_| {
+                            s.spawn(move || {
+                                fids.iter()
+                                    .map(|&f| crate::compile_sparc(m, f))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        assert_eq!(h.join().expect("no panic"), serial);
+                    }
+                });
+            }
+        }
+    }
+}

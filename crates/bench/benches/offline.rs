@@ -1,0 +1,165 @@
+//! Offline-translation throughput bench: serial vs parallel
+//! `translate_all`, and cold vs warm runs of the per-function
+//! incremental cache (paper §4.1, scaled up).
+//!
+//! The interesting comparisons:
+//! * `offline/serial` vs `offline/parallel-N` — fanning per-function
+//!   compilation across worker threads beats one thread on any
+//!   multi-core host, since `compile_x86`/`compile_sparc` are pure
+//!   over `&Module`. (On a single-CPU machine the parallel rows only
+//!   show the thread overhead; the speedup needs ≥2 cores.)
+//! * `incremental/cold` vs `incremental/warm-after-one-edit` — after a
+//!   constrained SMC edit of a single function, per-function content
+//!   hashes mean the warm pass re-translates exactly one function and
+//!   loads the rest from the cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llva_engine::llee::{ExecutionManager, TargetIsa};
+use llva_engine::storage::{MemStorage, SyncStorage};
+
+/// A big multi-function module: a realistic workload (254.gap, run
+/// through the standard pipeline) is only a handful of functions, so
+/// per-call thread overhead would dominate; a large synthetic module
+/// with many mid-sized functions is what offline translation of a real
+/// application looks like and is where fan-out pays off.
+fn big_module() -> llva_core::module::Module {
+    let mut src = String::new();
+    for i in 0..160 {
+        src.push_str(&format!(
+            r#"
+int %f{i}(int %x, int %y) {{
+entry:
+    %a0 = add int %x, {i}
+    %a1 = mul int %a0, %y
+    %a2 = xor int %a1, 48271
+    %a3 = shr int %a2, 3
+    %a4 = sub int %a3, %x
+    %c0 = setlt int %a4, 1000
+    br bool %c0, label %loop, label %done
+loop:
+    %i0 = phi int [ 0, %entry ], [ %i1, %loop ]
+    %s0 = phi int [ %a4, %entry ], [ %s1, %loop ]
+    %s1 = add int %s0, %i0
+    %i1 = add int %i0, 1
+    %c1 = setlt int %i1, 8
+    br bool %c1, label %loop, label %done
+done:
+    %r = phi int [ %a4, %entry ], [ %s1, %loop ]
+    ret int %r
+}}
+"#
+        ));
+    }
+    src.push_str(
+        r#"
+int %main() {
+entry:
+    %r = call int %f0(int 3, int 4)
+    ret int %r
+}
+"#,
+    );
+    llva_core::parser::parse_module(&src).expect("parses")
+}
+
+fn bench_offline_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(15);
+    let module = big_module();
+
+    group.bench_function("serial", |b| {
+        b.iter_batched(
+            || ExecutionManager::new(module.clone(), TargetIsa::X86),
+            |mut mgr| {
+                mgr.translate_all().expect("translates");
+                mgr
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    for workers in [2, 4, 8] {
+        group.bench_function(format!("parallel-{workers}"), |b| {
+            b.iter_batched(
+                || ExecutionManager::new(module.clone(), TargetIsa::X86),
+                |mut mgr| {
+                    mgr.translate_all_parallel(workers).expect("translates");
+                    mgr
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(15);
+    let module = big_module();
+    let edited = module
+        .functions()
+        .find(|(_, f)| !f.is_declaration())
+        .map(|(_, f)| f.name().to_string())
+        .expect("a defined function");
+
+    // cold: empty cache, everything compiles
+    group.bench_function("cold", |b| {
+        b.iter_batched(
+            || {
+                let mut mgr = ExecutionManager::new(module.clone(), TargetIsa::X86);
+                mgr.set_storage(Box::new(SyncStorage::new(MemStorage::new())), "bench");
+                mgr
+            },
+            |mut mgr| {
+                mgr.translate_all_parallel(0).expect("translates");
+                mgr
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    // warm-after-one-edit: the cache holds every translation; one
+    // function was edited through the SMC path, so exactly one
+    // translation is stale
+    let storage = SyncStorage::new(MemStorage::new());
+    {
+        let mut mgr = ExecutionManager::new(module.clone(), TargetIsa::X86);
+        mgr.set_storage(Box::new(storage.clone()), "bench");
+        mgr.translate_all_parallel(0).expect("translates");
+    }
+    group.bench_function("warm-after-one-edit", |b| {
+        b.iter_batched(
+            || {
+                let mut mgr = ExecutionManager::new(module.clone(), TargetIsa::X86);
+                mgr.set_storage(Box::new(storage.clone()), "bench");
+                mgr.modify_function(&edited, |m, fid| {
+                    m.discard_function_body(fid);
+                    let int = m.types_mut().int();
+                    let mut b = llva_core::builder::FunctionBuilder::new(m, fid);
+                    let e = b.block("entry");
+                    b.switch_to(e);
+                    let v = b.iconst(int, 0);
+                    b.ret(Some(v));
+                });
+                mgr
+            },
+            |mut mgr| {
+                mgr.translate_all_parallel(0).expect("translates");
+                assert!(
+                    mgr.stats().functions_translated <= 1,
+                    "warm pass must re-translate at most the edited function"
+                );
+                mgr
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline_parallel, bench_incremental_cache);
+criterion_main!(benches);

@@ -256,16 +256,20 @@ fn encode_globals(module: &Module, w: &mut Writer) {
     }
 }
 
+fn encode_function_sig(f: &crate::function::Function, w: &mut Writer) {
+    w.str(f.name());
+    w.varint(f.return_type().index() as u64);
+    w.varint(f.param_types().len() as u64);
+    for &p in f.param_types() {
+        w.varint(p.index() as u64);
+    }
+    w.u8(u8::from(f.linkage() == Linkage::Internal));
+}
+
 fn encode_functions(module: &Module, w: &mut Writer) {
     w.varint(module.num_functions() as u64);
     for (_, f) in module.functions() {
-        w.str(f.name());
-        w.varint(f.return_type().index() as u64);
-        w.varint(f.param_types().len() as u64);
-        for &p in f.param_types() {
-            w.varint(p.index() as u64);
-        }
-        w.u8(u8::from(f.linkage() == Linkage::Internal));
+        encode_function_sig(f, w);
         if f.is_declaration() {
             w.u8(0);
             continue;
@@ -273,6 +277,52 @@ fn encode_functions(module: &Module, w: &mut Writer) {
         w.u8(1);
         encode_body(f, w);
     }
+}
+
+/// Encodes everything a single function's translation can observe
+/// *besides* its own body: the target configuration, the type table,
+/// the globals (ids, layouts, initializers), and every function's
+/// signature + declaration-ness (calls compile against callee ids and
+/// signatures; intrinsic calls depend on declaration-ness). Two modules
+/// with equal environment encodings and an equal [`encode_function`]
+/// encoding for `f` produce byte-identical translations of `f` — this
+/// is the basis of LLEE's per-function incremental cache keys.
+pub fn encode_module_env(module: &Module) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.buf.extend_from_slice(MAGIC);
+    w.u8(VERSION);
+    w.u8(match module.target().pointer_size {
+        PointerSize::Bits32 => 32,
+        PointerSize::Bits64 => 64,
+    });
+    w.u8(match module.target().endianness {
+        Endianness::Little => 0,
+        Endianness::Big => 1,
+    });
+    encode_types(module, &mut w);
+    encode_globals(module, &mut w);
+    w.varint(module.num_functions() as u64);
+    for (_, f) in module.functions() {
+        encode_function_sig(f, &mut w);
+        w.u8(u8::from(!f.is_declaration()));
+    }
+    w.buf
+}
+
+/// Encodes one function (signature + body) in the same normalized form
+/// `encode_module` uses. Together with [`encode_module_env`] this gives
+/// a content-addressed identity for a function's translation input.
+pub fn encode_function(module: &Module, f: FuncId) -> Vec<u8> {
+    let mut w = Writer::default();
+    let func = module.function(f);
+    encode_function_sig(func, &mut w);
+    if func.is_declaration() {
+        w.u8(0);
+    } else {
+        w.u8(1);
+        encode_body(func, &mut w);
+    }
+    w.buf
 }
 
 /// The normalized numbering of a function's values for encoding.

@@ -1,0 +1,302 @@
+//! A minimal, dependency-free drop-in for the subset of the
+//! [criterion](https://docs.rs/criterion) API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real
+//! criterion crate cannot be resolved. This shim keeps the bench
+//! sources unchanged and actually measures: each benchmark is warmed
+//! up, then sampled until either the configured sample count is
+//! reached or the measurement-time budget is spent, and the mean /
+//! median / min wall-clock per iteration is printed.
+//!
+//! Supported surface: `Criterion`, `benchmark_group`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`,
+//! `criterion_group!`, `criterion_main!`, and the group configuration
+//! knobs `sample_size` / `warm_up_time` / `measurement_time`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the shim runs one setup per
+/// iteration regardless, so the variants only exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collected timings for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Default)]
+struct Samples(Vec<u64>);
+
+impl Samples {
+    fn report(&mut self, name: &str) {
+        if self.0.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        self.0.sort_unstable();
+        let min = self.0[0];
+        let median = self.0[self.0.len() / 2];
+        let mean = self.0.iter().sum::<u64>() / self.0.len() as u64;
+        println!(
+            "{name:<48} mean {:>12}  median {:>12}  min {:>12}  ({} samples)",
+            fmt_ns(mean),
+            fmt_ns(median),
+            fmt_ns(min),
+            self.0.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The per-benchmark timing driver handed to the closure.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    samples: &'a mut Samples,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let budget = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.0.push(t0.elapsed().as_nanos() as u64);
+            if Instant::now() > budget {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on a fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine(setup()));
+        }
+        let budget = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.0.push(t0.elapsed().as_nanos() as u64);
+            if Instant::now() > budget {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The top-level harness state (a subset of criterion's `Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo bench passes `--bench`; a free-form trailing argument
+        // is a substring filter on benchmark names, like criterion's.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion {
+            filter,
+            config: Config::default(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let config = self.config.clone();
+        let name = name.into();
+        self.run_one(&name, &config, f);
+        self
+    }
+
+    fn run_one<F>(&self, name: &str, config: &Config, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Samples::default();
+        let mut b = Bencher {
+            config,
+            samples: &mut samples,
+        };
+        f(&mut b);
+        samples.report(name);
+    }
+}
+
+/// A group of benchmarks sharing configuration (criterion API subset).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the sampling loop.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        self.criterion.run_one(&full, &self.config, f);
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions, like criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            filter: None,
+            config: Config {
+                sample_size: 5,
+                warm_up_time: Duration::from_millis(1),
+                measurement_time: Duration::from_secs(1),
+            },
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0usize;
+        group.sample_size(5).bench_function("work", |b| {
+            b.iter(|| {
+                ran += 1;
+            });
+        });
+        group.finish();
+        assert!(ran >= 5, "warmup + 5 samples should run the routine");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion {
+            filter: None,
+            config: Config {
+                sample_size: 3,
+                warm_up_time: Duration::ZERO,
+                measurement_time: Duration::from_secs(1),
+            },
+        };
+        let mut setups = 0usize;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            );
+        });
+        assert!(setups >= 3);
+    }
+}

@@ -353,9 +353,7 @@ impl<'m> Interpreter<'m> {
                 }
             }
             Opcode::Br => {
-                let target = if ops.is_empty() {
-                    blocks[0]
-                } else if self.value(ops[0]) != 0 {
+                let target = if ops.is_empty() || self.value(ops[0]) != 0 {
                     blocks[0]
                 } else {
                     blocks[1]

@@ -8,6 +8,35 @@
 //! it back to the cache. `translate_all` is the offline-translation
 //! mode (the OS "initiating 'execution' … but flagging it for
 //! translation and not actual execution").
+//!
+//! # Parallel offline translation
+//!
+//! Per-function translation is pure (`compile_x86`/`compile_sparc`
+//! take `&Module` and touch no shared state), so offline translation
+//! is an embarrassingly parallel batch job.
+//! [`ExecutionManager::translate_all_parallel`] fans compilation out
+//! across scoped worker threads pulling function ids from a shared
+//! atomic work queue; results are installed and written back serially
+//! after the join, in work-list order, so the installed code and the
+//! cache contents are byte-identical to the serial
+//! [`ExecutionManager::translate_all`] path regardless of worker
+//! count. Cache probing (which needs `&mut` access to the engine)
+//! stays on the calling thread and only actual misses reach the
+//! workers.
+//!
+//! # Incremental per-function cache keys
+//!
+//! Cache validation is per function, not per module: each entry is
+//! stamped with a content hash of the function's own encoded body
+//! chained onto a hash of everything a translation can observe
+//! *outside* the body (target configuration, type table, globals, and
+//! all function signatures — see
+//! [`llva_core::bytecode::encode_module_env`]). After a constrained
+//! self-modifying-code edit (`modify_function`, §3.4) only the edited
+//! function's hash changes, so the next `translate_all` re-translates
+//! exactly that function and serves every other entry from the cache.
+//! A whole-module fingerprint ([`stamp`]) is still exported for
+//! callers that want coarse validation.
 
 use crate::codec;
 use crate::env::{Env, StackView};
@@ -79,8 +108,23 @@ pub struct TranslationStats {
     pub cache_hits: usize,
     /// Cache lookups that missed (or were stale).
     pub cache_misses: usize,
+    /// Cache lookups that found an entry whose per-function content
+    /// hash no longer matched (a subset of `cache_misses`).
+    pub cache_stale: usize,
     /// Translations discarded by SMC invalidation.
     pub invalidations: usize,
+}
+
+/// Offline-cache counters for one function (see
+/// [`ExecutionManager::func_cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u32,
+    /// Lookups that found nothing usable (includes `stale`).
+    pub misses: u32,
+    /// Lookups that found an entry with a mismatched content hash.
+    pub stale: u32,
 }
 
 /// The result of a successful run.
@@ -92,6 +136,10 @@ pub struct RunOutcome {
     pub stats: ExecStats,
 }
 
+// One `Engine` exists per `ExecutionManager` and lives as long as it,
+// so the variant size gap doesn't matter; boxing the machines would
+// put an indirection on the simulator hot path.
+#[allow(clippy::large_enum_variant)]
 enum Engine {
     X86 {
         program: X86Program,
@@ -113,8 +161,11 @@ pub struct ExecutionManager {
     pub env: Env,
     storage: Option<Box<dyn Storage>>,
     cache_name: String,
-    module_stamp: u64,
+    /// Per-function content hashes (the cache "timestamps", §4.1) —
+    /// indexed by function id; see [`function_stamps`].
+    func_hashes: Vec<u64>,
     stats: TranslationStats,
+    func_cache: Vec<FuncCacheStats>,
     func_names: Vec<String>,
     fuel: u64,
 }
@@ -161,7 +212,8 @@ impl ExecutionManager {
             .functions()
             .map(|(_, f)| f.name().to_string())
             .collect();
-        let module_stamp = stamp(&module);
+        let func_hashes = function_stamps(&module);
+        let func_cache = vec![FuncCacheStats::default(); func_hashes.len()];
         ExecutionManager {
             module,
             isa,
@@ -169,8 +221,9 @@ impl ExecutionManager {
             env: Env::new(),
             storage: None,
             cache_name: String::new(),
-            module_stamp,
+            func_hashes,
             stats: TranslationStats::default(),
+            func_cache,
             func_names,
             fuel: 10_000_000_000,
         }
@@ -250,8 +303,60 @@ impl ExecutionManager {
         }
     }
 
-    fn cache_key(&self, f: u32) -> String {
+    /// The storage name under which function `f`'s translation is
+    /// cached — the single source of truth for both the lookup and the
+    /// write-back path.
+    pub(crate) fn cache_key(&self, f: u32) -> String {
         format!("{}.{}.fn{}", self.module.name(), self.isa, f)
+    }
+
+    /// This manager's per-function cache counters, indexed by function
+    /// id: hits, misses, and stale entries (content hash mismatch).
+    pub fn func_cache_stats(&self) -> &[FuncCacheStats] {
+        &self.func_cache
+    }
+
+    /// Probes the offline cache for function `f` and installs the
+    /// cached translation on a validated hit. Records hit/miss/stale
+    /// statistics; a manager without storage records nothing.
+    fn try_cache_load(&mut self, f: u32) -> bool {
+        let Some(storage) = &self.storage else {
+            return false;
+        };
+        let entry = storage.read(&self.cache_name, &self.cache_key(f));
+        let per_func = &mut self.func_cache[f as usize];
+        let Some((bytes, ts)) = entry else {
+            self.stats.cache_misses += 1;
+            per_func.misses += 1;
+            return false;
+        };
+        // per-function content-hash validation (§4.1 "check a
+        // timestamp on … a cached vector", made incremental)
+        if ts != self.func_hashes[f as usize] {
+            self.stats.cache_misses += 1;
+            self.stats.cache_stale += 1;
+            per_func.misses += 1;
+            per_func.stale += 1;
+            return false;
+        }
+        let ok = match &mut self.engine {
+            Engine::X86 { program, .. } => codec::decode_x86(&bytes)
+                .map(|code| program.install(f, code))
+                .is_ok(),
+            Engine::Sparc { program, .. } => codec::decode_sparc(&bytes)
+                .map(|code| program.install(f, code))
+                .is_ok(),
+        };
+        let per_func = &mut self.func_cache[f as usize];
+        if ok {
+            self.stats.cache_hits += 1;
+            per_func.hits += 1;
+        } else {
+            // undecodable blob (stale codec format, corruption)
+            self.stats.cache_misses += 1;
+            per_func.misses += 1;
+        }
+        ok
     }
 
     /// Translates one function, consulting the cache first. Returns
@@ -267,26 +372,9 @@ impl ExecutionManager {
                 self.module.function(fid).name().to_string(),
             ));
         }
-        // cache lookup with timestamp validation (§4.1)
-        if let Some(storage) = &self.storage {
-            let key = self.cache_key(f);
-            if let Some((bytes, ts)) = storage.read(&self.cache_name, &key) {
-                if ts == self.module_stamp {
-                    let ok = match &mut self.engine {
-                        Engine::X86 { program, .. } => codec::decode_x86(&bytes)
-                            .map(|code| program.install(f, code))
-                            .is_ok(),
-                        Engine::Sparc { program, .. } => codec::decode_sparc(&bytes)
-                            .map(|code| program.install(f, code))
-                            .is_ok(),
-                    };
-                    if ok {
-                        self.stats.cache_hits += 1;
-                        return Ok(true);
-                    }
-                }
-            }
-            self.stats.cache_misses += 1;
+        // cache lookup with per-function hash validation (§4.1)
+        if self.try_cache_load(f) {
+            return Ok(true);
         }
         // JIT translation
         let start = Instant::now();
@@ -307,26 +395,119 @@ impl ExecutionManager {
         self.stats.translate_time += start.elapsed();
         self.stats.functions_translated += 1;
         // write back to the offline cache
+        let key = self.cache_key(f);
+        let ts = self.func_hashes[f as usize];
         if let Some(storage) = &mut self.storage {
-            let key = format!("{}.{}.fn{}", self.module.name(), self.isa, f);
-            storage.write(&self.cache_name, &key, &blob, self.module_stamp);
+            storage.write(&self.cache_name, &key, &blob, ts);
         }
         Ok(false)
     }
 
     /// Offline translation of the whole program (§4.1: translation
-    /// without execution, e.g. during OS idle time).
+    /// without execution, e.g. during OS idle time). This is the
+    /// serial reference path; [`Self::translate_all_parallel`] produces
+    /// byte-identical results on worker threads.
     ///
     /// # Errors
     ///
     /// Never fails for defined functions; declarations are skipped.
     pub fn translate_all(&mut self) -> Result<(), EngineError> {
-        for (fid, func) in self.module.functions().map(|(a, b)| (a, b.is_declaration())).collect::<Vec<_>>() {
-            if !func {
-                self.translate(fid.index() as u32)?;
+        for f in self.defined_functions() {
+            self.translate(f)?;
+        }
+        Ok(())
+    }
+
+    /// The default worker count for parallel offline translation: the
+    /// machine's available parallelism (1 if it cannot be queried).
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+
+    /// Offline translation with function compilation fanned out across
+    /// `n_workers` scoped threads (`0` = [`Self::default_workers`]).
+    ///
+    /// The calling thread first probes the cache for every defined
+    /// function (installing validated hits); only the misses are
+    /// compiled, by workers pulling function ids off a shared atomic
+    /// queue. Compiled code is installed and written back to storage
+    /// serially after the join, in function-id order, so the installed
+    /// program and the cache contents are byte-identical to
+    /// [`Self::translate_all`] for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for defined functions; declarations are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from translator worker threads.
+    pub fn translate_all_parallel(&mut self, n_workers: usize) -> Result<(), EngineError> {
+        let n_workers = if n_workers == 0 {
+            Self::default_workers()
+        } else {
+            n_workers
+        };
+        // serial cache probe: hits install here, misses become work
+        let work: Vec<u32> = self
+            .defined_functions()
+            .into_iter()
+            .filter(|&f| !self.try_cache_load(f))
+            .collect();
+        if work.is_empty() {
+            return Ok(());
+        }
+        // parallel compile (compile_* are pure over &Module), then a
+        // serial install pass in work-list order for determinism
+        let start = Instant::now();
+        let module = &self.module;
+        let mut blobs: Vec<(u32, Vec<u8>)> = Vec::with_capacity(work.len());
+        match &mut self.engine {
+            Engine::X86 { program, .. } => {
+                let compiled = compile_batch(&work, n_workers, |fid| {
+                    let code = compile_x86(module, fid);
+                    let blob = codec::encode_x86(&code);
+                    (code, blob)
+                });
+                for (&f, (code, blob)) in work.iter().zip(compiled) {
+                    program.install(f, code);
+                    blobs.push((f, blob));
+                }
+            }
+            Engine::Sparc { program, .. } => {
+                let compiled = compile_batch(&work, n_workers, |fid| {
+                    let code = compile_sparc(module, fid);
+                    let blob = codec::encode_sparc(&code);
+                    (code, blob)
+                });
+                for (&f, (code, blob)) in work.iter().zip(compiled) {
+                    program.install(f, code);
+                    blobs.push((f, blob));
+                }
+            }
+        }
+        self.stats.translate_time += start.elapsed();
+        self.stats.functions_translated += work.len();
+        // batched write-back after the join
+        let entries: Vec<(String, Vec<u8>, u64)> = blobs
+            .into_iter()
+            .map(|(f, blob)| (self.cache_key(f), blob, self.func_hashes[f as usize]))
+            .collect();
+        if let Some(storage) = &mut self.storage {
+            for (key, blob, ts) in &entries {
+                storage.write(&self.cache_name, key, blob, *ts);
             }
         }
         Ok(())
+    }
+
+    /// Ids of all functions with bodies, in id order.
+    fn defined_functions(&self) -> Vec<u32> {
+        self.module
+            .functions()
+            .filter(|(_, func)| !func.is_declaration())
+            .map(|(fid, _)| fid.index() as u32)
+            .collect()
     }
 
     /// Invalidates a function's translation (SMC, §3.4): the current
@@ -348,7 +529,13 @@ impl ExecutionManager {
             return;
         };
         edit(&mut self.module, fid);
-        self.module_stamp = stamp(&self.module);
+        // re-stamp: only the edited function's hash changes unless the
+        // edit touched the observable environment (types, globals,
+        // signatures), so cached translations of untouched functions
+        // stay valid
+        self.func_hashes = function_stamps(&self.module);
+        self.func_cache
+            .resize(self.func_hashes.len(), FuncCacheStats::default());
         // self-extending code may have added functions (§3.4)
         match &mut self.engine {
             Engine::X86 { program, .. } => program.ensure_slots(self.module.num_functions()),
@@ -522,17 +709,83 @@ impl ExecutionManager {
     }
 }
 
-/// A stable fingerprint of a module's virtual object code, used as the
-/// cache timestamp ("check a timestamp on an LLVA program", §4.1).
-pub fn stamp(module: &Module) -> u64 {
-    let bytes = llva_core::bytecode::encode_module(module);
-    // FNV-1a
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
+/// Runs `compile` over `work` on up to `n_workers` scoped threads and
+/// returns the results in `work` order. Workers claim items from a
+/// shared atomic cursor, so load-balancing adapts to uneven function
+/// sizes; determinism comes from reassembling results by index, not
+/// from the claim order.
+fn compile_batch<T: Send>(
+    work: &[u32],
+    n_workers: usize,
+    compile: impl Fn(FuncId) -> T + Sync,
+) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let n_workers = n_workers.clamp(1, work.len());
+    if n_workers == 1 {
+        return work
+            .iter()
+            .map(|&f| compile(FuncId::from_index(f as usize)))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (cursor, compile) = (&cursor, &compile);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..n_workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&f) = work.get(i) else { break };
+                        done.push((i, compile(FuncId::from_index(f as usize))));
+                    }
+                    done
+                })
+            })
+            .collect();
+        let mut merged: Vec<Option<T>> = std::iter::repeat_with(|| None).take(work.len()).collect();
+        for worker in workers {
+            for (i, result) in worker.join().expect("translator worker panicked") {
+                merged[i] = Some(result);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|r| r.expect("every work item compiled"))
+            .collect()
+    })
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+/// A stable fingerprint of a module's virtual object code, used as a
+/// coarse cache timestamp ("check a timestamp on an LLVA program",
+/// §4.1). LLEE's own cache uses the finer-grained [`function_stamps`].
+pub fn stamp(module: &Module) -> u64 {
+    fnv1a(&llva_core::bytecode::encode_module(module), FNV_OFFSET)
+}
+
+/// Per-function content hashes, indexed by function id: each is the
+/// hash of the function's own encoded signature + body chained onto a
+/// hash of the module environment the translation observes (target,
+/// types, globals, all signatures — see
+/// [`llva_core::bytecode::encode_module_env`]). Editing one function's
+/// body changes exactly one stamp; editing shared structure changes
+/// them all.
+pub fn function_stamps(module: &Module) -> Vec<u64> {
+    let env_hash = fnv1a(&llva_core::bytecode::encode_module_env(module), FNV_OFFSET);
+    module
+        .functions()
+        .map(|(fid, _)| fnv1a(&llva_core::bytecode::encode_function(module, fid), env_hash))
+        .collect()
 }
 
 #[cfg(test)]
@@ -630,8 +883,9 @@ entry:
             mgr.set_storage(Box::new(storage.clone()), "fib");
             mgr.run("main", &[]).expect("runs");
         }
-        // a *different* program with the same names must not reuse the
-        // cached code (timestamp = module fingerprint)
+        // a program with a *different* fib must not reuse fib's cached
+        // code — but main's body is unchanged, so with per-function
+        // content hashes main still loads from the cache
         let other = r#"
 int %fib(int %n) {
 entry:
@@ -648,8 +902,9 @@ entry:
         mgr.set_storage(Box::new(storage), "fib");
         let out = mgr.run("main", &[]).expect("runs");
         assert_eq!(out.value, 0, "new semantics, not cached ones");
-        assert!(mgr.stats().functions_translated > 0);
-        assert_eq!(mgr.stats().cache_hits, 0);
+        assert_eq!(mgr.stats().functions_translated, 1, "only fib retranslates");
+        assert_eq!(mgr.stats().cache_hits, 1, "main is content-identical");
+        assert_eq!(mgr.stats().cache_stale, 1, "fib's entry failed validation");
     }
 
     #[test]
@@ -659,6 +914,178 @@ entry:
         let before = mgr.stats().functions_translated;
         mgr.run("main", &[]).expect("runs");
         assert_eq!(mgr.stats().functions_translated, before, "no online JIT");
+    }
+
+    #[test]
+    fn parallel_offline_translation_avoids_online_jit() {
+        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            let mut mgr = ExecutionManager::new(module(FIB), isa);
+            mgr.translate_all_parallel(4).expect("translates");
+            assert_eq!(mgr.stats().functions_translated, 2, "{isa}");
+            let out = mgr.run("main", &[]).expect("runs");
+            assert_eq!(out.value, 610, "{isa}");
+            assert_eq!(mgr.stats().functions_translated, 2, "{isa}: no online JIT");
+        }
+    }
+
+    #[test]
+    fn cache_read_and_write_keys_agree() {
+        let storage = crate::storage::SharedStorage::new(MemStorage::new());
+        let mut mgr = ExecutionManager::new(module(FIB), TargetIsa::X86);
+        mgr.set_storage(Box::new(storage.clone()), "fib");
+        let fib = mgr.module().function_by_name("fib").expect("fib").index() as u32;
+        mgr.translate(fib).expect("translates");
+        // the write-back landed under exactly the key translate reads
+        let key = mgr.cache_key(fib);
+        assert!(
+            storage.read("fib", &key).is_some(),
+            "write-back key {key:?} must be readable via cache_key"
+        );
+        // and a fresh manager's lookup under that key hits
+        let mut mgr2 = ExecutionManager::new(module(FIB), TargetIsa::X86);
+        mgr2.set_storage(Box::new(storage), "fib");
+        assert!(mgr2.translate(fib).expect("translates"), "cache hit");
+    }
+
+    /// Generates a module with `n` small distinct functions plus a
+    /// `main` that calls the first of them.
+    fn many_functions(n: usize) -> String {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!(
+                r#"
+int %f{i}(int %x) {{
+entry:
+    %a = add int %x, {i}
+    %b = mul int %a, 3
+    %c = setlt int %b, 100
+    br bool %c, label %lo, label %hi
+lo:
+    ret int %b
+hi:
+    %d = sub int %b, 100
+    ret int %d
+}}
+"#
+            ));
+        }
+        src.push_str(
+            r#"
+int %main() {
+entry:
+    %r = call int %f0(int 7)
+    ret int %r
+}
+"#,
+        );
+        src
+    }
+
+    #[test]
+    fn incremental_invalidation_misses_exactly_one_function() {
+        const N: usize = 9; // 8 f* functions + main
+        let src = many_functions(N - 1);
+        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            let storage = crate::storage::SharedStorage::new(MemStorage::new());
+            // populate the cache
+            {
+                let mut mgr = ExecutionManager::new(module(&src), isa);
+                mgr.set_storage(Box::new(storage.clone()), "incr");
+                mgr.translate_all().expect("translates");
+                assert_eq!(mgr.stats().functions_translated, N, "{isa}");
+            }
+            // SMC-edit one function, then re-translate everything
+            let mut mgr = ExecutionManager::new(module(&src), isa);
+            mgr.set_storage(Box::new(storage), "incr");
+            mgr.modify_function("f3", |m, fid| {
+                m.discard_function_body(fid);
+                let int = m.types_mut().int();
+                let mut b = llva_core::builder::FunctionBuilder::new(m, fid);
+                let e = b.block("entry");
+                b.switch_to(e);
+                let v = b.iconst(int, 41);
+                b.ret(Some(v));
+            });
+            mgr.translate_all().expect("translates");
+            let stats = mgr.stats();
+            assert_eq!(stats.cache_hits, N - 1, "{isa}: all but f3 hit");
+            assert_eq!(stats.cache_misses, 1, "{isa}: only f3 misses");
+            assert_eq!(stats.cache_stale, 1, "{isa}: f3's entry is stale");
+            assert_eq!(
+                stats.functions_translated, 1,
+                "{isa}: exactly one function re-translates"
+            );
+            // per-function counters agree
+            let f3 = mgr.module().function_by_name("f3").expect("f3").index();
+            for (i, fc) in mgr.func_cache_stats().iter().enumerate() {
+                if i == f3 {
+                    assert_eq!((fc.hits, fc.misses, fc.stale), (0, 1, 1), "{isa} fn{i}");
+                } else {
+                    assert_eq!((fc.hits, fc.misses, fc.stale), (1, 0, 0), "{isa} fn{i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_translation_is_deterministic_across_worker_counts() {
+        let src = many_functions(12);
+        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            // serial reference: cache contents + installed sizes
+            let serial_storage = crate::storage::SharedStorage::new(MemStorage::new());
+            let mut serial = ExecutionManager::new(module(&src), isa);
+            serial.set_storage(Box::new(serial_storage.clone()), "det");
+            serial.translate_all().expect("translates");
+            let reference: Vec<(String, Vec<u8>)> = (0..serial.module().num_functions() as u32)
+                .map(|f| {
+                    let key = serial.cache_key(f);
+                    let blob = serial_storage.read("det", &key).expect("cached").0;
+                    (key, blob)
+                })
+                .collect();
+            for workers in [1, 2, 8] {
+                let storage = crate::storage::SyncStorage::new(MemStorage::new());
+                let mut mgr = ExecutionManager::new(module(&src), isa);
+                mgr.set_storage(Box::new(storage.clone()), "det");
+                mgr.translate_all_parallel(workers).expect("translates");
+                assert_eq!(
+                    mgr.installed_bytes(),
+                    serial.installed_bytes(),
+                    "{isa}/{workers} workers: installed_bytes"
+                );
+                assert_eq!(
+                    mgr.installed_insts(),
+                    serial.installed_insts(),
+                    "{isa}/{workers} workers: installed_insts"
+                );
+                for (key, blob) in &reference {
+                    let got = storage.read("det", key).expect("cached").0;
+                    assert_eq!(
+                        &got, blob,
+                        "{isa}/{workers} workers: byte-identical code for {key}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_warm_cache_skips_compilation() {
+        let src = many_functions(10);
+        let storage = crate::storage::SyncStorage::new(MemStorage::new());
+        {
+            let mut mgr = ExecutionManager::new(module(&src), TargetIsa::X86);
+            mgr.set_storage(Box::new(storage.clone()), "warm");
+            mgr.translate_all_parallel(4).expect("translates");
+            assert_eq!(mgr.stats().functions_translated, 11);
+        }
+        let mut mgr = ExecutionManager::new(module(&src), TargetIsa::X86);
+        mgr.set_storage(Box::new(storage), "warm");
+        mgr.translate_all_parallel(4).expect("translates");
+        assert_eq!(mgr.stats().functions_translated, 0, "all from cache");
+        assert_eq!(mgr.stats().cache_hits, 11);
+        let out = mgr.run("main", &[]).expect("runs");
+        assert_eq!(out.value, 21);
     }
 
     #[test]

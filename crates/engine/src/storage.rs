@@ -205,6 +205,48 @@ impl<S: Storage> Storage for SharedStorage<S> {
     }
 }
 
+/// A `Send + Sync` cloneable handle sharing one underlying storage —
+/// the thread-safe sibling of [`SharedStorage`] for use with the
+/// parallel offline translator ([`crate::llee::ExecutionManager::translate_all_parallel`])
+/// or for sharing one cache across execution managers on different
+/// threads. All operations take the mutex for their duration; the
+/// storage contract says failures must never break execution, so a
+/// poisoned lock is recovered rather than propagated.
+#[derive(Debug, Default, Clone)]
+pub struct SyncStorage<S>(std::sync::Arc<std::sync::Mutex<S>>);
+
+impl<S: Storage> SyncStorage<S> {
+    /// Wraps `storage` in a thread-shared handle.
+    pub fn new(storage: S) -> SyncStorage<S> {
+        SyncStorage(std::sync::Arc::new(std::sync::Mutex::new(storage)))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, S> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<S: Storage> Storage for SyncStorage<S> {
+    fn create_cache(&mut self, cache: &str) {
+        self.lock().create_cache(cache);
+    }
+    fn delete_cache(&mut self, cache: &str) {
+        self.lock().delete_cache(cache);
+    }
+    fn cache_size(&self, cache: &str) -> Option<u64> {
+        self.lock().cache_size(cache)
+    }
+    fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
+        self.lock().write(cache, name, bytes, timestamp);
+    }
+    fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
+        self.lock().read(cache, name)
+    }
+    fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
+        self.lock().timestamp(cache, name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +293,34 @@ mod tests {
             assert_eq!(s.read("app", "fn0"), Some((b"persistent".to_vec(), 7)));
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_storage_contract() {
+        let mut s = SyncStorage::new(MemStorage::new());
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn sync_storage_is_send_and_shares_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SyncStorage<MemStorage>>();
+
+        let storage = SyncStorage::new(MemStorage::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let mut handle = storage.clone();
+                scope.spawn(move || {
+                    handle.write("app", &format!("fn{t}"), &[t as u8; 4], t);
+                });
+            }
+        });
+        for t in 0..4u64 {
+            assert_eq!(
+                storage.read("app", &format!("fn{t}")),
+                Some((vec![t as u8; 4], t))
+            );
+        }
     }
 
     #[test]

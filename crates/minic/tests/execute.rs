@@ -205,7 +205,7 @@ int main() {
         &[],
     );
     // bump called exactly twice (c and d): g == 2
-    assert_eq!(r, 200 + 0 + 10 + 100 + 1000);
+    assert_eq!(r, 200 + 10 + 100 + 1000); // a == 0
 }
 
 #[test]
@@ -319,7 +319,7 @@ int main() {
 "#,
         &[],
     );
-    assert_eq!(r, 0 + 5 + 10 + 15);
+    assert_eq!(r, 5 + 10 + 15); // m[0][0] == 0
 }
 
 #[test]

@@ -81,15 +81,11 @@ pub fn reachable(module: &Module) -> (HashSet<FuncId>, HashSet<GlobalId>) {
                 let v = llva_core::value::ValueId::from_index(i);
                 if let ValueData::Const(c) = func.value(v) {
                     match c {
-                        Constant::FunctionAddr { func: f2, .. } => {
-                            if live_funcs.insert(*f2) {
-                                work.push(*f2);
-                            }
+                        Constant::FunctionAddr { func: f2, .. } if live_funcs.insert(*f2) => {
+                            work.push(*f2);
                         }
-                        Constant::GlobalAddr { global, .. } => {
-                            if live_globals.insert(*global) {
-                                gwork.push(*global);
-                            }
+                        Constant::GlobalAddr { global, .. } if live_globals.insert(*global) => {
+                            gwork.push(*global);
                         }
                         _ => {}
                     }
@@ -99,15 +95,11 @@ pub fn reachable(module: &Module) -> (HashSet<FuncId>, HashSet<GlobalId>) {
         while let Some(gid) = gwork.pop() {
             progressed = true;
             walk_init(module.global(gid).init(), &mut |c| match c {
-                Constant::FunctionAddr { func: f2, .. } => {
-                    if live_funcs.insert(*f2) {
-                        work.push(*f2);
-                    }
+                Constant::FunctionAddr { func: f2, .. } if live_funcs.insert(*f2) => {
+                    work.push(*f2);
                 }
-                Constant::GlobalAddr { global, .. } => {
-                    if live_globals.insert(*global) {
-                        gwork.push(*global);
-                    }
+                Constant::GlobalAddr { global, .. } if live_globals.insert(*global) => {
+                    gwork.push(*global);
                 }
                 _ => {}
             });

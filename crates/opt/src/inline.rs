@@ -65,10 +65,7 @@ impl ModulePass for Inline {
         self.inlined = 0;
         // Iterate until no more sites qualify (bounded: inlining into a
         // function grows it, eventually crossing thresholds).
-        loop {
-            let Some((caller, call)) = find_site(module, self.threshold) else {
-                break;
-            };
+        while let Some((caller, call)) = find_site(module, self.threshold) {
             inline_site(module, caller, call);
             self.inlined += 1;
             if self.inlined > 10_000 {

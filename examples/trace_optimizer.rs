@@ -47,7 +47,7 @@ fn main() {
     let clean = llva::minic::compile(PROGRAM, "traced", TargetConfig::default()).expect("compiles");
     println!("\nhot blocks:");
     let mut hot: Vec<_> = map.index.iter().map(|(&(f, b), &i)| (counts[i], f, b)).collect();
-    hot.sort_by(|a, b| b.0.cmp(&a.0));
+    hot.sort_by_key(|e| std::cmp::Reverse(e.0));
     for (count, f, b) in hot.iter().take(5) {
         println!(
             "  {:>8}x  %{}:{}",

@@ -5,6 +5,11 @@
 //! that every representation change (bytecode, assembly) and every
 //! optimization preserves the interpreter's semantics, and that both
 //! simulated processors agree with the interpreter.
+//!
+//! The build environment has no crates.io access, so instead of the
+//! proptest crate these properties are driven by a small deterministic
+//! xorshift generator: every run explores the same case set, and a
+//! failing case is reproducible from the printed seed.
 
 use llva::core::builder::FunctionBuilder;
 use llva::core::layout::TargetConfig;
@@ -12,7 +17,36 @@ use llva::core::module::Module;
 use llva::core::value::ValueId;
 use llva::engine::llee::{ExecutionManager, TargetIsa};
 use llva::engine::Interpreter;
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* PRNG (no external deps).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi);
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+
+    fn usize(&mut self, hi: usize) -> usize {
+        (self.next() % hi as u64) as usize
+    }
+}
+
+const CASES: u64 = 48;
 
 /// One step of a generated program.
 #[derive(Debug, Clone)]
@@ -25,12 +59,17 @@ enum Step {
     Select(usize, usize, usize),
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (-1000i32..1000).prop_map(Step::Const),
-        (0u8..8, 0usize..64, 0usize..64).prop_map(|(op, a, b)| Step::Bin(op, a, b)),
-        (0usize..64, 0usize..64, 0usize..64).prop_map(|(c, a, b)| Step::Select(c, a, b)),
-    ]
+fn gen_step(rng: &mut Rng) -> Step {
+    match rng.usize(3) {
+        0 => Step::Const(rng.range(-1000, 1000) as i32),
+        1 => Step::Bin(rng.usize(8) as u8, rng.usize(64), rng.usize(64)),
+        _ => Step::Select(rng.usize(64), rng.usize(64), rng.usize(64)),
+    }
+}
+
+fn gen_steps(rng: &mut Rng, max_len: usize) -> Vec<Step> {
+    let len = 1 + rng.usize(max_len - 1);
+    (0..len).map(|_| gen_step(rng)).collect()
 }
 
 /// Builds a module `long f(long, long)` from a recipe; every operation
@@ -100,79 +139,78 @@ fn interp(m: &Module, args: &[u64]) -> u64 {
     i.run("f", args).expect("random programs are total")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_modules_verify(steps in prop::collection::vec(step_strategy(), 1..40)) {
-        let m = build(&steps);
-        llva::core::verifier::verify_module(&m).expect("generated module verifies");
+#[test]
+fn generated_modules_verify() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0xA11C_E000 + seed);
+        let m = build(&gen_steps(&mut rng, 40));
+        llva::core::verifier::verify_module(&m)
+            .unwrap_or_else(|e| panic!("seed {seed}: generated module fails to verify: {e:?}"));
     }
+}
 
-    #[test]
-    fn bytecode_round_trip_preserves_semantics(
-        steps in prop::collection::vec(step_strategy(), 1..30),
-        a in -500i64..500,
-        b in -500i64..500,
-    ) {
-        let m = build(&steps);
-        let args = [a as u64, b as u64];
+#[test]
+fn bytecode_round_trip_preserves_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0xB17E_C0DE + seed);
+        let m = build(&gen_steps(&mut rng, 30));
+        let args = [rng.range(-500, 500) as u64, rng.range(-500, 500) as u64];
         let expected = interp(&m, &args);
         let bytes = llva::core::bytecode::encode_module(&m);
         let m2 = llva::core::bytecode::decode_module(&bytes).expect("decodes");
-        prop_assert_eq!(interp(&m2, &args), expected);
+        assert_eq!(interp(&m2, &args), expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn assembly_round_trip_preserves_semantics(
-        steps in prop::collection::vec(step_strategy(), 1..25),
-        a in -500i64..500,
-        b in -500i64..500,
-    ) {
-        let m = build(&steps);
-        let args = [a as u64, b as u64];
+#[test]
+fn assembly_round_trip_preserves_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0xA55E_3B1E + seed);
+        let m = build(&gen_steps(&mut rng, 25));
+        let args = [rng.range(-500, 500) as u64, rng.range(-500, 500) as u64];
         let expected = interp(&m, &args);
         let text = llva::core::printer::print_module(&m);
         let m2 = llva::core::parser::parse_module(&text).expect("parses");
-        prop_assert_eq!(interp(&m2, &args), expected);
+        assert_eq!(interp(&m2, &args), expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn optimizer_preserves_semantics(
-        steps in prop::collection::vec(step_strategy(), 1..30),
-        a in -500i64..500,
-        b in -500i64..500,
-    ) {
-        let mut m = build(&steps);
-        let args = [a as u64, b as u64];
+#[test]
+fn optimizer_preserves_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0x0071_CA7E + seed);
+        let mut m = build(&gen_steps(&mut rng, 30));
+        let args = [rng.range(-500, 500) as u64, rng.range(-500, 500) as u64];
         let expected = interp(&m, &args);
         let mut pm = llva::opt::standard_pipeline();
         pm.verify_after_each(true);
         pm.run(&mut m);
-        prop_assert_eq!(interp(&m, &args), expected);
+        assert_eq!(interp(&m, &args), expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn both_processors_agree_with_interpreter(
-        steps in prop::collection::vec(step_strategy(), 1..20),
-        a in -200i64..200,
-        b in -200i64..200,
-    ) {
+#[test]
+fn both_processors_agree_with_interpreter() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0x15A5_A5A5 + seed);
+        let steps = gen_steps(&mut rng, 20);
         let m = build(&steps);
-        let args = [a as u64, b as u64];
+        let args = [rng.range(-200, 200) as u64, rng.range(-200, 200) as u64];
         let expected = interp(&m, &args);
         for isa in [TargetIsa::X86, TargetIsa::Sparc] {
             let mut mgr = ExecutionManager::new(build(&steps), isa);
             let out = mgr.run("f", &args).expect("runs");
-            prop_assert_eq!(out.value, expected, "{} disagrees", isa);
+            assert_eq!(out.value, expected, "seed {seed}: {isa} disagrees");
         }
     }
+}
 
-    #[test]
-    fn constant_folding_agrees_with_runtime(
-        steps in prop::collection::vec(step_strategy(), 1..25),
-    ) {
+#[test]
+fn constant_folding_agrees_with_runtime() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0xF01D_ED00 + seed);
         // feed constants for the arguments so folding can collapse a lot
+        let steps = gen_steps(&mut rng, 25);
         let m = build(&steps);
         let expected = interp(&m, &[7u64, 13u64]);
         let mut folded = build(&steps);
@@ -181,21 +219,40 @@ proptest! {
             .add(llva::opt::dce::Dce::new())
             .verify_after_each(true);
         pm.run_to_fixpoint(&mut folded, 8);
-        prop_assert_eq!(interp(&folded, &[7u64, 13u64]), expected);
+        assert_eq!(interp(&folded, &[7u64, 13u64]), expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn eval_matches_interpreter_for_binaries(
-        a in any::<i64>(),
-        b in any::<i64>(),
-        op_idx in 0usize..10,
-    ) {
-        use llva::core::instruction::Opcode;
-        let ops = [
-            Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Div, Opcode::Rem,
-            Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Shl, Opcode::Shr,
-        ];
-        let op = ops[op_idx];
+#[test]
+fn eval_matches_interpreter_for_binaries() {
+    use llva::core::instruction::Opcode;
+    let ops = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Shr,
+    ];
+    for seed in 0..CASES * 4 {
+        let mut rng = Rng::new(0xE7A1_0000 + seed);
+        // mix full-range and small operands so div/rem edge cases and
+        // ordinary arithmetic are both exercised
+        let a = if seed % 3 == 0 {
+            rng.next() as i64
+        } else {
+            rng.range(-1000, 1000)
+        };
+        let b = match seed % 5 {
+            0 => 0,
+            1 => -1,
+            _ => rng.next() as i64,
+        };
+        let op = ops[rng.usize(ops.len())];
         let mut m = Module::new("e", TargetConfig::default());
         let long = m.types_mut().long();
         let f = m.add_function("f", long, vec![long, long]);
@@ -217,8 +274,14 @@ proptest! {
         };
         bb.ret(Some(r));
 
-        let ca = llva::core::value::Constant::Int { ty: long, bits: a as u64 };
-        let cb = llva::core::value::Constant::Int { ty: long, bits: b as u64 };
+        let ca = llva::core::value::Constant::Int {
+            ty: long,
+            bits: a as u64,
+        };
+        let cb = llva::core::value::Constant::Int {
+            ty: long,
+            bits: b as u64,
+        };
         let folded = llva::core::eval::fold_binary(m.types(), op, &ca, &cb);
         let mut i = Interpreter::new(&m);
         i.set_fuel(1000);
@@ -226,51 +289,71 @@ proptest! {
         match folded {
             Some(c) => {
                 // the interpreter must agree with compile-time folding
-                prop_assert_eq!(run.expect("no trap when folding succeeded"), c.as_int_bits().unwrap());
+                assert_eq!(
+                    run.expect("no trap when folding succeeded"),
+                    c.as_int_bits().unwrap(),
+                    "seed {seed}"
+                );
             }
             None => {
-                // fold refuses for division by zero (must trap at run
-                // time) and for i64::MIN / -1 overflow (where the
-                // runtime wraps but folding conservatively declines)
-                prop_assert!(matches!(op, Opcode::Div | Opcode::Rem));
+                // fold refuses for division by zero and for
+                // i64::MIN / -1 overflow (where the runtime wraps but
+                // folding conservatively declines)
+                assert!(matches!(op, Opcode::Div | Opcode::Rem), "seed {seed}");
                 if b == 0 {
-                    prop_assert!(run.is_err());
+                    // §3.3: exceptions are on by default for div (must
+                    // trap), but off for rem — rem-by-zero is defined
+                    // as 0 rather than trapping
+                    match op {
+                        Opcode::Div => assert!(run.is_err(), "seed {seed}"),
+                        _ => assert_eq!(
+                            run.expect("rem-by-zero with exceptions off"),
+                            0,
+                            "seed {seed}"
+                        ),
+                    }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn dominator_properties(
-        steps in prop::collection::vec(step_strategy(), 1..25),
-    ) {
-        use llva::core::dominators::DomTree;
-        let m = build(&steps);
+#[test]
+fn dominator_properties() {
+    use llva::core::dominators::DomTree;
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0xD011_1147 + seed);
+        let m = build(&gen_steps(&mut rng, 25));
         let f = m.function_by_name("f").expect("f");
         let func = m.function(f);
         let dom = DomTree::compute(func);
         let entry = func.entry_block();
         for &b in dom.reverse_postorder() {
             // the entry dominates every reachable block
-            prop_assert!(dom.dominates(entry, b));
+            assert!(dom.dominates(entry, b), "seed {seed}");
             // the immediate dominator strictly dominates its child
             if let Some(idom) = dom.idom(b) {
-                prop_assert!(dom.strictly_dominates(idom, b));
+                assert!(dom.strictly_dominates(idom, b), "seed {seed}");
             } else {
-                prop_assert_eq!(b, entry);
+                assert_eq!(b, entry, "seed {seed}");
             }
             // no block strictly dominates itself
-            prop_assert!(!dom.strictly_dominates(b, b));
+            assert!(!dom.strictly_dominates(b, b), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn encoding_stats_are_consistent(
-        steps in prop::collection::vec(step_strategy(), 1..25),
-    ) {
-        let m = build(&steps);
+#[test]
+fn encoding_stats_are_consistent() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0x57A7_5000 + seed);
+        let m = build(&gen_steps(&mut rng, 25));
         let stats = llva::core::bytecode::encoding_stats(&m);
-        prop_assert_eq!(stats.small_insts + stats.extended_insts, m.total_insts());
-        prop_assert!(stats.total_bytes > 0);
+        assert_eq!(
+            stats.small_insts + stats.extended_insts,
+            m.total_insts(),
+            "seed {seed}"
+        );
+        assert!(stats.total_bytes > 0, "seed {seed}");
     }
 }
