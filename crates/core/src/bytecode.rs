@@ -489,11 +489,38 @@ impl<'a> Reader<'a> {
             message: "invalid utf-8 string".into(),
         })
     }
+    /// Reads an item count, bounded by the remaining input. Every
+    /// counted item occupies at least one byte, so a larger count is
+    /// malformed; rejecting it before any `Vec::with_capacity` keeps a
+    /// hostile length prefix from becoming an allocation bomb (an
+    /// allocation failure aborts — it cannot be caught downstream).
+    fn count(&mut self, what: &str) -> Result<usize> {
+        let n = self.varint()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n > remaining {
+            return self.err(format!("{what} count {n} exceeds {remaining} remaining bytes"));
+        }
+        Ok(n as usize)
+    }
+    /// Reads a table index, rejecting values a 32-bit id cannot hold
+    /// (the id constructors panic on overflow; untrusted input must
+    /// surface a `DecodeError` instead).
+    fn index(&mut self, what: &str) -> Result<usize> {
+        let n = self.varint()?;
+        if n >= u64::from(u32::MAX) {
+            return self.err(format!("{what} index {n} out of range"));
+        }
+        Ok(n as usize)
+    }
     fn bytes(&mut self) -> Result<Vec<u8>> {
-        let len = self.varint()? as usize;
-        if self.pos + len > self.buf.len() {
+        // compare against remaining (not pos + len) so a huge length
+        // prefix can neither overflow the addition nor drive an
+        // oversized allocation
+        let len = self.varint()?;
+        if len > (self.buf.len() - self.pos) as u64 {
             return self.err("unexpected end of file in bytes");
         }
+        let len = len as usize;
         let v = self.buf[self.pos..self.pos + len].to_vec();
         self.pos += len;
         Ok(v)
@@ -541,7 +568,7 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module> {
 }
 
 fn decode_types(module: &mut Module, r: &mut Reader<'_>) -> Result<()> {
-    let count = r.varint()? as usize;
+    let count = r.count("type")?;
     for i in 0..count {
         let tag = r.u8()?;
         let tt = module.types_mut();
@@ -560,19 +587,19 @@ fn decode_types(module: &mut Module, r: &mut Reader<'_>) -> Result<()> {
             11 => tt.double(),
             12 => tt.label(),
             13 => {
-                let p = TypeId::from_index(r.varint()? as usize);
+                let p = TypeId::from_index(r.index("pointee type")?);
                 module.types_mut().pointer_to(p)
             }
             14 => {
-                let elem = TypeId::from_index(r.varint()? as usize);
+                let elem = TypeId::from_index(r.index("element type")?);
                 let len = r.varint()?;
                 module.types_mut().array_of(elem, len)
             }
             15 => {
-                let n = r.varint()? as usize;
+                let n = r.count("struct field")?;
                 let mut fields = Vec::with_capacity(n);
                 for _ in 0..n {
-                    fields.push(TypeId::from_index(r.varint()? as usize));
+                    fields.push(TypeId::from_index(r.index("field type")?));
                 }
                 module.types_mut().literal_struct(fields)
             }
@@ -581,11 +608,11 @@ fn decode_types(module: &mut Module, r: &mut Reader<'_>) -> Result<()> {
                 module.types_mut().named_struct(&name)
             }
             17 => {
-                let ret = TypeId::from_index(r.varint()? as usize);
-                let n = r.varint()? as usize;
+                let ret = TypeId::from_index(r.index("return type")?);
+                let n = r.count("parameter")?;
                 let mut params = Vec::with_capacity(n);
                 for _ in 0..n {
-                    params.push(TypeId::from_index(r.varint()? as usize));
+                    params.push(TypeId::from_index(r.index("parameter type")?));
                 }
                 let varargs = r.u8()? != 0;
                 module.types_mut().function(ret, params, varargs)
@@ -600,15 +627,15 @@ fn decode_types(module: &mut Module, r: &mut Reader<'_>) -> Result<()> {
         }
     }
     // struct bodies
-    let ndefs = r.varint()? as usize;
+    let ndefs = r.count("struct def")?;
     for _ in 0..ndefs {
         let name = r.str()?;
         let has_body = r.u8()? != 0;
         if has_body {
-            let n = r.varint()? as usize;
+            let n = r.count("struct body field")?;
             let mut fields = Vec::with_capacity(n);
             for _ in 0..n {
-                fields.push(TypeId::from_index(r.varint()? as usize));
+                fields.push(TypeId::from_index(r.index("body field type")?));
             }
             module.types_mut().set_struct_body(&name, fields);
         } else {
@@ -622,23 +649,23 @@ fn decode_constant(r: &mut Reader<'_>) -> Result<Constant> {
     Ok(match r.u8()? {
         0 => Constant::Bool(r.u8()? != 0),
         1 => Constant::Int {
-            ty: TypeId::from_index(r.varint()? as usize),
+            ty: TypeId::from_index(r.index("constant type")?),
             bits: r.varint()?,
         },
         2 => Constant::Float {
-            ty: TypeId::from_index(r.varint()? as usize),
+            ty: TypeId::from_index(r.index("constant type")?),
             bits: r.varint()?,
         },
-        3 => Constant::Null(TypeId::from_index(r.varint()? as usize)),
+        3 => Constant::Null(TypeId::from_index(r.index("constant type")?)),
         4 => Constant::GlobalAddr {
-            global: GlobalId::from_index(r.varint()? as usize),
-            ty: TypeId::from_index(r.varint()? as usize),
+            global: GlobalId::from_index(r.index("global")?),
+            ty: TypeId::from_index(r.index("constant type")?),
         },
         5 => Constant::FunctionAddr {
-            func: FuncId::from_index(r.varint()? as usize),
-            ty: TypeId::from_index(r.varint()? as usize),
+            func: FuncId::from_index(r.index("function")?),
+            ty: TypeId::from_index(r.index("constant type")?),
         },
-        6 => Constant::Undef(TypeId::from_index(r.varint()? as usize)),
+        6 => Constant::Undef(TypeId::from_index(r.index("constant type")?)),
         other => return r.err(format!("bad constant tag {other}")),
     })
 }
@@ -648,7 +675,7 @@ fn decode_initializer(r: &mut Reader<'_>) -> Result<Initializer> {
         0 => Initializer::Zero,
         1 => Initializer::Scalar(decode_constant(r)?),
         2 => {
-            let n = r.varint()? as usize;
+            let n = r.count("array initializer item")?;
             let mut items = Vec::with_capacity(n);
             for _ in 0..n {
                 items.push(decode_initializer(r)?);
@@ -656,7 +683,7 @@ fn decode_initializer(r: &mut Reader<'_>) -> Result<Initializer> {
             Initializer::Array(items)
         }
         3 => {
-            let n = r.varint()? as usize;
+            let n = r.count("struct initializer item")?;
             let mut items = Vec::with_capacity(n);
             for _ in 0..n {
                 items.push(decode_initializer(r)?);
@@ -669,12 +696,15 @@ fn decode_initializer(r: &mut Reader<'_>) -> Result<Initializer> {
 }
 
 fn decode_globals(module: &mut Module, r: &mut Reader<'_>) -> Result<()> {
-    let count = r.varint()? as usize;
+    let count = r.count("global")?;
     for _ in 0..count {
         let name = r.str()?;
-        let ty = TypeId::from_index(r.varint()? as usize);
+        let ty = TypeId::from_index(r.index("global type")?);
         let flags = r.u8()?;
         let init = decode_initializer(r)?;
+        if module.global_by_name(&name).is_some() {
+            return r.err(format!("duplicate global {name}"));
+        }
         let g = module.add_global(&name, ty, init, flags & 1 != 0);
         if flags & 2 != 0 {
             module.global_mut(g).set_linkage(Linkage::Internal);
@@ -684,16 +714,19 @@ fn decode_globals(module: &mut Module, r: &mut Reader<'_>) -> Result<()> {
 }
 
 fn decode_functions(module: &mut Module, r: &mut Reader<'_>) -> Result<()> {
-    let count = r.varint()? as usize;
+    let count = r.count("function")?;
     for _ in 0..count {
         let name = r.str()?;
-        let ret = TypeId::from_index(r.varint()? as usize);
-        let nparams = r.varint()? as usize;
+        let ret = TypeId::from_index(r.index("return type")?);
+        let nparams = r.count("parameter")?;
         let mut params = Vec::with_capacity(nparams);
         for _ in 0..nparams {
-            params.push(TypeId::from_index(r.varint()? as usize));
+            params.push(TypeId::from_index(r.index("parameter type")?));
         }
         let internal = r.u8()? != 0;
+        if module.function_by_name(&name).is_some() {
+            return r.err(format!("duplicate function {name}"));
+        }
         let f = module.add_function(&name, ret, params);
         if internal {
             module.function_mut(f).set_linkage(Linkage::Internal);
@@ -716,20 +749,20 @@ struct RawInst {
 
 fn decode_body(module: &mut Module, f: FuncId, r: &mut Reader<'_>) -> Result<()> {
     let void = module.types_mut().void();
-    let nconsts = r.varint()? as usize;
+    let nconsts = r.count("constant")?;
     let mut value_by_number: Vec<ValueId> = module.function(f).args().to_vec();
     for _ in 0..nconsts {
         let c = decode_constant(r)?;
         let v = module.function_mut(f).constant(c);
         value_by_number.push(v);
     }
-    let nblocks = r.varint()? as usize;
+    let nblocks = r.count("block")?;
     let mut blocks = Vec::with_capacity(nblocks);
     let mut raw: Vec<(usize, RawInst)> = Vec::new();
     for bi in 0..nblocks {
         let b = module.function_mut(f).add_block(format!("b{bi}"));
         blocks.push(b);
-        let ninsts = r.varint()? as usize;
+        let ninsts = r.count("instruction")?;
         for _ in 0..ninsts {
             raw.push((bi, decode_raw_inst(r)?));
         }
@@ -809,14 +842,14 @@ fn decode_raw_inst(r: &mut Reader<'_>) -> Result<RawInst> {
                 offset: r.pos,
                 message: format!("bad opcode {}", word & 0x1F),
             })?;
-        let ty = TypeId::from_index(r.varint()? as usize);
+        let ty = TypeId::from_index(r.index("result type")?);
         let exc_flag = r.u8()?;
-        let nops = r.varint()? as usize;
+        let nops = r.count("operand")?;
         let mut ops = Vec::with_capacity(nops);
         for _ in 0..nops {
             ops.push(r.varint()?);
         }
-        let nblocks = r.varint()? as usize;
+        let nblocks = r.count("block operand")?;
         let mut blocks = Vec::with_capacity(nblocks);
         for _ in 0..nblocks {
             blocks.push(r.varint()?);

@@ -73,11 +73,11 @@ impl Env {
             Intrinsic::TrapRegister => {
                 let trap_no = arg(0) as u32;
                 let handler = arg(1);
-                if handler & FUNC_TAG == 0 {
+                let index = (handler & !FUNC_TAG) as u32;
+                if handler & FUNC_TAG == 0 || index as usize >= func_names.len() {
                     return Err(TrapKind::BadFunctionPointer);
                 }
-                self.trap_handlers
-                    .insert(trap_no, (handler & !FUNC_TAG) as u32);
+                self.trap_handlers.insert(trap_no, index);
                 0
             }
             Intrinsic::TrapRaise => {
@@ -105,10 +105,11 @@ impl Env {
             }
             Intrinsic::SmcInvalidate | Intrinsic::SmcReplace => {
                 let target = arg(0);
-                if target & FUNC_TAG == 0 {
+                let index = (target & !FUNC_TAG) as u32;
+                if target & FUNC_TAG == 0 || index as usize >= func_names.len() {
                     return Err(TrapKind::BadFunctionPointer);
                 }
-                self.smc_invalidations.push((target & !FUNC_TAG) as u32);
+                self.smc_invalidations.push(index);
                 0
             }
             Intrinsic::StorageRegister => {
@@ -165,16 +166,21 @@ mod tests {
         assert_eq!(env.stdout_string(), "hi");
     }
 
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("fn{i}")).collect()
+    }
+
     #[test]
     fn privileged_intrinsics_gated() {
         let mut env = Env::new();
         let mut m = mem();
+        let funcs = names(4);
         let r = env.handle(
             Intrinsic::TrapRegister,
             &[1, function_value(0)],
             &mut m,
             &StackView::default(),
-            &[],
+            &funcs,
         );
         assert_eq!(r, Err(TrapKind::PrivilegeViolation));
         env.privileged = true;
@@ -183,10 +189,37 @@ mod tests {
             &[1, function_value(3)],
             &mut m,
             &StackView::default(),
-            &[],
+            &funcs,
         );
         assert_eq!(r, Ok(0));
         assert_eq!(env.trap_handlers.get(&1), Some(&3));
+    }
+
+    #[test]
+    fn out_of_range_function_pointers_rejected() {
+        let mut env = Env::new();
+        env.privileged = true;
+        let mut m = mem();
+        let funcs = names(2);
+        // handler index 2 is past the end of a 2-function module
+        let r = env.handle(
+            Intrinsic::TrapRegister,
+            &[1, function_value(2)],
+            &mut m,
+            &StackView::default(),
+            &funcs,
+        );
+        assert_eq!(r, Err(TrapKind::BadFunctionPointer));
+        assert!(env.trap_handlers.is_empty());
+        let r = env.handle(
+            Intrinsic::SmcInvalidate,
+            &[function_value(7)],
+            &mut m,
+            &StackView::default(),
+            &funcs,
+        );
+        assert_eq!(r, Err(TrapKind::BadFunctionPointer));
+        assert!(env.smc_invalidations.is_empty());
     }
 
     #[test]
@@ -251,7 +284,7 @@ mod tests {
             &[function_value(5)],
             &mut m,
             &StackView::default(),
-            &[],
+            &names(6),
         )
         .unwrap();
         assert_eq!(env.smc_invalidations, vec![5]);

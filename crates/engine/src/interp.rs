@@ -172,9 +172,13 @@ impl<'m> Interpreter<'m> {
                 // §3.5: deliver to a registered trap handler, then report.
                 let trap_no = trap_number(trap.kind);
                 if let Some(&handler) = self.env.trap_handlers.get(&trap_no) {
-                    let h = FuncId::from_index(handler as usize);
-                    if !self.module.function(h).is_declaration() {
-                        let _ = self.run_function(h, &[u64::from(trap_no), 0]);
+                    // A stale or forged registration must not abort trap
+                    // delivery: an out-of-range handler is simply ignored.
+                    if (handler as usize) < self.module.num_functions() {
+                        let h = FuncId::from_index(handler as usize);
+                        if !self.module.function(h).is_declaration() {
+                            let _ = self.run_function(h, &[u64::from(trap_no), 0]);
+                        }
                     }
                 }
                 Err(InterpError::Trap(trap))
@@ -549,12 +553,16 @@ impl<'m> Interpreter<'m> {
                 break;
             }
             nphis += 1;
-            let pb = prev.expect("phi requires a predecessor");
-            let incoming = func
-                .phi_incoming(i, pb)
-                .expect("phi has an entry for each predecessor");
+            // Verified modules guarantee both of these; on a malformed
+            // module we degrade to a software trap instead of aborting.
+            let Some(incoming) = prev.and_then(|pb| func.phi_incoming(i, pb)) else {
+                return Err(self.trap(TrapKind::Software));
+            };
             let v = self.value(incoming);
-            assignments.push((func.inst_result(i).expect("phi result"), v));
+            let Some(result) = func.inst_result(i) else {
+                return Err(self.trap(TrapKind::Software));
+            };
+            assignments.push((result, v));
         }
         let frame = self.frames.last_mut().expect("active");
         for (k, v) in assignments {

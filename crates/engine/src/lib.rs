@@ -17,5 +17,8 @@ pub mod trace;
 
 pub use env::Env;
 pub use interp::{Interpreter, InterpError, LlvaTrap};
-pub use llee::{ExecutionManager, RunOutcome, TargetIsa};
-pub use storage::{DirStorage, MemStorage, Storage};
+pub use llee::{EngineError, ExecutionManager, RunOutcome, TargetIsa, TranslationStats};
+pub use storage::{
+    DirStorage, FaultLog, FaultPlan, FaultyStorage, MemStorage, SharedStorage, Storage,
+    SyncStorage,
+};

@@ -82,6 +82,10 @@ pub enum EngineError {
     NoSuchFunction(String),
     /// Control reached a declaration with no body to translate.
     MissingBody(String),
+    /// One function's translation panicked during parallel offline
+    /// translation; every other function was still translated and
+    /// installed.
+    TranslationPanicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -91,6 +95,9 @@ impl fmt::Display for EngineError {
             EngineError::OutOfFuel => f.write_str("out of fuel"),
             EngineError::NoSuchFunction(n) => write!(f, "no such function %{n}"),
             EngineError::MissingBody(n) => write!(f, "function %{n} has no body to translate"),
+            EngineError::TranslationPanicked(n) => {
+                write!(f, "translation of %{n} panicked (other functions unaffected)")
+            }
         }
     }
 }
@@ -111,6 +118,15 @@ pub struct TranslationStats {
     /// Cache lookups that found an entry whose per-function content
     /// hash no longer matched (a subset of `cache_misses`).
     pub cache_stale: usize,
+    /// Cache lookups whose entry failed frame validation (bad magic,
+    /// torn length, checksum mismatch) or whose payload would not
+    /// decode (a subset of `cache_misses`). The bad entry is
+    /// quarantined and the function retranslated.
+    pub cache_corrupt: usize,
+    /// Retranslations forced by a corrupt cache entry.
+    pub cache_retried: usize,
+    /// Corrupt entries successfully rewritten after retranslation.
+    pub cache_recovered: usize,
     /// Translations discarded by SMC invalidation.
     pub invalidations: usize,
 }
@@ -121,10 +137,25 @@ pub struct TranslationStats {
 pub struct FuncCacheStats {
     /// Lookups served from the cache.
     pub hits: u32,
-    /// Lookups that found nothing usable (includes `stale`).
+    /// Lookups that found nothing usable (includes `stale` and
+    /// `corrupt`).
     pub misses: u32,
     /// Lookups that found an entry with a mismatched content hash.
     pub stale: u32,
+    /// Lookups that found a corrupt entry (frame or payload invalid).
+    pub corrupt: u32,
+}
+
+/// What a cache probe found (see [`ExecutionManager::try_cache_load`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheProbe {
+    /// Validated entry installed.
+    Hit,
+    /// Nothing usable (absent, stale, or no storage attached).
+    Miss,
+    /// An entry existed but failed validation; it was quarantined and
+    /// the caller must retranslate.
+    Corrupt,
 }
 
 /// The result of a successful run.
@@ -305,8 +336,9 @@ impl ExecutionManager {
 
     /// The storage name under which function `f`'s translation is
     /// cached — the single source of truth for both the lookup and the
-    /// write-back path.
-    pub(crate) fn cache_key(&self, f: u32) -> String {
+    /// write-back path (and for tests or tools that need to inspect or
+    /// corrupt a specific entry).
+    pub fn cache_key(&self, f: u32) -> String {
         format!("{}.{}.fn{}", self.module.name(), self.isa, f)
     }
 
@@ -317,18 +349,25 @@ impl ExecutionManager {
     }
 
     /// Probes the offline cache for function `f` and installs the
-    /// cached translation on a validated hit. Records hit/miss/stale
+    /// cached translation on a validated hit. Every read is validated
+    /// twice before any byte reaches the program: the self-describing
+    /// frame (magic, version, length, key+payload checksum — see
+    /// [`codec::unframe_entry`]) and then the instruction decode
+    /// itself. Anything that fails either check is a [`CacheProbe::Corrupt`]:
+    /// the bad entry is quarantined so it cannot be served again, and
+    /// the caller retranslates. Records hit/miss/stale/corrupt
     /// statistics; a manager without storage records nothing.
-    fn try_cache_load(&mut self, f: u32) -> bool {
+    fn try_cache_load(&mut self, f: u32) -> CacheProbe {
         let Some(storage) = &self.storage else {
-            return false;
+            return CacheProbe::Miss;
         };
-        let entry = storage.read(&self.cache_name, &self.cache_key(f));
+        let key = self.cache_key(f);
+        let entry = storage.read(&self.cache_name, &key);
         let per_func = &mut self.func_cache[f as usize];
-        let Some((bytes, ts)) = entry else {
+        let Some((blob, ts)) = entry else {
             self.stats.cache_misses += 1;
             per_func.misses += 1;
-            return false;
+            return CacheProbe::Miss;
         };
         // per-function content-hash validation (§4.1 "check a
         // timestamp on … a cached vector", made incremental)
@@ -337,26 +376,35 @@ impl ExecutionManager {
             self.stats.cache_stale += 1;
             per_func.misses += 1;
             per_func.stale += 1;
-            return false;
+            return CacheProbe::Miss;
         }
-        let ok = match &mut self.engine {
-            Engine::X86 { program, .. } => codec::decode_x86(&bytes)
-                .map(|code| program.install(f, code))
-                .is_ok(),
-            Engine::Sparc { program, .. } => codec::decode_sparc(&bytes)
-                .map(|code| program.install(f, code))
-                .is_ok(),
-        };
+        let installed = codec::unframe_entry(&key, &blob)
+            .ok()
+            .and_then(|payload| match &mut self.engine {
+                Engine::X86 { program, .. } => codec::decode_x86(payload)
+                    .ok()
+                    .map(|code| program.install(f, code)),
+                Engine::Sparc { program, .. } => codec::decode_sparc(payload)
+                    .ok()
+                    .map(|code| program.install(f, code)),
+            })
+            .is_some();
         let per_func = &mut self.func_cache[f as usize];
-        if ok {
+        if installed {
             self.stats.cache_hits += 1;
             per_func.hits += 1;
-        } else {
-            // undecodable blob (stale codec format, corruption)
-            self.stats.cache_misses += 1;
-            per_func.misses += 1;
+            return CacheProbe::Hit;
         }
-        ok
+        // invalid frame or undecodable payload: quarantine so the bad
+        // blob is never consulted again, then retranslate
+        self.stats.cache_misses += 1;
+        self.stats.cache_corrupt += 1;
+        per_func.misses += 1;
+        per_func.corrupt += 1;
+        if let Some(storage) = &mut self.storage {
+            storage.quarantine(&self.cache_name, &key);
+        }
+        CacheProbe::Corrupt
     }
 
     /// Translates one function, consulting the cache first. Returns
@@ -364,16 +412,22 @@ impl ExecutionManager {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::MissingBody`] for declarations.
+    /// Returns [`EngineError::MissingBody`] for declarations and
+    /// [`EngineError::NoSuchFunction`] for an out-of-range id (ids can
+    /// arrive from untrusted artifacts, e.g. corrupted cache state).
     pub fn translate(&mut self, f: u32) -> Result<bool, EngineError> {
+        if f as usize >= self.module.num_functions() {
+            return Err(EngineError::NoSuchFunction(format!("fn{f}")));
+        }
         let fid = FuncId::from_index(f as usize);
         if self.module.function(fid).is_declaration() {
             return Err(EngineError::MissingBody(
                 self.module.function(fid).name().to_string(),
             ));
         }
-        // cache lookup with per-function hash validation (§4.1)
-        if self.try_cache_load(f) {
+        // cache lookup with frame + per-function hash validation (§4.1)
+        let probe = self.try_cache_load(f);
+        if probe == CacheProbe::Hit {
             return Ok(true);
         }
         // JIT translation
@@ -394,11 +448,20 @@ impl ExecutionManager {
         };
         self.stats.translate_time += start.elapsed();
         self.stats.functions_translated += 1;
-        // write back to the offline cache
+        // write back to the offline cache, framed for validation
         let key = self.cache_key(f);
         let ts = self.func_hashes[f as usize];
-        if let Some(storage) = &mut self.storage {
-            storage.write(&self.cache_name, &key, &blob, ts);
+        let written = if let Some(storage) = &mut self.storage {
+            storage.write(&self.cache_name, &key, &codec::frame_entry(&key, &blob), ts);
+            true
+        } else {
+            false
+        };
+        if probe == CacheProbe::Corrupt {
+            self.stats.cache_retried += 1;
+            if written {
+                self.stats.cache_recovered += 1;
+            }
         }
         Ok(false)
     }
@@ -437,68 +500,112 @@ impl ExecutionManager {
     ///
     /// # Errors
     ///
-    /// Never fails for defined functions; declarations are skipped.
-    ///
-    /// # Panics
-    ///
-    /// Propagates panics from translator worker threads.
+    /// A panic inside one function's translation (a compiler bug, or
+    /// virtual object code crafted to poison it) is caught per
+    /// function: every other function is still translated, installed,
+    /// and written back, and the first poisoned function is reported as
+    /// [`EngineError::TranslationPanicked`].
     pub fn translate_all_parallel(&mut self, n_workers: usize) -> Result<(), EngineError> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         let n_workers = if n_workers == 0 {
             Self::default_workers()
         } else {
             n_workers
         };
-        // serial cache probe: hits install here, misses become work
+        // serial cache probe: hits install here, misses become work;
+        // corrupt entries are quarantined and tracked for recovery
+        // accounting after their retranslation lands
+        let mut corrupt: Vec<u32> = Vec::new();
         let work: Vec<u32> = self
             .defined_functions()
             .into_iter()
-            .filter(|&f| !self.try_cache_load(f))
+            .filter(|&f| match self.try_cache_load(f) {
+                CacheProbe::Hit => false,
+                CacheProbe::Miss => true,
+                CacheProbe::Corrupt => {
+                    corrupt.push(f);
+                    true
+                }
+            })
             .collect();
         if work.is_empty() {
             return Ok(());
         }
-        // parallel compile (compile_* are pure over &Module), then a
+        // parallel compile (compile_* are pure over &Module), each
+        // function's compilation isolated by catch_unwind, then a
         // serial install pass in work-list order for determinism
         let start = Instant::now();
         let module = &self.module;
         let mut blobs: Vec<(u32, Vec<u8>)> = Vec::with_capacity(work.len());
+        let mut poisoned: Option<u32> = None;
         match &mut self.engine {
             Engine::X86 { program, .. } => {
                 let compiled = compile_batch(&work, n_workers, |fid| {
-                    let code = compile_x86(module, fid);
-                    let blob = codec::encode_x86(&code);
-                    (code, blob)
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let code = compile_x86(module, fid);
+                        let blob = codec::encode_x86(&code);
+                        (code, blob)
+                    }))
                 });
-                for (&f, (code, blob)) in work.iter().zip(compiled) {
-                    program.install(f, code);
-                    blobs.push((f, blob));
+                for (&f, result) in work.iter().zip(compiled) {
+                    match result {
+                        Ok((code, blob)) => {
+                            program.install(f, code);
+                            blobs.push((f, blob));
+                        }
+                        Err(_) => poisoned = poisoned.or(Some(f)),
+                    }
                 }
             }
             Engine::Sparc { program, .. } => {
                 let compiled = compile_batch(&work, n_workers, |fid| {
-                    let code = compile_sparc(module, fid);
-                    let blob = codec::encode_sparc(&code);
-                    (code, blob)
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let code = compile_sparc(module, fid);
+                        let blob = codec::encode_sparc(&code);
+                        (code, blob)
+                    }))
                 });
-                for (&f, (code, blob)) in work.iter().zip(compiled) {
-                    program.install(f, code);
-                    blobs.push((f, blob));
+                for (&f, result) in work.iter().zip(compiled) {
+                    match result {
+                        Ok((code, blob)) => {
+                            program.install(f, code);
+                            blobs.push((f, blob));
+                        }
+                        Err(_) => poisoned = poisoned.or(Some(f)),
+                    }
                 }
             }
         }
         self.stats.translate_time += start.elapsed();
-        self.stats.functions_translated += work.len();
-        // batched write-back after the join
+        self.stats.functions_translated += blobs.len();
+        // batched write-back after the join, framed for validation
+        let translated: Vec<u32> = blobs.iter().map(|&(f, _)| f).collect();
         let entries: Vec<(String, Vec<u8>, u64)> = blobs
             .into_iter()
             .map(|(f, blob)| (self.cache_key(f), blob, self.func_hashes[f as usize]))
             .collect();
-        if let Some(storage) = &mut self.storage {
+        let written = if let Some(storage) = &mut self.storage {
             for (key, blob, ts) in &entries {
-                storage.write(&self.cache_name, key, blob, *ts);
+                storage.write(&self.cache_name, key, &codec::frame_entry(key, blob), *ts);
+            }
+            true
+        } else {
+            false
+        };
+        for f in corrupt {
+            if translated.contains(&f) {
+                self.stats.cache_retried += 1;
+                if written {
+                    self.stats.cache_recovered += 1;
+                }
             }
         }
-        Ok(())
+        match poisoned {
+            None => Ok(()),
+            Some(f) => Err(EngineError::TranslationPanicked(
+                self.module.function(FuncId::from_index(f as usize)).name().to_string(),
+            )),
+        }
     }
 
     /// Ids of all functions with bodies, in id order.
@@ -643,9 +750,13 @@ impl ExecutionManager {
                 return Err(EngineError::Trapped(trap));
             }
         };
-        // drain SMC invalidations (§3.4: takes effect on next call)
+        // drain SMC invalidations (§3.4: takes effect on next call);
+        // out-of-range indices from hostile code are dropped, not fatal
         let pending = std::mem::take(&mut self.env.smc_invalidations);
         for f in pending {
+            if f as usize >= self.module.num_functions() {
+                continue;
+            }
             match &mut self.engine {
                 Engine::X86 { program, .. } => program.invalidate(f),
                 Engine::Sparc { program, .. } => program.invalidate(f),
@@ -667,6 +778,12 @@ impl ExecutionManager {
         let Some(&handler) = self.env.trap_handlers.get(&no) else {
             return;
         };
+        // a handler index pointing past the function table (stale
+        // registration after SMC shrank the module, hostile input)
+        // degrades to "no handler" instead of aborting the engine
+        if handler as usize >= self.module.num_functions() {
+            return;
+        }
         if self
             .module
             .function(FuncId::from_index(handler as usize))
@@ -756,15 +873,7 @@ fn compile_batch<T: Send>(
     })
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-
-fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+use crate::codec::{fnv1a, FNV_OFFSET};
 
 /// A stable fingerprint of a module's virtual object code, used as a
 /// coarse cache timestamp ("check a timestamp on an LLVA program",

@@ -15,9 +15,14 @@
 //! memory-only translation cache) and a directory-backed one (the
 //! user-level POSIX LLEE of §4.1).
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// Suffix appended to a quarantined entry's name (see
+/// [`Storage::quarantine`]).
+pub const QUARANTINE_SUFFIX: &str = ".quar";
 
 /// The storage API of §4.1. All methods are infallible-or-`Option`
 /// because a failed cache interaction must never break execution.
@@ -39,6 +44,21 @@ pub trait Storage {
 
     /// Checks the timestamp of a named vector without reading it.
     fn timestamp(&self, cache: &str, name: &str) -> Option<u64>;
+
+    /// Removes a single named vector (no-op if absent). Part of the
+    /// fault-tolerance protocol: LLEE removes entries that fail frame
+    /// validation so a bad blob is never served twice.
+    fn remove(&mut self, cache: &str, name: &str);
+
+    /// Moves a corrupt entry aside under [`QUARANTINE_SUFFIX`] (keeping
+    /// the bytes for post-mortem inspection) and removes the original,
+    /// so the next lookup misses cleanly and retranslation rewrites it.
+    fn quarantine(&mut self, cache: &str, name: &str) {
+        if let Some((bytes, ts)) = self.read(cache, name) {
+            self.write(cache, &format!("{name}{QUARANTINE_SUFFIX}"), &bytes, ts);
+        }
+        self.remove(cache, name);
+    }
 }
 
 /// A purely in-memory storage (no OS support — entries die with the
@@ -88,6 +108,12 @@ impl Storage for MemStorage {
     fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
         self.caches.get(cache)?.get(name).map(|(_, t)| *t)
     }
+
+    fn remove(&mut self, cache: &str, name: &str) {
+        if let Some(entries) = self.caches.get_mut(cache) {
+            entries.remove(name);
+        }
+    }
 }
 
 /// Directory-backed storage: each vector is a file whose first 8 bytes
@@ -98,10 +124,22 @@ pub struct DirStorage {
     root: PathBuf,
 }
 
+/// Marker embedded in the names of in-flight temp files; a crash
+/// between write and rename leaves one behind, and the startup sweep
+/// garbage-collects anything bearing it.
+const TMP_MARKER: &str = ".__tmp";
+
 impl DirStorage {
-    /// Creates storage rooted at `root` (created on demand).
+    /// Creates storage rooted at `root` (created on demand) and sweeps
+    /// temp files orphaned by earlier crashed writers.
     pub fn new(root: impl Into<PathBuf>) -> DirStorage {
-        DirStorage { root: root.into() }
+        let storage = DirStorage { root: root.into() };
+        if let Ok(dir) = std::fs::read_dir(&storage.root) {
+            for entry in dir.flatten() {
+                sweep_orphaned_tmp(&entry.path());
+            }
+        }
+        storage
     }
 
     fn cache_dir(&self, cache: &str) -> PathBuf {
@@ -110,6 +148,18 @@ impl DirStorage {
 
     fn entry_path(&self, cache: &str, name: &str) -> PathBuf {
         self.cache_dir(cache).join(sanitize(name))
+    }
+}
+
+/// Deletes files under `dir` whose names carry [`TMP_MARKER`].
+fn sweep_orphaned_tmp(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().contains(TMP_MARKER) {
+            let _ = std::fs::remove_file(entry.path());
+        }
     }
 }
 
@@ -133,7 +183,9 @@ fn sanitize(name: &str) -> String {
 
 impl Storage for DirStorage {
     fn create_cache(&mut self, cache: &str) {
-        let _ = std::fs::create_dir_all(self.cache_dir(cache));
+        let dir = self.cache_dir(cache);
+        let _ = std::fs::create_dir_all(&dir);
+        sweep_orphaned_tmp(&dir);
     }
 
     fn delete_cache(&mut self, cache: &str) {
@@ -144,6 +196,7 @@ impl Storage for DirStorage {
         let dir = std::fs::read_dir(self.cache_dir(cache)).ok()?;
         Some(
             dir.flatten()
+                .filter(|e| !e.file_name().to_string_lossy().contains(TMP_MARKER))
                 .filter_map(|e| e.metadata().ok())
                 .map(|m| m.len())
                 .sum(),
@@ -151,10 +204,22 @@ impl Storage for DirStorage {
     }
 
     fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
-        self.create_cache(cache);
+        let dir = self.cache_dir(cache);
+        let _ = std::fs::create_dir_all(&dir);
         let mut blob = timestamp.to_le_bytes().to_vec();
         blob.extend_from_slice(bytes);
-        let _ = std::fs::write(self.entry_path(cache, name), blob);
+        // write-to-temp + rename: readers never observe a torn entry,
+        // and a crash mid-write leaves only a swept-on-startup temp file
+        let tmp = dir.join(format!(
+            "{}{TMP_MARKER}{}",
+            sanitize(name),
+            std::process::id()
+        ));
+        if std::fs::write(&tmp, blob).is_ok()
+            && std::fs::rename(&tmp, self.entry_path(cache, name)).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
     }
 
     fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
@@ -169,18 +234,36 @@ impl Storage for DirStorage {
     fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
         self.read(cache, name).map(|(_, t)| t)
     }
+
+    fn remove(&mut self, cache: &str, name: &str) {
+        let _ = std::fs::remove_file(self.entry_path(cache, name));
+    }
 }
 
 /// A cloneable handle sharing one underlying storage — lets a test or
 /// benchmark keep inspecting the cache that an execution manager owns a
 /// boxed handle to.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SharedStorage<S>(std::rc::Rc<std::cell::RefCell<S>>);
+
+// manual impl: cloning the handle must not require S: Clone
+impl<S> Clone for SharedStorage<S> {
+    fn clone(&self) -> SharedStorage<S> {
+        SharedStorage(std::rc::Rc::clone(&self.0))
+    }
+}
 
 impl<S: Storage> SharedStorage<S> {
     /// Wraps `storage` in a shared handle.
     pub fn new(storage: S) -> SharedStorage<S> {
         SharedStorage(std::rc::Rc::new(std::cell::RefCell::new(storage)))
+    }
+
+    /// Runs `f` with direct access to the wrapped storage (e.g. to
+    /// drive the fault hooks of a [`FaultyStorage`] it shares with an
+    /// execution manager).
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.0.borrow_mut())
     }
 }
 
@@ -203,6 +286,12 @@ impl<S: Storage> Storage for SharedStorage<S> {
     fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
         self.0.borrow().timestamp(cache, name)
     }
+    fn remove(&mut self, cache: &str, name: &str) {
+        self.0.borrow_mut().remove(cache, name);
+    }
+    fn quarantine(&mut self, cache: &str, name: &str) {
+        self.0.borrow_mut().quarantine(cache, name);
+    }
 }
 
 /// A `Send + Sync` cloneable handle sharing one underlying storage —
@@ -212,8 +301,15 @@ impl<S: Storage> Storage for SharedStorage<S> {
 /// threads. All operations take the mutex for their duration; the
 /// storage contract says failures must never break execution, so a
 /// poisoned lock is recovered rather than propagated.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct SyncStorage<S>(std::sync::Arc<std::sync::Mutex<S>>);
+
+// manual impl: cloning the handle must not require S: Clone
+impl<S> Clone for SyncStorage<S> {
+    fn clone(&self) -> SyncStorage<S> {
+        SyncStorage(std::sync::Arc::clone(&self.0))
+    }
+}
 
 impl<S: Storage> SyncStorage<S> {
     /// Wraps `storage` in a thread-shared handle.
@@ -223,6 +319,12 @@ impl<S: Storage> SyncStorage<S> {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, S> {
         self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs `f` with direct access to the wrapped storage, recovering
+    /// the lock if a previous holder panicked.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.lock())
     }
 }
 
@@ -245,6 +347,252 @@ impl<S: Storage> Storage for SyncStorage<S> {
     fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
         self.lock().timestamp(cache, name)
     }
+    fn remove(&mut self, cache: &str, name: &str) {
+        self.lock().remove(cache, name);
+    }
+    fn quarantine(&mut self, cache: &str, name: &str) {
+        self.lock().quarantine(cache, name);
+    }
+}
+
+/// How often [`FaultyStorage`] injects each fault class. Every knob is
+/// "about 1 in N operations" (`0` = never). Faults are drawn from a
+/// seeded xorshift PRNG, so the same seed over the same operation
+/// sequence reproduces the same faults exactly — fault-injection runs
+/// are deterministic and debuggable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Reads that fail outright (entry appears missing).
+    pub read_fail: u32,
+    /// Reads whose returned bytes are truncated at a random point.
+    pub read_truncate: u32,
+    /// Reads with one random bit flipped (bit rot).
+    pub read_bit_flip: u32,
+    /// Writes that persist only a prefix of the bytes (torn write).
+    pub torn_write: u32,
+    /// Reads that report a perturbed timestamp.
+    pub stale_timestamp: u32,
+}
+
+impl FaultPlan {
+    /// No faults — a pass-through wrapper (useful for warming a cache
+    /// before switching to a hostile plan).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            read_fail: 0,
+            read_truncate: 0,
+            read_bit_flip: 0,
+            torn_write: 0,
+            stale_timestamp: 0,
+        }
+    }
+
+    /// Flips a bit in every read — the acceptance scenario for the
+    /// degradation ladder: with corruption on every read, execution
+    /// must match a manager with no storage at all.
+    pub fn corrupt_every_read(seed: u64) -> FaultPlan {
+        FaultPlan {
+            read_bit_flip: 1,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Everything at once, each fault class roughly 1-in-4.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            read_fail: 5,
+            read_truncate: 4,
+            read_bit_flip: 3,
+            torn_write: 4,
+            stale_timestamp: 5,
+        }
+    }
+}
+
+/// Counts of faults actually injected by a [`FaultyStorage`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Reads turned into misses.
+    pub failed_reads: u64,
+    /// Reads returned truncated.
+    pub truncated_reads: u64,
+    /// Reads returned with a flipped bit.
+    pub flipped_reads: u64,
+    /// Writes that persisted only a prefix.
+    pub torn_writes: u64,
+    /// Timestamps perturbed on read.
+    pub stale_timestamps: u64,
+}
+
+impl FaultLog {
+    /// Total faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        self.failed_reads
+            + self.truncated_reads
+            + self.flipped_reads
+            + self.torn_writes
+            + self.stale_timestamps
+    }
+}
+
+/// A deterministic fault-injection wrapper around any [`Storage`]: the
+/// test double for hostile or failing OS storage (torn writes, bit rot,
+/// lost entries, stale metadata). LLEE must ride out anything this
+/// wrapper does — §4.1's "operate correctly in their absence" extended
+/// to *presence with faults*.
+#[derive(Debug)]
+pub struct FaultyStorage<S> {
+    inner: S,
+    plan: FaultPlan,
+    rng: Cell<u64>,
+    log: Cell<FaultLog>,
+}
+
+impl<S: Storage> FaultyStorage<S> {
+    /// Wraps `inner`, injecting faults per `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultyStorage<S> {
+        FaultyStorage {
+            inner,
+            plan,
+            rng: Cell::new(plan.seed.max(1)),
+            log: Cell::new(FaultLog::default()),
+        }
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Swaps the fault plan (and reseeds the PRNG from it) — e.g. warm
+    /// the cache fault-free, then turn corruption on.
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.rng.set(plan.seed.max(1));
+    }
+
+    /// Faults injected so far.
+    pub fn log(&self) -> FaultLog {
+        self.log.get()
+    }
+
+    /// The wrapped storage.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the inner storage.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Deterministically flips one bit of a stored entry *in place*
+    /// (independent of the probabilistic plan) — the harness hook for
+    /// "corrupt exactly this entry" tests. Returns whether the entry
+    /// existed and was non-empty.
+    pub fn corrupt_entry(&mut self, cache: &str, name: &str) -> bool {
+        let Some((mut bytes, ts)) = self.inner.read(cache, name) else {
+            return false;
+        };
+        if bytes.is_empty() {
+            return false;
+        }
+        let i = self.next() as usize % bytes.len();
+        bytes[i] ^= 1 << (self.next() % 8);
+        self.inner.write(cache, name, &bytes, ts);
+        true
+    }
+
+    /// xorshift64* (same generator as `tests/proptest_core.rs`); `Cell`
+    /// state so the `&self` read path can draw faults.
+    fn next(&self) -> u64 {
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn roll(&self, one_in: u32) -> bool {
+        one_in != 0 && self.next().is_multiple_of(u64::from(one_in))
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut FaultLog)) {
+        let mut log = self.log.get();
+        f(&mut log);
+        self.log.set(log);
+    }
+}
+
+impl<S: Storage> Storage for FaultyStorage<S> {
+    fn create_cache(&mut self, cache: &str) {
+        self.inner.create_cache(cache);
+    }
+
+    fn delete_cache(&mut self, cache: &str) {
+        self.inner.delete_cache(cache);
+    }
+
+    fn cache_size(&self, cache: &str) -> Option<u64> {
+        self.inner.cache_size(cache)
+    }
+
+    fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
+        if self.roll(self.plan.torn_write) && !bytes.is_empty() {
+            let keep = self.next() as usize % bytes.len();
+            self.bump(|l| l.torn_writes += 1);
+            self.inner.write(cache, name, &bytes[..keep], timestamp);
+        } else {
+            self.inner.write(cache, name, bytes, timestamp);
+        }
+    }
+
+    fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
+        let (mut bytes, mut ts) = self.inner.read(cache, name)?;
+        if self.roll(self.plan.read_fail) {
+            self.bump(|l| l.failed_reads += 1);
+            return None;
+        }
+        if self.roll(self.plan.read_truncate) && !bytes.is_empty() {
+            let keep = self.next() as usize % bytes.len();
+            bytes.truncate(keep);
+            self.bump(|l| l.truncated_reads += 1);
+        }
+        if self.roll(self.plan.read_bit_flip) && !bytes.is_empty() {
+            let i = self.next() as usize % bytes.len();
+            bytes[i] ^= 1 << (self.next() % 8);
+            self.bump(|l| l.flipped_reads += 1);
+        }
+        if self.roll(self.plan.stale_timestamp) {
+            ts ^= 0x5a5a;
+            self.bump(|l| l.stale_timestamps += 1);
+        }
+        Some((bytes, ts))
+    }
+
+    fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
+        let mut ts = self.inner.timestamp(cache, name)?;
+        if self.roll(self.plan.stale_timestamp) {
+            ts ^= 0x5a5a;
+            self.bump(|l| l.stale_timestamps += 1);
+        }
+        Some(ts)
+    }
+
+    fn remove(&mut self, cache: &str, name: &str) {
+        self.inner.remove(cache, name);
+    }
+
+    fn quarantine(&mut self, cache: &str, name: &str) {
+        // quarantine bypasses fault injection: it is LLEE's recovery
+        // action and must see the inner storage's true contents
+        self.inner.quarantine(cache, name);
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +611,19 @@ mod tests {
         assert_eq!(storage.read("app", "fn0"), Some((b"newer".to_vec(), 200)));
         assert_eq!(storage.read("app", "nope"), None);
         assert_eq!(storage.read("ghost", "fn0"), None);
+        // remove deletes exactly one entry; removing again is a no-op
+        storage.remove("app", "fn0");
+        assert_eq!(storage.read("app", "fn0"), None);
+        assert_eq!(storage.timestamp("app", "fn1"), Some(101));
+        storage.remove("app", "fn0");
+        storage.remove("ghost", "fn0");
+        // quarantine moves the entry aside and clears the original name
+        storage.quarantine("app", "fn1");
+        assert_eq!(storage.read("app", "fn1"), None);
+        assert_eq!(
+            storage.read("app", &format!("fn1{QUARANTINE_SUFFIX}")),
+            Some((b"code11".to_vec(), 101))
+        );
         storage.delete_cache("app");
         assert_eq!(storage.read("app", "fn0"), None);
     }
@@ -329,5 +690,139 @@ mod tests {
         assert_eq!(sanitize("../../etc/passwd"), ".._.._etc_passwd");
         assert!(!sanitize("../../etc/passwd").contains('/'));
         assert_eq!(sanitize("fn0.x86"), "fn0.x86");
+    }
+
+    #[test]
+    fn shared_and_faulty_storage_contracts() {
+        let mut shared = SharedStorage::new(MemStorage::new());
+        exercise(&mut shared);
+        let mut faulty = FaultyStorage::new(MemStorage::new(), FaultPlan::none(7));
+        exercise(&mut faulty);
+        assert_eq!(faulty.log(), FaultLog::default(), "plan none injects nothing");
+    }
+
+    /// Panics on `write` while armed — the only way to poison a
+    /// `SyncStorage` mutex from the public API.
+    #[derive(Default)]
+    struct PanickyStorage {
+        armed: bool,
+        inner: MemStorage,
+    }
+
+    impl Storage for PanickyStorage {
+        fn create_cache(&mut self, cache: &str) {
+            self.inner.create_cache(cache);
+        }
+        fn delete_cache(&mut self, cache: &str) {
+            self.inner.delete_cache(cache);
+        }
+        fn cache_size(&self, cache: &str) -> Option<u64> {
+            self.inner.cache_size(cache)
+        }
+        fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
+            assert!(!self.armed, "injected writer panic");
+            self.inner.write(cache, name, bytes, timestamp);
+        }
+        fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
+            self.inner.read(cache, name)
+        }
+        fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
+            self.inner.timestamp(cache, name)
+        }
+        fn remove(&mut self, cache: &str, name: &str) {
+            self.inner.remove(cache, name);
+        }
+    }
+
+    #[test]
+    fn sync_storage_survives_panicking_writer_thread() {
+        let storage = SyncStorage::new(PanickyStorage::default());
+        let mut warm = storage.clone();
+        warm.write("app", "before", b"ok", 1);
+        storage.with(|s| s.armed = true);
+        // a writer thread panics while holding the mutex → poison
+        let writer = storage.clone();
+        let result = std::thread::spawn(move || {
+            let mut writer = writer;
+            writer.write("app", "boom", b"never lands", 2);
+        })
+        .join();
+        assert!(result.is_err(), "writer thread must have panicked");
+        // every lock site recovers the poison: the storage stays usable
+        storage.with(|s| s.armed = false);
+        assert_eq!(storage.read("app", "before"), Some((b"ok".to_vec(), 1)));
+        assert_eq!(storage.cache_size("app"), Some(2));
+        let mut after = storage.clone();
+        after.write("app", "after", b"fine", 3);
+        assert_eq!(storage.read("app", "after"), Some((b"fine".to_vec(), 3)));
+        after.remove("app", "before");
+        assert_eq!(storage.read("app", "before"), None);
+    }
+
+    #[test]
+    fn dir_storage_write_is_atomic_and_sweeps_orphans() {
+        let dir = std::env::temp_dir().join(format!("llva-storage-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut s = DirStorage::new(&dir);
+            s.write("app", "fn0", b"payload", 9);
+            // no temp files survive a completed write
+            let leftovers: Vec<_> = std::fs::read_dir(dir.join("app"))
+                .expect("cache dir")
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().contains(TMP_MARKER))
+                .collect();
+            assert!(leftovers.is_empty(), "completed writes leave no temp files");
+            // simulate a crash mid-write: a stray temp file appears
+            std::fs::write(dir.join("app").join(format!("fn9{TMP_MARKER}999")), b"torn")
+                .expect("writes");
+        }
+        {
+            // a fresh instance sweeps the orphan and still serves data
+            let s = DirStorage::new(&dir);
+            assert_eq!(s.read("app", "fn0"), Some((b"payload".to_vec(), 9)));
+            assert!(
+                !std::fs::read_dir(dir.join("app"))
+                    .expect("cache dir")
+                    .flatten()
+                    .any(|e| e.file_name().to_string_lossy().contains(TMP_MARKER)),
+                "startup sweep collects orphaned temp files"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    type ReadTrace = Vec<Option<(Vec<u8>, u64)>>;
+
+    #[test]
+    fn faulty_storage_is_deterministic_per_seed() {
+        let run = |seed: u64| -> (ReadTrace, FaultLog) {
+            let mut s = FaultyStorage::new(MemStorage::new(), FaultPlan::chaos(seed));
+            let mut reads = Vec::new();
+            for i in 0..64u64 {
+                s.write("c", &format!("e{}", i % 8), &[i as u8; 16], i);
+                reads.push(s.read("c", &format!("e{}", i % 8)));
+            }
+            (reads, s.log())
+        };
+        let (reads_a, log_a) = run(42);
+        let (reads_b, log_b) = run(42);
+        assert_eq!(reads_a, reads_b, "same seed, same faults");
+        assert_eq!(log_a, log_b);
+        assert!(log_a.total() > 0, "chaos plan injects faults");
+        let (_, log_c) = run(43);
+        assert_ne!(log_a, log_c, "different seed, different fault pattern");
+    }
+
+    #[test]
+    fn faulty_storage_corrupt_entry_flips_exactly_one_bit() {
+        let mut s = FaultyStorage::new(MemStorage::new(), FaultPlan::none(5));
+        s.write("c", "e", &[0u8; 32], 1);
+        assert!(s.corrupt_entry("c", "e"));
+        let (bytes, ts) = s.read("c", "e").expect("entry");
+        assert_eq!(ts, 1, "timestamp untouched");
+        let flipped: u32 = bytes.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit differs");
+        assert!(!s.corrupt_entry("c", "missing"));
     }
 }

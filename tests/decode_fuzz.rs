@@ -1,0 +1,168 @@
+//! Deterministic fuzzing of the untrusted-input decode paths.
+//!
+//! LLEE is system software: virtual object code arrives from disk or
+//! from an OS-provided storage API, and a cached translation may have
+//! rotted in place. No byte string — random, truncated, or bit-flipped
+//! — may ever panic the decoder; malformed input must surface as a
+//! typed `DecodeError` (ISSUE 2 acceptance criterion).
+//!
+//! The build environment has no crates.io access, so instead of a
+//! fuzzing crate these loops are driven by the same deterministic
+//! xorshift64* generator as `proptest_core.rs`: every run explores the
+//! same case set, and a failing input is reproducible from the seed.
+
+use llva::core::bytecode::{decode_module, encode_module};
+use llva::engine::codec;
+
+/// Deterministic xorshift64* PRNG (no external deps).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn usize(&mut self, hi: usize) -> usize {
+        (self.next() % hi as u64) as usize
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+fn sample_module_bytes() -> Vec<u8> {
+    let m = llva::core::parser::parse_module(
+        r#"
+%Pair = type { int, int }
+
+@counter = global int 4
+@msg = internal constant [3 x sbyte] c"hi\00"
+
+void %touch(%Pair* %p) {
+entry:
+    %f = getelementptr %Pair* %p, long 0, ubyte 1
+    %v = load int* %f
+    store int %v, int* %f
+    ret void
+}
+
+int %fib(int %n) {
+entry:
+    %c = setlt int %n, 2
+    br bool %c, label %base, label %rec
+base:
+    ret int %n
+rec:
+    %n1 = sub int %n, 1
+    %a = call int %fib(int %n1)
+    %n2 = sub int %n, 2
+    %b = call int %fib(int %n2)
+    %s = add int %a, %b
+    ret int %s
+}
+
+int %main() {
+entry:
+    %v = load int* @counter
+    %r = call int %fib(int 10)
+    %t = add int %r, %v
+    ret int %t
+}
+"#,
+    )
+    .expect("parses");
+    llva::core::verifier::verify_module(&m).expect("verifies");
+    encode_module(&m)
+}
+
+/// Random byte strings never panic the module decoder. Most are
+/// rejected at the magic check; strings that start with the real
+/// header exercise the deeper decode paths.
+#[test]
+fn random_bytes_never_panic_module_decode() {
+    let mut rng = Rng::new(0x5eed_f00d);
+    for case in 0..4000 {
+        let len = rng.usize(256);
+        let mut buf = rng.bytes(len);
+        // Half the cases get a valid header spliced on so decoding
+        // reaches types/globals/functions instead of dying at magic.
+        if case % 2 == 0 {
+            let header = [b'L', b'L', b'V', b'A', 1, 32, 0];
+            for (i, b) in header.iter().enumerate() {
+                if i < buf.len() {
+                    buf[i] = *b;
+                }
+            }
+        }
+        let _ = decode_module(&buf); // must return, not panic
+    }
+}
+
+/// Every strict truncation of a valid encoding is rejected (no prefix
+/// of a well-formed module is itself well-formed), and none panics.
+#[test]
+fn truncations_of_valid_encoding_error_cleanly() {
+    let bytes = sample_module_bytes();
+    assert!(decode_module(&bytes).is_ok());
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_module(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes decoded successfully"
+        );
+    }
+}
+
+/// Single-bit flips of a valid encoding never panic. A flip may still
+/// decode (e.g. it lands in a constant's payload) — the property under
+/// test is absence of panics and allocation bombs, not rejection.
+#[test]
+fn bit_flips_of_valid_encoding_never_panic() {
+    let bytes = sample_module_bytes();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            let _ = decode_module(&corrupt);
+        }
+    }
+}
+
+/// Multi-byte corruption bursts (seeded) never panic.
+#[test]
+fn corruption_bursts_never_panic() {
+    let bytes = sample_module_bytes();
+    let mut rng = Rng::new(0xbad_cafe);
+    for _ in 0..2000 {
+        let mut corrupt = bytes.clone();
+        let burst = 1 + rng.usize(8);
+        for _ in 0..burst {
+            let at = rng.usize(corrupt.len());
+            corrupt[at] = rng.next() as u8;
+        }
+        let _ = decode_module(&corrupt);
+    }
+}
+
+/// The native-code codecs (cached translation payloads) are equally
+/// untrusted: random bytes and truncations must error, never panic.
+#[test]
+fn native_codec_decode_never_panics() {
+    let mut rng = Rng::new(0xc0de_c0de);
+    for _ in 0..4000 {
+        let len = rng.usize(192);
+        let buf = rng.bytes(len);
+        let _ = codec::decode_x86(&buf);
+        let _ = codec::decode_sparc(&buf);
+        let _ = codec::unframe_entry("some.key", &buf);
+    }
+}

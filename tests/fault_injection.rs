@@ -1,0 +1,247 @@
+//! End-to-end fault injection against the LLEE translation cache.
+//!
+//! Paper §4.1 requires that offline caches be "strictly optional":
+//! ISSUE 2 extends that from *absent* storage to *faulty* storage. The
+//! degradation ladder is cached → retranslate → interpret; these tests
+//! drive [`FaultyStorage`] (deterministic seeded fault injection) at
+//! the real `ExecutionManager` and assert that no injected fault —
+//! corruption, truncation, torn writes, stale timestamps, read
+//! failures — ever changes an execution result.
+//!
+//! Seeds are deterministic; the CI `fault-injection` job re-runs the
+//! chaos tests under several `LLVA_FAULT_SEED` values.
+
+use llva::engine::codec;
+use llva::engine::llee::{EngineError, ExecutionManager, TargetIsa};
+use llva::engine::storage::{
+    DirStorage, FaultPlan, FaultyStorage, MemStorage, SharedStorage, Storage, QUARANTINE_SUFFIX,
+};
+
+const FIB: &str = r#"
+int %fib(int %n) {
+entry:
+    %c = setlt int %n, 2
+    br bool %c, label %base, label %rec
+rec:
+    %n1 = sub int %n, 1
+    %a = call int %fib(int %n1)
+    %n2 = sub int %n, 2
+    %b = call int %fib(int %n2)
+    %s = add int %a, %b
+    ret int %s
+base:
+    ret int %n
+}
+
+int %main() {
+entry:
+    %r = call int %fib(int 15)
+    ret int %r
+}
+"#;
+
+fn module() -> llva::core::module::Module {
+    llva::core::parser::parse_module(FIB).expect("parses")
+}
+
+type TestStorage = SharedStorage<FaultyStorage<MemStorage>>;
+
+fn faulty_storage(plan: FaultPlan) -> TestStorage {
+    SharedStorage::new(FaultyStorage::new(MemStorage::new(), plan))
+}
+
+/// Warm cache → corrupt one entry → re-run: identical output, exactly
+/// one `corrupt` + one `miss` recorded, the bad entry quarantined, and
+/// a fresh validated entry rewritten in its place (ISSUE 2 satellite).
+#[test]
+fn cache_recovery_end_to_end() {
+    let storage = faulty_storage(FaultPlan::none(1));
+    let reference = ExecutionManager::new(module(), TargetIsa::X86)
+        .run("main", &[])
+        .expect("runs")
+        .value;
+
+    // warm the cache
+    let fib_key;
+    {
+        let mut mgr = ExecutionManager::new(module(), TargetIsa::X86);
+        mgr.set_storage(Box::new(storage.clone()), "fib");
+        assert_eq!(mgr.run("main", &[]).expect("runs").value, reference);
+        assert_eq!(mgr.stats().functions_translated, 2);
+        let fib = mgr
+            .module()
+            .function_by_name("fib")
+            .expect("fib")
+            .index() as u32;
+        fib_key = mgr.cache_key(fib);
+    }
+
+    // flip one deterministic bit inside fib's cached frame
+    assert!(storage.with(|s| s.corrupt_entry("fib", &fib_key)));
+
+    // re-run: main loads from cache, fib's entry fails validation and
+    // is quarantined + retranslated + rewritten; output is unchanged
+    let mut mgr = ExecutionManager::new(module(), TargetIsa::X86);
+    mgr.set_storage(Box::new(storage.clone()), "fib");
+    assert_eq!(mgr.run("main", &[]).expect("runs").value, reference);
+    let stats = mgr.stats();
+    assert_eq!(stats.cache_hits, 1, "main still served from cache");
+    assert_eq!(stats.cache_misses, 1, "exactly one miss");
+    assert_eq!(stats.cache_corrupt, 1, "exactly one corrupt entry");
+    assert_eq!(stats.cache_stale, 0);
+    assert_eq!(stats.cache_retried, 1, "the corrupt entry forced a retranslation");
+    assert_eq!(stats.cache_recovered, 1, "the retranslation was written back");
+    assert_eq!(stats.functions_translated, 1, "only fib retranslated");
+
+    // the poisoned blob is preserved under quarantine, off the read path
+    let quarantined = format!("{fib_key}{QUARANTINE_SUFFIX}");
+    assert!(storage.with(|s| s.read("fib", &quarantined)).is_some());
+
+    // the rewritten entry validates, so a third run is all hits
+    let (blob, _) = storage.with(|s| s.read("fib", &fib_key)).expect("rewritten");
+    assert!(codec::unframe_entry(&fib_key, &blob).is_ok());
+    let mut mgr = ExecutionManager::new(module(), TargetIsa::X86);
+    mgr.set_storage(Box::new(storage), "fib");
+    assert_eq!(mgr.run("main", &[]).expect("runs").value, reference);
+    assert_eq!(mgr.stats().cache_hits, 2);
+    assert_eq!(mgr.stats().cache_corrupt, 0);
+}
+
+/// ISSUE 2 acceptance criterion: with corruption injected on **every**
+/// read, execution still reaches the identical result as with no
+/// storage at all, on both target ISAs — the degradation ladder never
+/// lets a corrupt translation through.
+#[test]
+fn corrupt_every_read_matches_no_storage() {
+    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        let reference = ExecutionManager::new(module(), isa)
+            .run("main", &[])
+            .expect("runs")
+            .value;
+
+        // warm a cache, then poison the read path entirely
+        let storage = faulty_storage(FaultPlan::none(2));
+        {
+            let mut mgr = ExecutionManager::new(module(), isa);
+            mgr.set_storage(Box::new(storage.clone()), "fib");
+            mgr.run("main", &[]).expect("runs");
+        }
+        storage.with(|s| s.set_plan(FaultPlan::corrupt_every_read(2)));
+
+        let mut mgr = ExecutionManager::new(module(), isa);
+        mgr.set_storage(Box::new(storage.clone()), "fib");
+        let out = mgr.run("main", &[]).expect("runs under total corruption");
+        assert_eq!(out.value, reference, "{isa}: result must not change");
+        assert_eq!(mgr.stats().cache_hits, 0, "{isa}: nothing corrupt may hit");
+        assert_eq!(mgr.stats().cache_corrupt, 2, "{isa}: every read corrupt");
+        assert!(storage.with(|s| s.log()).flipped_reads > 0);
+    }
+}
+
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("LLVA_FAULT_SEED") {
+        Ok(s) => s
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect(),
+        Err(_) => vec![1, 7, 0x00de_cade],
+    }
+}
+
+/// Chaos plan (read failures, truncations, bit flips, torn writes,
+/// stale timestamps, all at once) across several seeds: results never
+/// change, across repeated runs sharing the same battered storage.
+#[test]
+fn chaos_storage_never_changes_results() {
+    let reference = ExecutionManager::new(module(), TargetIsa::X86)
+        .run("main", &[])
+        .expect("runs")
+        .value;
+    let mut injected_total = 0u64;
+    for seed in chaos_seeds() {
+        let storage = faulty_storage(FaultPlan::chaos(seed));
+        for round in 0..3 {
+            let mut mgr = ExecutionManager::new(module(), TargetIsa::X86);
+            mgr.set_storage(Box::new(storage.clone()), "fib");
+            let out = mgr.run("main", &[]).expect("runs under chaos");
+            assert_eq!(out.value, reference, "seed {seed} round {round}");
+        }
+        injected_total += storage.with(|s| s.log()).total();
+    }
+    assert!(injected_total > 0, "chaos plan must actually inject faults");
+}
+
+/// Same chaos runs against the real on-disk [`DirStorage`] (atomic
+/// temp-file writes + orphan sweep underneath the injected faults).
+#[test]
+fn chaos_over_dir_storage_never_changes_results() {
+    let root = std::env::temp_dir().join(format!("llva_fault_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let reference = ExecutionManager::new(module(), TargetIsa::Sparc)
+        .run("main", &[])
+        .expect("runs")
+        .value;
+    for seed in chaos_seeds() {
+        let storage = SharedStorage::new(FaultyStorage::new(
+            DirStorage::new(root.join(format!("seed{seed}"))),
+            FaultPlan::chaos(seed),
+        ));
+        for round in 0..2 {
+            let mut mgr = ExecutionManager::new(module(), TargetIsa::Sparc);
+            mgr.set_storage(Box::new(storage.clone()), "fib");
+            let out = mgr.run("main", &[]).expect("runs under chaos");
+            assert_eq!(out.value, reference, "seed {seed} round {round}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// One poisoned function (translation panics on crafted code) must not
+/// kill the parallel fan-out: every other function still translates
+/// and runs, and the poison surfaces as a per-function
+/// [`EngineError::TranslationPanicked`].
+#[test]
+fn poisoned_function_does_not_kill_parallel_translation() {
+    use llva::core::instruction::{Instruction, Opcode};
+    use llva::core::value::Constant;
+
+    let src = r#"
+int %bad(int %x) {
+entry:
+    ret int %x
+}
+
+int %good() {
+entry:
+    ret int 42
+}
+"#;
+    let m = llva::core::parser::parse_module(src).expect("parses");
+    let mut mgr = ExecutionManager::new(m, TargetIsa::X86);
+    // Craft virtual object code the verifier would reject: a gep whose
+    // base is an int, which panics the x86 lowering. (Cache-delivered
+    // code skips the verifier, so this models a poisoned artifact.)
+    mgr.modify_function("bad", |m, fid| {
+        let int = m.types_mut().int();
+        let void = m.types_mut().void();
+        let func = m.function_mut(fid);
+        let one = func.constant(Constant::Int { ty: int, bits: 1 });
+        let arg = func.args()[0];
+        let entry = func.entry_block();
+        let gep = Instruction::new(Opcode::GetElementPtr, int, vec![arg, one], vec![]);
+        func.append_inst(entry, gep, void);
+    });
+
+    // silence the worker's panic report; the panic is expected
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = mgr.translate_all_parallel(2);
+    std::panic::set_hook(prev);
+
+    match result {
+        Err(EngineError::TranslationPanicked(name)) => assert_eq!(name, "bad"),
+        other => panic!("expected TranslationPanicked, got {other:?}"),
+    }
+    assert_eq!(mgr.stats().functions_translated, 1, "good still translated");
+    assert_eq!(mgr.run("good", &[]).expect("runs").value, 42);
+}
