@@ -1,0 +1,369 @@
+//! The N-way differential oracle.
+//!
+//! One module, one argument vector, N independent executions — every
+//! stage must produce the *same* [`Outcome`]: the same return value,
+//! the same trap kind, or (never, for healthy pipelines) the same
+//! rejection. The stages cover every representation and executor the
+//! paper claims are equivalent (§3, §4.1):
+//!
+//! | stage            | what runs                                             |
+//! |------------------|-------------------------------------------------------|
+//! | `interp`         | reference interpreter on the original module          |
+//! | `print-parse`    | printer → parser round trip, then interpreter         |
+//! | `bytecode`       | bytecode encode → decode round trip, then interpreter |
+//! | `pass:<name>`    | one optimization pass alone, verified, then interpreter |
+//! | `opt:standard`   | the full `standard_pipeline()`, then interpreter      |
+//! | `opt:linktime`   | the full `link_time_pipeline()`, then interpreter     |
+//! | `x86` / `sparc`  | LLEE translation + simulated processor                |
+//! | `x86:opt` / `sparc:opt` | standard-optimized module on each processor    |
+//!
+//! Tests can append custom stages (e.g. a deliberately sabotaged
+//! translator) with [`Oracle::add_stage`].
+
+use llva_core::module::Module;
+use llva_engine::llee::{EngineError, ExecutionManager, TargetIsa};
+use llva_engine::{InterpError, Interpreter};
+use llva_machine::common::TrapKind;
+use std::fmt;
+
+/// What one oracle stage observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Normal completion with the returned raw bits.
+    Value(u64),
+    /// A precise trap of this kind.
+    Trap(TrapKind),
+    /// The fuel limit was exhausted.
+    Fuel,
+    /// A derived representation was rejected (verifier error, parse
+    /// error, decode error) — always a conformance failure, because the
+    /// original module verifies.
+    Reject(String),
+    /// The execution engine failed in some other way.
+    Error(String),
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Value(v) => write!(f, "value {v:#x} ({})", *v as i64),
+            Outcome::Trap(k) => write!(f, "trap: {k}"),
+            Outcome::Fuel => f.write_str("out of fuel"),
+            Outcome::Reject(e) => write!(f, "rejected: {e}"),
+            Outcome::Error(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+/// One stage's name and outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageResult {
+    /// Stage name (stable; used for divergence statistics).
+    pub stage: String,
+    /// What the stage observed.
+    pub outcome: Outcome,
+}
+
+/// A stage that disagreed with the baseline interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The disagreeing stage.
+    pub stage: String,
+    /// What the baseline (`interp`) stage observed.
+    pub baseline: Outcome,
+    /// What this stage observed instead.
+    pub outcome: Outcome,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage '{}': expected {}, got {}",
+            self.stage, self.baseline, self.outcome
+        )
+    }
+}
+
+/// A custom stage: given the module and arguments, produce an outcome.
+pub type StageFn = Box<dyn Fn(&Module, &str, &[u64], u64) -> Outcome>;
+
+/// The oracle: a configured set of stages.
+pub struct Oracle {
+    fuel: u64,
+    skip_native: bool,
+    extra: Vec<(String, StageFn)>,
+}
+
+impl fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Oracle")
+            .field("fuel", &self.fuel)
+            .field("skip_native", &self.skip_native)
+            .field("extra", &self.extra.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for Oracle {
+    fn default() -> Oracle {
+        Oracle::new()
+    }
+}
+
+impl Oracle {
+    /// An oracle with the default stage set and a generous fuel limit.
+    pub fn new() -> Oracle {
+        Oracle {
+            fuel: 50_000_000,
+            skip_native: false,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-stage fuel limit.
+    pub fn set_fuel(&mut self, fuel: u64) -> &mut Oracle {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Drops the four native-processor stages (used by the shrinker's
+    /// inner loop when the divergence is known to be interpreter-only).
+    pub fn skip_native(&mut self, skip: bool) -> &mut Oracle {
+        self.skip_native = skip;
+        self
+    }
+
+    /// Appends a custom stage.
+    pub fn add_stage(
+        &mut self,
+        name: impl Into<String>,
+        stage: impl Fn(&Module, &str, &[u64], u64) -> Outcome + 'static,
+    ) -> &mut Oracle {
+        self.extra.push((name.into(), Box::new(stage)));
+        self
+    }
+
+    /// Runs a single stage by name (as reported by [`Oracle::stage_names`])
+    /// and returns its outcome, or `None` for an unknown stage.
+    ///
+    /// The shrinker uses this to re-run *only* the stages that diverged
+    /// on the original failure, instead of the full stage set, for
+    /// every candidate edit.
+    pub fn run_stage(&self, name: &str, module: &Module, entry: &str, args: &[u64]) -> Option<Outcome> {
+        let fuel = self.fuel;
+        Some(match name {
+            "interp" => interp_outcome(module, entry, args, fuel),
+            // printer → parser round trip
+            "print-parse" => {
+                let text = llva_core::printer::print_module(module);
+                match llva_core::parser::parse_module(&text) {
+                    Ok(m2) => checked_interp(&m2, entry, args, fuel),
+                    Err(e) => Outcome::Reject(format!("parse: {e}")),
+                }
+            }
+            // bytecode encode → decode round trip
+            "bytecode" => {
+                let bytes = llva_core::bytecode::encode_module(module);
+                match llva_core::bytecode::decode_module(&bytes) {
+                    Ok(m2) => checked_interp(&m2, entry, args, fuel),
+                    Err(e) => Outcome::Reject(format!("decode: {e}")),
+                }
+            }
+            // full pipelines
+            "opt:standard" | "opt:linktime" => {
+                let mut pm = if name == "opt:standard" {
+                    llva_opt::standard_pipeline()
+                } else {
+                    llva_opt::link_time_pipeline(&[entry])
+                };
+                let mut m2 = module.clone();
+                pm.run(&mut m2);
+                checked_interp(&m2, entry, args, fuel)
+            }
+            // LLEE translation + simulated processor, -O0
+            "x86" => native_outcome(module.clone(), TargetIsa::X86, entry, args, fuel),
+            "sparc" => native_outcome(module.clone(), TargetIsa::Sparc, entry, args, fuel),
+            // standard-optimized module on each processor
+            "x86:opt" | "sparc:opt" => {
+                let mut m2 = module.clone();
+                llva_opt::standard_pipeline().run(&mut m2);
+                if let Err(e) = llva_core::verifier::verify_module(&m2) {
+                    Outcome::Reject(format!("verify: {e}"))
+                } else {
+                    let isa = if name == "x86:opt" { TargetIsa::X86 } else { TargetIsa::Sparc };
+                    native_outcome(m2, isa, entry, args, fuel)
+                }
+            }
+            _ => {
+                // one optimization pass alone
+                if let Some(pass_name) = name.strip_prefix("pass:") {
+                    let pass = individual_passes(entry)
+                        .into_iter()
+                        .find(|p| p.name() == pass_name)?;
+                    let mut pm = llva_opt::PassManager::new();
+                    pm.add_boxed(pass);
+                    let mut m2 = module.clone();
+                    pm.run(&mut m2);
+                    checked_interp(&m2, entry, args, fuel)
+                } else if let Some((_, stage)) = self.extra.iter().find(|(n, _)| n == name) {
+                    stage(module, entry, args, fuel)
+                } else {
+                    return None;
+                }
+            }
+        })
+    }
+
+    /// Runs every stage on `module` and returns the per-stage outcomes,
+    /// baseline (`interp`) first.
+    pub fn run_stages(&self, module: &Module, entry: &str, args: &[u64]) -> Vec<StageResult> {
+        self.stage_names(entry)
+            .into_iter()
+            .map(|stage| {
+                let outcome = self
+                    .run_stage(&stage, module, entry, args)
+                    .expect("stage_names only yields known stages");
+                StageResult { stage, outcome }
+            })
+            .collect()
+    }
+
+    /// Runs every stage and reports the ones that disagree with the
+    /// baseline interpreter.
+    pub fn check(&self, module: &Module, entry: &str, args: &[u64]) -> (Vec<StageResult>, Vec<Divergence>) {
+        let results = self.run_stages(module, entry, args);
+        let baseline = results[0].outcome.clone();
+        let divergences = results
+            .iter()
+            .skip(1)
+            .filter(|r| r.outcome != baseline)
+            .map(|r| Divergence {
+                stage: r.stage.clone(),
+                baseline: baseline.clone(),
+                outcome: r.outcome.clone(),
+            })
+            .collect();
+        (results, divergences)
+    }
+
+    /// True if any stage disagrees with the baseline — the shrinker's
+    /// "still interesting?" predicate.
+    pub fn diverges(&self, module: &Module, entry: &str, args: &[u64]) -> bool {
+        !self.check(module, entry, args).1.is_empty()
+    }
+
+    /// The names of the stages this oracle runs (on a module that
+    /// produces no custom stages), for statistics displays.
+    pub fn stage_names(&self, entry: &str) -> Vec<String> {
+        let mut names = vec![
+            "interp".to_string(),
+            "print-parse".to_string(),
+            "bytecode".to_string(),
+        ];
+        for pass in individual_passes(entry) {
+            names.push(format!("pass:{}", pass.name()));
+        }
+        names.push("opt:standard".to_string());
+        names.push("opt:linktime".to_string());
+        if !self.skip_native {
+            for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+                names.push(isa.to_string());
+            }
+            for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+                names.push(format!("{isa}:opt"));
+            }
+        }
+        for (name, _) in &self.extra {
+            names.push(name.clone());
+        }
+        names
+    }
+}
+
+/// Every distinct pass appearing in either pipeline, one instance each.
+fn individual_passes(entry: &str) -> Vec<Box<dyn llva_opt::ModulePass>> {
+    let mut seen = Vec::new();
+    let mut passes = Vec::new();
+    for p in llva_opt::standard_pass_list()
+        .into_iter()
+        .chain(llva_opt::link_time_pass_list(&[entry]))
+    {
+        if !seen.contains(&p.name()) {
+            seen.push(p.name());
+            passes.push(p);
+        }
+    }
+    passes
+}
+
+/// Interprets `module`, mapping every stop reason onto an [`Outcome`].
+pub fn interp_outcome(module: &Module, entry: &str, args: &[u64], fuel: u64) -> Outcome {
+    let mut i = Interpreter::new(module);
+    i.set_fuel(fuel);
+    match i.run(entry, args) {
+        Ok(v) => Outcome::Value(v),
+        Err(InterpError::Trap(t)) => Outcome::Trap(t.kind),
+        Err(InterpError::OutOfFuel) => Outcome::Fuel,
+        Err(e @ InterpError::NoSuchFunction(_)) => Outcome::Error(e.to_string()),
+    }
+}
+
+/// Verifies `module` first (a derived representation must still
+/// verify), then interprets it.
+pub fn checked_interp(module: &Module, entry: &str, args: &[u64], fuel: u64) -> Outcome {
+    if let Err(e) = llva_core::verifier::verify_module(module) {
+        return Outcome::Reject(format!("verify: {e}"));
+    }
+    interp_outcome(module, entry, args, fuel)
+}
+
+/// Translates with LLEE and runs on the simulated `isa` processor.
+pub fn native_outcome(module: Module, isa: TargetIsa, entry: &str, args: &[u64], fuel: u64) -> Outcome {
+    let mut mgr = ExecutionManager::new(module, isa);
+    mgr.set_fuel(fuel);
+    match mgr.run(entry, args) {
+        Ok(out) => Outcome::Value(out.value),
+        Err(EngineError::Trapped(t)) => Outcome::Trap(t.kind),
+        Err(EngineError::OutOfFuel) => Outcome::Fuel,
+        Err(e) => Outcome::Error(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn straightline_module_agrees_everywhere() {
+        let tc = generate(1, &GenConfig::default());
+        let (results, divergences) = Oracle::new().check(&tc.module, &tc.entry, &tc.args);
+        assert!(
+            divergences.is_empty(),
+            "divergences: {divergences:?}\nresults: {results:?}"
+        );
+        assert_eq!(results[0].stage, "interp");
+    }
+
+    #[test]
+    fn sabotaged_stage_is_flagged() {
+        let tc = generate(2, &GenConfig::default());
+        let mut oracle = Oracle::new();
+        oracle.skip_native(true);
+        oracle.add_stage("sabotage", |_, _, _, _| Outcome::Value(0xDEAD_BEEF));
+        let (_, divergences) = oracle.check(&tc.module, &tc.entry, &tc.args);
+        assert_eq!(divergences.len(), 1);
+        assert_eq!(divergences[0].stage, "sabotage");
+    }
+
+    #[test]
+    fn stage_names_match_reported_results() {
+        let tc = generate(3, &GenConfig::default());
+        let oracle = Oracle::new();
+        let names = oracle.stage_names(&tc.entry);
+        let results = oracle.run_stages(&tc.module, &tc.entry, &tc.args);
+        let got: Vec<String> = results.into_iter().map(|r| r.stage).collect();
+        assert_eq!(names, got);
+    }
+}

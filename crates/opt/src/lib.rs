@@ -48,4 +48,7 @@ pub mod mem2reg;
 pub mod pass;
 pub mod simplify_cfg;
 
-pub use pass::{link_time_pipeline, standard_pipeline, ModulePass, PassManager, PassStat};
+pub use pass::{
+    link_time_pass_list, link_time_pipeline, standard_pass_list, standard_pipeline, ModulePass,
+    PassManager, PassStat,
+};

@@ -66,6 +66,18 @@ impl PassManager {
         self
     }
 
+    /// Appends an already-boxed pass (useful when passes come from a
+    /// [`standard_pass_list`]-style factory).
+    pub fn add_boxed(&mut self, pass: Box<dyn ModulePass>) -> &mut PassManager {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The names of the scheduled passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
     /// Verifies the module after every pass; panics with the failing
     /// pass's name if verification fails. Intended for tests.
     pub fn verify_after_each(&mut self, on: bool) -> &mut PassManager {
@@ -114,18 +126,50 @@ impl PassManager {
     }
 }
 
+/// The passes of [`standard_pipeline`], in run order, as a list.
+///
+/// Exposed separately so harnesses (the `llva-conform` differential
+/// oracle, pass-invariant tests) can schedule and name each pass
+/// individually instead of treating the pipeline as a black box.
+pub fn standard_pass_list() -> Vec<Box<dyn ModulePass>> {
+    vec![
+        Box::new(crate::mem2reg::Mem2Reg::new()),
+        Box::new(crate::constfold::ConstFold::new()),
+        Box::new(crate::gvn::Gvn::new()),
+        Box::new(crate::load_elim::LoadElim::new()),
+        Box::new(crate::dce::Dce::new()),
+        Box::new(crate::simplify_cfg::SimplifyCfg::new()),
+        Box::new(crate::constfold::ConstFold::new()),
+        Box::new(crate::dce::Dce::new()),
+    ]
+}
+
+/// The passes of [`link_time_pipeline`], in run order, as a list.
+pub fn link_time_pass_list(entry_points: &[&str]) -> Vec<Box<dyn ModulePass>> {
+    vec![
+        Box::new(crate::internalize::Internalize::new(entry_points)),
+        Box::new(crate::inline::Inline::new()),
+        Box::new(crate::globaldce::GlobalDce::new()),
+        Box::new(crate::mem2reg::Mem2Reg::new()),
+        Box::new(crate::constfold::ConstFold::new()),
+        Box::new(crate::licm::Licm::new()),
+        Box::new(crate::gvn::Gvn::new()),
+        Box::new(crate::load_elim::LoadElim::new()),
+        Box::new(crate::dce::Dce::new()),
+        Box::new(crate::simplify_cfg::SimplifyCfg::new()),
+        Box::new(crate::constfold::ConstFold::new()),
+        Box::new(crate::dce::Dce::new()),
+        Box::new(crate::globaldce::GlobalDce::new()),
+    ]
+}
+
 /// The standard per-module optimization pipeline: SSA promotion followed
 /// by the classical scalar cleanups the paper lists in §5.1.
 pub fn standard_pipeline() -> PassManager {
     let mut pm = PassManager::new();
-    pm.add(crate::mem2reg::Mem2Reg::new())
-        .add(crate::constfold::ConstFold::new())
-        .add(crate::gvn::Gvn::new())
-        .add(crate::load_elim::LoadElim::new())
-        .add(crate::dce::Dce::new())
-        .add(crate::simplify_cfg::SimplifyCfg::new())
-        .add(crate::constfold::ConstFold::new())
-        .add(crate::dce::Dce::new());
+    for p in standard_pass_list() {
+        pm.add_boxed(p);
+    }
     pm
 }
 
@@ -134,19 +178,9 @@ pub fn standard_pipeline() -> PassManager {
 /// dead internals, then run the standard scalar pipeline.
 pub fn link_time_pipeline(entry_points: &[&str]) -> PassManager {
     let mut pm = PassManager::new();
-    pm.add(crate::internalize::Internalize::new(entry_points))
-        .add(crate::inline::Inline::new())
-        .add(crate::globaldce::GlobalDce::new())
-        .add(crate::mem2reg::Mem2Reg::new())
-        .add(crate::constfold::ConstFold::new())
-        .add(crate::licm::Licm::new())
-        .add(crate::gvn::Gvn::new())
-        .add(crate::load_elim::LoadElim::new())
-        .add(crate::dce::Dce::new())
-        .add(crate::simplify_cfg::SimplifyCfg::new())
-        .add(crate::constfold::ConstFold::new())
-        .add(crate::dce::Dce::new())
-        .add(crate::globaldce::GlobalDce::new());
+    for p in link_time_pass_list(entry_points) {
+        pm.add_boxed(p);
+    }
     pm
 }
 

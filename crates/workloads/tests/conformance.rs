@@ -1,0 +1,64 @@
+//! Conformance-harness coverage of the real front end.
+//!
+//! The harness's generated programs exercise the ISA broadly but are
+//! synthetic; this suite feeds it the minic-compiled Table 2 workloads
+//! instead, running the same N-way oracle stages over each: reference
+//! interpreter, LLEE-translated x86 and SPARC processors, and both
+//! again after `standard_pipeline()`. Every stage must agree on the
+//! checksum, and optimization must not bloat the instruction count.
+
+use llva_conform::oracle::Oracle;
+use llva_core::layout::TargetConfig;
+
+/// The oracle stages the workloads run through: -O0 on every executor,
+/// then the standard pipeline interpreted and on both processors.
+const STAGES: [&str; 6] = ["interp", "x86", "sparc", "opt:standard", "x86:opt", "sparc:opt"];
+
+#[test]
+fn workloads_agree_across_oracle_stages() {
+    let mut oracle = Oracle::new();
+    oracle.set_fuel(2_000_000_000);
+    for w in llva_workloads::all() {
+        let m = w.compile(TargetConfig::default());
+        let baseline = oracle
+            .run_stage("interp", &m, "main", &[])
+            .expect("interp is a known stage");
+        assert!(
+            matches!(baseline, llva_conform::Outcome::Value(_)),
+            "{}: baseline must complete normally, got {baseline}",
+            w.name
+        );
+        for stage in &STAGES[1..] {
+            let got = oracle
+                .run_stage(stage, &m, "main", &[])
+                .unwrap_or_else(|| panic!("unknown stage '{stage}'"));
+            assert_eq!(
+                got, baseline,
+                "{}: stage '{stage}' disagrees with the interpreter",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn standard_pipeline_shrinks_workloads() {
+    // instruction-count sanity: the standard pipeline must never grow
+    // a workload (mem2reg + GVN + DCE only remove or combine), and the
+    // result must still be a non-trivial program
+    for w in llva_workloads::all() {
+        let m = w.compile(TargetConfig::default());
+        let before = m.total_insts();
+        let mut opt = m.clone();
+        llva_opt::standard_pipeline().run(&mut opt);
+        llva_core::verifier::verify_module(&opt)
+            .unwrap_or_else(|e| panic!("{} after standard pipeline: {e}", w.name));
+        let after = opt.total_insts();
+        assert!(
+            after <= before,
+            "{}: standard pipeline grew the module: {before} -> {after} insts",
+            w.name
+        );
+        assert!(after > 0, "{}: optimized to nothing", w.name);
+    }
+}

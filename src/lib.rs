@@ -18,6 +18,9 @@
 //! * [`minic`] — a C-like front end standing in for the paper's
 //!   GCC-based one.
 //! * [`workloads`] — the 17 Table 2 benchmarks as minic analogs.
+//! * [`conform`] — the N-way differential conformance harness:
+//!   seeded program generation, the cross-representation /
+//!   cross-processor oracle, and failure shrinking.
 //!
 //! See the repository README for a tour and DESIGN.md / EXPERIMENTS.md
 //! for the reproduction methodology and results.
@@ -35,6 +38,7 @@
 //! ```
 
 pub use llva_backend as backend;
+pub use llva_conform as conform;
 pub use llva_core as core;
 pub use llva_engine as engine;
 pub use llva_machine as machine;

@@ -1,231 +1,126 @@
 //! Property-based tests over randomly generated LLVA programs.
 //!
-//! A random "recipe" of arithmetic/compare/select steps is lowered
-//! through the builder into a verified module; properties then assert
-//! that every representation change (bytecode, assembly) and every
-//! optimization preserves the interpreter's semantics, and that both
-//! simulated processors agree with the interpreter.
+//! The programs come from the conformance harness's seeded generator
+//! (`llva::conform::gen`) — well-typed modules with real control flow
+//! (branches, loops, phis, `mbr`), memory traffic through `alloca` and
+//! globals, and multi-function call graphs, all verifying by
+//! construction. Properties assert that every representation change
+//! (bytecode, assembly) and every optimization preserves the
+//! interpreter's semantics, and that both simulated processors agree
+//! with the interpreter — each property is one oracle stage from
+//! `llva::conform::oracle`, so a failure here is replayable as
+//! `llva-conform --seeds N..N+1`.
 //!
 //! The build environment has no crates.io access, so instead of the
-//! proptest crate these properties are driven by a small deterministic
-//! xorshift generator: every run explores the same case set, and a
-//! failing case is reproducible from the printed seed.
+//! proptest crate these properties are driven by the harness's small
+//! deterministic xorshift generator: every run explores the same case
+//! set, and a failing case is reproducible from the printed seed.
 
-use llva::core::builder::FunctionBuilder;
-use llva::core::layout::TargetConfig;
+use llva::conform::gen::{generate, GenConfig};
+use llva::conform::oracle::Oracle;
+use llva::conform::rng::Rng;
 use llva::core::module::Module;
-use llva::core::value::ValueId;
-use llva::engine::llee::{ExecutionManager, TargetIsa};
 use llva::engine::Interpreter;
-
-/// Deterministic xorshift64* PRNG (no external deps).
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(seed.max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Uniform value in `[lo, hi)`.
-    fn range(&mut self, lo: i64, hi: i64) -> i64 {
-        assert!(lo < hi);
-        lo + (self.next() % (hi - lo) as u64) as i64
-    }
-
-    fn usize(&mut self, hi: usize) -> usize {
-        (self.next() % hi as u64) as usize
-    }
-}
 
 const CASES: u64 = 48;
 
-/// One step of a generated program.
-#[derive(Debug, Clone)]
-enum Step {
-    /// A fresh integer constant.
-    Const(i32),
-    /// A binary operation over two earlier values (by index).
-    Bin(u8, usize, usize),
-    /// `select(cond_value != 0, a, b)` lowered as a CFG diamond + phi.
-    Select(usize, usize, usize),
-}
-
-fn gen_step(rng: &mut Rng) -> Step {
-    match rng.usize(3) {
-        0 => Step::Const(rng.range(-1000, 1000) as i32),
-        1 => Step::Bin(rng.usize(8) as u8, rng.usize(64), rng.usize(64)),
-        _ => Step::Select(rng.usize(64), rng.usize(64), rng.usize(64)),
-    }
-}
-
-fn gen_steps(rng: &mut Rng, max_len: usize) -> Vec<Step> {
-    let len = 1 + rng.usize(max_len - 1);
-    (0..len).map(|_| gen_step(rng)).collect()
-}
-
-/// Builds a module `long f(long, long)` from a recipe; every operation
-/// is total (division uses a guarded nonzero divisor).
-fn build(steps: &[Step]) -> Module {
-    let mut m = Module::new("prop", TargetConfig::default());
-    let long = m.types_mut().long();
-    let f = m.add_function("f", long, vec![long, long]);
-    let mut b = FunctionBuilder::new(&mut m, f);
-    let entry = b.block("entry");
-    b.switch_to(entry);
-    let mut vals: Vec<ValueId> = b.func().args().to_vec();
-    for (si, step) in steps.iter().enumerate() {
-        let pick = |i: usize| vals[i % vals.len()];
-        let v = match step {
-            Step::Const(c) => b.iconst(long, i64::from(*c)),
-            Step::Bin(op, a, c) => {
-                let (x, y) = (pick(*a), pick(*c));
-                match op % 8 {
-                    0 => b.add(x, y),
-                    1 => b.sub(x, y),
-                    2 => b.mul(x, y),
-                    3 => {
-                        // guarded division: divisor = (y | 1) so it is
-                        // never zero, and the sign stays varied
-                        let one = b.iconst(long, 1);
-                        let nz = b.or(y, one);
-                        b.div(x, nz)
-                    }
-                    4 => b.and(x, y),
-                    5 => b.or(x, y),
-                    6 => b.xor(x, y),
-                    _ => {
-                        // bounded shift: (y & 31)
-                        let mask = b.iconst(long, 31);
-                        let sh = b.and(y, mask);
-                        b.shl(x, sh)
-                    }
-                }
-            }
-            Step::Select(c, a, d) => {
-                let (cv, x, y) = (pick(*c), pick(*a), pick(*d));
-                let zero = b.iconst(long, 0);
-                let cond = b.setne(cv, zero);
-                let tb = b.block(&format!("t{si}"));
-                let eb = b.block(&format!("e{si}"));
-                let jb = b.block(&format!("j{si}"));
-                b.cond_br(cond, tb, eb);
-                b.switch_to(tb);
-                b.br(jb);
-                b.switch_to(eb);
-                b.br(jb);
-                b.switch_to(jb);
-                b.phi(long, vec![(x, tb), (y, eb)])
-            }
-        };
-        vals.push(v);
-    }
-    let ret = *vals.last().expect("at least the args");
-    b.ret(Some(ret));
-    m
-}
-
-fn interp(m: &Module, args: &[u64]) -> u64 {
+fn interp(m: &Module, entry: &str, args: &[u64]) -> u64 {
     let mut i = Interpreter::new(m);
-    i.set_fuel(10_000_000);
-    i.run("f", args).expect("random programs are total")
+    i.set_fuel(50_000_000);
+    i.run(entry, args).expect("generated programs are total")
+}
+
+/// One oracle stage must agree with the baseline interpreter over a
+/// seed sweep.
+fn stage_agrees(stage: &str, seeds: std::ops::Range<u64>) {
+    let cfg = GenConfig::default();
+    let oracle = Oracle::new();
+    for seed in seeds {
+        let tc = generate(seed, &cfg);
+        let baseline = oracle
+            .run_stage("interp", &tc.module, &tc.entry, &tc.args)
+            .expect("interp is a known stage");
+        let got = oracle
+            .run_stage(stage, &tc.module, &tc.entry, &tc.args)
+            .unwrap_or_else(|| panic!("unknown stage '{stage}'"));
+        assert_eq!(
+            got, baseline,
+            "seed {seed}: stage '{stage}' diverged (replay: llva-conform --seeds {seed}..{})",
+            seed + 1
+        );
+    }
 }
 
 #[test]
 fn generated_modules_verify() {
+    let cfg = GenConfig::default();
     for seed in 0..CASES {
-        let mut rng = Rng::new(0xA11C_E000 + seed);
-        let m = build(&gen_steps(&mut rng, 40));
-        llva::core::verifier::verify_module(&m)
+        let tc = generate(seed, &cfg);
+        llva::core::verifier::verify_module(&tc.module)
             .unwrap_or_else(|e| panic!("seed {seed}: generated module fails to verify: {e:?}"));
     }
 }
 
 #[test]
 fn bytecode_round_trip_preserves_semantics() {
-    for seed in 0..CASES {
-        let mut rng = Rng::new(0xB17E_C0DE + seed);
-        let m = build(&gen_steps(&mut rng, 30));
-        let args = [rng.range(-500, 500) as u64, rng.range(-500, 500) as u64];
-        let expected = interp(&m, &args);
-        let bytes = llva::core::bytecode::encode_module(&m);
-        let m2 = llva::core::bytecode::decode_module(&bytes).expect("decodes");
-        assert_eq!(interp(&m2, &args), expected, "seed {seed}");
-    }
+    stage_agrees("bytecode", 0..CASES);
 }
 
 #[test]
 fn assembly_round_trip_preserves_semantics() {
-    for seed in 0..CASES {
-        let mut rng = Rng::new(0xA55E_3B1E + seed);
-        let m = build(&gen_steps(&mut rng, 25));
-        let args = [rng.range(-500, 500) as u64, rng.range(-500, 500) as u64];
-        let expected = interp(&m, &args);
-        let text = llva::core::printer::print_module(&m);
-        let m2 = llva::core::parser::parse_module(&text).expect("parses");
-        assert_eq!(interp(&m2, &args), expected, "seed {seed}");
-    }
+    stage_agrees("print-parse", 0..CASES);
 }
 
 #[test]
 fn optimizer_preserves_semantics() {
+    // like the oracle's opt:standard stage, but with the pass manager's
+    // verify-after-each-pass mode on, so a pass that emits a malformed
+    // module is caught at the offending pass rather than downstream
+    let cfg = GenConfig::default();
     for seed in 0..CASES {
-        let mut rng = Rng::new(0x0071_CA7E + seed);
-        let mut m = build(&gen_steps(&mut rng, 30));
-        let args = [rng.range(-500, 500) as u64, rng.range(-500, 500) as u64];
-        let expected = interp(&m, &args);
+        let tc = generate(seed, &cfg);
+        let expected = interp(&tc.module, &tc.entry, &tc.args);
+        let mut m = tc.module.clone();
         let mut pm = llva::opt::standard_pipeline();
         pm.verify_after_each(true);
         pm.run(&mut m);
-        assert_eq!(interp(&m, &args), expected, "seed {seed}");
+        assert_eq!(interp(&m, &tc.entry, &tc.args), expected, "seed {seed}");
     }
 }
 
 #[test]
 fn both_processors_agree_with_interpreter() {
-    for seed in 0..CASES {
-        let mut rng = Rng::new(0x15A5_A5A5 + seed);
-        let steps = gen_steps(&mut rng, 20);
-        let m = build(&steps);
-        let args = [rng.range(-200, 200) as u64, rng.range(-200, 200) as u64];
-        let expected = interp(&m, &args);
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
-            let mut mgr = ExecutionManager::new(build(&steps), isa);
-            let out = mgr.run("f", &args).expect("runs");
-            assert_eq!(out.value, expected, "seed {seed}: {isa} disagrees");
-        }
-    }
+    stage_agrees("x86", 0..24);
+    stage_agrees("sparc", 0..24);
+}
+
+#[test]
+fn both_processors_agree_on_optimized_modules() {
+    stage_agrees("x86:opt", 24..40);
+    stage_agrees("sparc:opt", 24..40);
 }
 
 #[test]
 fn constant_folding_agrees_with_runtime() {
+    let cfg = GenConfig::default();
     for seed in 0..CASES {
-        let mut rng = Rng::new(0xF01D_ED00 + seed);
-        // feed constants for the arguments so folding can collapse a lot
-        let steps = gen_steps(&mut rng, 25);
-        let m = build(&steps);
-        let expected = interp(&m, &[7u64, 13u64]);
-        let mut folded = build(&steps);
+        let tc = generate(seed, &cfg);
+        let expected = interp(&tc.module, &tc.entry, &tc.args);
+        let mut folded = tc.module.clone();
         let mut pm = llva::opt::PassManager::new();
         pm.add(llva::opt::constfold::ConstFold::new())
             .add(llva::opt::dce::Dce::new())
             .verify_after_each(true);
         pm.run_to_fixpoint(&mut folded, 8);
-        assert_eq!(interp(&folded, &[7u64, 13u64]), expected, "seed {seed}");
+        assert_eq!(interp(&folded, &tc.entry, &tc.args), expected, "seed {seed}");
     }
 }
 
 #[test]
 fn eval_matches_interpreter_for_binaries() {
+    use llva::core::builder::FunctionBuilder;
     use llva::core::instruction::Opcode;
+    use llva::core::layout::TargetConfig;
     let ops = [
         Opcode::Add,
         Opcode::Sub,
@@ -243,16 +138,16 @@ fn eval_matches_interpreter_for_binaries() {
         // mix full-range and small operands so div/rem edge cases and
         // ordinary arithmetic are both exercised
         let a = if seed % 3 == 0 {
-            rng.next() as i64
+            rng.next_u64() as i64
         } else {
             rng.range(-1000, 1000)
         };
         let b = match seed % 5 {
             0 => 0,
             1 => -1,
-            _ => rng.next() as i64,
+            _ => rng.next_u64() as i64,
         };
-        let op = ops[rng.usize(ops.len())];
+        let op = ops[rng.index(ops.len())];
         let mut m = Module::new("e", TargetConfig::default());
         let long = m.types_mut().long();
         let f = m.add_function("f", long, vec![long, long]);
@@ -321,33 +216,36 @@ fn eval_matches_interpreter_for_binaries() {
 #[test]
 fn dominator_properties() {
     use llva::core::dominators::DomTree;
+    let cfg = GenConfig::default();
     for seed in 0..CASES {
-        let mut rng = Rng::new(0xD011_1147 + seed);
-        let m = build(&gen_steps(&mut rng, 25));
-        let f = m.function_by_name("f").expect("f");
-        let func = m.function(f);
-        let dom = DomTree::compute(func);
-        let entry = func.entry_block();
-        for &b in dom.reverse_postorder() {
-            // the entry dominates every reachable block
-            assert!(dom.dominates(entry, b), "seed {seed}");
-            // the immediate dominator strictly dominates its child
-            if let Some(idom) = dom.idom(b) {
-                assert!(dom.strictly_dominates(idom, b), "seed {seed}");
-            } else {
-                assert_eq!(b, entry, "seed {seed}");
+        let m = generate(seed, &cfg).module;
+        for (_, func) in m.functions() {
+            if func.is_declaration() {
+                continue;
             }
-            // no block strictly dominates itself
-            assert!(!dom.strictly_dominates(b, b), "seed {seed}");
+            let dom = DomTree::compute(func);
+            let entry = func.entry_block();
+            for &b in dom.reverse_postorder() {
+                // the entry dominates every reachable block
+                assert!(dom.dominates(entry, b), "seed {seed}");
+                // the immediate dominator strictly dominates its child
+                if let Some(idom) = dom.idom(b) {
+                    assert!(dom.strictly_dominates(idom, b), "seed {seed}");
+                } else {
+                    assert_eq!(b, entry, "seed {seed}");
+                }
+                // no block strictly dominates itself
+                assert!(!dom.strictly_dominates(b, b), "seed {seed}");
+            }
         }
     }
 }
 
 #[test]
 fn encoding_stats_are_consistent() {
+    let cfg = GenConfig::default();
     for seed in 0..CASES {
-        let mut rng = Rng::new(0x57A7_5000 + seed);
-        let m = build(&gen_steps(&mut rng, 25));
+        let m = generate(seed, &cfg).module;
         let stats = llva::core::bytecode::encoding_stats(&m);
         assert_eq!(
             stats.small_insts + stats.extended_insts,
