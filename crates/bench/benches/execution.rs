@@ -1,12 +1,71 @@
-//! Execution-substrate bench: interpreter vs. the two simulated
+//! Execution-substrate bench: both interpreters vs. the two simulated
 //! processors on the same workload, plus optimized-vs-unoptimized
 //! simulated cycle counts (the "run time" side of Table 2's last
 //! columns under DESIGN.md substitution #4).
+//!
+//! Interpreter numbers use a decode-once-run-many harness: the
+//! `PreModule` (and the compiled workload) are built *outside* the
+//! measured closure, so pre-decode cost — like the PR 1/PR 2
+//! translation-cache effects — never pollutes steady-state run time.
+//! Decode itself is measured as its own benchmark.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use llva_core::layout::TargetConfig;
 use llva_engine::llee::{ExecutionManager, TargetIsa};
-use llva_engine::Interpreter;
+use llva_engine::{FastInterpreter, Interpreter, PreModule};
+use std::rc::Rc;
+
+fn bench_interpreters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let w = llva_workloads::by_name("ptrdist-ft").expect("workload");
+    let m = w.compile(TargetConfig::default());
+
+    // one-line MIPS context so bench logs show absolute throughput
+    {
+        let mut i = Interpreter::new(&m);
+        let t0 = std::time::Instant::now();
+        i.run("main", &[]).expect("runs");
+        let slow = i.insts_executed() as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        let pre = Rc::new(PreModule::new(&m));
+        pre.decode_all();
+        let mut f = FastInterpreter::with_predecoded(pre);
+        let t1 = std::time::Instant::now();
+        f.run("main", &[]).expect("runs");
+        let fast = f.insts_executed() as f64 / t1.elapsed().as_secs_f64() / 1e6;
+        println!(
+            "ptrdist-ft interpreted MIPS: structural = {slow:.1}, pre-decoded = {fast:.1} ({:.1}x)",
+            fast / slow
+        );
+    }
+
+    group.bench_function("structural", |b| {
+        b.iter(|| {
+            let mut i = Interpreter::new(&m);
+            i.run("main", &[]).expect("runs")
+        });
+    });
+    // decode once, run many: the cache is shared across iterations
+    let pre = Rc::new(PreModule::new(&m));
+    pre.decode_all();
+    group.bench_function("predecoded", |b| {
+        b.iter(|| {
+            let mut i = FastInterpreter::with_predecoded(pre.clone());
+            i.run("main", &[]).expect("runs")
+        });
+    });
+    // and the decode cost itself, separately
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let p = PreModule::new(&m);
+            p.decode_all();
+            p.decoded_functions()
+        });
+    });
+    group.finish();
+}
 
 fn bench_executors(c: &mut Criterion) {
     let mut group = c.benchmark_group("executors");
@@ -14,13 +73,6 @@ fn bench_executors(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     let w = llva_workloads::by_name("ptrdist-ft").expect("workload");
-    group.bench_function("interpreter", |b| {
-        let m = w.compile(TargetConfig::default());
-        b.iter(|| {
-            let mut i = Interpreter::new(&m);
-            i.run("main", &[]).expect("runs")
-        });
-    });
     for isa in [TargetIsa::X86, TargetIsa::Sparc] {
         group.bench_function(format!("machine/{isa}"), |b| {
             b.iter_batched(
@@ -65,5 +117,10 @@ fn bench_opt_effect_on_cycles(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_executors, bench_opt_effect_on_cycles);
+criterion_group!(
+    benches,
+    bench_interpreters,
+    bench_executors,
+    bench_opt_effect_on_cycles
+);
 criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Non-gating perf smoke: interpreted MIPS for both interpreters over
+//! every Table 2 workload, so each PR leaves a visible perf trajectory.
+//!
+//! For each workload this runs the structural `Interpreter` and the
+//! pre-decoded `FastInterpreter` (decode timed separately, run timed
+//! over a decode-once cache), checks they agree on the result and the
+//! instruction count, prints a MIPS table, and writes the numbers to
+//! `BENCH_interp.json` for CI to archive.
+//!
+//! Exit code is non-zero only on a *correctness* divergence between the
+//! two interpreters — throughput numbers never fail the build.
+
+use llva_core::layout::TargetConfig;
+use llva_engine::{FastInterpreter, Interpreter, PreModule};
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Repeats `run` until it has consumed at least this much wall time, so
+/// short workloads still produce stable rates.
+const MIN_MEASURE_SECS: f64 = 0.05;
+
+/// Runs `run()` (which returns the instructions executed by one full
+/// workload execution) repeatedly and returns instructions-per-second.
+fn measure(mut run: impl FnMut() -> u64) -> f64 {
+    // one warm-up execution
+    run();
+    let start = Instant::now();
+    let mut insts: u64 = 0;
+    let mut iters = 0u32;
+    while start.elapsed().as_secs_f64() < MIN_MEASURE_SECS || iters == 0 {
+        insts += run();
+        iters += 1;
+        if iters >= 1000 {
+            break;
+        }
+    }
+    insts as f64 / start.elapsed().as_secs_f64()
+}
+
+struct Row {
+    name: String,
+    insts: u64,
+    slow_mips: f64,
+    fast_mips: f64,
+    decode_us: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut divergences = 0u32;
+
+    for w in llva_workloads::all() {
+        let m = w.compile(TargetConfig::default());
+
+        let mut slow = Interpreter::new(&m);
+        let slow_value = slow.run("main", &[]).expect("structural interpreter runs");
+        let insts = slow.insts_executed();
+
+        let t0 = Instant::now();
+        let pre = Rc::new(PreModule::new(&m));
+        pre.decode_all();
+        let decode_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        let mut fast = FastInterpreter::with_predecoded(pre.clone());
+        let fast_value = fast.run("main", &[]).expect("fast interpreter runs");
+        if fast_value != slow_value || fast.insts_executed() != insts {
+            eprintln!(
+                "DIVERGENCE in {}: structural = ({slow_value}, {insts} insts), \
+                 pre-decoded = ({fast_value}, {} insts)",
+                w.name,
+                fast.insts_executed()
+            );
+            divergences += 1;
+            continue;
+        }
+
+        let slow_rate = measure(|| {
+            let mut i = Interpreter::new(&m);
+            i.run("main", &[]).expect("runs");
+            i.insts_executed()
+        });
+        let fast_rate = measure(|| {
+            let mut i = FastInterpreter::with_predecoded(pre.clone());
+            i.run("main", &[]).expect("runs");
+            i.insts_executed()
+        });
+
+        rows.push(Row {
+            name: w.name.to_string(),
+            insts,
+            slow_mips: slow_rate / 1e6,
+            fast_mips: fast_rate / 1e6,
+            decode_us,
+            speedup: fast_rate / slow_rate,
+        });
+    }
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>11} {:>9}",
+        "workload", "insts", "interp MIPS", "fast MIPS", "decode(us)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>12} {:>12.2} {:>12.2} {:>11.1} {:>8.2}x",
+            r.name, r.insts, r.slow_mips, r.fast_mips, r.decode_us, r.speedup
+        );
+    }
+    let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    println!("geomean speedup: {geomean:.2}x over {} workloads", rows.len());
+
+    // hand-built JSON (no serde in the container)
+    let mut json = String::from("{\n  \"benchmark\": \"interp\",\n  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"insts\": {}, \"structural_mips\": {:.3}, \
+             \"predecoded_mips\": {:.3}, \"decode_us\": {:.1}, \"speedup\": {:.3}}}{}",
+            r.name,
+            r.insts,
+            r.slow_mips,
+            r.fast_mips,
+            r.decode_us,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"geomean_speedup\": {geomean:.3},\n  \"divergences\": {divergences}\n}}\n"
+    );
+    std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
+    println!("wrote BENCH_interp.json");
+
+    if divergences > 0 {
+        eprintln!("{divergences} workload(s) diverged between interpreters");
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,7 @@
 //! | stage            | what runs                                             |
 //! |------------------|-------------------------------------------------------|
 //! | `interp`         | reference interpreter on the original module          |
+//! | `fast-interp`    | pre-decoded register-file interpreter, same module    |
 //! | `print-parse`    | printer → parser round trip, then interpreter         |
 //! | `bytecode`       | bytecode encode → decode round trip, then interpreter |
 //! | `pass:<name>`    | one optimization pass alone, verified, then interpreter |
@@ -22,7 +23,7 @@
 
 use llva_core::module::Module;
 use llva_engine::llee::{EngineError, ExecutionManager, TargetIsa};
-use llva_engine::{InterpError, Interpreter};
+use llva_engine::{FastInterpreter, InterpError, Interpreter};
 use llva_machine::common::TrapKind;
 use std::fmt;
 
@@ -154,6 +155,8 @@ impl Oracle {
         let fuel = self.fuel;
         Some(match name {
             "interp" => interp_outcome(module, entry, args, fuel),
+            // pre-decoded register-file interpreter, same module
+            "fast-interp" => fast_interp_outcome(module, entry, args, fuel),
             // printer → parser round trip
             "print-parse" => {
                 let text = llva_core::printer::print_module(module);
@@ -258,6 +261,7 @@ impl Oracle {
     pub fn stage_names(&self, entry: &str) -> Vec<String> {
         let mut names = vec![
             "interp".to_string(),
+            "fast-interp".to_string(),
             "print-parse".to_string(),
             "bytecode".to_string(),
         ];
@@ -300,6 +304,20 @@ fn individual_passes(entry: &str) -> Vec<Box<dyn llva_opt::ModulePass>> {
 /// Interprets `module`, mapping every stop reason onto an [`Outcome`].
 pub fn interp_outcome(module: &Module, entry: &str, args: &[u64], fuel: u64) -> Outcome {
     let mut i = Interpreter::new(module);
+    i.set_fuel(fuel);
+    match i.run(entry, args) {
+        Ok(v) => Outcome::Value(v),
+        Err(InterpError::Trap(t)) => Outcome::Trap(t.kind),
+        Err(InterpError::OutOfFuel) => Outcome::Fuel,
+        Err(e @ InterpError::NoSuchFunction(_)) => Outcome::Error(e.to_string()),
+    }
+}
+
+/// Runs the pre-decoded [`FastInterpreter`] on `module`. Any
+/// disagreement with [`interp_outcome`] is an engine bug: the two
+/// interpreters must be value-for-value, trap-for-trap identical.
+pub fn fast_interp_outcome(module: &Module, entry: &str, args: &[u64], fuel: u64) -> Outcome {
+    let mut i = FastInterpreter::new(module);
     i.set_fuel(fuel);
     match i.run(entry, args) {
         Ok(v) => Outcome::Value(v),

@@ -19,6 +19,82 @@ use llva_machine::memory::Memory;
 use llva_machine::x86::{function_value, FUNC_TAG};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// Default simulated memory size: 16 MiB.
+pub const DEFAULT_MEMORY_SIZE: u64 = 1 << 24;
+
+/// An interned, cheaply clonable name used in trap reports.
+///
+/// Cloning a `Name` bumps a reference count instead of copying the
+/// string, so traps can carry function/block names without the hot
+/// loop ever allocating (names are materialized only when a trap
+/// actually fires, and the fast interpreter interns them once at
+/// pre-decode time).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Interns `s`.
+    pub fn new(s: &str) -> Name {
+        Name(Arc::from(s))
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Name {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Name {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Name {
+        Name(Arc::from(s))
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Name {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
 
 /// A precise LLVA-level trap.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,9 +102,9 @@ pub struct LlvaTrap {
     /// What kind of exception.
     pub kind: TrapKind,
     /// The function containing the faulting instruction.
-    pub function: String,
+    pub function: Name,
     /// The faulting instruction's block label.
-    pub block: String,
+    pub block: Name,
     /// Index of the instruction within its block.
     pub index: usize,
 }
@@ -107,10 +183,10 @@ impl<'m> fmt::Debug for Interpreter<'m> {
 }
 
 impl<'m> Interpreter<'m> {
-    /// Creates an interpreter with the default 64 MiB-equivalent memory
-    /// and effectively unlimited fuel.
+    /// Creates an interpreter with the default 16 MiB memory
+    /// ([`DEFAULT_MEMORY_SIZE`]) and effectively unlimited fuel.
     pub fn new(module: &'m Module) -> Interpreter<'m> {
-        Interpreter::with_memory_size(module, 1 << 24)
+        Interpreter::with_memory_size(module, DEFAULT_MEMORY_SIZE)
     }
 
     /// Creates an interpreter with a custom memory size.
@@ -228,8 +304,8 @@ impl<'m> Interpreter<'m> {
         let func = self.module.function(frame.func);
         InterpError::Trap(LlvaTrap {
             kind,
-            function: func.name().to_string(),
-            block: func.block(frame.block).name().to_string(),
+            function: Name::new(func.name()),
+            block: Name::new(func.block(frame.block).name()),
             index: frame.idx,
         })
     }
@@ -377,13 +453,18 @@ impl<'m> Interpreter<'m> {
             }
             Opcode::Call | Opcode::Invoke => {
                 let callee_v = self.value(ops[0]);
-                if callee_v & FUNC_TAG == 0 {
+                let callee_idx = (callee_v & !FUNC_TAG) as usize;
+                if callee_v & FUNC_TAG == 0 || callee_idx >= self.module.num_functions() {
                     return Err(self.trap(TrapKind::BadFunctionPointer));
                 }
-                let callee = FuncId::from_index((callee_v & !FUNC_TAG) as usize);
+                let callee = FuncId::from_index(callee_idx);
                 let args: Vec<u64> = ops[1..].iter().map(|&a| self.value(a)).collect();
-                let callee_name = self.module.function(callee).name().to_string();
-                if let Some(intr) = llva_core::intrinsics::Intrinsic::by_name(&callee_name) {
+                // `module` outlives `self`, so borrowing the callee name
+                // does not conflict with the `&mut self.env` below — no
+                // allocation on this (hot, non-trapping) path.
+                let module = self.module;
+                let callee_name = module.function(callee).name();
+                if let Some(intr) = llva_core::intrinsics::Intrinsic::by_name(callee_name) {
                     let stack = StackView {
                         functions: self
                             .frames
@@ -424,8 +505,8 @@ impl<'m> Interpreter<'m> {
                 let unhandled = || {
                     InterpError::Trap(LlvaTrap {
                         kind: TrapKind::UnhandledUnwind,
-                        function: self.module.function(fid).name().to_string(),
-                        block: self.module.function(fid).block(block).name().to_string(),
+                        function: Name::new(self.module.function(fid).name()),
+                        block: Name::new(self.module.function(fid).block(block).name()),
                         index: idx,
                     })
                 };
@@ -618,7 +699,7 @@ pub fn trap_number(kind: TrapKind) -> u32 {
     }
 }
 
-fn from_bits(bits: u64, is32: bool) -> f64 {
+pub(crate) fn from_bits(bits: u64, is32: bool) -> f64 {
     if is32 {
         f32::from_bits(bits as u32) as f64
     } else {
@@ -626,7 +707,7 @@ fn from_bits(bits: u64, is32: bool) -> f64 {
     }
 }
 
-fn to_bits(v: f64, is32: bool) -> u64 {
+pub(crate) fn to_bits(v: f64, is32: bool) -> u64 {
     if is32 {
         (v as f32).to_bits() as u64
     } else {
@@ -635,7 +716,7 @@ fn to_bits(v: f64, is32: bool) -> u64 {
 }
 
 /// Canonicalizing integer binary op; `None` = division by zero.
-fn int_binary(op: Opcode, a: u64, b: u64, width: u32, signed: bool) -> Option<u64> {
+pub(crate) fn int_binary(op: Opcode, a: u64, b: u64, width: u32, signed: bool) -> Option<u64> {
     let raw = match op {
         Opcode::Add => a.wrapping_add(b),
         Opcode::Sub => a.wrapping_sub(b),
@@ -676,7 +757,7 @@ fn int_binary(op: Opcode, a: u64, b: u64, width: u32, signed: bool) -> Option<u6
     Some(canonicalize(raw, width, signed))
 }
 
-fn canonicalize(v: u64, width: u32, signed: bool) -> u64 {
+pub(crate) fn canonicalize(v: u64, width: u32, signed: bool) -> u64 {
     if width >= 64 {
         return v;
     }
@@ -687,7 +768,7 @@ fn canonicalize(v: u64, width: u32, signed: bool) -> u64 {
     }
 }
 
-fn compare(
+pub(crate) fn compare(
     op: Opcode,
     a: u64,
     b: u64,

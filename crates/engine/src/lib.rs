@@ -11,12 +11,14 @@ pub mod codec;
 pub mod env;
 pub mod interp;
 pub mod llee;
+pub mod predecode;
 pub mod profile;
 pub mod storage;
 pub mod trace;
 
 pub use env::Env;
-pub use interp::{Interpreter, InterpError, LlvaTrap};
+pub use interp::{Interpreter, InterpError, LlvaTrap, Name, DEFAULT_MEMORY_SIZE};
+pub use predecode::{FastInterpreter, PreModule};
 pub use llee::{EngineError, ExecutionManager, RunOutcome, TargetIsa, TranslationStats};
 pub use storage::{
     DirStorage, FaultLog, FaultPlan, FaultyStorage, MemStorage, SharedStorage, Storage,

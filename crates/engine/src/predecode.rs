@@ -1,0 +1,1557 @@
+//! The pre-decoded register-file interpreter: the *fast* semantic oracle.
+//!
+//! The structural [`Interpreter`](crate::interp::Interpreter) is the
+//! readable executable spec: it walks `Module` structures on every step
+//! and keeps SSA values in a per-frame `HashMap`. That is exactly the
+//! right shape for auditing against the paper, and exactly the wrong
+//! shape for the ~19-stage differential conformance sweeps that now run
+//! it as their baseline.
+//!
+//! This module adds a one-time, per-function lowering of verified SSA
+//! into a flat, dense [`PreFunction`]:
+//!
+//! * instructions live in one contiguous `Vec<PreInst>` in block layout
+//!   order (phis excluded — they compile into edge move lists);
+//! * every operand is resolved at decode time to either a dense
+//!   register-file *slot* index or an immediate ([`Src`]) — constants,
+//!   global addresses, and function addresses are materialized as
+//!   immediates, never looked up again;
+//! * block targets become flat PCs; each CFG edge carries the parallel
+//!   move list compiled from the target block's phis;
+//! * per-instruction metadata (access width, signedness, exception bit,
+//!   cast kind, GEP step plan) is precomputed, and a side table maps
+//!   each flat PC back to `(block, index)` so [`LlvaTrap`]s stay
+//!   precise and identical to the structural interpreter's;
+//! * pre-decoded functions are cached per module ([`PreModule`]),
+//!   lazily on first call, so repeated oracle stages and repeated
+//!   workload runs pay the decode cost once.
+//!
+//! Execution ([`FastInterpreter`]) then runs over a `Vec<u64>` register
+//! slab (frames carved out of one reusable allocation instead of a
+//! fresh `HashMap` per call), with a tight dispatch loop that never
+//! touches [`Module`] on the hot path. The two interpreters must be
+//! trap-for-trap, value-for-value identical; `crates/conform` enforces
+//! this with a dedicated `fast-interp` oracle stage.
+
+use crate::env::{Env, StackView};
+use crate::interp::{
+    canonicalize, from_bits, int_binary, to_bits, trap_number, InterpError, LlvaTrap,
+    Name, DEFAULT_MEMORY_SIZE,
+};
+use llva_backend::common::{access_of, canonical_const, layout_globals, GlobalImage};
+use llva_core::function::{BlockId, Function};
+use llva_core::instruction::Opcode;
+use llva_core::intrinsics::Intrinsic;
+use llva_core::module::{FuncId, Module};
+use llva_core::types::{TypeId, TypeKind, TypeTable};
+use llva_core::value::{Constant, ValueId};
+use llva_machine::common::TrapKind;
+use llva_machine::memory::Memory;
+use llva_machine::x86::{function_value, FUNC_TAG};
+use llva_machine::Width;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A pre-resolved operand: a register-file slot or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Read the value from this frame-relative register slot.
+    Reg(u32),
+    /// The value itself (constants are materialized at decode time).
+    Imm(u64),
+}
+
+/// A pre-classified comparison, so the hot loop needs no type table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CmpClass {
+    /// Signed 64-bit integer ordering.
+    Sint,
+    /// Unsigned ordering (also bool and pointers).
+    Uint,
+    /// 32-bit float ordering (NaN compares unordered).
+    F32,
+    /// 64-bit float ordering.
+    F64,
+}
+
+/// A pre-classified `cast`, mirroring [`crate::interp::cast_value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CastKind {
+    /// Bit-identical (pointer↔int of same width, unknown targets).
+    Identity,
+    /// Integer/bool/pointer to bool: `v != 0`.
+    IntToBool,
+    /// Integer to integer: canonicalize to width/signedness.
+    IntToInt { width: u32, signed: bool },
+    /// Integer to float/double, respecting source signedness.
+    IntToFloat { src_signed: bool, dst32: bool },
+    /// Float/double to float/double.
+    FloatToFloat { src32: bool, dst32: bool },
+    /// Float/double to bool: `x != 0.0`.
+    FloatToBool { src32: bool },
+    /// Float/double to integer, canonicalized.
+    FloatToInt { src32: bool, width: u32, signed: bool },
+}
+
+/// One step of a pre-planned `getelementptr` address computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GepStep {
+    /// `addr += value(idx) * size` (array/pointer indexing).
+    Scaled { idx: Src, size: i64 },
+    /// `addr += offset` (constant indices and struct fields, folded).
+    Const(u64),
+    /// Indexing into a non-aggregate: precise `MemoryFault`, like the
+    /// structural interpreter.
+    Trap,
+}
+
+/// A CFG edge: flat target PC plus the parallel move list compiled from
+/// the target block's phis.
+#[derive(Debug, Clone)]
+pub(crate) struct Edge {
+    /// Flat PC of the target block's first non-phi instruction.
+    pub(crate) target_pc: u32,
+    /// Arena index of the target block (trap coordinates).
+    pub(crate) target_block: u32,
+    /// `(dst slot, src)` pairs, executed as one parallel assignment.
+    pub(crate) moves: Vec<(u32, Src)>,
+    /// A phi in the target block has no incoming value for this edge
+    /// (malformed module): taking the edge raises a `Software` trap,
+    /// exactly like `Interpreter::run_phis`.
+    pub(crate) trap: bool,
+}
+
+/// One pre-decoded instruction.
+#[derive(Debug, Clone)]
+pub(crate) enum PreInst {
+    /// Integer arithmetic/bitwise binary op.
+    IntBin { op: Opcode, a: Src, b: Src, dst: u32, width: u32, signed: bool, exc: bool },
+    /// Float/double arithmetic binary op (`add`–`rem` only).
+    FloatBin { op: Opcode, a: Src, b: Src, dst: u32, is32: bool },
+    /// One of the six `set*` comparisons.
+    Cmp { op: Opcode, class: CmpClass, a: Src, b: Src, dst: u32 },
+    /// Return, with optional value.
+    Ret { val: Option<Src> },
+    /// Unconditional branch.
+    Jump { edge: u32 },
+    /// Conditional branch.
+    BrCond { cond: Src, then_edge: u32, else_edge: u32 },
+    /// Multi-way branch: first matching case wins, else default.
+    Mbr { disc: Src, cases: Vec<(Src, u32)>, default_edge: u32 },
+    /// `call` / `invoke`. `normal_edge`/`unwind_edge` are `Some` only
+    /// for `invoke`; both are edges of the *calling* function.
+    Call {
+        callee: Src,
+        args: Vec<Src>,
+        dst: Option<u32>,
+        normal_edge: Option<u32>,
+        unwind_edge: Option<u32>,
+    },
+    /// Unwind to the nearest enclosing `invoke`.
+    Unwind,
+    /// Scalar load with precomputed access width.
+    Load { addr: Src, dst: u32, width: Width, signed: bool, exc: bool },
+    /// Scalar store with precomputed access width.
+    Store { val: Src, addr: Src, width: Width, exc: bool },
+    /// General GEP with a step plan.
+    Gep { base: Src, steps: Vec<GepStep>, dst: u32 },
+    /// GEP whose indices folded entirely into one constant offset.
+    GepConst { base: Src, offset: u64, dst: u32 },
+    /// Stack allocation with precomputed unit size.
+    Alloca { count: Option<Src>, unit: u64, dst: u32 },
+    /// Type conversion with precomputed kind.
+    Cast { src: Src, kind: CastKind, dst: u32 },
+    /// An instruction that always raises this trap (e.g. a bitwise op
+    /// on floats, which the structural interpreter traps as Software).
+    AlwaysTrap { kind: TrapKind },
+}
+
+/// A function lowered to the flat pre-decoded form.
+pub struct PreFunction {
+    name: Name,
+    /// Block names by arena index (trap coordinates).
+    block_names: Vec<Name>,
+    insts: Vec<PreInst>,
+    /// Per flat PC: `(block arena index, index within the block's
+    /// original instruction list, phis included)` — the precise trap
+    /// coordinate the structural interpreter would report.
+    traps: Vec<(u32, u32)>,
+    edges: Vec<Edge>,
+    num_slots: u32,
+    num_args: u32,
+    entry_pc: u32,
+}
+
+impl fmt::Debug for PreFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreFunction")
+            .field("name", &self.name)
+            .field("insts", &self.insts.len())
+            .field("edges", &self.edges.len())
+            .field("slots", &self.num_slots)
+            .finish()
+    }
+}
+
+impl PreFunction {
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of flat (non-phi) instructions.
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of distinct CFG edges with compiled move lists.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Register-file slots this function needs per frame.
+    pub fn num_slots(&self) -> u32 {
+        self.num_slots
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Decoder<'a> {
+    module: &'a Module,
+    func: &'a Function,
+    global_addrs: &'a [u64],
+    bool_ty: TypeId,
+    slots: HashMap<ValueId, u32>,
+    block_start: Vec<u32>,
+    insts: Vec<PreInst>,
+    traps: Vec<(u32, u32)>,
+    edges: Vec<Edge>,
+    edge_map: HashMap<(BlockId, BlockId), u32>,
+}
+
+impl<'a> Decoder<'a> {
+    /// Resolves `v` to a slot or an immediate, exactly as
+    /// `Interpreter::value` would evaluate it.
+    fn resolve(&self, v: ValueId) -> Src {
+        if let Some(&s) = self.slots.get(&v) {
+            return Src::Reg(s);
+        }
+        match self.func.value_as_const(v) {
+            Some(Constant::GlobalAddr { global, .. }) => {
+                Src::Imm(self.global_addrs[global.index()])
+            }
+            Some(Constant::FunctionAddr { func, .. }) => {
+                Src::Imm(function_value(func.index() as u32))
+            }
+            Some(c) => Src::Imm(canonical_const(self.module, c)),
+            None => panic!("use of undefined value {v}"),
+        }
+    }
+
+    fn vty(&self, v: ValueId) -> TypeId {
+        self.func.value_type(v, self.bool_ty)
+    }
+
+    fn slot_of(&self, v: ValueId) -> u32 {
+        self.slots[&v]
+    }
+
+    /// Interns the `pred → succ` edge, compiling the target's phis into
+    /// a parallel move list.
+    fn edge(&mut self, pred: BlockId, succ: BlockId) -> u32 {
+        if let Some(&e) = self.edge_map.get(&(pred, succ)) {
+            return e;
+        }
+        let mut moves = Vec::new();
+        let mut trap = false;
+        for &i in self.func.block(succ).insts() {
+            if self.func.inst(i).opcode() != Opcode::Phi {
+                break;
+            }
+            let incoming = self.func.phi_incoming(i, pred);
+            let result = self.func.inst_result(i);
+            match (incoming, result) {
+                (Some(incoming), Some(result)) => {
+                    moves.push((self.slot_of(result), self.resolve(incoming)));
+                }
+                _ => {
+                    // `Interpreter::run_phis` delivers a Software trap
+                    // before committing any of the edge's assignments.
+                    moves.clear();
+                    trap = true;
+                    break;
+                }
+            }
+        }
+        let id = u32::try_from(self.edges.len()).expect("edge count overflow");
+        self.edges.push(Edge {
+            target_pc: self.block_start[succ.index()],
+            target_block: succ.index() as u32,
+            moves,
+            trap,
+        });
+        self.edge_map.insert((pred, succ), id);
+        id
+    }
+
+    /// Plans a GEP: constant indices (and all struct fields) fold into
+    /// constant offsets; consecutive constants merge.
+    fn plan_gep(&mut self, ops: &[ValueId]) -> (Src, Vec<GepStep>) {
+        let tt = self.module.types();
+        let cfg = self.module.target();
+        let base = self.resolve(ops[0]);
+        let mut cur = tt.pointee(self.vty(ops[0])).expect("gep base");
+        let mut steps: Vec<GepStep> = Vec::new();
+        let mut pending: u64 = 0;
+        let mut has_pending = false;
+        for (i, &idx) in ops[1..].iter().enumerate() {
+            let elem = if i == 0 {
+                // first index scales by the pointee size and does not
+                // descend into the type
+                cur
+            } else {
+                match tt.kind(cur).clone() {
+                    TypeKind::Array { elem, .. } => {
+                        cur = elem;
+                        elem
+                    }
+                    TypeKind::LiteralStruct(_) | TypeKind::Struct(_) => {
+                        let field = self
+                            .func
+                            .value_as_const(idx)
+                            .and_then(Constant::as_int_bits)
+                            .expect("struct index constant")
+                            as usize;
+                        pending = pending.wrapping_add(cfg.field_offset(tt, cur, field));
+                        has_pending = true;
+                        cur = tt.struct_fields(cur).expect("defined")[field];
+                        continue;
+                    }
+                    _ => {
+                        if has_pending {
+                            steps.push(GepStep::Const(pending));
+                        }
+                        steps.push(GepStep::Trap);
+                        return (base, steps);
+                    }
+                }
+            };
+            let size = cfg.size_of(tt, elem) as i64;
+            match self.resolve(idx) {
+                Src::Imm(k) => {
+                    pending = pending.wrapping_add((k as i64).wrapping_mul(size) as u64);
+                    has_pending = true;
+                }
+                s @ Src::Reg(_) => {
+                    if has_pending {
+                        steps.push(GepStep::Const(pending));
+                        pending = 0;
+                        has_pending = false;
+                    }
+                    steps.push(GepStep::Scaled { idx: s, size });
+                }
+            }
+        }
+        if has_pending {
+            steps.push(GepStep::Const(pending));
+        }
+        (base, steps)
+    }
+}
+
+/// Pre-classifies a cast, mirroring [`crate::interp::cast_value`]
+/// branch for branch.
+fn cast_kind(tt: &TypeTable, from: TypeId, to: TypeId) -> CastKind {
+    if tt.is_float(from) {
+        let src32 = matches!(tt.kind(from), TypeKind::Float);
+        return match tt.kind(to) {
+            TypeKind::Float => CastKind::FloatToFloat { src32, dst32: true },
+            TypeKind::Double => CastKind::FloatToFloat { src32, dst32: false },
+            TypeKind::Bool => CastKind::FloatToBool { src32 },
+            _ if tt.is_integer(to) => CastKind::FloatToInt {
+                src32,
+                width: tt.int_bits(to).expect("int"),
+                signed: tt.is_signed_integer(to),
+            },
+            _ => CastKind::Identity,
+        };
+    }
+    match tt.kind(to) {
+        TypeKind::Bool => CastKind::IntToBool,
+        TypeKind::Float => CastKind::IntToFloat {
+            src_signed: tt.is_signed_integer(from),
+            dst32: true,
+        },
+        TypeKind::Double => CastKind::IntToFloat {
+            src_signed: tt.is_signed_integer(from),
+            dst32: false,
+        },
+        TypeKind::Pointer(_) => CastKind::Identity,
+        _ if tt.is_integer(to) => CastKind::IntToInt {
+            width: tt.int_bits(to).expect("int"),
+            signed: tt.is_signed_integer(to),
+        },
+        _ => CastKind::Identity,
+    }
+}
+
+/// Runtime half of [`cast_kind`].
+fn apply_cast(kind: CastKind, v: u64) -> u64 {
+    match kind {
+        CastKind::Identity => v,
+        CastKind::IntToBool => u64::from(v != 0),
+        CastKind::IntToInt { width, signed } => canonicalize(v, width, signed),
+        CastKind::IntToFloat { src_signed, dst32 } => {
+            let x = if src_signed { v as i64 as f64 } else { v as f64 };
+            to_bits(x, dst32)
+        }
+        CastKind::FloatToFloat { src32, dst32 } => to_bits(from_bits(v, src32), dst32),
+        CastKind::FloatToBool { src32 } => u64::from(from_bits(v, src32) != 0.0),
+        CastKind::FloatToInt { src32, width, signed } => {
+            let x = from_bits(v, src32);
+            let raw = if signed { (x as i64) as u64 } else { x as u64 };
+            canonicalize(raw, width, signed)
+        }
+    }
+}
+
+/// Runtime comparison over a pre-classified operand class, mirroring
+/// [`crate::interp::compare`].
+fn do_cmp(op: Opcode, class: CmpClass, a: u64, b: u64) -> bool {
+    use std::cmp::Ordering;
+    let ord = match class {
+        CmpClass::F32 | CmpClass::F64 => {
+            let is32 = matches!(class, CmpClass::F32);
+            let (x, y) = (from_bits(a, is32), from_bits(b, is32));
+            match x.partial_cmp(&y) {
+                Some(o) => o,
+                None => return matches!(op, Opcode::SetNe),
+            }
+        }
+        CmpClass::Sint => (a as i64).cmp(&(b as i64)),
+        CmpClass::Uint => a.cmp(&b),
+    };
+    match op {
+        Opcode::SetEq => ord == Ordering::Equal,
+        Opcode::SetNe => ord != Ordering::Equal,
+        Opcode::SetLt => ord == Ordering::Less,
+        Opcode::SetGt => ord == Ordering::Greater,
+        Opcode::SetLe => ord != Ordering::Greater,
+        Opcode::SetGe => ord != Ordering::Less,
+        _ => unreachable!("comparison opcode"),
+    }
+}
+
+/// Lowers one function body into the flat pre-decoded form.
+///
+/// # Panics
+///
+/// Panics on malformed SSA that the verifier rejects (undefined value
+/// uses, non-constant struct indices, phis after non-phis) — the same
+/// inputs on which the structural interpreter panics.
+#[allow(clippy::too_many_lines)]
+fn decode_function(
+    module: &Module,
+    fid: FuncId,
+    global_addrs: &[u64],
+    bool_ty: TypeId,
+) -> PreFunction {
+    let func = module.function(fid);
+    let tt = module.types();
+    let cfg = module.target();
+    let order = func.block_order().to_vec();
+    let arena_len = order.iter().map(|b| b.index() + 1).max().unwrap_or(0);
+
+    // slot assignment: arguments first (slot i == argument i), then
+    // every instruction result in layout order
+    let mut slots: HashMap<ValueId, u32> = HashMap::new();
+    for (i, &a) in func.args().iter().enumerate() {
+        slots.insert(a, i as u32);
+    }
+    let mut next = func.args().len() as u32;
+    for (_, i) in func.inst_iter() {
+        if let Some(r) = func.inst_result(i) {
+            slots.insert(r, next);
+            next += 1;
+        }
+    }
+
+    // flat PCs: phis occupy no flat slots
+    let mut block_start = vec![0u32; arena_len];
+    let mut pc = 0u32;
+    for &b in &order {
+        block_start[b.index()] = pc;
+        let insts = func.block(b).insts();
+        let nphi = insts
+            .iter()
+            .take_while(|&&i| func.inst(i).opcode() == Opcode::Phi)
+            .count();
+        assert!(
+            insts[nphi..]
+                .iter()
+                .all(|&i| func.inst(i).opcode() != Opcode::Phi),
+            "phi not at block head in %{}",
+            func.name()
+        );
+        pc += (insts.len() - nphi) as u32;
+    }
+
+    let mut block_names = vec![Name::new(""); arena_len];
+    for &b in &order {
+        block_names[b.index()] = Name::new(func.block(b).name());
+    }
+
+    let mut d = Decoder {
+        module,
+        func,
+        global_addrs,
+        bool_ty,
+        slots,
+        block_start,
+        insts: Vec::with_capacity(pc as usize),
+        traps: Vec::with_capacity(pc as usize),
+        edges: Vec::new(),
+        edge_map: HashMap::new(),
+    };
+
+    for &b in &order {
+        for (pos, &iid) in func.block(b).insts().iter().enumerate() {
+            let inst = func.inst(iid);
+            let op = inst.opcode();
+            if op == Opcode::Phi {
+                continue;
+            }
+            let ops = inst.operands();
+            let blocks = inst.block_operands();
+            let exc = inst.exceptions_enabled();
+            let result_ty = inst.result_type();
+            let dst = func.inst_result(iid).map(|r| d.slot_of(r));
+            let pre = match op {
+                _ if op.is_binary() => {
+                    let a = d.resolve(ops[0]);
+                    let bb = d.resolve(ops[1]);
+                    if tt.is_float(result_ty) {
+                        if matches!(
+                            op,
+                            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::Div | Opcode::Rem
+                        ) {
+                            PreInst::FloatBin {
+                                op,
+                                a,
+                                b: bb,
+                                dst: dst.expect("binary result"),
+                                is32: matches!(tt.kind(result_ty), TypeKind::Float),
+                            }
+                        } else {
+                            // bitwise op on floats: the structural
+                            // interpreter traps Software
+                            PreInst::AlwaysTrap { kind: TrapKind::Software }
+                        }
+                    } else {
+                        PreInst::IntBin {
+                            op,
+                            a,
+                            b: bb,
+                            dst: dst.expect("binary result"),
+                            width: tt.int_bits(result_ty).expect("integer binary op"),
+                            signed: tt.is_signed_integer(result_ty),
+                            exc,
+                        }
+                    }
+                }
+                _ if op.is_comparison() => {
+                    let ty = d.vty(ops[0]);
+                    let class = if tt.is_float(ty) {
+                        if matches!(tt.kind(ty), TypeKind::Float) {
+                            CmpClass::F32
+                        } else {
+                            CmpClass::F64
+                        }
+                    } else if tt.is_signed_integer(ty) {
+                        CmpClass::Sint
+                    } else {
+                        CmpClass::Uint
+                    };
+                    PreInst::Cmp {
+                        op,
+                        class,
+                        a: d.resolve(ops[0]),
+                        b: d.resolve(ops[1]),
+                        dst: dst.expect("cmp result"),
+                    }
+                }
+                Opcode::Ret => PreInst::Ret {
+                    val: ops.first().map(|&v| d.resolve(v)),
+                },
+                Opcode::Br => {
+                    if ops.is_empty() {
+                        PreInst::Jump { edge: d.edge(b, blocks[0]) }
+                    } else {
+                        PreInst::BrCond {
+                            cond: d.resolve(ops[0]),
+                            then_edge: d.edge(b, blocks[0]),
+                            else_edge: d.edge(b, blocks[1]),
+                        }
+                    }
+                }
+                Opcode::Mbr => PreInst::Mbr {
+                    disc: d.resolve(ops[0]),
+                    cases: ops[1..]
+                        .iter()
+                        .zip(&blocks[1..])
+                        .map(|(&c, &t)| (d.resolve(c), d.edge(b, t)))
+                        .collect(),
+                    default_edge: d.edge(b, blocks[0]),
+                },
+                Opcode::Call | Opcode::Invoke => PreInst::Call {
+                    callee: d.resolve(ops[0]),
+                    args: ops[1..].iter().map(|&a| d.resolve(a)).collect(),
+                    dst,
+                    normal_edge: (op == Opcode::Invoke).then(|| d.edge(b, blocks[0])),
+                    unwind_edge: (op == Opcode::Invoke).then(|| d.edge(b, blocks[1])),
+                },
+                Opcode::Unwind => PreInst::Unwind,
+                Opcode::Load => {
+                    let pointee = tt.pointee(d.vty(ops[0])).expect("pointer");
+                    let (width, signed) = access_of(module, pointee);
+                    PreInst::Load {
+                        addr: d.resolve(ops[0]),
+                        dst: dst.expect("load result"),
+                        width,
+                        signed,
+                        exc,
+                    }
+                }
+                Opcode::Store => {
+                    let pointee = tt.pointee(d.vty(ops[1])).expect("pointer");
+                    let (width, _) = access_of(module, pointee);
+                    PreInst::Store {
+                        val: d.resolve(ops[0]),
+                        addr: d.resolve(ops[1]),
+                        width,
+                        exc,
+                    }
+                }
+                Opcode::GetElementPtr => {
+                    let (base, steps) = d.plan_gep(ops);
+                    let dst = dst.expect("gep result");
+                    match steps.as_slice() {
+                        [] => PreInst::GepConst { base, offset: 0, dst },
+                        [GepStep::Const(off)] => PreInst::GepConst { base, offset: *off, dst },
+                        _ => PreInst::Gep { base, steps, dst },
+                    }
+                }
+                Opcode::Alloca => {
+                    let pointee = tt.pointee(result_ty).expect("alloca pointer");
+                    PreInst::Alloca {
+                        count: ops.first().map(|&c| d.resolve(c)),
+                        unit: cfg.size_of(tt, pointee).max(1),
+                        dst: dst.expect("alloca result"),
+                    }
+                }
+                Opcode::Cast => PreInst::Cast {
+                    src: d.resolve(ops[0]),
+                    kind: cast_kind(tt, d.vty(ops[0]), result_ty),
+                    dst: dst.expect("cast result"),
+                },
+                Opcode::Phi => unreachable!("phis skipped above"),
+                _ => unreachable!("all opcodes covered"),
+            };
+            d.insts.push(pre);
+            d.traps.push((b.index() as u32, pos as u32));
+        }
+    }
+
+    let entry_pc = d.block_start[func.entry_block().index()];
+    PreFunction {
+        name: Name::new(func.name()),
+        block_names,
+        insts: d.insts,
+        traps: d.traps,
+        edges: d.edges,
+        num_slots: next,
+        num_args: func.args().len() as u32,
+        entry_pc,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-module pre-decode cache
+// ---------------------------------------------------------------------------
+
+/// Per-module pre-decode state: the global layout, interned function
+/// metadata, and the lazily-populated [`PreFunction`] cache.
+///
+/// Share one `Rc<PreModule>` across repeated [`FastInterpreter`]
+/// constructions (oracle stages, benchmark iterations) so each function
+/// is decoded exactly once per module.
+pub struct PreModule<'m> {
+    module: &'m Module,
+    image: GlobalImage,
+    bool_ty: TypeId,
+    /// Function names for [`Env`] (`llva.stack.funcname`).
+    func_names: Vec<String>,
+    /// Which functions are intrinsics, resolved once by name.
+    intrinsics: Vec<Option<Intrinsic>>,
+    is_declaration: Vec<bool>,
+    decoded: RefCell<Vec<Option<Rc<PreFunction>>>>,
+}
+
+impl<'m> fmt::Debug for PreModule<'m> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreModule")
+            .field("module", &self.module.name())
+            .field("decoded", &self.decoded_functions())
+            .finish()
+    }
+}
+
+impl<'m> PreModule<'m> {
+    /// Builds the per-module state; no function is decoded yet.
+    pub fn new(module: &'m Module) -> PreModule<'m> {
+        let image = layout_globals(module);
+        let bool_ty = module
+            .types()
+            .iter()
+            .find_map(|(id, k)| matches!(k, TypeKind::Bool).then_some(id))
+            .unwrap_or_else(|| TypeId::from_index((u32::MAX - 1) as usize));
+        let n = module.num_functions();
+        let mut func_names = Vec::with_capacity(n);
+        let mut intrinsics = Vec::with_capacity(n);
+        let mut is_declaration = Vec::with_capacity(n);
+        for (_, f) in module.functions() {
+            func_names.push(f.name().to_string());
+            intrinsics.push(Intrinsic::by_name(f.name()));
+            is_declaration.push(f.is_declaration());
+        }
+        PreModule {
+            module,
+            image,
+            bool_ty,
+            func_names,
+            intrinsics,
+            is_declaration,
+            decoded: RefCell::new(vec![None; n]),
+        }
+    }
+
+    /// The underlying module.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// The pre-decoded body of `fid`, decoding it on first use.
+    pub fn get(&self, fid: FuncId) -> Rc<PreFunction> {
+        if let Some(p) = &self.decoded.borrow()[fid.index()] {
+            return p.clone();
+        }
+        let p = Rc::new(decode_function(
+            self.module,
+            fid,
+            &self.image.addrs,
+            self.bool_ty,
+        ));
+        self.decoded.borrow_mut()[fid.index()] = Some(p.clone());
+        p
+    }
+
+    /// Eagerly decodes every defined function (benchmark harnesses use
+    /// this to separate decode time from run time).
+    pub fn decode_all(&self) {
+        for fid in self.module.function_ids() {
+            if !self.is_declaration[fid.index()] {
+                let _ = self.get(fid);
+            }
+        }
+    }
+
+    /// How many functions have been decoded so far.
+    pub fn decoded_functions(&self) -> usize {
+        self.decoded.borrow().iter().filter(|p| p.is_some()).count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Debug-build fill pattern for unused register-slab words; reads of it
+/// mean a use-before-def escaped the verifier, frees catch stale reads.
+const POISON: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
+struct FastFrame {
+    /// Function index (for [`StackView`]).
+    func: u32,
+    pre: Rc<PreFunction>,
+    /// Saved PC: meaningful while a callee runs (points at the call).
+    pc: u32,
+    /// This frame's first register slot in the slab.
+    base: usize,
+    slots: u32,
+    saved_sp: u64,
+    /// Edge (in the *caller's* function) to take when an `unwind`
+    /// reaches this frame; `Some` iff the frame was entered via `invoke`.
+    unwind_edge: Option<u32>,
+}
+
+/// The pre-decoded register-file interpreter.
+///
+/// Semantically identical to [`Interpreter`](crate::interp::Interpreter)
+/// — same values, same precise traps (kind, function, block, index),
+/// same instruction counts — but executing flat [`PreFunction`] code
+/// over a dense register slab. Use it when throughput matters (the
+/// conformance oracle, workload sweeps); use the structural interpreter
+/// when you want code that reads like the paper's semantics.
+pub struct FastInterpreter<'m> {
+    pre: Rc<PreModule<'m>>,
+    /// The memory image (globals initialized at construction).
+    pub mem: Memory,
+    /// Intrinsic state shared with native execution.
+    pub env: Env,
+    frames: Vec<FastFrame>,
+    /// The frame slab: every live frame's registers, contiguously.
+    regs: Vec<u64>,
+    /// High-water mark of live registers (`regs[top..]` is free).
+    top: usize,
+    sp: u64,
+    insts: u64,
+    fuel: u64,
+    phi_scratch: Vec<u64>,
+    arg_buf: Vec<u64>,
+}
+
+impl<'m> fmt::Debug for FastInterpreter<'m> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FastInterpreter")
+            .field("module", &self.pre.module.name())
+            .field("frames", &self.frames.len())
+            .field("insts", &self.insts)
+            .finish()
+    }
+}
+
+#[inline]
+fn read(regs: &[u64], base: usize, s: Src) -> u64 {
+    match s {
+        Src::Reg(r) => regs[base + r as usize],
+        Src::Imm(v) => v,
+    }
+}
+
+impl<'m> FastInterpreter<'m> {
+    /// Creates a fast interpreter with its own pre-decode cache and the
+    /// default 16 MiB memory ([`DEFAULT_MEMORY_SIZE`]).
+    pub fn new(module: &'m Module) -> FastInterpreter<'m> {
+        FastInterpreter::with_predecoded(Rc::new(PreModule::new(module)))
+    }
+
+    /// Creates a fast interpreter with a custom memory size.
+    pub fn with_memory_size(module: &'m Module, mem_size: u64) -> FastInterpreter<'m> {
+        FastInterpreter::with_predecoded_memory(Rc::new(PreModule::new(module)), mem_size)
+    }
+
+    /// Creates a fast interpreter sharing an existing pre-decode cache
+    /// (repeated runs pay the decode cost once).
+    pub fn with_predecoded(pre: Rc<PreModule<'m>>) -> FastInterpreter<'m> {
+        FastInterpreter::with_predecoded_memory(pre, DEFAULT_MEMORY_SIZE)
+    }
+
+    /// [`FastInterpreter::with_predecoded`] with a custom memory size.
+    pub fn with_predecoded_memory(pre: Rc<PreModule<'m>>, mem_size: u64) -> FastInterpreter<'m> {
+        let module = pre.module;
+        let mut mem = Memory::new(mem_size, pre.image.heap_base, module.target().endianness);
+        mem.write_bytes(llva_machine::memory::GLOBAL_BASE, &pre.image.image)
+            .expect("global image fits");
+        let sp = mem.initial_sp();
+        FastInterpreter {
+            pre,
+            mem,
+            env: Env::new(),
+            frames: Vec::new(),
+            regs: Vec::new(),
+            top: 0,
+            sp,
+            insts: 0,
+            fuel: u64::MAX,
+            phi_scratch: Vec::new(),
+            arg_buf: Vec::new(),
+        }
+    }
+
+    /// Limits the number of LLVA instructions executed.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// LLVA instructions executed so far (identical to the structural
+    /// interpreter's count on the same program).
+    pub fn insts_executed(&self) -> u64 {
+        self.insts
+    }
+
+    /// The shared pre-decode cache.
+    pub fn predecoded(&self) -> &Rc<PreModule<'m>> {
+        &self.pre
+    }
+
+    /// Checks frame-slab invariants: live frames tile `regs[..top]`
+    /// contiguously in stack order, and (in debug builds, where freed
+    /// slots are poisoned) nothing above `top` holds live data.
+    pub fn slab_consistent(&self) -> bool {
+        let mut expect = 0usize;
+        for f in &self.frames {
+            if f.base != expect {
+                return false;
+            }
+            expect += f.slots as usize;
+        }
+        if expect != self.top {
+            return false;
+        }
+        #[cfg(debug_assertions)]
+        if !self.regs[self.top..].iter().all(|&v| v == POISON) {
+            return false;
+        }
+        true
+    }
+
+    /// Current depth of the call stack.
+    pub fn call_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Runs function `name` with the given argument values.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Interpreter::run`](crate::interp::Interpreter::run):
+    /// precise traps (after invoking a registered trap handler, §3.5),
+    /// [`InterpError::OutOfFuel`], or [`InterpError::NoSuchFunction`].
+    pub fn run(&mut self, name: &str, args: &[u64]) -> Result<u64, InterpError> {
+        let module = self.pre.module;
+        let fid = module
+            .function_by_name(name)
+            .filter(|&f| !module.function(f).is_declaration())
+            .ok_or_else(|| InterpError::NoSuchFunction(name.to_string()))?;
+        match self.run_function(fid, args) {
+            Err(InterpError::Trap(trap)) => {
+                // §3.5: deliver to a registered trap handler, then report.
+                let trap_no = trap_number(trap.kind);
+                if let Some(&handler) = self.env.trap_handlers.get(&trap_no) {
+                    if (handler as usize) < module.num_functions() {
+                        let h = FuncId::from_index(handler as usize);
+                        if !module.function(h).is_declaration() {
+                            let _ = self.run_function(h, &[u64::from(trap_no), 0]);
+                        }
+                    }
+                }
+                Err(InterpError::Trap(trap))
+            }
+            other => other,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.frames.clear();
+        #[cfg(debug_assertions)]
+        for v in &mut self.regs[..self.top] {
+            *v = POISON;
+        }
+        self.top = 0;
+    }
+
+    fn push_frame(
+        &mut self,
+        fid: FuncId,
+        args: &[u64],
+        unwind_edge: Option<u32>,
+    ) -> Rc<PreFunction> {
+        let pre = self.pre.get(fid);
+        let base = self.top;
+        let needed = base + pre.num_slots as usize;
+        if self.regs.len() < needed {
+            let fill = if cfg!(debug_assertions) { POISON } else { 0 };
+            self.regs.resize(needed, fill);
+        }
+        debug_assert!(
+            self.regs[base..needed].iter().all(|&v| v == POISON),
+            "frame slab region reused without poisoning"
+        );
+        self.top = needed;
+        for i in 0..pre.num_args as usize {
+            self.regs[base + i] = args.get(i).copied().unwrap_or(0);
+        }
+        self.frames.push(FastFrame {
+            func: fid.index() as u32,
+            pre: pre.clone(),
+            pc: pre.entry_pc,
+            base,
+            slots: pre.num_slots,
+            saved_sp: self.sp,
+            unwind_edge,
+        });
+        pre
+    }
+
+    fn pop_frame(&mut self) -> FastFrame {
+        let f = self.frames.pop().expect("active frame");
+        self.sp = f.saved_sp;
+        #[cfg(debug_assertions)]
+        for v in &mut self.regs[f.base..self.top] {
+            *v = POISON;
+        }
+        self.top = f.base;
+        f
+    }
+
+    /// Builds the precise trap for the instruction at `pc` of `cur`.
+    fn trap_at(&self, cur: &PreFunction, pc: u32, kind: TrapKind) -> InterpError {
+        let (b, i) = cur.traps[pc as usize];
+        InterpError::Trap(LlvaTrap {
+            kind,
+            function: cur.name.clone(),
+            block: cur.block_names[b as usize].clone(),
+            index: i as usize,
+        })
+    }
+
+    /// Performs edge `e` of `cur`: the parallel phi moves, then returns
+    /// the new PC (or the Software trap for a malformed edge).
+    fn take_edge(&mut self, cur: &PreFunction, base: usize, e: u32) -> Result<u32, InterpError> {
+        let edge = &cur.edges[e as usize];
+        if edge.trap {
+            return Err(InterpError::Trap(LlvaTrap {
+                kind: TrapKind::Software,
+                function: cur.name.clone(),
+                block: cur.block_names[edge.target_block as usize].clone(),
+                index: 0,
+            }));
+        }
+        match edge.moves.as_slice() {
+            [] => {}
+            &[(d, s)] => {
+                let v = read(&self.regs, base, s);
+                self.regs[base + d as usize] = v;
+            }
+            moves => {
+                self.phi_scratch.clear();
+                for &(_, s) in moves {
+                    let v = read(&self.regs, base, s);
+                    self.phi_scratch.push(v);
+                }
+                for (k, &(d, _)) in moves.iter().enumerate() {
+                    self.regs[base + d as usize] = self.phi_scratch[k];
+                }
+            }
+        }
+        Ok(edge.target_pc)
+    }
+
+    /// The dispatch loop. Never touches [`Module`] structures: all hot
+    /// state is the current [`PreFunction`], the register slab, `pc`,
+    /// and `base`.
+    #[allow(clippy::too_many_lines)]
+    fn run_function(&mut self, fid: FuncId, args: &[u64]) -> Result<u64, InterpError> {
+        self.reset();
+        let mut cur = self.push_frame(fid, args, None);
+        let mut pc = cur.entry_pc;
+        let mut base = self.frames.last().expect("frame just pushed").base;
+        loop {
+            if self.fuel == 0 {
+                self.frames.last_mut().expect("active frame").pc = pc;
+                return Err(InterpError::OutOfFuel);
+            }
+            self.fuel -= 1;
+            self.insts += 1;
+            self.env.clock += 1;
+
+            let inst = &cur.insts[pc as usize];
+            match inst {
+                PreInst::IntBin { op, a, b, dst, width, signed, exc } => {
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    let out = match int_binary(*op, x, y, *width, *signed) {
+                        Some(v) => v,
+                        None => {
+                            if *exc {
+                                return Err(self.trap_at(&cur, pc, TrapKind::DivideByZero));
+                            }
+                            0
+                        }
+                    };
+                    self.regs[base + *dst as usize] = out;
+                    pc += 1;
+                }
+                PreInst::FloatBin { op, a, b, dst, is32 } => {
+                    let x = from_bits(read(&self.regs, base, *a), *is32);
+                    let y = from_bits(read(&self.regs, base, *b), *is32);
+                    let r = match op {
+                        Opcode::Add => x + y,
+                        Opcode::Sub => x - y,
+                        Opcode::Mul => x * y,
+                        Opcode::Div => x / y,
+                        Opcode::Rem => x % y,
+                        _ => unreachable!("decode rejects other float ops"),
+                    };
+                    self.regs[base + *dst as usize] = to_bits(r, *is32);
+                    pc += 1;
+                }
+                PreInst::Cmp { op, class, a, b, dst } => {
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    self.regs[base + *dst as usize] = u64::from(do_cmp(*op, *class, x, y));
+                    pc += 1;
+                }
+                PreInst::Ret { val } => {
+                    let ret = val.map(|s| read(&self.regs, base, s)).unwrap_or(0);
+                    self.pop_frame();
+                    let Some(caller) = self.frames.last() else {
+                        return Ok(ret);
+                    };
+                    cur = caller.pre.clone();
+                    base = caller.base;
+                    pc = caller.pc;
+                    let PreInst::Call { dst, normal_edge, .. } = &cur.insts[pc as usize] else {
+                        unreachable!("caller pc rests on its call instruction");
+                    };
+                    let (dst, normal_edge) = (*dst, *normal_edge);
+                    if let Some(d) = dst {
+                        self.regs[base + d as usize] = ret;
+                    }
+                    match normal_edge {
+                        Some(e) => pc = self.take_edge(&cur, base, e)?,
+                        None => pc += 1,
+                    }
+                }
+                PreInst::Jump { edge } => {
+                    let e = *edge;
+                    pc = self.take_edge(&cur, base, e)?;
+                }
+                PreInst::BrCond { cond, then_edge, else_edge } => {
+                    let e = if read(&self.regs, base, *cond) != 0 {
+                        *then_edge
+                    } else {
+                        *else_edge
+                    };
+                    pc = self.take_edge(&cur, base, e)?;
+                }
+                PreInst::Mbr { disc, cases, default_edge } => {
+                    let dv = read(&self.regs, base, *disc);
+                    let mut e = *default_edge;
+                    for &(c, t) in cases {
+                        if read(&self.regs, base, c) == dv {
+                            e = t;
+                            break;
+                        }
+                    }
+                    pc = self.take_edge(&cur, base, e)?;
+                }
+                PreInst::Call { callee, args, dst, normal_edge, unwind_edge } => {
+                    let cv = read(&self.regs, base, *callee);
+                    let idx = (cv & !FUNC_TAG) as usize;
+                    if cv & FUNC_TAG == 0 || idx >= self.pre.intrinsics.len() {
+                        return Err(self.trap_at(&cur, pc, TrapKind::BadFunctionPointer));
+                    }
+                    self.arg_buf.clear();
+                    for &a in args {
+                        let v = read(&self.regs, base, a);
+                        self.arg_buf.push(v);
+                    }
+                    let (dst, normal_edge, unwind_edge) = (*dst, *normal_edge, *unwind_edge);
+                    if let Some(intr) = self.pre.intrinsics[idx] {
+                        let stack = StackView {
+                            functions: self.frames.iter().rev().map(|f| f.func).collect(),
+                        };
+                        let argv = std::mem::take(&mut self.arg_buf);
+                        let result = self.env.handle(
+                            intr,
+                            &argv,
+                            &mut self.mem,
+                            &stack,
+                            &self.pre.func_names,
+                        );
+                        self.arg_buf = argv;
+                        let ret = match result {
+                            Ok(v) => v,
+                            Err(k) => return Err(self.trap_at(&cur, pc, k)),
+                        };
+                        if let Some(d) = dst {
+                            self.regs[base + d as usize] = ret;
+                        }
+                        match normal_edge {
+                            Some(e) => pc = self.take_edge(&cur, base, e)?,
+                            None => pc += 1,
+                        }
+                        continue;
+                    }
+                    if self.pre.is_declaration[idx] {
+                        return Err(self.trap_at(&cur, pc, TrapKind::BadFunctionPointer));
+                    }
+                    if self.frames.len() > 4096 {
+                        return Err(self.trap_at(&cur, pc, TrapKind::StackOverflow));
+                    }
+                    self.frames.last_mut().expect("active frame").pc = pc;
+                    let argv = std::mem::take(&mut self.arg_buf);
+                    cur = self.push_frame(FuncId::from_index(idx), &argv, unwind_edge);
+                    self.arg_buf = argv;
+                    pc = cur.entry_pc;
+                    base = self.frames.last().expect("frame just pushed").base;
+                }
+                PreInst::Unwind => {
+                    // pop frames to the nearest enclosing invoke (§3.1)
+                    let unhandled = self.trap_at(&cur, pc, TrapKind::UnhandledUnwind);
+                    loop {
+                        if self.frames.is_empty() {
+                            return Err(unhandled);
+                        }
+                        let f = self.pop_frame();
+                        if let Some(e) = f.unwind_edge {
+                            let Some(caller) = self.frames.last() else {
+                                return Err(unhandled);
+                            };
+                            cur = caller.pre.clone();
+                            base = caller.base;
+                            pc = self.take_edge(&cur, base, e)?;
+                            break;
+                        }
+                        if self.frames.is_empty() {
+                            return Err(unhandled);
+                        }
+                    }
+                }
+                PreInst::Load { addr, dst, width, signed, exc } => {
+                    let a = read(&self.regs, base, *addr);
+                    let loaded = if *signed {
+                        self.mem.load_signed(a, *width)
+                    } else {
+                        self.mem.load(a, *width)
+                    };
+                    let v = match loaded {
+                        Ok(v) => v,
+                        Err(k) => {
+                            if *exc {
+                                return Err(self.trap_at(&cur, pc, k));
+                            }
+                            0
+                        }
+                    };
+                    self.regs[base + *dst as usize] = v;
+                    pc += 1;
+                }
+                PreInst::Store { val, addr, width, exc } => {
+                    let v = read(&self.regs, base, *val);
+                    let a = read(&self.regs, base, *addr);
+                    if let Err(k) = self.mem.store(a, v, *width) {
+                        if *exc {
+                            return Err(self.trap_at(&cur, pc, k));
+                        }
+                    }
+                    pc += 1;
+                }
+                PreInst::Gep { base: b, steps, dst } => {
+                    let mut addr = read(&self.regs, base, *b);
+                    let mut fault = false;
+                    for step in steps {
+                        match *step {
+                            GepStep::Scaled { idx, size } => {
+                                let k = read(&self.regs, base, idx) as i64;
+                                addr = addr.wrapping_add(k.wrapping_mul(size) as u64);
+                            }
+                            GepStep::Const(off) => addr = addr.wrapping_add(off),
+                            GepStep::Trap => {
+                                fault = true;
+                                break;
+                            }
+                        }
+                    }
+                    if fault {
+                        return Err(self.trap_at(&cur, pc, TrapKind::MemoryFault));
+                    }
+                    self.regs[base + *dst as usize] = addr;
+                    pc += 1;
+                }
+                PreInst::GepConst { base: b, offset, dst } => {
+                    let addr = read(&self.regs, base, *b).wrapping_add(*offset);
+                    self.regs[base + *dst as usize] = addr;
+                    pc += 1;
+                }
+                PreInst::Alloca { count, unit, dst } => {
+                    let count = count.map(|c| read(&self.regs, base, c)).unwrap_or(1);
+                    let size = (unit * count + 7) & !7;
+                    if self.sp < self.mem.stack_limit() + size {
+                        return Err(self.trap_at(&cur, pc, TrapKind::StackOverflow));
+                    }
+                    self.sp -= size;
+                    self.regs[base + *dst as usize] = self.sp;
+                    pc += 1;
+                }
+                PreInst::Cast { src, kind, dst } => {
+                    let v = read(&self.regs, base, *src);
+                    self.regs[base + *dst as usize] = apply_cast(*kind, v);
+                    pc += 1;
+                }
+                PreInst::AlwaysTrap { kind } => {
+                    return Err(self.trap_at(&cur, pc, *kind));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{cast_value, compare};
+
+    fn parse(src: &str) -> Module {
+        let m = llva_core::parser::parse_module(src).expect("parses");
+        llva_core::verifier::verify_module(&m).expect("verifies");
+        m
+    }
+
+    #[test]
+    fn cast_kind_matches_cast_value_on_every_scalar_pair() {
+        let mut tt = TypeTable::new();
+        let scalars = [
+            tt.bool(),
+            tt.ubyte(),
+            tt.sbyte(),
+            tt.ushort(),
+            tt.short(),
+            tt.uint(),
+            tt.int(),
+            tt.ulong(),
+            tt.long(),
+            tt.float(),
+            tt.double(),
+        ];
+        let long = tt.long();
+        let ptr = tt.pointer_to(long);
+        let all: Vec<TypeId> = scalars.iter().copied().chain([ptr]).collect();
+        let samples = [
+            0u64,
+            1,
+            2,
+            0x7F,
+            0x80,
+            0xFF,
+            0xFFFF_FFFF,
+            u64::MAX,
+            (-5i64) as u64,
+            f32::consts_sample_bits(),
+            (2.5f64).to_bits(),
+            (-3.75f64).to_bits(),
+            f64::INFINITY.to_bits(),
+            f64::NAN.to_bits(),
+        ];
+        for &from in &all {
+            for &to in &all {
+                let kind = cast_kind(&tt, from, to);
+                for &v in &samples {
+                    assert_eq!(
+                        apply_cast(kind, v),
+                        cast_value(&tt, from, to, v),
+                        "cast {} -> {} of {v:#x} (kind {kind:?})",
+                        tt.display(from),
+                        tt.display(to),
+                    );
+                }
+            }
+        }
+    }
+
+    trait SampleBits {
+        fn consts_sample_bits() -> u64;
+    }
+
+    impl SampleBits for f32 {
+        fn consts_sample_bits() -> u64 {
+            u64::from((1.5f32).to_bits())
+        }
+    }
+
+    #[test]
+    fn cmp_class_matches_structural_compare() {
+        let mut tt = TypeTable::new();
+        let cases = [
+            (tt.int(), CmpClass::Sint),
+            (tt.uint(), CmpClass::Uint),
+            (tt.bool(), CmpClass::Uint),
+            (tt.float(), CmpClass::F32),
+            (tt.double(), CmpClass::F64),
+        ];
+        let ops = [
+            Opcode::SetEq,
+            Opcode::SetNe,
+            Opcode::SetLt,
+            Opcode::SetGt,
+            Opcode::SetLe,
+            Opcode::SetGe,
+        ];
+        let samples = [
+            0u64,
+            1,
+            (-1i64) as u64,
+            42,
+            (1.5f64).to_bits(),
+            u64::from((1.5f32).to_bits()),
+            f64::NAN.to_bits(),
+            u64::from(f32::NAN.to_bits()),
+        ];
+        for &(ty, class) in &cases {
+            for &op in &ops {
+                for &a in &samples {
+                    for &b in &samples {
+                        assert_eq!(
+                            do_cmp(op, class, a, b),
+                            compare(op, a, b, &tt, ty),
+                            "{op} on {} with {a:#x}, {b:#x}",
+                            tt.display(ty),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constants_become_immediates() {
+        let m = parse(
+            r#"
+int %f(int %x) {
+entry:
+    %a = add int %x, 7
+    ret int %a
+}
+"#,
+        );
+        let pre = PreModule::new(&m);
+        let f = pre.get(m.function_by_name("f").expect("f"));
+        assert_eq!(f.num_insts(), 2);
+        let PreInst::IntBin { a, b, .. } = &f.insts[0] else {
+            panic!("expected IntBin, got {:?}", f.insts[0]);
+        };
+        assert!(matches!(a, Src::Reg(0)), "arg is slot 0: {a:?}");
+        assert_eq!(*b, Src::Imm(7), "constant folded to immediate");
+    }
+
+    #[test]
+    fn struct_gep_folds_to_constant_offset() {
+        let m = parse(
+            r#"
+%Pair = type { int, long }
+
+long* %f(%Pair* %p) {
+entry:
+    %f1 = getelementptr %Pair* %p, long 0, ubyte 1
+    ret long* %f1
+}
+"#,
+        );
+        let pre = PreModule::new(&m);
+        let f = pre.get(m.function_by_name("f").expect("f"));
+        let PreInst::GepConst { offset, .. } = &f.insts[0] else {
+            panic!("expected fully-folded GEP, got {:?}", f.insts[0]);
+        };
+        assert_eq!(*offset, 8, "long field sits at offset 8");
+    }
+
+    #[test]
+    fn phis_compile_into_edge_moves() {
+        let m = parse(
+            r#"
+int %sum(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %i
+}
+"#,
+        );
+        let pre = PreModule::new(&m);
+        let f = pre.get(m.function_by_name("sum").expect("sum"));
+        // the phi occupies no flat slot
+        assert_eq!(f.num_insts(), 6, "br, setlt, br, add, br, ret (no phi)");
+        // entry->header and body->header each carry one move
+        let with_moves = f.edges.iter().filter(|e| !e.moves.is_empty()).count();
+        assert_eq!(with_moves, 2, "two phi-carrying edges: {:?}", f.edges);
+        assert!(f.edges.iter().all(|e| !e.trap));
+    }
+
+    #[test]
+    fn predecode_is_cached_per_function() {
+        let m = parse(
+            r#"
+int %helper(int %x) {
+entry:
+    ret int %x
+}
+int %main() {
+entry:
+    %a = call int %helper(int 1)
+    %b = call int %helper(int 2)
+    %s = add int %a, %b
+    ret int %s
+}
+"#,
+        );
+        let pre = Rc::new(PreModule::new(&m));
+        assert_eq!(pre.decoded_functions(), 0, "decode is lazy");
+        let mut i = FastInterpreter::with_predecoded(pre.clone());
+        assert_eq!(i.run("main", &[]), Ok(3));
+        assert_eq!(pre.decoded_functions(), 2);
+        // a second interpreter over the same cache decodes nothing new
+        let mut j = FastInterpreter::with_predecoded(pre.clone());
+        assert_eq!(j.run("main", &[]), Ok(3));
+        assert_eq!(pre.decoded_functions(), 2);
+    }
+
+    #[test]
+    fn slab_reused_across_calls() {
+        let m = parse(
+            r#"
+int %leaf(int %x) {
+entry:
+    %y = add int %x, 1
+    ret int %y
+}
+int %main(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %i2 = call int %leaf(int %i)
+    br label %header
+exit:
+    ret int %i
+}
+"#,
+        );
+        let mut i = FastInterpreter::new(&m);
+        assert_eq!(i.run("main", &[100]), Ok(100));
+        assert!(i.slab_consistent());
+        // 100 leaf calls reuse one slab: high water = main + leaf frames
+        let main_pre = i.pre.get(m.function_by_name("main").expect("main"));
+        let leaf_pre = i.pre.get(m.function_by_name("leaf").expect("leaf"));
+        assert!(
+            i.regs.len() <= (main_pre.num_slots() + leaf_pre.num_slots()) as usize,
+            "slab high water {} exceeds one main+leaf frame pair",
+            i.regs.len()
+        );
+    }
+}

@@ -1,0 +1,636 @@
+//! Differential tests: the pre-decoded [`FastInterpreter`] must be
+//! value-for-value, trap-for-trap identical to the structural
+//! [`Interpreter`] — same results, same precise trap coordinates
+//! (function, block, in-block index), same instruction counts — plus
+//! frame-slab consistency under recursion, unwinding, and fuel
+//! exhaustion.
+
+use llva_core::module::Module;
+use llva_engine::{FastInterpreter, InterpError, Interpreter, PreModule};
+use llva_machine::common::TrapKind;
+use std::rc::Rc;
+
+fn parse(src: &str) -> Module {
+    let m = llva_core::parser::parse_module(src).expect("parses");
+    llva_core::verifier::verify_module(&m).expect("verifies");
+    m
+}
+
+/// Runs `entry(args)` under both interpreters and asserts the complete
+/// observable outcome matches: the result (including every `LlvaTrap`
+/// field), the instruction count, and the intrinsic stdout stream.
+/// Returns the (shared) outcome.
+fn run_both(src: &str, entry: &str, args: &[u64]) -> Result<u64, InterpError> {
+    run_both_fuel(src, entry, args, u64::MAX)
+}
+
+fn run_both_fuel(
+    src: &str,
+    entry: &str,
+    args: &[u64],
+    fuel: u64,
+) -> Result<u64, InterpError> {
+    let m = parse(src);
+    let mut slow = Interpreter::new(&m);
+    slow.set_fuel(fuel);
+    let expected = slow.run(entry, args);
+    let mut fast = FastInterpreter::new(&m);
+    fast.set_fuel(fuel);
+    let got = fast.run(entry, args);
+    assert_eq!(got, expected, "outcomes diverge on {entry}{args:?}");
+    assert_eq!(
+        fast.insts_executed(),
+        slow.insts_executed(),
+        "instruction counts diverge on {entry}{args:?}"
+    );
+    assert_eq!(
+        fast.env.stdout_string(),
+        slow.env.stdout_string(),
+        "intrinsic output diverges on {entry}{args:?}"
+    );
+    assert!(fast.slab_consistent(), "slab inconsistent after {entry}{args:?}");
+    got
+}
+
+// ---------------------------------------------------------------------------
+// the structural interpreter's unit-test programs, run differentially
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fib() {
+    let r = run_both(
+        r#"
+int %fib(int %n) {
+entry:
+    %c = setlt int %n, 2
+    br bool %c, label %base, label %rec
+base:
+    ret int %n
+rec:
+    %n1 = sub int %n, 1
+    %a = call int %fib(int %n1)
+    %n2 = sub int %n, 2
+    %b = call int %fib(int %n2)
+    %s = add int %a, %b
+    ret int %s
+}
+"#,
+        "fib",
+        &[12],
+    );
+    assert_eq!(r, Ok(144));
+}
+
+#[test]
+fn loop_with_phis() {
+    let r = run_both(
+        r#"
+int %sum(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %s = phi int [ 0, %entry ], [ %s2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %s2 = add int %s, %i
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %s
+}
+"#,
+        "sum",
+        &[100],
+    );
+    assert_eq!(r, Ok(4950));
+}
+
+#[test]
+fn swap_phis_are_parallel() {
+    // the classic parallel-assignment swap: the edge move list must
+    // read all sources before writing any destination
+    let r = run_both(
+        r#"
+int %swap(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %a = phi int [ 1, %entry ], [ %b, %body ]
+    %b = phi int [ 2, %entry ], [ %a, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %a
+}
+"#,
+        "swap",
+        &[3],
+    );
+    assert_eq!(r, Ok(2));
+}
+
+#[test]
+fn memory_and_gep() {
+    let r = run_both(
+        r#"
+%Pair = type { int, long }
+
+long %main() {
+entry:
+    %p = alloca %Pair
+    %f0 = getelementptr %Pair* %p, long 0, ubyte 0
+    %f1 = getelementptr %Pair* %p, long 0, ubyte 1
+    store int 7, int* %f0
+    store long 35, long* %f1
+    %a = load int* %f0
+    %b = load long* %f1
+    %aw = cast int %a to long
+    %s = add long %aw, %b
+    ret long %s
+}
+"#,
+        "main",
+        &[],
+    );
+    assert_eq!(r, Ok(42));
+}
+
+#[test]
+fn precise_divide_trap() {
+    let r = run_both(
+        r#"
+int %main(int %x) {
+entry:
+    %q = div int 10, %x
+    ret int %q
+}
+"#,
+        "main",
+        &[0],
+    );
+    match r {
+        Err(InterpError::Trap(t)) => {
+            assert_eq!(t.kind, TrapKind::DivideByZero);
+            assert_eq!(t.function, "main");
+            assert_eq!(t.block, "entry");
+            assert_eq!(t.index, 0);
+        }
+        other => panic!("expected trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn noexc_div_suppressed() {
+    let r = run_both(
+        r#"
+int %main(int %x) {
+entry:
+    %q = div [noexc] int 10, %x
+    ret int %q
+}
+"#,
+        "main",
+        &[0],
+    );
+    assert_eq!(r, Ok(0));
+}
+
+#[test]
+fn null_load_traps_precisely() {
+    let r = run_both(
+        r#"
+int %main() {
+entry:
+    %p = cast long 0 to int*
+    %v = load int* %p
+    ret int %v
+}
+"#,
+        "main",
+        &[],
+    );
+    match r {
+        Err(InterpError::Trap(t)) => {
+            assert_eq!(t.kind, TrapKind::MemoryFault);
+            assert_eq!(t.block, "entry");
+            assert_eq!(t.index, 1, "trap on the load, phi-inclusive index");
+        }
+        other => panic!("expected trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn invoke_and_unwind() {
+    let src = r#"
+void %risky(int %x) {
+entry:
+    %c = setgt int %x, 0
+    br bool %c, label %boom, label %ok
+boom:
+    unwind
+ok:
+    ret void
+}
+
+int %main(int %x) {
+entry:
+    invoke void %risky(int %x) to label %fine unwind label %caught
+fine:
+    ret int 0
+caught:
+    ret int 1
+}
+"#;
+    assert_eq!(run_both(src, "main", &[1]), Ok(1));
+    assert_eq!(run_both(src, "main", &[0]), Ok(0));
+}
+
+#[test]
+fn unwind_without_invoke_is_unhandled() {
+    let r = run_both(
+        r#"
+int %main() {
+entry:
+    unwind
+}
+"#,
+        "main",
+        &[],
+    );
+    match r {
+        Err(InterpError::Trap(t)) => {
+            assert_eq!(t.kind, TrapKind::UnhandledUnwind);
+            assert_eq!(t.function, "main");
+        }
+        other => panic!("expected trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn intrinsic_io() {
+    let m = parse(
+        r#"
+declare int %llva.io.putchar(int)
+
+int %main() {
+entry:
+    %a = call int %llva.io.putchar(int 104)
+    %b = call int %llva.io.putchar(int 105)
+    ret int 0
+}
+"#,
+    );
+    let mut slow = Interpreter::new(&m);
+    assert_eq!(slow.run("main", &[]), Ok(0));
+    let mut fast = FastInterpreter::new(&m);
+    assert_eq!(fast.run("main", &[]), Ok(0));
+    assert_eq!(fast.env.stdout_string(), "hi");
+    assert_eq!(fast.env.stdout_string(), slow.env.stdout_string());
+}
+
+#[test]
+fn trap_handler_runs_on_fault() {
+    let m = parse(
+        r#"
+declare int %llva.io.putchar(int)
+declare int %llva.priv.set(bool)
+declare int %llva.trap.register(int, void (int, sbyte*)*)
+
+void %handler(int %no, sbyte* %info) {
+entry:
+    %c = add int %no, 64
+    %x = call int %llva.io.putchar(int %c)
+    ret void
+}
+
+int %main() {
+entry:
+    %p = call int %llva.priv.set(bool true)
+    %r = call int %llva.trap.register(int 2, void (int, sbyte*)* %handler)
+    %q = div int 1, 0
+    ret int %q
+}
+"#,
+    );
+    let mut fast = FastInterpreter::new(&m);
+    fast.env.privileged = true; // boot as kernel so priv.set is legal
+    let r = fast.run("main", &[]);
+    assert!(matches!(r, Err(InterpError::Trap(t)) if t.kind == TrapKind::DivideByZero));
+    // handler printed 'B' (64 + trap number 2), same as the structural
+    // interpreter's trap_handler_runs_on_fault unit test
+    assert_eq!(fast.env.stdout_string(), "B");
+}
+
+#[test]
+fn fuel_limit() {
+    let r = run_both_fuel(
+        r#"
+int %main() {
+entry:
+    br label %entry2
+entry2:
+    br label %entry
+}
+"#,
+        "main",
+        &[],
+        1000,
+    );
+    assert_eq!(r, Err(InterpError::OutOfFuel));
+}
+
+// ---------------------------------------------------------------------------
+// additional differential coverage: mbr, floats, casts, globals,
+// indirect calls
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mbr_dispatch() {
+    let src = r#"
+int %classify(int %x) {
+entry:
+    mbr int %x, label %other, [ int 1, label %one ], [ int 2, label %two ]
+one:
+    ret int 100
+two:
+    ret int 200
+other:
+    ret int 0
+}
+"#;
+    assert_eq!(run_both(src, "classify", &[1]), Ok(100));
+    assert_eq!(run_both(src, "classify", &[2]), Ok(200));
+    assert_eq!(run_both(src, "classify", &[7]), Ok(0));
+}
+
+#[test]
+fn float_arithmetic_and_compares() {
+    let src = r#"
+int %main() {
+entry:
+    %a = add double 1.5, 2.25
+    %b = mul double %a, 2.0
+    %c = setgt double %b, 7.0
+    br bool %c, label %yes, label %no
+yes:
+    %t = cast double %b to int
+    ret int %t
+no:
+    ret int -1
+}
+"#;
+    assert_eq!(run_both(src, "main", &[]), Ok(7));
+}
+
+#[test]
+fn narrowing_casts_canonicalize() {
+    let src = r#"
+int %main(int %x) {
+entry:
+    %b = cast int %x to sbyte
+    %w = cast sbyte %b to int
+    ret int %w
+}
+"#;
+    // 300 -> sbyte wraps to 44; 200 -> sbyte is -56
+    assert_eq!(run_both(src, "main", &[300]), Ok(44));
+    assert_eq!(run_both(src, "main", &[200]), Ok((-56i64) as u64));
+}
+
+#[test]
+fn globals_and_indirect_calls() {
+    let src = r#"
+@counter = global int 5
+
+int %bump(int %by) {
+entry:
+    %v = load int* @counter
+    %n = add int %v, %by
+    store int %n, int* @counter
+    ret int %n
+}
+
+int %main() {
+entry:
+    %f = cast int (int)* %bump to int (int)*
+    %a = call int %f(int 3)
+    %b = call int %f(int 4)
+    ret int %b
+}
+"#;
+    assert_eq!(run_both(src, "main", &[]), Ok(12));
+}
+
+#[test]
+fn bad_function_pointer_traps_identically() {
+    let src = r#"
+int %main(int %x) {
+entry:
+    %f = cast int %x to int ()*
+    %r = call int %f()
+    ret int %r
+}
+"#;
+    let r = run_both(src, "main", &[12345]);
+    match r {
+        Err(InterpError::Trap(t)) => {
+            assert_eq!(t.kind, TrapKind::BadFunctionPointer);
+            assert_eq!(t.index, 1);
+        }
+        other => panic!("expected trap, got {other:?}"),
+    }
+}
+
+#[test]
+fn variable_alloca_and_pointer_walk() {
+    let src = r#"
+long %main(uint %n) {
+entry:
+    %buf = alloca long, uint %n
+    br label %fill
+fill:
+    %i = phi long [ 0, %entry ], [ %i2, %fill ]
+    %slot = getelementptr long* %buf, long %i
+    store long %i, long* %slot
+    %i2 = add long %i, 1
+    %more = setlt long %i2, 10
+    br bool %more, label %fill, label %sum
+sum:
+    %j = phi long [ 0, %fill ], [ %j2, %sum ]
+    %acc = phi long [ 0, %fill ], [ %acc2, %sum ]
+    %sp = getelementptr long* %buf, long %j
+    %v = load long* %sp
+    %acc2 = add long %acc, %v
+    %j2 = add long %j, 1
+    %again = setlt long %j2, 10
+    br bool %again, label %sum, label %done
+done:
+    ret long %acc2
+}
+"#;
+    assert_eq!(run_both(src, "main", &[10]), Ok(45));
+}
+
+// ---------------------------------------------------------------------------
+// frame-slab consistency: recursion depth, unwinding mid-frame,
+// out-of-fuel in a callee
+// ---------------------------------------------------------------------------
+
+const DEEP_RECURSION: &str = r#"
+long %down(long %n, long %acc) {
+entry:
+    %z = seteq long %n, 0
+    br bool %z, label %base, label %rec
+base:
+    ret long %acc
+rec:
+    %n1 = sub long %n, 1
+    %a1 = add long %acc, %n
+    %r = call long %down(long %n1, long %a1)
+    ret long %r
+}
+"#;
+
+#[test]
+fn deep_recursion_reuses_the_slab() {
+    let m = parse(DEEP_RECURSION);
+    let mut fast = FastInterpreter::new(&m);
+    // 2000 frames deep (under the 4096 interpreter limit)
+    assert_eq!(fast.run("down", &[2000, 0]), Ok(2000 * 2001 / 2));
+    assert!(fast.slab_consistent());
+    assert_eq!(fast.call_depth(), 0, "all frames popped");
+    // the slab is reused, not regrown, on the second run
+    assert_eq!(fast.run("down", &[2000, 0]), Ok(2000 * 2001 / 2));
+    assert!(fast.slab_consistent());
+}
+
+#[test]
+fn recursion_past_the_frame_limit_traps_like_the_structural_interp() {
+    let m = parse(DEEP_RECURSION);
+    let mut slow = Interpreter::new(&m);
+    let expected = slow.run("down", &[100_000, 0]);
+    let mut fast = FastInterpreter::new(&m);
+    let got = fast.run("down", &[100_000, 0]);
+    assert_eq!(got, expected);
+    assert!(
+        matches!(got, Err(InterpError::Trap(ref t)) if t.kind == TrapKind::StackOverflow),
+        "expected stack overflow, got {got:?}"
+    );
+    assert!(fast.slab_consistent(), "slab consistent after mid-run trap");
+    // the interpreter is reusable after the trap
+    assert_eq!(fast.run("down", &[10, 0]), Ok(55));
+    assert!(fast.slab_consistent());
+}
+
+#[test]
+fn unwind_through_frames_with_live_allocas() {
+    // three frames deep with allocas live in each; unwind pops past
+    // all of them to the invoke, restoring sp and poisoning the slab
+    let src = r#"
+void %inner(int %x) {
+entry:
+    %buf = alloca long, uint 16
+    store long 1, long* %buf
+    %c = setgt int %x, 0
+    br bool %c, label %boom, label %ok
+boom:
+    unwind
+ok:
+    ret void
+}
+
+void %middle(int %x) {
+entry:
+    %buf = alloca long, uint 32
+    call void %inner(int %x)
+    ret void
+}
+
+int %main(int %x) {
+entry:
+    %before = alloca long
+    store long 99, long* %before
+    invoke void %middle(int %x) to label %fine unwind label %caught
+fine:
+    %a = load long* %before
+    %r0 = cast long %a to int
+    ret int %r0
+caught:
+    %b = load long* %before
+    %r1 = cast long %b to int
+    %r2 = add int %r1, 1
+    ret int %r2
+}
+"#;
+    assert_eq!(run_both(src, "main", &[1]), Ok(100), "unwound path");
+    assert_eq!(run_both(src, "main", &[0]), Ok(99), "normal path");
+
+    // and the slab stays coherent for further calls after an unwind
+    let m = parse(src);
+    let mut fast = FastInterpreter::new(&m);
+    assert_eq!(fast.run("main", &[1]), Ok(100));
+    assert!(fast.slab_consistent());
+    assert_eq!(fast.call_depth(), 0);
+    assert_eq!(fast.run("main", &[0]), Ok(99));
+    assert!(fast.slab_consistent());
+}
+
+#[test]
+fn out_of_fuel_in_a_callee_leaves_the_slab_consistent() {
+    let src = r#"
+long %spin(long %n) {
+entry:
+    br label %header
+header:
+    %i = phi long [ 0, %entry ], [ %i2, %header ]
+    %i2 = add long %i, 1
+    %c = setlt long %i2, %n
+    br bool %c, label %header, label %exit
+exit:
+    ret long %i2
+}
+
+long %main() {
+entry:
+    %a = call long %spin(long 1000000)
+    ret long %a
+}
+"#;
+    let m = parse(src);
+    let mut slow = Interpreter::new(&m);
+    slow.set_fuel(500);
+    let expected = slow.run("main", &[]);
+    assert_eq!(expected, Err(InterpError::OutOfFuel));
+
+    let mut fast = FastInterpreter::new(&m);
+    fast.set_fuel(500);
+    assert_eq!(fast.run("main", &[]), expected);
+    assert_eq!(fast.insts_executed(), slow.insts_executed());
+    // frames are NOT torn down on fuel exhaustion (callers may want to
+    // inspect), but the slab must still tile contiguously
+    assert!(fast.slab_consistent());
+    assert!(fast.call_depth() > 0, "stopped inside the callee");
+
+    // refueling via a fresh run resets the stack cleanly
+    fast.set_fuel(u64::MAX);
+    assert_eq!(fast.run("main", &[]), Ok(1_000_000));
+    assert!(fast.slab_consistent());
+    assert_eq!(fast.call_depth(), 0);
+}
+
+#[test]
+fn shared_predecode_cache_across_interpreters() {
+    let m = parse(DEEP_RECURSION);
+    let pre = Rc::new(PreModule::new(&m));
+    let mut a = FastInterpreter::with_predecoded(pre.clone());
+    let mut b = FastInterpreter::with_predecoded(pre.clone());
+    assert_eq!(a.run("down", &[100, 0]), Ok(5050));
+    assert_eq!(b.run("down", &[100, 0]), Ok(5050));
+    assert_eq!(pre.decoded_functions(), 1, "decoded once, shared");
+}

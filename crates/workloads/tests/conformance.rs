@@ -10,9 +10,11 @@
 use llva_conform::oracle::Oracle;
 use llva_core::layout::TargetConfig;
 
-/// The oracle stages the workloads run through: -O0 on every executor,
-/// then the standard pipeline interpreted and on both processors.
-const STAGES: [&str; 6] = ["interp", "x86", "sparc", "opt:standard", "x86:opt", "sparc:opt"];
+/// The oracle stages the workloads run through: -O0 on every executor
+/// (both interpreters), then the standard pipeline interpreted and on
+/// both processors.
+const STAGES: [&str; 7] =
+    ["interp", "fast-interp", "x86", "sparc", "opt:standard", "x86:opt", "sparc:opt"];
 
 #[test]
 fn workloads_agree_across_oracle_stages() {
