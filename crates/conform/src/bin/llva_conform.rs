@@ -3,14 +3,17 @@
 //!
 //! ```text
 //! llva-conform [--seeds A..B | --seeds N | --seeds a,b,c] [--steps N]
-//!              [--helpers N] [--fuel N] [--no-shrink] [--verbose]
+//!              [--helpers N] [--fuel N] [--stage NAME]... [--no-shrink]
+//!              [--verbose]
 //! ```
 //!
 //! Every seed generates one module and runs it through every oracle
-//! stage (interpreter, round trips, per-pass, pipelines, x86, SPARC —
-//! see `llva_conform::oracle`). Divergences are shrunk to a minimized
-//! reproducer and printed with the seed; the exit code is the number
-//! of diverging seeds (capped at 101).
+//! stage (interpreter, round trips, per-pass, pipelines, x86, SPARC,
+//! the tiered supervisor — see `llva_conform::oracle`). `--stage NAME`
+//! (repeatable, e.g. `--stage supervisor`) restricts the sweep to the
+//! named stages plus the `interp` baseline. Divergences are shrunk to a
+//! minimized reproducer and printed with the seed; the exit code is the
+//! number of diverging seeds (capped at 101).
 //!
 //! The seed range can also come from the `LLVA_CONFORM_SEEDS`
 //! environment variable (same syntax as `--seeds`), mirroring the
@@ -44,6 +47,7 @@ struct Options {
     seeds: Vec<u64>,
     cfg: GenConfig,
     fuel: u64,
+    stages: Vec<String>,
     shrink: bool,
     verbose: bool,
 }
@@ -53,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
         seeds: Vec::new(),
         cfg: GenConfig::default(),
         fuel: 50_000_000,
+        stages: Vec::new(),
         shrink: true,
         verbose: false,
     };
@@ -79,12 +84,13 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--fuel expects a number".to_string())?;
             }
+            "--stage" => opts.stages.push(value("--stage")?),
             "--no-shrink" => opts.shrink = false,
             "--verbose" | "-v" => opts.verbose = true,
             "--help" | "-h" => {
                 println!(
                     "usage: llva-conform [--seeds A..B|N|a,b,c] [--steps N] [--helpers N] \
-                     [--fuel N] [--no-shrink] [--verbose]"
+                     [--fuel N] [--stage NAME]... [--no-shrink] [--verbose]"
                 );
                 std::process::exit(0);
             }
@@ -107,6 +113,18 @@ fn main() {
 
     let mut oracle = Oracle::new();
     oracle.set_fuel(opts.fuel);
+    if !opts.stages.is_empty() {
+        // validate before restricting: a typo'd --stage should fail
+        // loudly, not silently sweep fewer stages than asked for
+        let known = oracle.stage_names("main");
+        for s in &opts.stages {
+            if !known.iter().any(|k| k == s) {
+                eprintln!("llva-conform: unknown stage '{s}' (known: {})", known.join(", "));
+                std::process::exit(2);
+            }
+        }
+        oracle.restrict_stages(opts.stages.clone());
+    }
 
     let started = Instant::now();
     let mut per_stage: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // stage -> (runs, divergences)

@@ -17,6 +17,12 @@
 //! | `opt:linktime`   | the full `link_time_pipeline()`, then interpreter     |
 //! | `x86` / `sparc`  | LLEE translation + simulated processor                |
 //! | `x86:opt` / `sparc:opt` | standard-optimized module on each processor    |
+//! | `supervisor`     | tiered supervisor, translated tier killed, cross-check on |
+//!
+//! The `supervisor` stage proves graceful degradation never changes
+//! observable semantics: every seed runs with the translated tier
+//! deliberately panicking, so the answer is served by a fallback tier
+//! under cross-check against the structural interpreter.
 //!
 //! Tests can append custom stages (e.g. a deliberately sabotaged
 //! translator) with [`Oracle::add_stage`].
@@ -93,6 +99,7 @@ pub type StageFn = Box<dyn Fn(&Module, &str, &[u64], u64) -> Outcome>;
 pub struct Oracle {
     fuel: u64,
     skip_native: bool,
+    only: Option<Vec<String>>,
     extra: Vec<(String, StageFn)>,
 }
 
@@ -101,6 +108,7 @@ impl fmt::Debug for Oracle {
         f.debug_struct("Oracle")
             .field("fuel", &self.fuel)
             .field("skip_native", &self.skip_native)
+            .field("only", &self.only)
             .field("extra", &self.extra.iter().map(|(n, _)| n).collect::<Vec<_>>())
             .finish()
     }
@@ -118,8 +126,19 @@ impl Oracle {
         Oracle {
             fuel: 50_000_000,
             skip_native: false,
+            only: None,
             extra: Vec::new(),
         }
+    }
+
+    /// Restricts [`Oracle::stage_names`] (and therefore `run_stages` /
+    /// `check`) to the named stages. The baseline `interp` stage is
+    /// always kept — there is nothing to diff against without it.
+    /// Unknown names are simply never matched; callers that care should
+    /// validate against `stage_names` first.
+    pub fn restrict_stages(&mut self, stages: Vec<String>) -> &mut Oracle {
+        self.only = Some(stages);
+        self
     }
 
     /// Overrides the per-stage fuel limit.
@@ -187,6 +206,8 @@ impl Oracle {
             // LLEE translation + simulated processor, -O0
             "x86" => native_outcome(module.clone(), TargetIsa::X86, entry, args, fuel),
             "sparc" => native_outcome(module.clone(), TargetIsa::Sparc, entry, args, fuel),
+            // tiered supervisor under forced degradation + cross-check
+            "supervisor" => supervisor_outcome(module, entry, args, fuel),
             // standard-optimized module on each processor
             "x86:opt" | "sparc:opt" => {
                 let mut m2 = module.clone();
@@ -277,9 +298,13 @@ impl Oracle {
             for isa in [TargetIsa::X86, TargetIsa::Sparc] {
                 names.push(format!("{isa}:opt"));
             }
+            names.push("supervisor".to_string());
         }
         for (name, _) in &self.extra {
             names.push(name.clone());
+        }
+        if let Some(only) = &self.only {
+            names.retain(|n| n == "interp" || only.iter().any(|o| o == n));
         }
         names
     }
@@ -336,6 +361,40 @@ pub fn checked_interp(module: &Module, entry: &str, args: &[u64], fuel: u64) -> 
     interp_outcome(module, entry, args, fuel)
 }
 
+/// Runs the tiered execution supervisor with the translated tier
+/// deliberately killed and cross-check mode on: every invocation
+/// exercises a real catch_unwind recovery, a quarantine, and a fallback
+/// to the pre-decoded interpreter verified against the structural one.
+///
+/// The stage maps the supervised outcome onto [`Outcome`] only when the
+/// incident log contains nothing but the injected kill; any *other*
+/// incident (an unexpected panic, watchdog expiry, or divergence in a
+/// fallback tier) becomes an [`Outcome::Error`] carrying the incident —
+/// so a failure report names the tier that diverged instead of the
+/// supervisor silently degrading past a real bug.
+pub fn supervisor_outcome(module: &Module, entry: &str, args: &[u64], fuel: u64) -> Outcome {
+    use llva_engine::supervisor::{Supervisor, Tier, TierKill, TierOutcome};
+    let mut sup = Supervisor::new(module.clone(), TargetIsa::X86);
+    sup.set_fuel(fuel);
+    sup.set_cross_check(true);
+    sup.arm_kill(TierKill::panic(Tier::Translated));
+    match sup.run(entry, args) {
+        Ok(run) => {
+            if let Some(incident) =
+                sup.incident_log().incidents().iter().find(|i| !i.injected)
+            {
+                return Outcome::Error(format!("supervisor incident: {incident}"));
+            }
+            match run.outcome {
+                TierOutcome::Value(v) => Outcome::Value(v),
+                TierOutcome::Trap(k) => Outcome::Trap(k),
+                TierOutcome::OutOfFuel => Outcome::Fuel,
+            }
+        }
+        Err(e) => Outcome::Error(format!("supervisor: {e} [{}]", sup.incident_log().summary())),
+    }
+}
+
 /// Translates with LLEE and runs on the simulated `isa` processor.
 pub fn native_outcome(module: Module, isa: TargetIsa, entry: &str, args: &[u64], fuel: u64) -> Outcome {
     let mut mgr = ExecutionManager::new(module, isa);
@@ -383,5 +442,31 @@ mod tests {
         let results = oracle.run_stages(&tc.module, &tc.entry, &tc.args);
         let got: Vec<String> = results.into_iter().map(|r| r.stage).collect();
         assert_eq!(names, got);
+        assert!(names.iter().any(|n| n == "supervisor"), "{names:?}");
+    }
+
+    #[test]
+    fn supervisor_stage_agrees_under_forced_degradation() {
+        // several seeds, each one a full kill + quarantine + fallback +
+        // cross-check cycle that must land on the baseline outcome
+        for seed in [4, 5, 6, 7] {
+            let tc = generate(seed, &GenConfig::default());
+            let oracle = Oracle::new();
+            let baseline = oracle
+                .run_stage("interp", &tc.module, &tc.entry, &tc.args)
+                .expect("known stage");
+            let supervised = oracle
+                .run_stage("supervisor", &tc.module, &tc.entry, &tc.args)
+                .expect("known stage");
+            assert_eq!(supervised, baseline, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn restrict_stages_keeps_baseline_and_named_only() {
+        let mut oracle = Oracle::new();
+        oracle.restrict_stages(vec!["supervisor".to_string(), "x86".to_string()]);
+        let names = oracle.stage_names("main");
+        assert_eq!(names, ["interp", "x86", "supervisor"], "canonical order, baseline kept");
     }
 }

@@ -4,8 +4,10 @@
 //! process": JIT-on-demand translation, the OS-independent storage API
 //! for offline caching of native code (§4.1), the reference LLVA
 //! [`interp`]reter, profiling + the software trace cache (§4.2), the
-//! intrinsic/trap [`env`]ironment (§3.5), and constrained
-//! self-modifying-code support (§3.4).
+//! intrinsic/trap [`env`]ironment (§3.5), constrained
+//! self-modifying-code support (§3.4), and the tiered execution
+//! [`supervisor`] (graceful degradation across translated code, the
+//! pre-decoded interpreter, and the structural interpreter).
 
 pub mod codec;
 pub mod env;
@@ -14,6 +16,7 @@ pub mod llee;
 pub mod predecode;
 pub mod profile;
 pub mod storage;
+pub mod supervisor;
 pub mod trace;
 
 pub use env::Env;
@@ -23,4 +26,8 @@ pub use llee::{EngineError, ExecutionManager, RunOutcome, TargetIsa, Translation
 pub use storage::{
     DirStorage, FaultLog, FaultPlan, FaultyStorage, MemStorage, SharedStorage, Storage,
     SyncStorage,
+};
+pub use supervisor::{
+    kills_from_env, Incident, IncidentCause, IncidentLog, KillMode, RecoveryAction, SupervisedRun,
+    Supervisor, SupervisorError, Tier, TierCounters, TierKill, TierOutcome,
 };

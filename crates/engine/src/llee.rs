@@ -127,6 +127,14 @@ pub struct TranslationStats {
     pub cache_retried: usize,
     /// Corrupt entries successfully rewritten after retranslation.
     pub cache_recovered: usize,
+    /// Storage operations (read probes or validated write-backs) that
+    /// failed transiently but succeeded within the bounded retry budget
+    /// — the fault healed, nothing was quarantined.
+    pub retried_ok: usize,
+    /// Storage operations that kept failing through the whole retry
+    /// budget: the fault is persistent, so the probe gave up (and
+    /// quarantined the entry) or the write-back was abandoned.
+    pub gave_up: usize,
     /// Translations discarded by SMC invalidation.
     pub invalidations: usize,
 }
@@ -145,6 +153,12 @@ pub struct FuncCacheStats {
     /// Lookups that found a corrupt entry (frame or payload invalid).
     pub corrupt: u32,
 }
+
+/// Bounded retry budget for storage reads and validated write-backs.
+/// Attempt-count based, never wall-clock, so fault-injection runs stay
+/// deterministic: a transient fault heals within the budget; anything
+/// that persists through it is treated as real corruption.
+const STORAGE_ATTEMPTS: u32 = 3;
 
 /// What a cache probe found (see [`ExecutionManager::try_cache_load`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -353,58 +367,107 @@ impl ExecutionManager {
     /// twice before any byte reaches the program: the self-describing
     /// frame (magic, version, length, key+payload checksum — see
     /// [`codec::unframe_entry`]) and then the instruction decode
-    /// itself. Anything that fails either check is a [`CacheProbe::Corrupt`]:
-    /// the bad entry is quarantined so it cannot be served again, and
-    /// the caller retranslates. Records hit/miss/stale/corrupt
-    /// statistics; a manager without storage records nothing.
+    /// itself.
+    ///
+    /// A failed attempt is retried up to [`STORAGE_ATTEMPTS`] times
+    /// (bounded, attempt-count based — no wall clock, so probes are
+    /// deterministic): a *transient* fault (flaky read, momentary bit
+    /// rot) heals on retry and is counted as `retried_ok` without
+    /// quarantining a valid entry. Only an entry that stays invalid
+    /// through the whole budget is a [`CacheProbe::Corrupt`]: it is
+    /// quarantined (`gave_up`) so it cannot be served again, and the
+    /// caller retranslates. Records hit/miss/stale/corrupt statistics;
+    /// a manager without storage records nothing.
     fn try_cache_load(&mut self, f: u32) -> CacheProbe {
-        let Some(storage) = &self.storage else {
+        if self.storage.is_none() {
             return CacheProbe::Miss;
-        };
+        }
         let key = self.cache_key(f);
-        let entry = storage.read(&self.cache_name, &key);
+        let expected_ts = self.func_hashes[f as usize];
+        // what the attempts observed, for classifying the final miss
+        let mut saw_entry = false;
+        let mut saw_fresh = false;
+        for attempt in 0..STORAGE_ATTEMPTS {
+            let Some(storage) = &self.storage else { break };
+            let Some((blob, ts)) = storage.read(&self.cache_name, &key) else {
+                continue; // absent or transiently unreadable
+            };
+            saw_entry = true;
+            // per-function content-hash validation (§4.1 "check a
+            // timestamp on … a cached vector", made incremental)
+            if ts != expected_ts {
+                continue; // stale — or a transiently garbled timestamp
+            }
+            saw_fresh = true;
+            let installed = codec::unframe_entry(&key, &blob)
+                .ok()
+                .and_then(|payload| match &mut self.engine {
+                    Engine::X86 { program, .. } => codec::decode_x86(payload)
+                        .ok()
+                        .map(|code| program.install(f, code)),
+                    Engine::Sparc { program, .. } => codec::decode_sparc(payload)
+                        .ok()
+                        .map(|code| program.install(f, code)),
+                })
+                .is_some();
+            if installed {
+                if attempt > 0 {
+                    self.stats.retried_ok += 1;
+                }
+                self.stats.cache_hits += 1;
+                self.func_cache[f as usize].hits += 1;
+                return CacheProbe::Hit;
+            }
+            // invalid frame or undecodable payload this attempt; retry
+            // in case the damage was in transit rather than at rest
+        }
         let per_func = &mut self.func_cache[f as usize];
-        let Some((blob, ts)) = entry else {
-            self.stats.cache_misses += 1;
-            per_func.misses += 1;
+        self.stats.cache_misses += 1;
+        per_func.misses += 1;
+        if !saw_entry {
             return CacheProbe::Miss;
-        };
-        // per-function content-hash validation (§4.1 "check a
-        // timestamp on … a cached vector", made incremental)
-        if ts != self.func_hashes[f as usize] {
-            self.stats.cache_misses += 1;
+        }
+        if !saw_fresh {
             self.stats.cache_stale += 1;
-            per_func.misses += 1;
             per_func.stale += 1;
             return CacheProbe::Miss;
         }
-        let installed = codec::unframe_entry(&key, &blob)
-            .ok()
-            .and_then(|payload| match &mut self.engine {
-                Engine::X86 { program, .. } => codec::decode_x86(payload)
-                    .ok()
-                    .map(|code| program.install(f, code)),
-                Engine::Sparc { program, .. } => codec::decode_sparc(payload)
-                    .ok()
-                    .map(|code| program.install(f, code)),
-            })
-            .is_some();
-        let per_func = &mut self.func_cache[f as usize];
-        if installed {
-            self.stats.cache_hits += 1;
-            per_func.hits += 1;
-            return CacheProbe::Hit;
-        }
-        // invalid frame or undecodable payload: quarantine so the bad
-        // blob is never consulted again, then retranslate
-        self.stats.cache_misses += 1;
+        // an entry with the right content hash stayed invalid through
+        // every attempt: persistent corruption. Quarantine so the bad
+        // blob is never consulted again, then retranslate.
         self.stats.cache_corrupt += 1;
-        per_func.misses += 1;
+        self.stats.gave_up += 1;
         per_func.corrupt += 1;
         if let Some(storage) = &mut self.storage {
             storage.quarantine(&self.cache_name, &key);
         }
         CacheProbe::Corrupt
+    }
+
+    /// Writes one framed cache entry and validates it by read-back
+    /// (byte-for-byte plus timestamp), rewriting up to
+    /// [`STORAGE_ATTEMPTS`] times. A write that validates after a
+    /// transient fault counts as `retried_ok`; one that never validates
+    /// is abandoned (`gave_up`) — the cache simply stays cold for that
+    /// function, which the probe path already tolerates.
+    fn write_validated(&mut self, key: &str, framed: &[u8], ts: u64) -> bool {
+        let Some(storage) = &mut self.storage else {
+            return false;
+        };
+        for attempt in 0..STORAGE_ATTEMPTS {
+            storage.write(&self.cache_name, key, framed, ts);
+            let landed = storage
+                .read(&self.cache_name, key)
+                .is_some_and(|(blob, got_ts)| got_ts == ts && blob == framed);
+            if landed {
+                if attempt > 0 {
+                    self.stats.retried_ok += 1;
+                }
+                return true;
+            }
+        }
+        self.stats.gave_up += 1;
+        false
     }
 
     /// Translates one function, consulting the cache first. Returns
@@ -448,15 +511,12 @@ impl ExecutionManager {
         };
         self.stats.translate_time += start.elapsed();
         self.stats.functions_translated += 1;
-        // write back to the offline cache, framed for validation
+        // write back to the offline cache, framed for validation and
+        // verified by read-back (with bounded retry for transient faults)
         let key = self.cache_key(f);
         let ts = self.func_hashes[f as usize];
-        let written = if let Some(storage) = &mut self.storage {
-            storage.write(&self.cache_name, &key, &codec::frame_entry(&key, &blob), ts);
-            true
-        } else {
-            false
-        };
+        let framed = codec::frame_entry(&key, &blob);
+        let written = self.storage.is_some() && self.write_validated(&key, &framed, ts);
         if probe == CacheProbe::Corrupt {
             self.stats.cache_retried += 1;
             if written {
@@ -578,24 +638,45 @@ impl ExecutionManager {
         }
         self.stats.translate_time += start.elapsed();
         self.stats.functions_translated += blobs.len();
-        // batched write-back after the join, framed for validation
+        // batched write-back after the join: one write_batch flush (so
+        // wrappers with a dirty-batch notion, e.g. SyncStorage, can
+        // discard the remainder if the flush dies), then per-entry
+        // read-back validation with bounded retry for transient faults
         let translated: Vec<u32> = blobs.iter().map(|&(f, _)| f).collect();
         let entries: Vec<(String, Vec<u8>, u64)> = blobs
             .into_iter()
-            .map(|(f, blob)| (self.cache_key(f), blob, self.func_hashes[f as usize]))
+            .map(|(f, blob)| {
+                let key = self.cache_key(f);
+                let framed = codec::frame_entry(&key, &blob);
+                (key, framed, self.func_hashes[f as usize])
+            })
             .collect();
-        let written = if let Some(storage) = &mut self.storage {
-            for (key, blob, ts) in &entries {
-                storage.write(&self.cache_name, key, &codec::frame_entry(key, blob), *ts);
+        let mut written = vec![false; entries.len()];
+        let has_storage = if let Some(storage) = &mut self.storage {
+            storage.write_batch(&self.cache_name, &entries);
+            for (i, (key, framed, ts)) in entries.iter().enumerate() {
+                written[i] = storage
+                    .read(&self.cache_name, key)
+                    .is_some_and(|(blob, got_ts)| got_ts == *ts && blob == *framed);
             }
             true
         } else {
             false
         };
+        if has_storage {
+            // entries the flush did not land durably get the same
+            // validated rewrite path (and retried_ok/gave_up
+            // accounting) as the serial translator
+            for (i, (key, framed, ts)) in entries.iter().enumerate() {
+                if !written[i] {
+                    written[i] = self.write_validated(key, framed, *ts);
+                }
+            }
+        }
         for f in corrupt {
-            if translated.contains(&f) {
+            if let Some(pos) = translated.iter().position(|&t| t == f) {
                 self.stats.cache_retried += 1;
-                if written {
+                if written[pos] {
                     self.stats.cache_recovered += 1;
                 }
             }

@@ -821,6 +821,9 @@ pub struct FastInterpreter<'m> {
     sp: u64,
     insts: u64,
     fuel: u64,
+    /// Fault injection: panic once `insts` reaches this count (see
+    /// [`FastInterpreter::arm_panic_after`]). `None` = disarmed.
+    panic_after: Option<u64>,
     phi_scratch: Vec<u64>,
     arg_buf: Vec<u64>,
 }
@@ -878,6 +881,7 @@ impl<'m> FastInterpreter<'m> {
             sp,
             insts: 0,
             fuel: u64::MAX,
+            panic_after: None,
             phi_scratch: Vec::new(),
             arg_buf: Vec::new(),
         }
@@ -886,6 +890,14 @@ impl<'m> FastInterpreter<'m> {
     /// Limits the number of LLVA instructions executed.
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Fault injection for the supervisor and robustness tests: panic
+    /// (deterministically, mid-dispatch) once `insts` instructions have
+    /// executed — the unwind crosses a live register slab and frame
+    /// stack, the worst case for `catch_unwind` recovery.
+    pub fn arm_panic_after(&mut self, insts: u64) {
+        self.panic_after = Some(insts);
     }
 
     /// LLVA instructions executed so far (identical to the structural
@@ -1065,6 +1077,9 @@ impl<'m> FastInterpreter<'m> {
             if self.fuel == 0 {
                 self.frames.last_mut().expect("active frame").pc = pc;
                 return Err(InterpError::OutOfFuel);
+            }
+            if self.panic_after.is_some_and(|n| self.insts >= n) {
+                panic!("injected fast-interpreter fault after {} insts", self.insts);
             }
             self.fuel -= 1;
             self.insts += 1;

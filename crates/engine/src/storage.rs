@@ -59,6 +59,17 @@ pub trait Storage {
         }
         self.remove(cache, name);
     }
+
+    /// Writes several `(name, bytes, timestamp)` entries as one logical
+    /// flush. The default just loops [`Storage::write`]; wrappers with a
+    /// real notion of a dirty batch ([`SyncStorage`]) override this so a
+    /// panic mid-flush can discard the remainder instead of replaying a
+    /// half-written batch later.
+    fn write_batch(&mut self, cache: &str, entries: &[(String, Vec<u8>, u64)]) {
+        for (name, bytes, ts) in entries {
+            self.write(cache, name, bytes, *ts);
+        }
+    }
 }
 
 /// A purely in-memory storage (no OS support — entries die with the
@@ -302,7 +313,19 @@ impl<S: Storage> Storage for SharedStorage<S> {
 /// storage contract says failures must never break execution, so a
 /// poisoned lock is recovered rather than propagated.
 #[derive(Debug, Default)]
-pub struct SyncStorage<S>(std::sync::Arc<std::sync::Mutex<S>>);
+pub struct SyncStorage<S>(std::sync::Arc<std::sync::Mutex<SyncInner<S>>>);
+
+/// The state behind a [`SyncStorage`] lock: the storage itself plus the
+/// dirty batch of an in-progress [`Storage::write_batch`]. Keeping the
+/// batch *inside* the mutex is the point: if the flushing thread
+/// panics, the poison-recovery path can see exactly which writes were
+/// in flight and discard them, so a half-flushed batch is never
+/// replayed against a storage whose durable state it no longer matches.
+#[derive(Debug, Default)]
+struct SyncInner<S> {
+    storage: S,
+    in_flight: Vec<(String, String, Vec<u8>, u64)>,
+}
 
 // manual impl: cloning the handle must not require S: Clone
 impl<S> Clone for SyncStorage<S> {
@@ -314,44 +337,80 @@ impl<S> Clone for SyncStorage<S> {
 impl<S: Storage> SyncStorage<S> {
     /// Wraps `storage` in a thread-shared handle.
     pub fn new(storage: S) -> SyncStorage<S> {
-        SyncStorage(std::sync::Arc::new(std::sync::Mutex::new(storage)))
+        SyncStorage(std::sync::Arc::new(std::sync::Mutex::new(SyncInner {
+            storage,
+            in_flight: Vec::new(),
+        })))
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, S> {
-        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn lock(&self) -> std::sync::MutexGuard<'_, SyncInner<S>> {
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poison) => {
+                // a holder panicked mid-operation: recover the lock and
+                // drop whatever batch it was flushing — the durable
+                // writes already landed, the rest must not be replayed
+                self.0.clear_poison();
+                let mut guard = poison.into_inner();
+                guard.in_flight.clear();
+                guard
+            }
+        }
     }
 
     /// Runs `f` with direct access to the wrapped storage, recovering
     /// the lock if a previous holder panicked.
     pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
-        f(&mut self.lock())
+        f(&mut self.lock().storage)
+    }
+
+    /// Entries of a write batch still awaiting durable write (non-zero
+    /// only while a flush is in progress; always zero after poison
+    /// recovery — the regression surface for half-flushed batches).
+    pub fn pending_batch_len(&self) -> usize {
+        self.lock().in_flight.len()
     }
 }
 
 impl<S: Storage> Storage for SyncStorage<S> {
     fn create_cache(&mut self, cache: &str) {
-        self.lock().create_cache(cache);
+        self.lock().storage.create_cache(cache);
     }
     fn delete_cache(&mut self, cache: &str) {
-        self.lock().delete_cache(cache);
+        self.lock().storage.delete_cache(cache);
     }
     fn cache_size(&self, cache: &str) -> Option<u64> {
-        self.lock().cache_size(cache)
+        self.lock().storage.cache_size(cache)
     }
     fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
-        self.lock().write(cache, name, bytes, timestamp);
+        self.lock().storage.write(cache, name, bytes, timestamp);
     }
     fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
-        self.lock().read(cache, name)
+        self.lock().storage.read(cache, name)
     }
     fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
-        self.lock().timestamp(cache, name)
+        self.lock().storage.timestamp(cache, name)
     }
     fn remove(&mut self, cache: &str, name: &str) {
-        self.lock().remove(cache, name);
+        self.lock().storage.remove(cache, name);
     }
     fn quarantine(&mut self, cache: &str, name: &str) {
-        self.lock().quarantine(cache, name);
+        self.lock().storage.quarantine(cache, name);
+    }
+    fn write_batch(&mut self, cache: &str, entries: &[(String, Vec<u8>, u64)]) {
+        let mut guard = self.lock();
+        guard.in_flight = entries
+            .iter()
+            .map(|(n, b, t)| (cache.to_string(), n.clone(), b.clone(), *t))
+            .collect();
+        // drain front-to-back so that if an inner write panics, the
+        // dirty remainder (including the entry whose durability is now
+        // unknown) is still in `in_flight` for poison recovery to drop
+        while !guard.in_flight.is_empty() {
+            let (c, n, b, t) = guard.in_flight[0].clone();
+            guard.storage.write(&c, &n, &b, t);
+            guard.in_flight.remove(0);
+        }
     }
 }
 
@@ -450,6 +509,13 @@ pub struct FaultyStorage<S> {
     plan: FaultPlan,
     rng: Cell<u64>,
     log: Cell<FaultLog>,
+    /// Countdown to an injected panic mid-`write` (0 = disarmed); see
+    /// [`FaultyStorage::arm_write_panic`].
+    write_panic_in: Cell<u32>,
+    /// Next N reads fail outright (transient outage, deterministic).
+    read_fail_next: Cell<u32>,
+    /// Next N reads get one bit flipped (transient corruption).
+    read_corrupt_next: Cell<u32>,
 }
 
 impl<S: Storage> FaultyStorage<S> {
@@ -460,7 +526,31 @@ impl<S: Storage> FaultyStorage<S> {
             plan,
             rng: Cell::new(plan.seed.max(1)),
             log: Cell::new(FaultLog::default()),
+            write_panic_in: Cell::new(0),
+            read_fail_next: Cell::new(0),
+            read_corrupt_next: Cell::new(0),
         }
+    }
+
+    /// Arms a panic on the `n`-th subsequent `write` (1 = the very next
+    /// one), *after* the inner write would have started — the test hook
+    /// for a crash mid-flush. Disarmed once fired.
+    pub fn arm_write_panic(&mut self, n: u32) {
+        self.write_panic_in.set(n);
+    }
+
+    /// Makes the next `n` reads fail outright (return `None`), then
+    /// behave normally — a deterministic transient outage, as opposed
+    /// to the probabilistic `read_fail` plan knob.
+    pub fn arm_read_fail(&mut self, n: u32) {
+        self.read_fail_next.set(n);
+    }
+
+    /// Flips one bit in each of the next `n` reads, then behaves
+    /// normally — deterministic transient bit rot (the blob in storage
+    /// stays pristine; only the returned copy is damaged).
+    pub fn arm_read_corrupt(&mut self, n: u32) {
+        self.read_corrupt_next.set(n);
     }
 
     /// The active fault plan.
@@ -543,6 +633,13 @@ impl<S: Storage> Storage for FaultyStorage<S> {
     }
 
     fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
+        let armed = self.write_panic_in.get();
+        if armed > 0 {
+            self.write_panic_in.set(armed - 1);
+            if armed == 1 {
+                panic!("injected storage panic during write of '{cache}/{name}'");
+            }
+        }
         if self.roll(self.plan.torn_write) && !bytes.is_empty() {
             let keep = self.next() as usize % bytes.len();
             self.bump(|l| l.torn_writes += 1);
@@ -554,6 +651,17 @@ impl<S: Storage> Storage for FaultyStorage<S> {
 
     fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
         let (mut bytes, mut ts) = self.inner.read(cache, name)?;
+        if self.read_fail_next.get() > 0 {
+            self.read_fail_next.set(self.read_fail_next.get() - 1);
+            self.bump(|l| l.failed_reads += 1);
+            return None;
+        }
+        if self.read_corrupt_next.get() > 0 && !bytes.is_empty() {
+            self.read_corrupt_next.set(self.read_corrupt_next.get() - 1);
+            let i = self.next() as usize % bytes.len();
+            bytes[i] ^= 1 << (self.next() % 8);
+            self.bump(|l| l.flipped_reads += 1);
+        }
         if self.roll(self.plan.read_fail) {
             self.bump(|l| l.failed_reads += 1);
             return None;
@@ -757,6 +865,42 @@ mod tests {
         assert_eq!(storage.read("app", "after"), Some((b"fine".to_vec(), 3)));
         after.remove("app", "before");
         assert_eq!(storage.read("app", "before"), None);
+    }
+
+    #[test]
+    fn poison_recovery_discards_half_flushed_batch() {
+        // a panic mid-write_batch must not leave the dirty remainder
+        // behind for a later lock holder to replay
+        let storage = SyncStorage::new(FaultyStorage::new(MemStorage::new(), FaultPlan::none(7)));
+        storage.with(|s| {
+            s.create_cache("app");
+            s.arm_write_panic(2); // the 2nd write of the flush panics
+        });
+        let batch = vec![
+            ("fn0".to_string(), b"code0".to_vec(), 10),
+            ("fn1".to_string(), b"code1".to_vec(), 11),
+            ("fn2".to_string(), b"code2".to_vec(), 12),
+        ];
+        let flusher = storage.clone();
+        let result = std::thread::spawn(move || {
+            let mut flusher = flusher;
+            flusher.write_batch("app", &batch);
+        })
+        .join();
+        assert!(result.is_err(), "flush thread must have panicked");
+        // recovery: the first entry landed before the panic, the rest of
+        // the batch is discarded — not replayed by the next lock holder
+        assert_eq!(storage.pending_batch_len(), 0, "dirty batch reset on recovery");
+        assert_eq!(storage.read("app", "fn0"), Some((b"code0".to_vec(), 10)));
+        assert_eq!(storage.read("app", "fn1"), None, "unflushed entry must not appear");
+        assert_eq!(storage.read("app", "fn2"), None, "unflushed entry must not appear");
+        // a fresh batch flushes normally and still does not resurrect
+        // the dead entries
+        let mut again = storage.clone();
+        again.write_batch("app", &[("fn9".to_string(), b"code9".to_vec(), 19)]);
+        assert_eq!(storage.read("app", "fn9"), Some((b"code9".to_vec(), 19)));
+        assert_eq!(storage.read("app", "fn1"), None);
+        assert_eq!(storage.pending_batch_len(), 0);
     }
 
     #[test]

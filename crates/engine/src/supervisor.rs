@@ -1,0 +1,943 @@
+//! The tiered execution supervisor: graceful degradation for LLEE.
+//!
+//! The paper's premise is that the translator and execution engine are
+//! *invisible* system software (§4.1): a bad translation, a panicking
+//! fast path, or a runaway tier must never surface as a crash of the
+//! "hardware". The [`Supervisor`] makes that discipline explicit: every
+//! run walks a **tier ladder**
+//!
+//! ```text
+//! translated native code  →  pre-decoded FastInterpreter  →  structural Interpreter
+//! ```
+//!
+//! where each tier executes under `catch_unwind` plus a fuel/step
+//! watchdog. On a panic, an engine fault, or watchdog expiry the
+//! supervisor **quarantines** that `(function, tier)` pair, records a
+//! structured [`Incident`] (tier, function, cause, recovery action,
+//! prior-fault count), and transparently re-runs on the next tier — the
+//! caller still gets a [`SupervisedRun`]. The structural [`Interpreter`]
+//! is the last rung: it is the semantic oracle (PR 3/4) and always runs
+//! with the caller's full fuel.
+//!
+//! # Cross-check mode
+//!
+//! With [`Supervisor::set_cross_check`] enabled (used by the
+//! conformance oracle and the fault-injection suites), the answering
+//! fast tier's outcome is verified against the structural interpreter
+//! before being served. A divergence is treated as a *fault of the fast
+//! tier*: it is quarantined and the ladder continues, so a wrong answer
+//! is never propagated. This mirrors the SMC/SEC invalidation model of
+//! §3.4 — distrust the derived artifact, never the virtual object code.
+//!
+//! # Determinism
+//!
+//! Incidents carry no wall-clock data, quarantine state is kept in
+//! ordered maps, and fault injection ([`TierKill`], the interpreters'
+//! `arm_panic_after` hooks, [`crate::storage::FaultyStorage`]) is
+//! seed/count based — the same inputs replay the same [`IncidentLog`]
+//! bit for bit.
+
+use crate::interp::Interpreter;
+use crate::llee::{EngineError, ExecutionManager, TargetIsa};
+use crate::predecode::FastInterpreter;
+use crate::storage::Storage;
+use crate::InterpError;
+use llva_core::module::Module;
+use llva_machine::common::TrapKind;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// One rung of the execution ladder, fastest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// LLEE-translated native code on the simulated processor.
+    Translated,
+    /// The pre-decoded register-file interpreter.
+    FastInterp,
+    /// The structural reference interpreter (the semantic oracle).
+    Interp,
+}
+
+impl Tier {
+    /// The full ladder, fastest tier first.
+    pub const LADDER: [Tier; 3] = [Tier::Translated, Tier::FastInterp, Tier::Interp];
+
+    /// Dense index (for per-tier counter arrays).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Translated => 0,
+            Tier::FastInterp => 1,
+            Tier::Interp => 2,
+        }
+    }
+
+    /// Parses the names used by `LLVA_KILL_TIER` (`translated`,
+    /// `fast-interp`/`predecode`, `interp`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s.trim() {
+            "translated" => Some(Tier::Translated),
+            "fast-interp" | "predecode" => Some(Tier::FastInterp),
+            "interp" => Some(Tier::Interp),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tier::Translated => "translated",
+            Tier::FastInterp => "fast-interp",
+            Tier::Interp => "interp",
+        })
+    }
+}
+
+/// The semantic outcome of one tier — the only observations all tiers
+/// must agree on (return bits, precise trap kind, or fuel exhaustion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierOutcome {
+    /// Normal completion with the returned raw bits.
+    Value(u64),
+    /// A precise trap of this kind.
+    Trap(TrapKind),
+    /// The caller's fuel limit was genuinely exhausted (not the
+    /// watchdog — that is an [`IncidentCause::Watchdog`] fault).
+    OutOfFuel,
+}
+
+impl fmt::Display for TierOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierOutcome::Value(v) => write!(f, "value {v:#x} ({})", *v as i64),
+            TierOutcome::Trap(k) => write!(f, "trap: {k}"),
+            TierOutcome::OutOfFuel => f.write_str("out of fuel"),
+        }
+    }
+}
+
+/// Why a tier was taken out of service for one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncidentCause {
+    /// The tier panicked; the payload message is preserved.
+    Panic(String),
+    /// The tier reported an engine fault that is not a semantic
+    /// outcome (e.g. a missing body or a poisoned translation).
+    Fault(String),
+    /// The tier exceeded the supervisor's step watchdog while the
+    /// caller's fuel budget still had headroom.
+    Watchdog {
+        /// The step budget the tier blew through.
+        budget: u64,
+    },
+    /// Cross-check mode: the tier's outcome disagreed with the
+    /// structural interpreter.
+    Divergence {
+        /// What the structural interpreter observed.
+        expected: TierOutcome,
+        /// What this tier produced instead.
+        got: TierOutcome,
+    },
+}
+
+impl fmt::Display for IncidentCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncidentCause::Panic(msg) => write!(f, "panic: {msg}"),
+            IncidentCause::Fault(msg) => write!(f, "fault: {msg}"),
+            IncidentCause::Watchdog { budget } => {
+                write!(f, "watchdog expired (budget {budget} steps)")
+            }
+            IncidentCause::Divergence { expected, got } => {
+                write!(f, "divergence: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+/// What the supervisor did about an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Execution degraded to this (slower, known-good) tier.
+    FellBack(Tier),
+    /// No rung remained; the run failed with
+    /// [`SupervisorError::TiersExhausted`].
+    Exhausted,
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryAction::FellBack(t) => write!(f, "fell back to {t}"),
+            RecoveryAction::Exhausted => f.write_str("all tiers exhausted"),
+        }
+    }
+}
+
+/// One structured fault report: which tier failed on which function,
+/// why, what the supervisor did, and how often this pair had already
+/// faulted before this incident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// Ordinal of this incident in the log (0-based, monotonically
+    /// increasing — the log's only notion of time).
+    pub seq: u32,
+    /// The faulting tier.
+    pub tier: Tier,
+    /// The entry function of the supervised run.
+    pub function: String,
+    /// Why the tier failed.
+    pub cause: IncidentCause,
+    /// What the supervisor did next.
+    pub recovery: RecoveryAction,
+    /// Prior recorded faults for this `(function, tier)` pair.
+    pub retries: u32,
+    /// True when the fault was produced by an armed [`TierKill`]
+    /// (fault-injection runs use this to separate expected kills from
+    /// genuine bugs).
+    pub injected: bool,
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} tier {} fn %{}: {} -> {} (prior faults {}{})",
+            self.seq,
+            self.tier,
+            self.function,
+            self.cause,
+            self.recovery,
+            self.retries,
+            if self.injected { ", injected" } else { "" }
+        )
+    }
+}
+
+/// The append-only incident log of one supervisor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncidentLog {
+    incidents: Vec<Incident>,
+}
+
+impl IncidentLog {
+    /// All incidents, in the order they occurred.
+    #[must_use]
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Number of incidents recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.incidents.len()
+    }
+
+    /// True when nothing has ever gone wrong.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.incidents.is_empty()
+    }
+
+    /// A compact one-line summary (for failure reports): every
+    /// incident's tier and cause, semicolon separated.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.incidents.is_empty() {
+            return "no incidents".to_string();
+        }
+        self.incidents
+            .iter()
+            .map(|i| format!("{}: {}", i.tier, i.cause))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    fn push(&mut self, mut incident: Incident) {
+        incident.seq = self.incidents.len() as u32;
+        self.incidents.push(incident);
+    }
+}
+
+/// Per-tier counters (the `exec_stats()`-style health surface).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Runs attempted on this tier.
+    pub attempts: u64,
+    /// Runs this tier answered (its outcome was served to the caller).
+    pub served: u64,
+    /// Panics caught in this tier.
+    pub panics: u64,
+    /// Non-panic engine faults in this tier.
+    pub faults: u64,
+    /// Watchdog expiries in this tier.
+    pub watchdog_expiries: u64,
+    /// Cross-check divergences charged to this tier.
+    pub divergences: u64,
+    /// Runs that skipped this tier because the `(function, tier)` pair
+    /// was quarantined.
+    pub skipped_quarantined: u64,
+}
+
+/// A successful supervised run: the outcome plus which rung produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisedRun {
+    /// The semantic outcome (identical across tiers by construction).
+    pub outcome: TierOutcome,
+    /// The tier that produced the answer.
+    pub tier: Tier,
+    /// True when any faster tier was skipped or faulted on the way.
+    pub degraded: bool,
+    /// Steps the answering tier executed (native instructions for the
+    /// translated tier, LLVA instructions for the interpreters).
+    pub steps: u64,
+}
+
+impl SupervisedRun {
+    /// The returned raw bits, if the run completed normally.
+    #[must_use]
+    pub fn value(&self) -> Option<u64> {
+        match self.outcome {
+            TierOutcome::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Why a supervised run produced no outcome at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorError {
+    /// The entry function does not exist or has no body (checked before
+    /// any tier runs; not a tier fault).
+    NoSuchFunction(String),
+    /// Every rung of the ladder faulted or was quarantined.
+    TiersExhausted {
+        /// The entry function whose ladder ran dry.
+        function: String,
+        /// Incidents recorded during this run.
+        incidents: u32,
+    },
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::NoSuchFunction(n) => write!(f, "no such function %{n}"),
+            SupervisorError::TiersExhausted { function, incidents } => write!(
+                f,
+                "all execution tiers exhausted for %{function} ({incidents} incident(s) this run)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+/// How an armed [`TierKill`] sabotages its tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// Panic inside the tier (at entry for translated code, after one
+    /// executed instruction for the interpreters — mid-frame, so the
+    /// unwind crosses live state).
+    Panic,
+    /// Flip the returned value (a *silent* wrong answer — only
+    /// cross-check mode can catch this one).
+    WrongValue,
+}
+
+/// A deterministic fault-injection directive: sabotage one tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierKill {
+    /// The tier to sabotage.
+    pub tier: Tier,
+    /// How.
+    pub mode: KillMode,
+}
+
+impl TierKill {
+    /// A panic kill for `tier`.
+    #[must_use]
+    pub fn panic(tier: Tier) -> TierKill {
+        TierKill { tier, mode: KillMode::Panic }
+    }
+
+    /// A silent wrong-value kill for `tier`.
+    #[must_use]
+    pub fn wrong_value(tier: Tier) -> TierKill {
+        TierKill { tier, mode: KillMode::WrongValue }
+    }
+}
+
+/// Parses the `LLVA_KILL_TIER` environment variable: a comma-separated
+/// list of tier names (`translated,fast-interp`), each armed as a panic
+/// kill. Unknown names are ignored; unset or empty yields no kills.
+#[must_use]
+pub fn kills_from_env() -> Vec<TierKill> {
+    match std::env::var("LLVA_KILL_TIER") {
+        Ok(spec) => spec
+            .split(',')
+            .filter_map(Tier::parse)
+            .map(TierKill::panic)
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// What one tier execution produced, pre-recovery.
+enum TierRun {
+    Done(TierOutcome, u64),
+    Fault(IncidentCause),
+}
+
+/// The tiered execution supervisor (see the module docs).
+pub struct Supervisor {
+    module: Module,
+    isa: TargetIsa,
+    memory_size: u64,
+    fuel: u64,
+    watchdog: Option<u64>,
+    cross_check: bool,
+    kills: Vec<TierKill>,
+    max_faults: u32,
+    storage: Option<(Box<dyn Storage>, String)>,
+    quarantine: BTreeSet<(String, Tier)>,
+    fault_counts: BTreeMap<(String, Tier), u32>,
+    log: IncidentLog,
+    counters: [TierCounters; 3],
+}
+
+impl fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("module", &self.module.name())
+            .field("isa", &self.isa)
+            .field("incidents", &self.log.len())
+            .field("quarantined", &self.quarantine)
+            .finish()
+    }
+}
+
+/// Instructions an interpreter tier executes before an armed
+/// [`KillMode::Panic`] fires — small enough that every defined function
+/// is hit, large enough that the panic unwinds through a live frame.
+const KILL_AFTER_INSTS: u64 = 1;
+
+impl Supervisor {
+    /// A supervisor over `module` whose translated tier targets `isa`,
+    /// with the default 16 MiB memory.
+    #[must_use]
+    pub fn new(module: Module, isa: TargetIsa) -> Supervisor {
+        Supervisor::with_memory_size(module, isa, crate::DEFAULT_MEMORY_SIZE)
+    }
+
+    /// [`Supervisor::new`] with a custom simulated memory size.
+    #[must_use]
+    pub fn with_memory_size(module: Module, isa: TargetIsa, memory_size: u64) -> Supervisor {
+        Supervisor {
+            module,
+            isa,
+            memory_size,
+            fuel: 10_000_000_000,
+            watchdog: None,
+            cross_check: false,
+            kills: Vec::new(),
+            max_faults: 1,
+            storage: None,
+            quarantine: BTreeSet::new(),
+            fault_counts: BTreeMap::new(),
+            log: IncidentLog::default(),
+            counters: [TierCounters::default(); 3],
+        }
+    }
+
+    /// The module being supervised.
+    #[must_use]
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Limits each run's step budget (the semantic fuel limit; see also
+    /// [`Supervisor::set_watchdog`]).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Arms the per-tier step watchdog: a *fast* tier exceeding
+    /// `budget` steps (while the caller's fuel still has headroom) is
+    /// treated as hung — an incident, not an outcome. The final
+    /// structural-interpreter rung always runs with the full fuel, so a
+    /// genuine infinite loop still reports [`TierOutcome::OutOfFuel`].
+    pub fn set_watchdog(&mut self, budget: u64) {
+        self.watchdog = Some(budget);
+    }
+
+    /// Enables cross-check mode (see the module docs).
+    pub fn set_cross_check(&mut self, enabled: bool) {
+        self.cross_check = enabled;
+    }
+
+    /// How many faults a `(function, tier)` pair tolerates before
+    /// quarantine (default 1: the first fault quarantines).
+    pub fn set_max_faults(&mut self, max_faults: u32) {
+        self.max_faults = max_faults.max(1);
+    }
+
+    /// Arms a fault-injection kill (additive; see [`kills_from_env`]).
+    pub fn arm_kill(&mut self, kill: TierKill) {
+        self.kills.push(kill);
+    }
+
+    /// Disarms all kills.
+    pub fn clear_kills(&mut self) {
+        self.kills.clear();
+    }
+
+    /// Attaches OS storage for the translated tier's offline cache
+    /// (retry-with-backoff and validation happen inside
+    /// [`ExecutionManager`]; see `llee`).
+    pub fn set_storage(&mut self, storage: Box<dyn Storage>, cache: &str) {
+        self.storage = Some((storage, cache.to_string()));
+    }
+
+    /// Detaches and returns the storage.
+    pub fn take_storage(&mut self) -> Option<Box<dyn Storage>> {
+        self.storage.take().map(|(s, _)| s)
+    }
+
+    /// The incident log (append-only, deterministic).
+    #[must_use]
+    pub fn incident_log(&self) -> &IncidentLog {
+        &self.log
+    }
+
+    /// Per-tier counters, indexed by [`Tier::index`].
+    #[must_use]
+    pub fn tier_counters(&self) -> &[TierCounters; 3] {
+        &self.counters
+    }
+
+    /// True when `(function, tier)` is quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self, function: &str, tier: Tier) -> bool {
+        self.quarantine.contains(&(function.to_string(), tier))
+    }
+
+    /// All quarantined `(function, tier)` pairs, in deterministic order.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<(String, Tier)> {
+        self.quarantine.iter().cloned().collect()
+    }
+
+    /// Lifts the quarantine for one pair (e.g. after an SMC edit
+    /// replaced the function body that kept crashing a tier).
+    pub fn lift_quarantine(&mut self, function: &str, tier: Tier) {
+        self.quarantine.remove(&(function.to_string(), tier));
+        self.fault_counts.remove(&(function.to_string(), tier));
+    }
+
+    fn kill_for(&self, tier: Tier) -> Option<KillMode> {
+        self.kills.iter().find(|k| k.tier == tier).map(|k| k.mode)
+    }
+
+    /// Runs `entry` through the tier ladder with graceful degradation.
+    ///
+    /// # Errors
+    ///
+    /// [`SupervisorError::NoSuchFunction`] for a missing entry point,
+    /// and [`SupervisorError::TiersExhausted`] when every rung faulted
+    /// — every fault along the way is in [`Supervisor::incident_log`].
+    pub fn run(&mut self, entry: &str, args: &[u64]) -> Result<SupervisedRun, SupervisorError> {
+        if self
+            .module
+            .function_by_name(entry)
+            .filter(|&f| !self.module.function(f).is_declaration())
+            .is_none()
+        {
+            return Err(SupervisorError::NoSuchFunction(entry.to_string()));
+        }
+        let mut degraded = false;
+        let mut incidents_this_run = 0u32;
+        // the structural interpreter's outcome, computed at most once
+        // per run (cross-check or the final rung itself)
+        let mut oracle: Option<TierOutcome> = None;
+        for (rung, &tier) in Tier::LADDER.iter().enumerate() {
+            let key = (entry.to_string(), tier);
+            if self.quarantine.contains(&key) {
+                self.counters[tier.index()].skipped_quarantined += 1;
+                degraded = true;
+                continue;
+            }
+            let is_final = rung == Tier::LADDER.len() - 1;
+            let budget = if is_final {
+                self.fuel
+            } else {
+                self.watchdog.map_or(self.fuel, |w| w.min(self.fuel))
+            };
+            self.counters[tier.index()].attempts += 1;
+            let kill = self.kill_for(tier);
+            let run = self.execute_tier(tier, entry, args, budget, kill);
+            let (mut outcome, steps) = match run {
+                TierRun::Done(outcome, steps) => (outcome, steps),
+                TierRun::Fault(cause) => {
+                    let injected = matches!(
+                        (&cause, kill),
+                        (IncidentCause::Panic(_), Some(KillMode::Panic))
+                    );
+                    incidents_this_run += 1;
+                    self.record_fault(tier, entry, cause, injected);
+                    degraded = true;
+                    continue;
+                }
+            };
+            // armed wrong-value kill: silently corrupt the answer — the
+            // whole point is that only cross-check mode can see it
+            let mut value_killed = false;
+            if let (Some(KillMode::WrongValue), TierOutcome::Value(v)) = (kill, outcome) {
+                outcome = TierOutcome::Value(v ^ 0xBAD_F00D);
+                value_killed = true;
+            }
+            if self.cross_check && tier != Tier::Interp {
+                let expected = match &oracle {
+                    Some(o) => *o,
+                    None => match self.oracle_outcome(entry, args) {
+                        Some(o) => *oracle.insert(o),
+                        // the oracle itself failed: nothing to compare
+                        // against, serve the tier's answer as-is
+                        None => outcome,
+                    },
+                };
+                if outcome != expected {
+                    incidents_this_run += 1;
+                    self.record_fault(
+                        tier,
+                        entry,
+                        IncidentCause::Divergence { expected, got: outcome },
+                        value_killed,
+                    );
+                    degraded = true;
+                    continue;
+                }
+            }
+            self.counters[tier.index()].served += 1;
+            return Ok(SupervisedRun { outcome, tier, degraded, steps });
+        }
+        Err(SupervisorError::TiersExhausted {
+            function: entry.to_string(),
+            incidents: incidents_this_run,
+        })
+    }
+
+    /// Records a fault: bumps the per-pair count, quarantines at the
+    /// threshold, and appends the [`Incident`] with its recovery action
+    /// (the next rung that will actually be attempted).
+    fn record_fault(&mut self, tier: Tier, entry: &str, cause: IncidentCause, injected: bool) {
+        let counters = &mut self.counters[tier.index()];
+        match &cause {
+            IncidentCause::Panic(_) => counters.panics += 1,
+            IncidentCause::Fault(_) => counters.faults += 1,
+            IncidentCause::Watchdog { .. } => counters.watchdog_expiries += 1,
+            IncidentCause::Divergence { .. } => counters.divergences += 1,
+        }
+        let key = (entry.to_string(), tier);
+        let retries = *self.fault_counts.get(&key).unwrap_or(&0);
+        let count = retries + 1;
+        self.fault_counts.insert(key.clone(), count);
+        if count >= self.max_faults {
+            self.quarantine.insert(key);
+        }
+        let recovery = Tier::LADDER
+            .iter()
+            .skip(tier.index() + 1)
+            .find(|&&next| !self.quarantine.contains(&(entry.to_string(), next)))
+            .map_or(RecoveryAction::Exhausted, |&next| {
+                RecoveryAction::FellBack(next)
+            });
+        self.log.push(Incident {
+            seq: 0, // assigned by the log
+            tier,
+            function: entry.to_string(),
+            cause,
+            recovery,
+            retries,
+            injected,
+        });
+    }
+
+    /// Runs the structural interpreter as the cross-check oracle (full
+    /// fuel, fresh state). `None` if the oracle itself panicked — which
+    /// would be a bug in the semantic reference, not in a fast tier.
+    fn oracle_outcome(&self, entry: &str, args: &[u64]) -> Option<TierOutcome> {
+        let module = &self.module;
+        let (fuel, mem) = (self.fuel, self.memory_size);
+        catch_quiet(|| {
+            let mut interp = Interpreter::with_memory_size(module, mem);
+            interp.set_fuel(fuel);
+            interp.run(entry, args)
+        })
+        .ok()
+        .map(|r| match r {
+            Ok(v) => TierOutcome::Value(v),
+            Err(InterpError::Trap(t)) => TierOutcome::Trap(t.kind),
+            _ => TierOutcome::OutOfFuel,
+        })
+    }
+
+    /// Executes one tier under `catch_unwind` with `budget` steps.
+    fn execute_tier(
+        &mut self,
+        tier: Tier,
+        entry: &str,
+        args: &[u64],
+        budget: u64,
+        kill: Option<KillMode>,
+    ) -> TierRun {
+        let watchdog_armed = budget < self.fuel;
+        match tier {
+            Tier::Translated => {
+                let mut mgr = ExecutionManager::with_memory_size(
+                    self.module.clone(),
+                    self.isa,
+                    self.memory_size,
+                );
+                let cache = self.storage.as_ref().map(|(_, c)| c.clone());
+                if let (Some((storage, _)), Some(cache)) = (self.storage.take(), &cache) {
+                    mgr.set_storage(storage, cache);
+                }
+                mgr.set_fuel(budget);
+                let result = catch_quiet(AssertUnwindSafe(|| {
+                    if kill == Some(KillMode::Panic) {
+                        panic!("injected tier kill: translated");
+                    }
+                    mgr.run(entry, args)
+                }));
+                // the manager survives the closure, so the storage comes
+                // back even when the tier panicked mid-run
+                if let Some(cache) = cache {
+                    if let Some(storage) = mgr.take_storage() {
+                        self.storage = Some((storage, cache));
+                    }
+                }
+                let steps = mgr.exec_stats().instructions;
+                match result {
+                    Ok(Ok(out)) => TierRun::Done(TierOutcome::Value(out.value), steps),
+                    Ok(Err(EngineError::Trapped(t))) => {
+                        TierRun::Done(TierOutcome::Trap(t.kind), steps)
+                    }
+                    Ok(Err(EngineError::OutOfFuel)) => {
+                        if watchdog_armed {
+                            TierRun::Fault(IncidentCause::Watchdog { budget })
+                        } else {
+                            TierRun::Done(TierOutcome::OutOfFuel, steps)
+                        }
+                    }
+                    Ok(Err(e)) => TierRun::Fault(IncidentCause::Fault(e.to_string())),
+                    Err(msg) => TierRun::Fault(IncidentCause::Panic(msg)),
+                }
+            }
+            Tier::FastInterp => {
+                let module = &self.module;
+                let mem = self.memory_size;
+                let mut steps = 0;
+                let result = catch_quiet(AssertUnwindSafe(|| {
+                    let mut interp = FastInterpreter::with_memory_size(module, mem);
+                    interp.set_fuel(budget);
+                    if kill == Some(KillMode::Panic) {
+                        interp.arm_panic_after(KILL_AFTER_INSTS);
+                    }
+                    let r = interp.run(entry, args);
+                    (r, interp.insts_executed())
+                }));
+                if let Ok((_, n)) = &result {
+                    steps = *n;
+                }
+                Supervisor::map_interp(result.map(|(r, _)| r), watchdog_armed, budget, steps)
+            }
+            Tier::Interp => {
+                let module = &self.module;
+                let mem = self.memory_size;
+                let mut steps = 0;
+                let result = catch_quiet(AssertUnwindSafe(|| {
+                    let mut interp = Interpreter::with_memory_size(module, mem);
+                    interp.set_fuel(budget);
+                    if kill == Some(KillMode::Panic) {
+                        interp.arm_panic_after(KILL_AFTER_INSTS);
+                    }
+                    let r = interp.run(entry, args);
+                    (r, interp.insts_executed())
+                }));
+                if let Ok((_, n)) = &result {
+                    steps = *n;
+                }
+                Supervisor::map_interp(result.map(|(r, _)| r), watchdog_armed, budget, steps)
+            }
+        }
+    }
+
+    /// Maps an interpreter tier's result onto [`TierRun`].
+    fn map_interp(
+        result: Result<Result<u64, InterpError>, String>,
+        watchdog_armed: bool,
+        budget: u64,
+        steps: u64,
+    ) -> TierRun {
+        match result {
+            Ok(Ok(v)) => TierRun::Done(TierOutcome::Value(v), steps),
+            Ok(Err(InterpError::Trap(t))) => TierRun::Done(TierOutcome::Trap(t.kind), steps),
+            Ok(Err(InterpError::OutOfFuel)) => {
+                if watchdog_armed {
+                    TierRun::Fault(IncidentCause::Watchdog { budget })
+                } else {
+                    TierRun::Done(TierOutcome::OutOfFuel, steps)
+                }
+            }
+            Ok(Err(e @ InterpError::NoSuchFunction(_))) => {
+                TierRun::Fault(IncidentCause::Fault(e.to_string()))
+            }
+            Err(msg) => TierRun::Fault(IncidentCause::Panic(msg)),
+        }
+    }
+}
+
+thread_local! {
+    /// True while this thread is inside [`catch_quiet`]: the chained
+    /// panic hook swallows the report instead of spamming stderr with
+    /// backtraces for panics the supervisor recovers from by design.
+    static SUPPRESS_PANIC_REPORT: Cell<bool> = const { Cell::new(false) };
+}
+
+static INSTALL_QUIET_HOOK: Once = Once::new();
+
+/// `catch_unwind` with the panic report suppressed (thread-locally) and
+/// the payload rendered to a `String`. The suppression hook chains the
+/// previously installed hook, so other threads' panics still print.
+fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    INSTALL_QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_REPORT.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+    SUPPRESS_PANIC_REPORT.with(|s| s.set(true));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_REPORT.with(|s| s.set(false));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIB: &str = r#"
+int %fib(int %n) {
+entry:
+    %c = setlt int %n, 2
+    br bool %c, label %base, label %rec
+base:
+    ret int %n
+rec:
+    %n1 = sub int %n, 1
+    %a = call int %fib(int %n1)
+    %n2 = sub int %n, 2
+    %b = call int %fib(int %n2)
+    %s = add int %a, %b
+    ret int %s
+}
+
+int %main() {
+entry:
+    %r = call int %fib(int 10)
+    ret int %r
+}
+"#;
+
+    fn module() -> Module {
+        llva_core::parser::parse_module(FIB).expect("parses")
+    }
+
+    #[test]
+    fn healthy_ladder_serves_from_translated_tier() {
+        let mut sup = Supervisor::new(module(), TargetIsa::X86);
+        let run = sup.run("main", &[]).expect("runs");
+        assert_eq!(run.outcome, TierOutcome::Value(55));
+        assert_eq!(run.tier, Tier::Translated);
+        assert!(!run.degraded);
+        assert!(run.steps > 0);
+        assert!(sup.incident_log().is_empty());
+        assert_eq!(sup.tier_counters()[Tier::Translated.index()].served, 1);
+    }
+
+    #[test]
+    fn missing_entry_is_not_a_tier_fault() {
+        let mut sup = Supervisor::new(module(), TargetIsa::X86);
+        match sup.run("nope", &[]) {
+            Err(SupervisorError::NoSuchFunction(n)) => assert_eq!(n, "nope"),
+            other => panic!("expected NoSuchFunction, got {other:?}"),
+        }
+        assert!(sup.incident_log().is_empty(), "no tier ever ran");
+    }
+
+    #[test]
+    fn killed_translated_tier_degrades_to_fast_interp() {
+        let mut sup = Supervisor::new(module(), TargetIsa::Sparc);
+        sup.arm_kill(TierKill::panic(Tier::Translated));
+        let run = sup.run("main", &[]).expect("degrades");
+        assert_eq!(run.outcome, TierOutcome::Value(55));
+        assert_eq!(run.tier, Tier::FastInterp);
+        assert!(run.degraded);
+        let log = sup.incident_log();
+        assert_eq!(log.len(), 1);
+        let i = &log.incidents()[0];
+        assert_eq!(i.tier, Tier::Translated);
+        assert_eq!(i.function, "main");
+        assert!(matches!(i.cause, IncidentCause::Panic(_)));
+        assert_eq!(i.recovery, RecoveryAction::FellBack(Tier::FastInterp));
+        assert!(i.injected);
+        assert!(sup.is_quarantined("main", Tier::Translated));
+        // second run: quarantine skip, no new incident
+        let run2 = sup.run("main", &[]).expect("runs");
+        assert_eq!(run2.outcome, TierOutcome::Value(55));
+        assert_eq!(sup.incident_log().len(), 1, "quarantine prevents a re-fault");
+        assert_eq!(
+            sup.tier_counters()[Tier::Translated.index()].skipped_quarantined,
+            1
+        );
+    }
+
+    #[test]
+    fn kills_from_env_parses_tier_lists() {
+        // pure parse test via Tier::parse (env mutation would race other
+        // tests in this process)
+        assert_eq!(Tier::parse("translated"), Some(Tier::Translated));
+        assert_eq!(Tier::parse("fast-interp"), Some(Tier::FastInterp));
+        assert_eq!(Tier::parse("predecode"), Some(Tier::FastInterp));
+        assert_eq!(Tier::parse(" interp "), Some(Tier::Interp));
+        assert_eq!(Tier::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn incident_log_renders_tier_and_cause() {
+        let mut sup = Supervisor::new(module(), TargetIsa::X86);
+        sup.arm_kill(TierKill::panic(Tier::Translated));
+        sup.run("main", &[]).expect("degrades");
+        let text = sup.incident_log().summary();
+        assert!(text.contains("translated"), "{text}");
+        assert!(text.contains("panic"), "{text}");
+        let line = sup.incident_log().incidents()[0].to_string();
+        assert!(line.contains("fell back to fast-interp"), "{line}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Degradation coverage for the tiered execution supervisor (ISSUE 5).
+//!
+//! Every scenario here injects a deterministic fault — a panic in a
+//! fast tier, a runaway callee against the watchdog, a silently wrong
+//! value under cross-check — and asserts three things: the caller still
+//! gets the structural interpreter's answer, the faulting tier is
+//! quarantined for exactly that function, and the [`IncidentLog`]
+//! records the episode in a deterministic, seed-replayable shape.
+
+use llva_engine::llee::TargetIsa;
+use llva_engine::storage::MemStorage;
+use llva_engine::supervisor::{
+    IncidentCause, KillMode, RecoveryAction, Supervisor, SupervisorError, Tier, TierKill,
+    TierOutcome,
+};
+use llva_engine::Interpreter;
+
+const PROGRAM: &str = r#"
+int %fib(int %n) {
+entry:
+    %c = setlt int %n, 2
+    br bool %c, label %base, label %rec
+base:
+    ret int %n
+rec:
+    %n1 = sub int %n, 1
+    %a = call int %fib(int %n1)
+    %n2 = sub int %n, 2
+    %b = call int %fib(int %n2)
+    %s = add int %a, %b
+    ret int %s
+}
+
+int %spin(int %n) {
+entry:
+    br label %loop
+loop:
+    %i = phi int [ 0, %entry ], [ %i1, %loop ]
+    %i1 = add int %i, 1
+    %done = seteq int %i1, %n
+    br bool %done, label %out, label %loop
+out:
+    ret int %i1
+}
+
+int %main() {
+entry:
+    %r = call int %fib(int 12)
+    ret int %r
+}
+
+int %slow_main() {
+entry:
+    %r = call int %spin(int 100000)
+    ret int %r
+}
+"#;
+
+fn module() -> llva_core::module::Module {
+    llva_core::parser::parse_module(PROGRAM).expect("parses")
+}
+
+fn interp_value(entry: &str) -> u64 {
+    Interpreter::new(&module()).run(entry, &[]).expect("interp runs")
+}
+
+/// A panic injected mid-execution in the pre-decoded tier (with the
+/// translated tier also killed so the ladder reaches it) degrades to
+/// the structural interpreter, with one incident and one quarantine per
+/// killed tier.
+#[test]
+fn killed_fast_tiers_degrade_to_structural_interpreter() {
+    let expected = interp_value("main");
+    let mut sup = Supervisor::new(module(), TargetIsa::X86);
+    sup.arm_kill(TierKill::panic(Tier::Translated));
+    sup.arm_kill(TierKill::panic(Tier::FastInterp));
+    let run = sup.run("main", &[]).expect("degrades to interp");
+    assert_eq!(run.outcome, TierOutcome::Value(expected));
+    assert_eq!(run.tier, Tier::Interp);
+    assert!(run.degraded);
+
+    let log = sup.incident_log();
+    assert_eq!(log.len(), 2, "one incident per killed tier: {}", log.summary());
+    assert_eq!(log.incidents()[0].tier, Tier::Translated);
+    assert_eq!(log.incidents()[1].tier, Tier::FastInterp);
+    for incident in log.incidents() {
+        assert!(matches!(incident.cause, IncidentCause::Panic(_)));
+        assert!(incident.injected, "kill-driven incidents are marked injected");
+        assert_eq!(incident.function, "main");
+        assert_eq!(incident.retries, 0, "first fault for the pair");
+    }
+    assert_eq!(
+        log.incidents()[0].recovery,
+        RecoveryAction::FellBack(Tier::FastInterp)
+    );
+    assert_eq!(log.incidents()[1].recovery, RecoveryAction::FellBack(Tier::Interp));
+    assert!(sup.is_quarantined("main", Tier::Translated));
+    assert!(sup.is_quarantined("main", Tier::FastInterp));
+
+    // a second run skips the quarantined tiers silently: same answer,
+    // no new incidents — exactly one quarantine + fallback per kill
+    let run2 = sup.run("main", &[]).expect("still runs");
+    assert_eq!(run2.outcome, TierOutcome::Value(expected));
+    assert_eq!(run2.tier, Tier::Interp);
+    assert_eq!(sup.incident_log().len(), 2, "no repeat incidents");
+    let counters = sup.tier_counters();
+    assert_eq!(counters[Tier::Translated.index()].skipped_quarantined, 1);
+    assert_eq!(counters[Tier::FastInterp.index()].skipped_quarantined, 1);
+    assert_eq!(counters[Tier::Interp.index()].served, 2);
+}
+
+/// The panic in the predecoded tier unwinds mid-dispatch (after at
+/// least one executed instruction), not at tier entry.
+#[test]
+fn fast_interp_kill_fires_mid_execution() {
+    let mut sup = Supervisor::new(module(), TargetIsa::X86);
+    sup.arm_kill(TierKill::panic(Tier::Translated));
+    sup.arm_kill(TierKill::panic(Tier::FastInterp));
+    sup.run("main", &[]).expect("degrades");
+    let fast = &sup.incident_log().incidents()[1];
+    match &fast.cause {
+        IncidentCause::Panic(msg) => {
+            assert!(
+                msg.contains("injected fast-interpreter fault"),
+                "panic should come from the armed mid-dispatch hook, got: {msg}"
+            );
+        }
+        other => panic!("expected a panic cause, got {other:?}"),
+    }
+}
+
+/// Watchdog expiry in a callee: `slow_main` spins ~500k instructions in
+/// `spin`; with a 10k-step watchdog both fast tiers are declared hung
+/// and quarantined, while the final interpreter rung (full fuel, never
+/// watchdog-limited) completes with the right answer.
+#[test]
+fn watchdog_expiry_in_callee_degrades_without_changing_the_answer() {
+    let expected = interp_value("slow_main");
+    let mut sup = Supervisor::new(module(), TargetIsa::X86);
+    sup.set_watchdog(10_000);
+    let run = sup.run("slow_main", &[]).expect("interp finishes");
+    assert_eq!(run.outcome, TierOutcome::Value(expected));
+    assert_eq!(run.tier, Tier::Interp);
+    assert!(run.degraded);
+    let log = sup.incident_log();
+    assert_eq!(log.len(), 2, "both fast tiers expired: {}", log.summary());
+    for incident in log.incidents() {
+        assert_eq!(incident.cause, IncidentCause::Watchdog { budget: 10_000 });
+        assert!(!incident.injected, "a genuine hang is not an injected kill");
+    }
+    assert!(sup.is_quarantined("slow_main", Tier::Translated));
+    assert!(sup.is_quarantined("slow_main", Tier::FastInterp));
+    // the quarantine is keyed per function: `main` is unaffected
+    assert!(!sup.is_quarantined("main", Tier::Translated));
+    let fast = sup.run("main", &[]).expect("runs");
+    assert_eq!(fast.tier, Tier::Translated, "other functions keep the fast path");
+}
+
+/// Cross-check mode: a silently wrong value from the translated tier
+/// (the fault no panic or watchdog can see) diverges from the
+/// structural interpreter, quarantines the tier, and never reaches the
+/// caller.
+#[test]
+fn divergence_under_cross_check_quarantines_the_lying_tier() {
+    let expected = interp_value("main");
+    let mut sup = Supervisor::new(module(), TargetIsa::X86);
+    sup.set_cross_check(true);
+    sup.arm_kill(TierKill::wrong_value(Tier::Translated));
+    let run = sup.run("main", &[]).expect("degrades");
+    assert_eq!(run.outcome, TierOutcome::Value(expected), "wrong answer never served");
+    assert_eq!(run.tier, Tier::FastInterp);
+    let log = sup.incident_log();
+    assert_eq!(log.len(), 1);
+    match &log.incidents()[0].cause {
+        IncidentCause::Divergence { expected: want, got } => {
+            assert_eq!(*want, TierOutcome::Value(expected));
+            assert_eq!(*got, TierOutcome::Value(expected ^ 0xBAD_F00D));
+        }
+        other => panic!("expected a divergence cause, got {other:?}"),
+    }
+    assert!(sup.is_quarantined("main", Tier::Translated));
+    assert_eq!(sup.tier_counters()[Tier::Translated.index()].divergences, 1);
+
+    // without cross-check the same kill would have been served — prove
+    // the mode matters
+    let mut unchecked = Supervisor::new(module(), TargetIsa::X86);
+    unchecked.arm_kill(TierKill::wrong_value(Tier::Translated));
+    let lied = unchecked.run("main", &[]).expect("runs");
+    assert_eq!(lied.outcome, TierOutcome::Value(expected ^ 0xBAD_F00D));
+}
+
+/// All three tiers killed: the ladder runs dry with the documented
+/// error shape, and the log still explains every step.
+#[test]
+fn all_tiers_exhausted_error_shape() {
+    let mut sup = Supervisor::new(module(), TargetIsa::X86);
+    for tier in Tier::LADDER {
+        sup.arm_kill(TierKill::panic(tier));
+    }
+    let err = sup.run("main", &[]).expect_err("nothing left to run on");
+    match &err {
+        SupervisorError::TiersExhausted { function, incidents } => {
+            assert_eq!(function, "main");
+            assert_eq!(*incidents, 3);
+        }
+        other => panic!("expected TiersExhausted, got {other:?}"),
+    }
+    let rendered = err.to_string();
+    assert!(rendered.contains("all execution tiers exhausted"), "{rendered}");
+    assert!(rendered.contains("%main"), "{rendered}");
+    let log = sup.incident_log();
+    assert_eq!(log.len(), 3);
+    assert_eq!(log.incidents()[2].recovery, RecoveryAction::Exhausted);
+    // the value-level API agrees
+    assert!(sup.quarantined().len() == 3);
+}
+
+/// The incident log is deterministic: the same kills over the same
+/// program replay the same log, bit for bit (no wall-clock, no ambient
+/// randomness — the acceptance requirement for seed-replayable
+/// incident reports).
+#[test]
+fn incident_log_is_deterministic_across_replays() {
+    let run_once = || {
+        let mut sup = Supervisor::new(module(), TargetIsa::X86);
+        sup.set_cross_check(true);
+        sup.arm_kill(TierKill::panic(Tier::Translated));
+        sup.arm_kill(TierKill { tier: Tier::FastInterp, mode: KillMode::Panic });
+        sup.run("main", &[]).expect("degrades");
+        sup.run("main", &[]).expect("degrades");
+        sup.incident_log().clone()
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first, second, "replaying the scenario must replay the log");
+    assert_eq!(first.len(), 2);
+    // seq numbers are the log's only clock and they are ordinal
+    for (i, incident) in first.incidents().iter().enumerate() {
+        assert_eq!(incident.seq as usize, i);
+    }
+}
+
+/// Storage attached to the supervisor survives a panic in the
+/// translated tier (the only tier that uses it) and keeps serving the
+/// offline cache after the tier is rehabilitated.
+#[test]
+fn storage_survives_a_killed_translated_tier() {
+    let mut sup = Supervisor::new(module(), TargetIsa::X86);
+    sup.set_storage(Box::new(MemStorage::new()), "app");
+    sup.arm_kill(TierKill::panic(Tier::Translated));
+    sup.run("main", &[]).expect("degrades");
+    // the tier panicked at entry; the storage handle must still be here
+    sup.clear_kills();
+    sup.lift_quarantine("main", Tier::Translated);
+    let run = sup.run("main", &[]).expect("translated tier works again");
+    assert_eq!(run.tier, Tier::Translated);
+    let storage = sup.take_storage().expect("storage survived the panic");
+    assert!(storage.cache_size("app").unwrap_or(0) > 0, "cache was written");
+}
+
+/// Genuine fuel exhaustion (no watchdog) is an *outcome*, not a fault:
+/// every tier agrees and nothing is quarantined.
+#[test]
+fn out_of_fuel_is_an_outcome_not_an_incident() {
+    let mut sup = Supervisor::new(module(), TargetIsa::X86);
+    sup.set_fuel(1_000);
+    let run = sup.run("slow_main", &[]).expect("runs");
+    assert_eq!(run.outcome, TierOutcome::OutOfFuel);
+    assert_eq!(run.tier, Tier::Translated, "first tier already answers");
+    assert!(sup.incident_log().is_empty());
+    assert!(sup.quarantined().is_empty());
+}

@@ -138,6 +138,58 @@ fn corrupt_every_read_matches_no_storage() {
     }
 }
 
+/// ISSUE 5 satellite: a *transient* read fault (outage or in-transit
+/// bit rot) heals within the bounded retry budget — the valid cache
+/// entry is served, counted as `retried_ok`, and **not** quarantined.
+#[test]
+fn transient_read_faults_retry_without_quarantine() {
+    let storage = faulty_storage(FaultPlan::none(3));
+    let reference;
+    {
+        let mut mgr = ExecutionManager::new(module(), TargetIsa::X86);
+        mgr.set_storage(Box::new(storage.clone()), "fib");
+        reference = mgr.run("main", &[]).expect("runs").value;
+        assert_eq!(mgr.stats().functions_translated, 2, "cold cache");
+    }
+
+    // one transient outage: the very next read returns None, then heals
+    storage.with(|s| s.arm_read_fail(1));
+    {
+        let mut mgr = ExecutionManager::new(module(), TargetIsa::X86);
+        mgr.set_storage(Box::new(storage.clone()), "fib");
+        assert_eq!(mgr.run("main", &[]).expect("runs").value, reference);
+        let stats = mgr.stats();
+        assert_eq!(stats.cache_hits, 2, "both functions still served from cache");
+        assert_eq!(stats.retried_ok, 1, "the outage healed on retry");
+        assert_eq!(stats.gave_up, 0);
+        assert_eq!(stats.cache_corrupt, 0, "no quarantine for a transient fault");
+        assert_eq!(stats.functions_translated, 0, "nothing retranslated");
+    }
+
+    // one transient bit flip in transit (the entry at rest is pristine)
+    storage.with(|s| s.arm_read_corrupt(1));
+    {
+        let mut mgr = ExecutionManager::new(module(), TargetIsa::X86);
+        mgr.set_storage(Box::new(storage.clone()), "fib");
+        assert_eq!(mgr.run("main", &[]).expect("runs").value, reference);
+        let stats = mgr.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.retried_ok, 1, "the flipped read healed on retry");
+        assert_eq!(stats.cache_corrupt, 0, "a valid entry must not be quarantined");
+        assert_eq!(stats.functions_translated, 0);
+    }
+
+    // nothing was ever moved aside
+    let mgr = ExecutionManager::new(module(), TargetIsa::X86);
+    for f in 0..2u32 {
+        let key = format!("{}{QUARANTINE_SUFFIX}", mgr.cache_key(f));
+        assert!(
+            storage.with(|s| s.read("fib", &key)).is_none(),
+            "transient fault quarantined a valid entry: {key}"
+        );
+    }
+}
+
 fn chaos_seeds() -> Vec<u64> {
     match std::env::var("LLVA_FAULT_SEED") {
         Ok(s) => s
