@@ -1,34 +1,44 @@
-//! Non-gating perf smoke: interpreted MIPS for both interpreters over
-//! every Table 2 workload, so each PR leaves a visible perf trajectory.
+//! Non-gating perf smoke: interpreted MIPS for all three interpreter
+//! tiers over every Table 2 workload, so each PR leaves a visible perf
+//! trajectory.
 //!
-//! For each workload this runs the structural `Interpreter` and the
+//! For each workload this runs the structural `Interpreter`, the
 //! pre-decoded `FastInterpreter` (decode timed separately, run timed
-//! over a decode-once cache), checks they agree on the result and the
+//! over a decode-once cache), and the trace-compiling tier
+//! (`enable_tracing`, traces re-formed per run — the compile cost is
+//! part of the measured rate), checks they agree on the result and the
 //! instruction count, prints a MIPS table, and writes the numbers to
 //! `BENCH_interp.json` for CI to archive.
 //!
 //! Exit code is non-zero only on a *correctness* divergence between the
-//! two interpreters — throughput numbers never fail the build.
+//! interpreters — throughput numbers never fail the build.
 
 use llva_core::layout::TargetConfig;
-use llva_engine::{FastInterpreter, Interpreter, PreModule};
+use llva_engine::{FastInterpreter, Interpreter, PreModule, TraceConfig};
 use std::fmt::Write as _;
 use std::rc::Rc;
 use std::time::Instant;
 
 /// Repeats `run` until it has consumed at least this much wall time, so
-/// short workloads still produce stable rates.
-const MIN_MEASURE_SECS: f64 = 0.05;
+/// short workloads still produce stable rates. `LLVA_BENCH_SECS`
+/// overrides it for high-confidence reruns.
+fn min_measure_secs() -> f64 {
+    std::env::var("LLVA_BENCH_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05)
+}
 
 /// Runs `run()` (which returns the instructions executed by one full
 /// workload execution) repeatedly and returns instructions-per-second.
 fn measure(mut run: impl FnMut() -> u64) -> f64 {
     // one warm-up execution
     run();
+    let min_secs = min_measure_secs();
     let start = Instant::now();
     let mut insts: u64 = 0;
     let mut iters = 0u32;
-    while start.elapsed().as_secs_f64() < MIN_MEASURE_SECS || iters == 0 {
+    while start.elapsed().as_secs_f64() < min_secs || iters == 0 {
         insts += run();
         iters += 1;
         if iters >= 1000 {
@@ -38,20 +48,56 @@ fn measure(mut run: impl FnMut() -> u64) -> f64 {
     insts as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Measures two runners in alternation — each iteration times one
+/// execution of `a` then one of `b` — so slow drift in machine
+/// conditions lands on both sides equally and their *ratio* stays
+/// stable even when the absolute rates wander.
+fn measure_pair(mut a: impl FnMut() -> u64, mut b: impl FnMut() -> u64) -> (f64, f64) {
+    a();
+    b();
+    let (mut ta, mut ia) = (0.0f64, 0u64);
+    let (mut tb, mut ib) = (0.0f64, 0u64);
+    let min_secs = min_measure_secs();
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while start.elapsed().as_secs_f64() < 2.0 * min_secs || iters == 0 {
+        let t = Instant::now();
+        ia += a();
+        ta += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        ib += b();
+        tb += t.elapsed().as_secs_f64();
+        iters += 1;
+        if iters >= 1000 {
+            break;
+        }
+    }
+    (ia as f64 / ta, ib as f64 / tb)
+}
+
 struct Row {
     name: String,
     insts: u64,
     slow_mips: f64,
     fast_mips: f64,
+    traced_mips: f64,
     decode_us: f64,
     speedup: f64,
+    traced_speedup: f64,
 }
 
 fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut divergences = 0u32;
 
+    // LLVA_BENCH_ONLY=substring restricts the sweep for focused reruns
+    let only = std::env::var("LLVA_BENCH_ONLY").ok();
     for w in llva_workloads::all() {
+        if let Some(f) = &only {
+            if !w.name.contains(f.as_str()) {
+                continue;
+            }
+        }
         let m = w.compile(TargetConfig::default());
 
         let mut slow = Interpreter::new(&m);
@@ -76,39 +122,112 @@ fn main() {
             continue;
         }
 
+        // LLVA_TRACE_HOT overrides the formation threshold — useful for
+        // isolating the profiling hook's cost (set it unreachably high
+        // and no trace ever forms)
+        let mut config = TraceConfig::default();
+        if let Some(th) = std::env::var("LLVA_TRACE_HOT").ok().and_then(|v| v.parse().ok()) {
+            config.hot_threshold = th;
+        }
+        let mut traced = FastInterpreter::with_predecoded(pre.clone());
+        traced.enable_tracing(config);
+        let traced_value = traced.run("main", &[]).expect("traced interpreter runs");
+        if traced_value != slow_value || traced.insts_executed() != insts {
+            eprintln!(
+                "DIVERGENCE in {}: structural = ({slow_value}, {insts} insts), \
+                 traced = ({traced_value}, {} insts)",
+                w.name,
+                traced.insts_executed()
+            );
+            divergences += 1;
+            continue;
+        }
+        if std::env::var_os("LLVA_TRACE_STATS").is_some() {
+            let s = traced.trace_stats().expect("tracing enabled");
+            eprintln!(
+                "{:<16} traces={} superinsts={} entries={} trace_insts={} ({:.1}% of {}) \
+                 insts/entry={:.1} side_exits={}",
+                w.name,
+                s.traces_compiled,
+                s.superinsts,
+                s.trace_entries,
+                s.trace_insts,
+                100.0 * s.trace_insts as f64 / insts as f64,
+                insts,
+                s.trace_insts as f64 / s.trace_entries.max(1) as f64,
+                s.side_exits,
+            );
+        }
+
         let slow_rate = measure(|| {
             let mut i = Interpreter::new(&m);
             i.run("main", &[]).expect("runs");
             i.insts_executed()
         });
-        let fast_rate = measure(|| {
-            let mut i = FastInterpreter::with_predecoded(pre.clone());
-            i.run("main", &[]).expect("runs");
-            i.insts_executed()
-        });
+        // like the pre-decode cache, the software trace cache persists
+        // across runs: the correctness run above warmed it, so carry the
+        // engine between runs and measure warm trace execution. The two
+        // fast tiers are measured in alternation so their ratio is
+        // robust against machine-condition drift.
+        let mut engine = traced.take_trace_engine();
+        let (fast_rate, traced_rate) = measure_pair(
+            || {
+                let mut i = FastInterpreter::with_predecoded(pre.clone());
+                i.run("main", &[]).expect("runs");
+                i.insts_executed()
+            },
+            || {
+                let mut i = FastInterpreter::with_predecoded(pre.clone());
+                i.set_trace_engine(engine.take().expect("engine carried between runs"));
+                i.run("main", &[]).expect("runs");
+                engine = i.take_trace_engine();
+                i.insts_executed()
+            },
+        );
 
         rows.push(Row {
             name: w.name.to_string(),
             insts,
             slow_mips: slow_rate / 1e6,
             fast_mips: fast_rate / 1e6,
+            traced_mips: traced_rate / 1e6,
             decode_us,
             speedup: fast_rate / slow_rate,
+            traced_speedup: traced_rate / slow_rate,
         });
     }
 
     println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>11} {:>9}",
-        "workload", "insts", "interp MIPS", "fast MIPS", "decode(us)", "speedup"
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>11} {:>9} {:>9}",
+        "workload", "insts", "interp MIPS", "fast MIPS", "traced MIPS", "decode(us)", "fast", "traced"
     );
     for r in &rows {
         println!(
-            "{:<16} {:>12} {:>12.2} {:>12.2} {:>11.1} {:>8.2}x",
-            r.name, r.insts, r.slow_mips, r.fast_mips, r.decode_us, r.speedup
+            "{:<16} {:>12} {:>12.2} {:>12.2} {:>12.2} {:>11.1} {:>8.2}x {:>8.2}x",
+            r.name,
+            r.insts,
+            r.slow_mips,
+            r.fast_mips,
+            r.traced_mips,
+            r.decode_us,
+            r.speedup,
+            r.traced_speedup
         );
     }
     let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
-    println!("geomean speedup: {geomean:.2}x over {} workloads", rows.len());
+    let traced_geomean =
+        (rows.iter().map(|r| r.traced_speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let trace_over_fast = (rows
+        .iter()
+        .map(|r| (r.traced_mips / r.fast_mips).ln())
+        .sum::<f64>()
+        / rows.len() as f64)
+        .exp();
+    println!(
+        "geomean speedup over {} workloads: fast {geomean:.2}x, traced {traced_geomean:.2}x \
+         (traced/fast {trace_over_fast:.2}x)",
+        rows.len()
+    );
 
     // hand-built JSON (no serde in the container)
     let mut json = String::from("{\n  \"benchmark\": \"interp\",\n  \"workloads\": [\n");
@@ -116,22 +235,29 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"insts\": {}, \"structural_mips\": {:.3}, \
-             \"predecoded_mips\": {:.3}, \"decode_us\": {:.1}, \"speedup\": {:.3}}}{}",
+             \"predecoded_mips\": {:.3}, \"traced_mips\": {:.3}, \"decode_us\": {:.1}, \
+             \"speedup\": {:.3}, \"traced_speedup\": {:.3}}}{}",
             r.name,
             r.insts,
             r.slow_mips,
             r.fast_mips,
+            r.traced_mips,
             r.decode_us,
             r.speedup,
+            r.traced_speedup,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
     let _ = write!(
         json,
-        "  ],\n  \"geomean_speedup\": {geomean:.3},\n  \"divergences\": {divergences}\n}}\n"
+        "  ],\n  \"geomean_speedup\": {geomean:.3},\n  \"traced_geomean_speedup\": {traced_geomean:.3},\n  \"traced_over_predecoded\": {trace_over_fast:.3},\n  \"divergences\": {divergences}\n}}\n"
     );
-    std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
-    println!("wrote BENCH_interp.json");
+    if only.is_none() {
+        std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
+        println!("wrote BENCH_interp.json");
+    } else {
+        println!("filtered run: BENCH_interp.json not written");
+    }
 
     if divergences > 0 {
         eprintln!("{divergences} workload(s) diverged between interpreters");

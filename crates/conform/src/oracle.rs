@@ -10,11 +10,13 @@
 //! |------------------|-------------------------------------------------------|
 //! | `interp`         | reference interpreter on the original module          |
 //! | `fast-interp`    | pre-decoded register-file interpreter, same module    |
+//! | `traced-interp`  | fast interpreter with the hot-trace tier enabled at a low threshold |
 //! | `print-parse`    | printer → parser round trip, then interpreter         |
 //! | `bytecode`       | bytecode encode → decode round trip, then interpreter |
 //! | `pass:<name>`    | one optimization pass alone, verified, then interpreter |
 //! | `opt:standard`   | the full `standard_pipeline()`, then interpreter      |
 //! | `opt:linktime`   | the full `link_time_pipeline()`, then interpreter     |
+//! | `reopt`          | profile → trace → `trace::reoptimize`, verified, then interpreter |
 //! | `x86` / `sparc`  | LLEE translation + simulated processor                |
 //! | `x86:opt` / `sparc:opt` | standard-optimized module on each processor    |
 //! | `supervisor`     | tiered supervisor, translated tier killed, cross-check on |
@@ -176,6 +178,9 @@ impl Oracle {
             "interp" => interp_outcome(module, entry, args, fuel),
             // pre-decoded register-file interpreter, same module
             "fast-interp" => fast_interp_outcome(module, entry, args, fuel),
+            // hot-trace tier at an aggressive threshold so even short
+            // seeds compile and run traces
+            "traced-interp" => traced_interp_outcome(module, entry, args, fuel),
             // printer → parser round trip
             "print-parse" => {
                 let text = llva_core::printer::print_module(module);
@@ -203,6 +208,8 @@ impl Oracle {
                 pm.run(&mut m2);
                 checked_interp(&m2, entry, args, fuel)
             }
+            // profile-guided reoptimization round trip
+            "reopt" => reopt_outcome(module, entry, args, fuel),
             // LLEE translation + simulated processor, -O0
             "x86" => native_outcome(module.clone(), TargetIsa::X86, entry, args, fuel),
             "sparc" => native_outcome(module.clone(), TargetIsa::Sparc, entry, args, fuel),
@@ -283,6 +290,7 @@ impl Oracle {
         let mut names = vec![
             "interp".to_string(),
             "fast-interp".to_string(),
+            "traced-interp".to_string(),
             "print-parse".to_string(),
             "bytecode".to_string(),
         ];
@@ -291,6 +299,7 @@ impl Oracle {
         }
         names.push("opt:standard".to_string());
         names.push("opt:linktime".to_string());
+        names.push("reopt".to_string());
         if !self.skip_native {
             for isa in [TargetIsa::X86, TargetIsa::Sparc] {
                 names.push(isa.to_string());
@@ -350,6 +359,54 @@ pub fn fast_interp_outcome(module: &Module, entry: &str, args: &[u64], fuel: u64
         Err(InterpError::OutOfFuel) => Outcome::Fuel,
         Err(e @ InterpError::NoSuchFunction(_)) => Outcome::Error(e.to_string()),
     }
+}
+
+/// Runs the [`FastInterpreter`] with the hot-trace tier enabled. The
+/// threshold is deliberately low (4) so trace formation, fused
+/// superinstructions, side exits, and trace invalidation all fire even
+/// on short generated seeds — any disagreement with the baseline is a
+/// trace-compiler bug.
+pub fn traced_interp_outcome(module: &Module, entry: &str, args: &[u64], fuel: u64) -> Outcome {
+    let mut i = FastInterpreter::new(module);
+    i.set_fuel(fuel);
+    i.enable_tracing(llva_engine::TraceConfig {
+        hot_threshold: 4,
+        max_blocks: 16,
+    });
+    match i.run(entry, args) {
+        Ok(v) => Outcome::Value(v),
+        Err(InterpError::Trap(t)) => Outcome::Trap(t.kind),
+        Err(InterpError::OutOfFuel) => Outcome::Fuel,
+        Err(e @ InterpError::NoSuchFunction(_)) => Outcome::Error(e.to_string()),
+    }
+}
+
+/// The full profile-guided reoptimization round trip (§4.2): instrument
+/// a clone, run it under the fast interpreter to fill the counters,
+/// form traces from the profile, [`llva_engine::trace::reoptimize`] a
+/// *clean* clone (trace-informed inlining + the scalar pipeline), then
+/// verify and interpret the reoptimized module. Instrumentation only
+/// inserts instructions, so the profile map's block ids address the
+/// clean clone directly.
+pub fn reopt_outcome(module: &Module, entry: &str, args: &[u64], fuel: u64) -> Outcome {
+    use llva_engine::{profile, trace};
+    let mut instrumented = module.clone();
+    let map = profile::instrument(&mut instrumented);
+    if let Err(e) = llva_core::verifier::verify_module(&instrumented) {
+        return Outcome::Reject(format!("instrumented verify: {e}"));
+    }
+    let mut profiler = FastInterpreter::new(&instrumented);
+    // the counter updates quadruple+ the instruction stream; give the
+    // profiling run headroom so the profile covers what the real run
+    // covers (its outcome is irrelevant — only the counters matter)
+    profiler.set_fuel(fuel.saturating_mul(8));
+    let _ = profiler.run(entry, args);
+    let counts = profiler.read_counters(&map);
+
+    let mut m2 = module.clone();
+    let cache = trace::form_traces(&m2, &map, &counts, 8, 16);
+    trace::reoptimize(&mut m2, &cache);
+    checked_interp(&m2, entry, args, fuel)
 }
 
 /// Verifies `module` first (a derived representation must still

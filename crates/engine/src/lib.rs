@@ -18,6 +18,7 @@ pub mod profile;
 pub mod storage;
 pub mod supervisor;
 pub mod trace;
+pub mod traced;
 
 pub use env::Env;
 pub use interp::{Interpreter, InterpError, LlvaTrap, Name, DEFAULT_MEMORY_SIZE};
@@ -27,6 +28,7 @@ pub use storage::{
     DirStorage, FaultLog, FaultPlan, FaultyStorage, MemStorage, SharedStorage, Storage,
     SyncStorage,
 };
+pub use traced::{TraceConfig, TraceEngine, TraceStats};
 pub use supervisor::{
     kills_from_env, Incident, IncidentCause, IncidentLog, KillMode, RecoveryAction, SupervisedRun,
     Supervisor, SupervisorError, Tier, TierCounters, TierKill, TierOutcome,

@@ -38,6 +38,9 @@ use crate::interp::{
     canonicalize, from_bits, int_binary, to_bits, trap_number, InterpError, LlvaTrap,
     Name, DEFAULT_MEMORY_SIZE,
 };
+use crate::traced::{
+    CompiledTrace, TraceConfig, TraceEnd, TraceEngine, TraceExit, TraceOp, TraceStats,
+};
 use llva_backend::common::{access_of, canonical_const, layout_globals, GlobalImage};
 use llva_core::function::{BlockId, Function};
 use llva_core::instruction::Opcode;
@@ -126,8 +129,11 @@ pub(crate) struct Edge {
 /// One pre-decoded instruction.
 #[derive(Debug, Clone)]
 pub(crate) enum PreInst {
-    /// Integer arithmetic/bitwise binary op.
-    IntBin { op: Opcode, a: Src, b: Src, dst: u32, width: u32, signed: bool, exc: bool },
+    /// Integer arithmetic/bitwise binary op that cannot trap (`div` and
+    /// `rem` decode as [`PreInst::IntDiv`], keeping this arm branchless).
+    IntBin { op: Opcode, a: Src, b: Src, dst: u32, width: u32, signed: bool },
+    /// Integer `div`/`rem` — the only integer binary ops that can trap.
+    IntDiv { op: Opcode, a: Src, b: Src, dst: u32, width: u32, signed: bool, exc: bool },
     /// Float/double arithmetic binary op (`add`–`rem` only).
     FloatBin { op: Opcode, a: Src, b: Src, dst: u32, is32: bool },
     /// One of the six `set*` comparisons.
@@ -170,18 +176,22 @@ pub(crate) enum PreInst {
 
 /// A function lowered to the flat pre-decoded form.
 pub struct PreFunction {
-    name: Name,
+    pub(crate) name: Name,
     /// Block names by arena index (trap coordinates).
-    block_names: Vec<Name>,
-    insts: Vec<PreInst>,
+    pub(crate) block_names: Vec<Name>,
+    pub(crate) insts: Vec<PreInst>,
     /// Per flat PC: `(block arena index, index within the block's
     /// original instruction list, phis included)` — the precise trap
     /// coordinate the structural interpreter would report.
-    traps: Vec<(u32, u32)>,
-    edges: Vec<Edge>,
-    num_slots: u32,
-    num_args: u32,
-    entry_pc: u32,
+    pub(crate) traps: Vec<(u32, u32)>,
+    pub(crate) edges: Vec<Edge>,
+    /// Per block arena index: `(first flat PC, flat instruction count)`.
+    /// Blocks absent from the layout order keep `(0, 0)`. The trace
+    /// compiler ([`crate::traced`]) walks these spans.
+    pub(crate) block_span: Vec<(u32, u32)>,
+    pub(crate) num_slots: u32,
+    pub(crate) num_args: u32,
+    pub(crate) entry_pc: u32,
 }
 
 impl fmt::Debug for PreFunction {
@@ -401,7 +411,7 @@ fn cast_kind(tt: &TypeTable, from: TypeId, to: TypeId) -> CastKind {
 }
 
 /// Runtime half of [`cast_kind`].
-fn apply_cast(kind: CastKind, v: u64) -> u64 {
+pub(crate) fn apply_cast(kind: CastKind, v: u64) -> u64 {
     match kind {
         CastKind::Identity => v,
         CastKind::IntToBool => u64::from(v != 0),
@@ -420,9 +430,34 @@ fn apply_cast(kind: CastKind, v: u64) -> u64 {
     }
 }
 
+/// The infallible integer binary ops, inlined without the
+/// division-by-zero `Option` of [`int_binary`] (decode routes `div` and
+/// `rem` to [`PreInst::IntDiv`], so this never sees them).
+#[inline(always)]
+pub(crate) fn int_arith(op: Opcode, a: u64, b: u64, width: u32, signed: bool) -> u64 {
+    let raw = match op {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a.wrapping_shl((b & 63) as u32),
+        Opcode::Shr => {
+            if signed {
+                ((a as i64).wrapping_shr((b & 63) as u32)) as u64
+            } else {
+                a.wrapping_shr((b & 63) as u32)
+            }
+        }
+        _ => unreachable!("fallible integer op decoded as IntDiv"),
+    };
+    canonicalize(raw, width, signed)
+}
+
 /// Runtime comparison over a pre-classified operand class, mirroring
 /// [`crate::interp::compare`].
-fn do_cmp(op: Opcode, class: CmpClass, a: u64, b: u64) -> bool {
+pub(crate) fn do_cmp(op: Opcode, class: CmpClass, a: u64, b: u64) -> bool {
     use std::cmp::Ordering;
     let ord = match class {
         CmpClass::F32 | CmpClass::F64 => {
@@ -483,6 +518,7 @@ fn decode_function(
 
     // flat PCs: phis occupy no flat slots
     let mut block_start = vec![0u32; arena_len];
+    let mut block_span = vec![(0u32, 0u32); arena_len];
     let mut pc = 0u32;
     for &b in &order {
         block_start[b.index()] = pc;
@@ -498,7 +534,9 @@ fn decode_function(
             "phi not at block head in %{}",
             func.name()
         );
-        pc += (insts.len() - nphi) as u32;
+        let n = (insts.len() - nphi) as u32;
+        block_span[b.index()] = (pc, n);
+        pc += n;
     }
 
     let mut block_names = vec![Name::new(""); arena_len];
@@ -553,14 +591,13 @@ fn decode_function(
                             PreInst::AlwaysTrap { kind: TrapKind::Software }
                         }
                     } else {
-                        PreInst::IntBin {
-                            op,
-                            a,
-                            b: bb,
-                            dst: dst.expect("binary result"),
-                            width: tt.int_bits(result_ty).expect("integer binary op"),
-                            signed: tt.is_signed_integer(result_ty),
-                            exc,
+                        let dst = dst.expect("binary result");
+                        let width = tt.int_bits(result_ty).expect("integer binary op");
+                        let signed = tt.is_signed_integer(result_ty);
+                        if matches!(op, Opcode::Div | Opcode::Rem) {
+                            PreInst::IntDiv { op, a, b: bb, dst, width, signed, exc }
+                        } else {
+                            PreInst::IntBin { op, a, b: bb, dst, width, signed }
                         }
                     }
                 }
@@ -674,6 +711,7 @@ fn decode_function(
         insts: d.insts,
         traps: d.traps,
         edges: d.edges,
+        block_span,
         num_slots: next,
         num_args: func.args().len() as u32,
         entry_pc,
@@ -698,7 +736,7 @@ pub struct PreModule<'m> {
     func_names: Vec<String>,
     /// Which functions are intrinsics, resolved once by name.
     intrinsics: Vec<Option<Intrinsic>>,
-    is_declaration: Vec<bool>,
+    pub(crate) is_declaration: Vec<bool>,
     decoded: RefCell<Vec<Option<Rc<PreFunction>>>>,
 }
 
@@ -774,6 +812,21 @@ impl<'m> PreModule<'m> {
     pub fn decoded_functions(&self) -> usize {
         self.decoded.borrow().iter().filter(|p| p.is_some()).count()
     }
+
+    /// Drops the cached pre-decode of one function (§3.4 SMC: the next
+    /// call re-decodes from the module). Live activations keep their
+    /// `Rc<PreFunction>`, matching the paper's rule that a code edit
+    /// takes effect from the *next* activation of the edited function.
+    pub fn invalidate(&self, func: usize) {
+        if let Some(slot) = self.decoded.borrow_mut().get_mut(func) {
+            *slot = None;
+        }
+    }
+
+    /// The simulated address of a global (profiling counter readback).
+    pub fn global_addr(&self, g: llva_core::module::GlobalId) -> u64 {
+        self.image.addrs[g.index()]
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -826,6 +879,30 @@ pub struct FastInterpreter<'m> {
     panic_after: Option<u64>,
     phi_scratch: Vec<u64>,
     arg_buf: Vec<u64>,
+    /// The hot-trace tier (paper §4.2), `None` when tracing is off.
+    trace: Option<Box<TraceEngine>>,
+}
+
+/// Batched step accounting for the dispatch loop: `fuel`, `insts`, and
+/// `env.clock` advance in lockstep, so the hot loop keeps one local
+/// step counter and commits all three on every exit path instead of
+/// performing three memory read-modify-writes per instruction.
+struct Acct {
+    /// Steps executed since the last commit/resync.
+    steps: u64,
+    /// Fuel available at the last resync (`steps == limit` ⇒ out of fuel).
+    limit: u64,
+    /// `self.insts` at the last resync.
+    insts0: u64,
+    /// `self.env.clock` at the last resync.
+    clock0: u64,
+}
+
+/// How one pass over a trace's ops ended: back at the head (the driver
+/// re-checks the fuel budget before the next pass) or leaving the trace.
+enum PassEnd {
+    Looped,
+    Exit(TraceExit),
 }
 
 impl<'m> fmt::Debug for FastInterpreter<'m> {
@@ -884,7 +961,50 @@ impl<'m> FastInterpreter<'m> {
             panic_after: None,
             phi_scratch: Vec::new(),
             arg_buf: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Enables the hot-trace tier: edge-profile counters accumulate at
+    /// every block entry, hot regions compile into linear traces with
+    /// fused superinstructions, and the dispatch loop enters them with
+    /// a single anchor-table lookup (paper §4.2).
+    pub fn enable_tracing(&mut self, config: TraceConfig) {
+        self.trace = Some(Box::new(TraceEngine::new(config)));
+    }
+
+    /// Installs an existing trace engine. The engine's counters and
+    /// compiled traces index into this interpreter's [`PreModule`] —
+    /// only reuse an engine across interpreters sharing the same
+    /// pre-decode cache (benchmark harnesses keep hot traces warm
+    /// across fresh memory images this way).
+    pub fn set_trace_engine(&mut self, engine: Box<TraceEngine>) {
+        self.trace = Some(engine);
+    }
+
+    /// Detaches the trace engine, keeping compiled traces and stats.
+    pub fn take_trace_engine(&mut self) -> Option<Box<TraceEngine>> {
+        self.trace.take()
+    }
+
+    /// Trace-tier statistics, when tracing is enabled.
+    /// Reads profiling counters back from this interpreter's memory
+    /// after a run of an instrumented module (see [`crate::profile`]).
+    pub fn read_counters(&self, map: &crate::profile::ProfileMap) -> Vec<u64> {
+        let addr = self.pre.global_addr(map.counters);
+        let bytes = self
+            .mem
+            .read_bytes(addr, (map.len * 8) as u64)
+            .expect("counters mapped");
+        let big = matches!(
+            self.pre.module().target().endianness,
+            llva_core::layout::Endianness::Big
+        );
+        crate::profile::decode_counters(bytes, map.len, big)
+    }
+
+    pub fn trace_stats(&self) -> Option<TraceStats> {
+        self.trace.as_deref().map(TraceEngine::stats)
     }
 
     /// Limits the number of LLVA instructions executed.
@@ -1066,35 +1186,62 @@ impl<'m> FastInterpreter<'m> {
 
     /// The dispatch loop. Never touches [`Module`] structures: all hot
     /// state is the current [`PreFunction`], the register slab, `pc`,
-    /// and `base`.
+    /// and `base`. Fuel/instruction/clock accounting is batched in an
+    /// [`Acct`] and committed on every exit path, so the per-step cost
+    /// is one compare and one add instead of three memory RMWs.
     #[allow(clippy::too_many_lines)]
     fn run_function(&mut self, fid: FuncId, args: &[u64]) -> Result<u64, InterpError> {
+        // commits the batched accounting before propagating an error
+        macro_rules! tc {
+            ($self:ident, $acct:ident, $e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(err) => {
+                        $self.commit(&$acct);
+                        return Err(err);
+                    }
+                }
+            };
+        }
         self.reset();
         let mut cur = self.push_frame(fid, args, None);
-        let mut pc = cur.entry_pc;
+        let mut func = fid.index() as u32;
         let mut base = self.frames.last().expect("frame just pushed").base;
+        let mut acct = self.acct_begin();
+        let mut pc = {
+            let entry = cur.entry_pc;
+            tc!(self, acct, self.entry_hot(&cur, func, base, entry, &mut acct))
+        };
         loop {
-            if self.fuel == 0 {
+            if acct.steps == acct.limit {
+                self.commit(&acct);
                 self.frames.last_mut().expect("active frame").pc = pc;
                 return Err(InterpError::OutOfFuel);
             }
-            if self.panic_after.is_some_and(|n| self.insts >= n) {
-                panic!("injected fast-interpreter fault after {} insts", self.insts);
+            if let Some(n) = self.panic_after {
+                if acct.insts0 + acct.steps >= n {
+                    self.commit(&acct);
+                    panic!("injected fast-interpreter fault after {} insts", self.insts);
+                }
             }
-            self.fuel -= 1;
-            self.insts += 1;
-            self.env.clock += 1;
+            acct.steps += 1;
 
             let inst = &cur.insts[pc as usize];
             match inst {
-                PreInst::IntBin { op, a, b, dst, width, signed, exc } => {
+                PreInst::IntBin { op, a, b, dst, width, signed } => {
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    self.regs[base + *dst as usize] = int_arith(*op, x, y, *width, *signed);
+                    pc += 1;
+                }
+                PreInst::IntDiv { op, a, b, dst, width, signed, exc } => {
                     let x = read(&self.regs, base, *a);
                     let y = read(&self.regs, base, *b);
                     let out = match int_binary(*op, x, y, *width, *signed) {
                         Some(v) => v,
                         None => {
                             if *exc {
-                                return Err(self.trap_at(&cur, pc, TrapKind::DivideByZero));
+                                return Err(self.fail(&acct, &cur, pc, TrapKind::DivideByZero));
                             }
                             0
                         }
@@ -1126,10 +1273,12 @@ impl<'m> FastInterpreter<'m> {
                     let ret = val.map(|s| read(&self.regs, base, s)).unwrap_or(0);
                     self.pop_frame();
                     let Some(caller) = self.frames.last() else {
+                        self.commit(&acct);
                         return Ok(ret);
                     };
                     cur = caller.pre.clone();
                     base = caller.base;
+                    func = caller.func;
                     pc = caller.pc;
                     let PreInst::Call { dst, normal_edge, .. } = &cur.insts[pc as usize] else {
                         unreachable!("caller pc rests on its call instruction");
@@ -1139,13 +1288,17 @@ impl<'m> FastInterpreter<'m> {
                         self.regs[base + d as usize] = ret;
                     }
                     match normal_edge {
-                        Some(e) => pc = self.take_edge(&cur, base, e)?,
-                        None => pc += 1,
+                        Some(e) => {
+                            pc = tc!(self, acct, self.take_edge_hot(&cur, func, base, e, &mut acct));
+                        }
+                        None => {
+                            pc = tc!(self, acct, self.resume_hot(&cur, func, base, pc + 1, &mut acct));
+                        }
                     }
                 }
                 PreInst::Jump { edge } => {
                     let e = *edge;
-                    pc = self.take_edge(&cur, base, e)?;
+                    pc = tc!(self, acct, self.take_edge_hot(&cur, func, base, e, &mut acct));
                 }
                 PreInst::BrCond { cond, then_edge, else_edge } => {
                     let e = if read(&self.regs, base, *cond) != 0 {
@@ -1153,7 +1306,7 @@ impl<'m> FastInterpreter<'m> {
                     } else {
                         *else_edge
                     };
-                    pc = self.take_edge(&cur, base, e)?;
+                    pc = tc!(self, acct, self.take_edge_hot(&cur, func, base, e, &mut acct));
                 }
                 PreInst::Mbr { disc, cases, default_edge } => {
                     let dv = read(&self.regs, base, *disc);
@@ -1164,13 +1317,13 @@ impl<'m> FastInterpreter<'m> {
                             break;
                         }
                     }
-                    pc = self.take_edge(&cur, base, e)?;
+                    pc = tc!(self, acct, self.take_edge_hot(&cur, func, base, e, &mut acct));
                 }
                 PreInst::Call { callee, args, dst, normal_edge, unwind_edge } => {
                     let cv = read(&self.regs, base, *callee);
                     let idx = (cv & !FUNC_TAG) as usize;
                     if cv & FUNC_TAG == 0 || idx >= self.pre.intrinsics.len() {
-                        return Err(self.trap_at(&cur, pc, TrapKind::BadFunctionPointer));
+                        return Err(self.fail(&acct, &cur, pc, TrapKind::BadFunctionPointer));
                     }
                     self.arg_buf.clear();
                     for &a in args {
@@ -1183,6 +1336,8 @@ impl<'m> FastInterpreter<'m> {
                             functions: self.frames.iter().rev().map(|f| f.func).collect(),
                         };
                         let argv = std::mem::take(&mut self.arg_buf);
+                        // the intrinsic environment observes `env.clock`
+                        self.commit(&acct);
                         let result = self.env.handle(
                             intr,
                             &argv,
@@ -1191,50 +1346,81 @@ impl<'m> FastInterpreter<'m> {
                             &self.pre.func_names,
                         );
                         self.arg_buf = argv;
+                        // §3.4: an SMC edit takes effect at the next
+                        // activation — drop the pre-decoded body and any
+                        // compiled traces of the edited function now
+                        if !self.env.smc_invalidations.is_empty() {
+                            let pend = std::mem::take(&mut self.env.smc_invalidations);
+                            for f in pend {
+                                self.pre.invalidate(f as usize);
+                                if let Some(eng) = self.trace.as_deref_mut() {
+                                    eng.invalidate(f as usize);
+                                }
+                            }
+                        }
+                        acct = self.acct_begin();
                         let ret = match result {
                             Ok(v) => v,
-                            Err(k) => return Err(self.trap_at(&cur, pc, k)),
+                            Err(k) => return Err(self.fail(&acct, &cur, pc, k)),
                         };
                         if let Some(d) = dst {
                             self.regs[base + d as usize] = ret;
                         }
                         match normal_edge {
-                            Some(e) => pc = self.take_edge(&cur, base, e)?,
-                            None => pc += 1,
+                            Some(e) => {
+                                pc = tc!(
+                                    self,
+                                    acct,
+                                    self.take_edge_hot(&cur, func, base, e, &mut acct)
+                                );
+                            }
+                            None => {
+                                pc = tc!(
+                                    self,
+                                    acct,
+                                    self.resume_hot(&cur, func, base, pc + 1, &mut acct)
+                                );
+                            }
                         }
                         continue;
                     }
                     if self.pre.is_declaration[idx] {
-                        return Err(self.trap_at(&cur, pc, TrapKind::BadFunctionPointer));
+                        return Err(self.fail(&acct, &cur, pc, TrapKind::BadFunctionPointer));
                     }
                     if self.frames.len() > 4096 {
-                        return Err(self.trap_at(&cur, pc, TrapKind::StackOverflow));
+                        return Err(self.fail(&acct, &cur, pc, TrapKind::StackOverflow));
                     }
                     self.frames.last_mut().expect("active frame").pc = pc;
                     let argv = std::mem::take(&mut self.arg_buf);
                     cur = self.push_frame(FuncId::from_index(idx), &argv, unwind_edge);
                     self.arg_buf = argv;
-                    pc = cur.entry_pc;
+                    func = idx as u32;
                     base = self.frames.last().expect("frame just pushed").base;
+                    let entry = cur.entry_pc;
+                    pc = tc!(self, acct, self.entry_hot(&cur, func, base, entry, &mut acct));
                 }
                 PreInst::Unwind => {
                     // pop frames to the nearest enclosing invoke (§3.1)
                     let unhandled = self.trap_at(&cur, pc, TrapKind::UnhandledUnwind);
                     loop {
                         if self.frames.is_empty() {
+                            self.commit(&acct);
                             return Err(unhandled);
                         }
                         let f = self.pop_frame();
                         if let Some(e) = f.unwind_edge {
                             let Some(caller) = self.frames.last() else {
+                                self.commit(&acct);
                                 return Err(unhandled);
                             };
                             cur = caller.pre.clone();
                             base = caller.base;
-                            pc = self.take_edge(&cur, base, e)?;
+                            func = caller.func;
+                            pc = tc!(self, acct, self.take_edge_hot(&cur, func, base, e, &mut acct));
                             break;
                         }
                         if self.frames.is_empty() {
+                            self.commit(&acct);
                             return Err(unhandled);
                         }
                     }
@@ -1250,7 +1436,7 @@ impl<'m> FastInterpreter<'m> {
                         Ok(v) => v,
                         Err(k) => {
                             if *exc {
-                                return Err(self.trap_at(&cur, pc, k));
+                                return Err(self.fail(&acct, &cur, pc, k));
                             }
                             0
                         }
@@ -1263,7 +1449,7 @@ impl<'m> FastInterpreter<'m> {
                     let a = read(&self.regs, base, *addr);
                     if let Err(k) = self.mem.store(a, v, *width) {
                         if *exc {
-                            return Err(self.trap_at(&cur, pc, k));
+                            return Err(self.fail(&acct, &cur, pc, k));
                         }
                     }
                     pc += 1;
@@ -1285,7 +1471,7 @@ impl<'m> FastInterpreter<'m> {
                         }
                     }
                     if fault {
-                        return Err(self.trap_at(&cur, pc, TrapKind::MemoryFault));
+                        return Err(self.fail(&acct, &cur, pc, TrapKind::MemoryFault));
                     }
                     self.regs[base + *dst as usize] = addr;
                     pc += 1;
@@ -1299,7 +1485,7 @@ impl<'m> FastInterpreter<'m> {
                     let count = count.map(|c| read(&self.regs, base, c)).unwrap_or(1);
                     let size = (unit * count + 7) & !7;
                     if self.sp < self.mem.stack_limit() + size {
-                        return Err(self.trap_at(&cur, pc, TrapKind::StackOverflow));
+                        return Err(self.fail(&acct, &cur, pc, TrapKind::StackOverflow));
                     }
                     self.sp -= size;
                     self.regs[base + *dst as usize] = self.sp;
@@ -1311,7 +1497,605 @@ impl<'m> FastInterpreter<'m> {
                     pc += 1;
                 }
                 PreInst::AlwaysTrap { kind } => {
-                    return Err(self.trap_at(&cur, pc, *kind));
+                    return Err(self.fail(&acct, &cur, pc, *kind));
+                }
+            }
+        }
+    }
+
+    /// Opens a fresh accounting batch against the current fuel level.
+    #[inline]
+    fn acct_begin(&self) -> Acct {
+        Acct {
+            steps: 0,
+            limit: self.fuel,
+            insts0: self.insts,
+            clock0: self.env.clock,
+        }
+    }
+
+    /// Writes a batch back to `fuel`/`insts`/`env.clock`. Committing the
+    /// same batch twice is a no-op, so exit paths can commit defensively.
+    #[inline]
+    fn commit(&mut self, a: &Acct) {
+        self.fuel = a.limit - a.steps;
+        self.insts = a.insts0 + a.steps;
+        self.env.clock = a.clock0 + a.steps;
+    }
+
+    /// Commits the accounting, then builds the precise trap at `pc`.
+    #[cold]
+    fn fail(&mut self, a: &Acct, cur: &PreFunction, pc: u32, kind: TrapKind) -> InterpError {
+        self.commit(a);
+        self.trap_at(cur, pc, kind)
+    }
+
+    /// [`FastInterpreter::take_edge`] plus the trace-tier hook: bumps the
+    /// target block's profile counter and enters any trace anchored at
+    /// the landing PC. With tracing disabled this compiles down to the
+    /// plain edge transfer.
+    #[inline]
+    fn take_edge_hot(
+        &mut self,
+        cur: &Rc<PreFunction>,
+        func: u32,
+        base: usize,
+        e: u32,
+        acct: &mut Acct,
+    ) -> Result<u32, InterpError> {
+        let pc = self.take_edge(cur, base, e)?;
+        if self.trace.is_none() || self.panic_after.is_some() {
+            return Ok(pc);
+        }
+        let block = cur.edges[e as usize].target_block;
+        self.trace_pc(cur, func, base, pc, Some(block), acct)
+    }
+
+    /// The trace-tier hook at function entry (the callee's entry block).
+    #[inline]
+    fn entry_hot(
+        &mut self,
+        cur: &Rc<PreFunction>,
+        func: u32,
+        base: usize,
+        pc: u32,
+        acct: &mut Acct,
+    ) -> Result<u32, InterpError> {
+        if self.trace.is_none() || self.panic_after.is_some() {
+            return Ok(pc);
+        }
+        let block = cur.traps.get(pc as usize).map(|&(b, _)| b);
+        self.trace_pc(cur, func, base, pc, block, acct)
+    }
+
+    /// The trace hook at a post-call resume point: plain calls resume
+    /// mid-block, so there is no block entry to profile — only a
+    /// continuation trace anchored at the resume pc to enter.
+    #[inline]
+    fn resume_hot(
+        &mut self,
+        cur: &Rc<PreFunction>,
+        func: u32,
+        base: usize,
+        pc: u32,
+        acct: &mut Acct,
+    ) -> Result<u32, InterpError> {
+        if self.trace.is_none() || self.panic_after.is_some() {
+            return Ok(pc);
+        }
+        self.trace_pc(cur, func, base, pc, None, acct)
+    }
+
+    /// The per-edge trace hook: profile the block entry and check for an
+    /// anchored trace in one per-function lookup; fall through to the
+    /// dispatch loop when neither fires.
+    #[inline]
+    fn trace_pc(
+        &mut self,
+        cur: &Rc<PreFunction>,
+        func: u32,
+        base: usize,
+        pc: u32,
+        block: Option<u32>,
+        acct: &mut Acct,
+    ) -> Result<u32, InterpError> {
+        let eng = self.trace.as_deref_mut().expect("tracing enabled");
+        let (hot, anchored) = match block {
+            Some(b) => eng.edge_event(func, b, pc, cur),
+            // mid-block resume: no block entry to profile
+            None => (false, eng.has_anchor(func, pc)),
+        };
+        if !hot && !anchored {
+            return Ok(pc);
+        }
+        self.trace_enter(cur, func, base, pc, block, hot, acct)
+    }
+
+    /// The cold half of the trace hook: trigger trace formation and run
+    /// a trace session.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_enter(
+        &mut self,
+        cur: &Rc<PreFunction>,
+        func: u32,
+        base: usize,
+        pc: u32,
+        block: Option<u32>,
+        hot: bool,
+        acct: &mut Acct,
+    ) -> Result<u32, InterpError> {
+        // entering compiled code: fold the batch back into `fuel` so the
+        // trace executor sees exact remaining fuel, and reopen it after
+        self.commit(acct);
+        let mut eng = self.trace.take().expect("tracing enabled");
+        let r = self.trace_session(&mut eng, cur, func, base, pc, block, hot);
+        self.trace = Some(eng);
+        *acct = self.acct_begin();
+        r
+    }
+
+    /// Runs traces anchored at `pc`, chaining across exits that land on
+    /// further anchors, until execution leaves traced code. The engine
+    /// is moved out of `self` for the whole session, so the chain loop
+    /// pays no per-entry indirection; fuel, instruction counts, and
+    /// statistics all commit exactly once when the session ends —
+    /// identical instruction counts, trap coordinates, and fuel behavior
+    /// to the general dispatch loop.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_session(
+        &mut self,
+        eng: &mut TraceEngine,
+        cur: &Rc<PreFunction>,
+        func: u32,
+        base: usize,
+        mut pc: u32,
+        mut block: Option<u32>,
+        mut hot: bool,
+    ) -> Result<u32, InterpError> {
+        let avail = self.fuel;
+        let mut done = 0u64;
+        let mut entries = 0u64;
+        let mut sides = 0u64;
+        let mut first: Option<Rc<CompiledTrace>> = None;
+        let result = loop {
+            if hot {
+                let b = block.expect("hot entries always name a block");
+                eng.form_and_compile(&self.pre, func, b);
+            }
+            let Some(tr) = eng.anchor(func, pc) else {
+                break Ok(pc);
+            };
+            entries += 1;
+            if first.is_none() {
+                first = Some(tr.clone());
+            }
+            match self.trace_body(&tr, cur, base, avail, &mut done) {
+                Ok(exit) => {
+                    pc = exit.pc;
+                    sides += u64::from(exit.side);
+                    let Some(b) = exit.block else {
+                        // mid-block exit (call/ret boundary): no anchor
+                        // can start here
+                        break Ok(pc);
+                    };
+                    block = Some(b);
+                    hot = eng.note_block_entry(func, b, cur);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.fuel = avail - done;
+        self.insts += done;
+        self.env.clock += done;
+        // profitability is judged per *session*, attributed to the trace
+        // that opened it: entries chained within a session are cheap,
+        // but opening a session (fold the fuel batch, enter, reopen)
+        // must be covered by the instructions the session retires
+        if let Some(tr) = first {
+            eng.note_trace_profit(func, &tr, done);
+        }
+        let s = eng.stats_mut();
+        s.trace_entries += entries;
+        s.trace_insts += done;
+        s.side_exits += sides;
+        result
+    }
+
+    /// The trace dispatch loop: a budget-checking driver around
+    /// [`Self::trace_pass`]. When the remaining fuel covers a whole pass
+    /// over the trace (`pass_steps`), the pass runs without per-step
+    /// fuel compares; only the final passes before exhaustion pay the
+    /// per-step check, so exhaustion still lands on the exact
+    /// instruction the general loop would stop at.
+    fn trace_body(
+        &mut self,
+        tr: &CompiledTrace,
+        cur: &Rc<PreFunction>,
+        base: usize,
+        avail: u64,
+        done: &mut u64,
+    ) -> Result<TraceExit, InterpError> {
+        loop {
+            let budget = avail - *done;
+            let end = if budget >= tr.pass_steps {
+                let passes = budget / tr.pass_steps;
+                self.trace_pass::<false>(tr, cur, base, avail, done, passes)?
+            } else {
+                self.trace_pass::<true>(tr, cur, base, avail, done, 0)?
+            };
+            match end {
+                PassEnd::Looped => {}
+                PassEnd::Exit(e) => return Ok(e),
+            }
+        }
+    }
+
+    /// Runs a trace's ops. Every original instruction the trace covers
+    /// bumps `done` exactly once (fused superinstructions bump it once
+    /// per fused component), so accounting matches the general loop.
+    /// `CHECKED` compiles the per-step fuel compare in or out: the
+    /// checked instantiation loops in place until the trace exits or
+    /// fuel runs dry, the unchecked one runs up to `max_passes` full
+    /// passes (the caller guarantees the budget covers that many) and
+    /// then hands back to the driver for a budget re-check.
+    #[allow(clippy::too_many_lines)]
+    fn trace_pass<const CHECKED: bool>(
+        &mut self,
+        tr: &CompiledTrace,
+        cur: &Rc<PreFunction>,
+        base: usize,
+        avail: u64,
+        done: &mut u64,
+        max_passes: u64,
+    ) -> Result<PassEnd, InterpError> {
+        // one original instruction retires
+        macro_rules! step {
+            ($self:ident) => {
+                if CHECKED && *done == avail {
+                    $self
+                        .frames
+                        .last_mut()
+                        .expect("active frame")
+                        .pc = tr.head_pc;
+                    return Err(InterpError::OutOfFuel);
+                }
+                *done += 1;
+            };
+        }
+        // inlined hot-edge phi moves (parallel-move semantics)
+        macro_rules! hot_moves {
+            ($self:ident, $moves:expr) => {
+                match $moves {
+                    [] => {}
+                    [(d, s)] => {
+                        let v = read(&$self.regs, base, *s);
+                        $self.regs[base + *d as usize] = v;
+                    }
+                    ms => {
+                        $self.phi_scratch.clear();
+                        for (_, s) in ms {
+                            let v = read(&$self.regs, base, *s);
+                            $self.phi_scratch.push(v);
+                        }
+                        for (i, (d, _)) in ms.iter().enumerate() {
+                            $self.regs[base + *d as usize] = $self.phi_scratch[i];
+                        }
+                    }
+                }
+            };
+        }
+        let mut idx = 0usize;
+        let mut passes = 0u64;
+        loop {
+            if idx == tr.ops.len() {
+                match tr.end {
+                    TraceEnd::Loop => {
+                        passes += 1;
+                        if CHECKED || passes < max_passes {
+                            idx = 0;
+                            continue;
+                        }
+                        // batch exhausted: hand the back-edge to the
+                        // driver for a fresh budget check
+                        return Ok(PassEnd::Looped);
+                    }
+                    TraceEnd::Exit { pc, block } => {
+                        return Ok(PassEnd::Exit(TraceExit { pc, block, side: false }));
+                    }
+                }
+            }
+            match &tr.ops[idx] {
+                TraceOp::Add { a, b, dst, width, signed } => {
+                    step!(self);
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    self.regs[base + *dst as usize] =
+                        canonicalize(x.wrapping_add(y), *width, *signed);
+                }
+                TraceOp::Sub { a, b, dst, width, signed } => {
+                    step!(self);
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    self.regs[base + *dst as usize] =
+                        canonicalize(x.wrapping_sub(y), *width, *signed);
+                }
+                TraceOp::Mul { a, b, dst, width, signed } => {
+                    step!(self);
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    self.regs[base + *dst as usize] =
+                        canonicalize(x.wrapping_mul(y), *width, *signed);
+                }
+                TraceOp::IntBin { op, a, b, dst, width, signed } => {
+                    step!(self);
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    self.regs[base + *dst as usize] = int_arith(*op, x, y, *width, *signed);
+                }
+                TraceOp::IntDiv { op, a, b, dst, width, signed, exc, pc } => {
+                    step!(self);
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    let out = match int_binary(*op, x, y, *width, *signed) {
+                        Some(v) => v,
+                        None => {
+                            if *exc {
+                                return Err(self.trap_at(cur, *pc, TrapKind::DivideByZero));
+                            }
+                            0
+                        }
+                    };
+                    self.regs[base + *dst as usize] = out;
+                }
+                TraceOp::FloatBin { op, a, b, dst, is32 } => {
+                    step!(self);
+                    let x = from_bits(read(&self.regs, base, *a), *is32);
+                    let y = from_bits(read(&self.regs, base, *b), *is32);
+                    let r = match op {
+                        Opcode::Add => x + y,
+                        Opcode::Sub => x - y,
+                        Opcode::Mul => x * y,
+                        Opcode::Div => x / y,
+                        Opcode::Rem => x % y,
+                        _ => unreachable!("decode rejects other float ops"),
+                    };
+                    self.regs[base + *dst as usize] = to_bits(r, *is32);
+                }
+                TraceOp::Cmp { op, class, a, b, dst } => {
+                    step!(self);
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    self.regs[base + *dst as usize] = u64::from(do_cmp(*op, *class, x, y));
+                }
+                TraceOp::Cast { src, kind, dst } => {
+                    step!(self);
+                    let v = read(&self.regs, base, *src);
+                    self.regs[base + *dst as usize] = apply_cast(*kind, v);
+                }
+                TraceOp::Load { addr, dst, width, signed, exc, pc } => {
+                    step!(self);
+                    let a = read(&self.regs, base, *addr);
+                    let v = self.trace_load(cur, a, *width, *signed, *exc, *pc)?;
+                    self.regs[base + *dst as usize] = v;
+                }
+                TraceOp::Store { val, addr, width, exc, pc } => {
+                    step!(self);
+                    let v = read(&self.regs, base, *val);
+                    let a = read(&self.regs, base, *addr);
+                    if let Err(k) = self.mem.store(a, v, *width) {
+                        if *exc {
+                            return Err(self.trap_at(cur, *pc, k));
+                        }
+                    }
+                }
+                TraceOp::Gep { base: b, steps, dst, pc } => {
+                    step!(self);
+                    let mut addr = read(&self.regs, base, *b);
+                    let mut fault = false;
+                    for step in steps.iter() {
+                        match *step {
+                            GepStep::Scaled { idx, size } => {
+                                let k = read(&self.regs, base, idx) as i64;
+                                addr = addr.wrapping_add(k.wrapping_mul(size) as u64);
+                            }
+                            GepStep::Const(off) => addr = addr.wrapping_add(off),
+                            GepStep::Trap => {
+                                fault = true;
+                                break;
+                            }
+                        }
+                    }
+                    if fault {
+                        return Err(self.trap_at(cur, *pc, TrapKind::MemoryFault));
+                    }
+                    self.regs[base + *dst as usize] = addr;
+                }
+                TraceOp::GepS { base: b, off, idx: i, size, dst } => {
+                    step!(self);
+                    let k = read(&self.regs, base, *i) as i64;
+                    let addr = read(&self.regs, base, *b)
+                        .wrapping_add(*off)
+                        .wrapping_add(k.wrapping_mul(*size) as u64);
+                    self.regs[base + *dst as usize] = addr;
+                }
+                TraceOp::GepConst { base: b, offset, dst } => {
+                    step!(self);
+                    let addr = read(&self.regs, base, *b).wrapping_add(*offset);
+                    self.regs[base + *dst as usize] = addr;
+                }
+                TraceOp::Alloca { count, unit, dst, pc } => {
+                    step!(self);
+                    let count = count.map(|c| read(&self.regs, base, c)).unwrap_or(1);
+                    let size = (unit * count + 7) & !7;
+                    if self.sp < self.mem.stack_limit() + size {
+                        return Err(self.trap_at(cur, *pc, TrapKind::StackOverflow));
+                    }
+                    self.sp -= size;
+                    self.regs[base + *dst as usize] = self.sp;
+                }
+                TraceOp::Jump0 => {
+                    step!(self);
+                }
+                TraceOp::Jump1 { dst, src } => {
+                    step!(self);
+                    let v = read(&self.regs, base, *src);
+                    self.regs[base + *dst as usize] = v;
+                }
+                TraceOp::Moves { moves } => {
+                    step!(self);
+                    hot_moves!(self, moves.as_ref());
+                }
+                TraceOp::Guard { cond, expect, hot, cold } => {
+                    step!(self);
+                    let taken = read(&self.regs, base, *cond) != 0;
+                    if taken == *expect {
+                        hot_moves!(self, hot.as_ref());
+                    } else {
+                        let pc = self.take_edge(cur, base, *cold)?;
+                        let block = cur.edges[*cold as usize].target_block;
+                        return Ok(PassEnd::Exit(TraceExit { pc, block: Some(block), side: true }));
+                    }
+                }
+                TraceOp::CmpBr { op, class, a, b, dst, expect, hot, cold } => {
+                    // fused setcc + br: two original instructions
+                    step!(self);
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    let taken = do_cmp(*op, *class, x, y);
+                    self.regs[base + *dst as usize] = u64::from(taken);
+                    step!(self);
+                    if taken == *expect {
+                        hot_moves!(self, hot.as_ref());
+                    } else {
+                        let pc = self.take_edge(cur, base, *cold)?;
+                        let block = cur.edges[*cold as usize].target_block;
+                        return Ok(PassEnd::Exit(TraceExit { pc, block: Some(block), side: true }));
+                    }
+                }
+                TraceOp::BinCmpBr {
+                    bop, ba, bb, bdst, bwidth, bsigned,
+                    cop, class, ca, cb, cdst, expect, hot, cold,
+                } => {
+                    // fused loop latch: three original instructions
+                    step!(self);
+                    let x = read(&self.regs, base, *ba);
+                    let y = read(&self.regs, base, *bb);
+                    self.regs[base + *bdst as usize] = int_arith(*bop, x, y, *bwidth, *bsigned);
+                    step!(self);
+                    let x = read(&self.regs, base, *ca);
+                    let y = read(&self.regs, base, *cb);
+                    let taken = do_cmp(*cop, *class, x, y);
+                    self.regs[base + *cdst as usize] = u64::from(taken);
+                    step!(self);
+                    if taken == *expect {
+                        hot_moves!(self, hot.as_ref());
+                    } else {
+                        let pc = self.take_edge(cur, base, *cold)?;
+                        let block = cur.edges[*cold as usize].target_block;
+                        return Ok(PassEnd::Exit(TraceExit { pc, block: Some(block), side: true }));
+                    }
+                }
+                TraceOp::LoadBin {
+                    op, addr, lwidth, lsigned, lexc, ldst, lpc,
+                    other, loaded_lhs, dst, width, signed,
+                } => {
+                    // fused load + integer op: two original instructions
+                    step!(self);
+                    let a = read(&self.regs, base, *addr);
+                    let v = self.trace_load(cur, a, *lwidth, *lsigned, *lexc, *lpc)?;
+                    self.regs[base + *ldst as usize] = v;
+                    step!(self);
+                    let o = read(&self.regs, base, *other);
+                    let (x, y) = if *loaded_lhs { (v, o) } else { (o, v) };
+                    self.regs[base + *dst as usize] = int_arith(*op, x, y, *width, *signed);
+                }
+                TraceOp::BinStore {
+                    op, a, b, tdst, width, signed, addr, swidth, sexc, spc,
+                } => {
+                    // fused integer op + store: two original instructions
+                    step!(self);
+                    let x = read(&self.regs, base, *a);
+                    let y = read(&self.regs, base, *b);
+                    let v = int_arith(*op, x, y, *width, *signed);
+                    self.regs[base + *tdst as usize] = v;
+                    step!(self);
+                    let ad = read(&self.regs, base, *addr);
+                    if let Err(k) = self.mem.store(ad, v, *swidth) {
+                        if *sexc {
+                            return Err(self.trap_at(cur, *spc, k));
+                        }
+                    }
+                }
+                TraceOp::GepLoad {
+                    base: gb, off, idx: gi, gdst, dst, width, lsigned, lexc, lpc,
+                } => {
+                    // fused address computation + load
+                    step!(self);
+                    let mut addr = read(&self.regs, base, *gb).wrapping_add(*off);
+                    if let Some((i, size)) = gi {
+                        let k = read(&self.regs, base, *i) as i64;
+                        addr = addr.wrapping_add(k.wrapping_mul(*size) as u64);
+                    }
+                    self.regs[base + *gdst as usize] = addr;
+                    step!(self);
+                    let v = self.trace_load(cur, addr, *width, *lsigned, *lexc, *lpc)?;
+                    self.regs[base + *dst as usize] = v;
+                }
+                TraceOp::GepStore {
+                    val, base: gb, off, idx: gi, gdst, swidth, sexc, spc,
+                } => {
+                    // fused address computation + store
+                    step!(self);
+                    let mut addr = read(&self.regs, base, *gb).wrapping_add(*off);
+                    if let Some((i, size)) = gi {
+                        let k = read(&self.regs, base, *i) as i64;
+                        addr = addr.wrapping_add(k.wrapping_mul(*size) as u64);
+                    }
+                    self.regs[base + *gdst as usize] = addr;
+                    step!(self);
+                    let v = read(&self.regs, base, *val);
+                    if let Err(k) = self.mem.store(addr, v, *swidth) {
+                        if *sexc {
+                            return Err(self.trap_at(cur, *spc, k));
+                        }
+                    }
+                }
+                TraceOp::Consts { writes } => {
+                    // constant-folded chain: each write retires one
+                    // original instruction
+                    for (d, v) in writes.iter() {
+                        step!(self);
+                        self.regs[base + *d as usize] = *v;
+                    }
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    /// Shared load helper for trace ops (plain and fused).
+    #[inline]
+    fn trace_load(
+        &mut self,
+        cur: &PreFunction,
+        addr: u64,
+        width: Width,
+        signed: bool,
+        exc: bool,
+        pc: u32,
+    ) -> Result<u64, InterpError> {
+        let loaded = if signed {
+            self.mem.load_signed(addr, width)
+        } else {
+            self.mem.load(addr, width)
+        };
+        match loaded {
+            Ok(v) => Ok(v),
+            Err(k) => {
+                if exc {
+                    Err(self.trap_at(cur, pc, k))
+                } else {
+                    Ok(0)
                 }
             }
         }

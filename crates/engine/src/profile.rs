@@ -120,6 +120,32 @@ pub fn instrument(module: &mut Module) -> ProfileMap {
     }
 }
 
+/// Builds the block-index map *without* instrumenting the module. The
+/// trace tier ([`crate::traced`]) keeps its counters in interpreter-side
+/// arrays rather than a module global, but shares the trace-formation
+/// algorithm — which addresses counters through a [`ProfileMap`].
+///
+/// The returned map's `counters` global is a placeholder and must not
+/// be dereferenced.
+pub fn index_only(module: &Module) -> ProfileMap {
+    let mut index = HashMap::new();
+    let mut n = 0usize;
+    for (fid, func) in module.functions() {
+        if func.is_declaration() {
+            continue;
+        }
+        for &b in func.block_order() {
+            index.insert((fid, b), n);
+            n += 1;
+        }
+    }
+    ProfileMap {
+        counters: GlobalId::from_index(0),
+        index,
+        len: n,
+    }
+}
+
 /// Decodes counter values from the raw bytes of the counter array
 /// (endianness per the module target).
 pub fn decode_counters(bytes: &[u8], len: usize, big_endian: bool) -> Vec<u64> {

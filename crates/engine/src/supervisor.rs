@@ -7,7 +7,7 @@
 //! run walks a **tier ladder**
 //!
 //! ```text
-//! translated native code  →  pre-decoded FastInterpreter  →  structural Interpreter
+//! translated native code  →  traced FastInterpreter  →  pre-decoded FastInterpreter  →  structural Interpreter
 //! ```
 //!
 //! where each tier executes under `catch_unwind` plus a fuel/step
@@ -40,6 +40,7 @@
 use crate::interp::Interpreter;
 use crate::llee::{EngineError, ExecutionManager, TargetIsa};
 use crate::predecode::FastInterpreter;
+use crate::traced::TraceConfig;
 use crate::storage::Storage;
 use crate::InterpError;
 use llva_core::module::Module;
@@ -55,6 +56,9 @@ use std::sync::Once;
 pub enum Tier {
     /// LLEE-translated native code on the simulated processor.
     Translated,
+    /// The pre-decoded interpreter with the hot-trace tier enabled:
+    /// profile-guided trace compilation with fused superinstructions.
+    Traced,
     /// The pre-decoded register-file interpreter.
     FastInterp,
     /// The structural reference interpreter (the semantic oracle).
@@ -63,24 +67,27 @@ pub enum Tier {
 
 impl Tier {
     /// The full ladder, fastest tier first.
-    pub const LADDER: [Tier; 3] = [Tier::Translated, Tier::FastInterp, Tier::Interp];
+    pub const LADDER: [Tier; 4] =
+        [Tier::Translated, Tier::Traced, Tier::FastInterp, Tier::Interp];
 
     /// Dense index (for per-tier counter arrays).
     #[must_use]
     pub fn index(self) -> usize {
         match self {
             Tier::Translated => 0,
-            Tier::FastInterp => 1,
-            Tier::Interp => 2,
+            Tier::Traced => 1,
+            Tier::FastInterp => 2,
+            Tier::Interp => 3,
         }
     }
 
     /// Parses the names used by `LLVA_KILL_TIER` (`translated`,
-    /// `fast-interp`/`predecode`, `interp`).
+    /// `traced`/`traced-interp`, `fast-interp`/`predecode`, `interp`).
     #[must_use]
     pub fn parse(s: &str) -> Option<Tier> {
         match s.trim() {
             "translated" => Some(Tier::Translated),
+            "traced" | "traced-interp" => Some(Tier::Traced),
             "fast-interp" | "predecode" => Some(Tier::FastInterp),
             "interp" => Some(Tier::Interp),
             _ => None,
@@ -92,6 +99,7 @@ impl fmt::Display for Tier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             Tier::Translated => "translated",
+            Tier::Traced => "traced",
             Tier::FastInterp => "fast-interp",
             Tier::Interp => "interp",
         })
@@ -408,7 +416,7 @@ pub struct Supervisor {
     quarantine: BTreeSet<(String, Tier)>,
     fault_counts: BTreeMap<(String, Tier), u32>,
     log: IncidentLog,
-    counters: [TierCounters; 3],
+    counters: [TierCounters; 4],
 }
 
 impl fmt::Debug for Supervisor {
@@ -451,7 +459,7 @@ impl Supervisor {
             quarantine: BTreeSet::new(),
             fault_counts: BTreeMap::new(),
             log: IncidentLog::default(),
-            counters: [TierCounters::default(); 3],
+            counters: [TierCounters::default(); 4],
         }
     }
 
@@ -517,7 +525,7 @@ impl Supervisor {
 
     /// Per-tier counters, indexed by [`Tier::index`].
     #[must_use]
-    pub fn tier_counters(&self) -> &[TierCounters; 3] {
+    pub fn tier_counters(&self) -> &[TierCounters; 4] {
         &self.counters
     }
 
@@ -739,14 +747,20 @@ impl Supervisor {
                     Err(msg) => TierRun::Fault(IncidentCause::Panic(msg)),
                 }
             }
-            Tier::FastInterp => {
+            Tier::Traced | Tier::FastInterp => {
                 let module = &self.module;
                 let mem = self.memory_size;
                 let mut steps = 0;
                 let result = catch_quiet(AssertUnwindSafe(|| {
                     let mut interp = FastInterpreter::with_memory_size(module, mem);
                     interp.set_fuel(budget);
+                    if tier == Tier::Traced {
+                        interp.enable_tracing(TraceConfig::default());
+                    }
                     if kill == Some(KillMode::Panic) {
+                        // the kill disarms trace entry, so the injected
+                        // fault fires deterministically in the general
+                        // dispatch loop regardless of trace state
                         interp.arm_panic_after(KILL_AFTER_INSTS);
                     }
                     let r = interp.run(entry, args);
@@ -892,12 +906,12 @@ entry:
     }
 
     #[test]
-    fn killed_translated_tier_degrades_to_fast_interp() {
+    fn killed_translated_tier_degrades_to_traced() {
         let mut sup = Supervisor::new(module(), TargetIsa::Sparc);
         sup.arm_kill(TierKill::panic(Tier::Translated));
         let run = sup.run("main", &[]).expect("degrades");
         assert_eq!(run.outcome, TierOutcome::Value(55));
-        assert_eq!(run.tier, Tier::FastInterp);
+        assert_eq!(run.tier, Tier::Traced);
         assert!(run.degraded);
         let log = sup.incident_log();
         assert_eq!(log.len(), 1);
@@ -905,7 +919,7 @@ entry:
         assert_eq!(i.tier, Tier::Translated);
         assert_eq!(i.function, "main");
         assert!(matches!(i.cause, IncidentCause::Panic(_)));
-        assert_eq!(i.recovery, RecoveryAction::FellBack(Tier::FastInterp));
+        assert_eq!(i.recovery, RecoveryAction::FellBack(Tier::Traced));
         assert!(i.injected);
         assert!(sup.is_quarantined("main", Tier::Translated));
         // second run: quarantine skip, no new incident
@@ -923,6 +937,8 @@ entry:
         // pure parse test via Tier::parse (env mutation would race other
         // tests in this process)
         assert_eq!(Tier::parse("translated"), Some(Tier::Translated));
+        assert_eq!(Tier::parse("traced"), Some(Tier::Traced));
+        assert_eq!(Tier::parse("traced-interp"), Some(Tier::Traced));
         assert_eq!(Tier::parse("fast-interp"), Some(Tier::FastInterp));
         assert_eq!(Tier::parse("predecode"), Some(Tier::FastInterp));
         assert_eq!(Tier::parse(" interp "), Some(Tier::Interp));
@@ -938,6 +954,6 @@ entry:
         assert!(text.contains("translated"), "{text}");
         assert!(text.contains("panic"), "{text}");
         let line = sup.incident_log().incidents()[0].to_string();
-        assert!(line.contains("fell back to fast-interp"), "{line}");
+        assert!(line.contains("fell back to traced"), "{line}");
     }
 }

@@ -1,0 +1,338 @@
+//! Differential tests for the hot-trace tier: a tracing
+//! [`FastInterpreter`] must be value-for-value, trap-for-trap identical
+//! to the structural [`Interpreter`] — same results, same precise trap
+//! coordinates (including traps raised inside fused superinstructions),
+//! same instruction counts — while actually spending time in compiled
+//! traces (asserted through [`TraceStats`]).
+
+use llva_core::module::Module;
+use llva_engine::{FastInterpreter, InterpError, Interpreter, TraceConfig, TraceStats};
+use llva_machine::common::TrapKind;
+
+fn parse(src: &str) -> Module {
+    let m = llva_core::parser::parse_module(src).expect("parses");
+    llva_core::verifier::verify_module(&m).expect("verifies");
+    m
+}
+
+/// Runs `entry(args)` under the structural interpreter, the plain
+/// fast interpreter, and the fast interpreter with tracing enabled at
+/// a low hot threshold. Asserts the complete observable outcome is
+/// identical across all three and returns the outcome plus the
+/// trace-tier statistics.
+fn run_traced(
+    src: &str,
+    entry: &str,
+    args: &[u64],
+) -> (Result<u64, InterpError>, TraceStats) {
+    run_traced_fuel(src, entry, args, u64::MAX)
+}
+
+fn run_traced_fuel(
+    src: &str,
+    entry: &str,
+    args: &[u64],
+    fuel: u64,
+) -> (Result<u64, InterpError>, TraceStats) {
+    let m = parse(src);
+    let mut slow = Interpreter::new(&m);
+    slow.set_fuel(fuel);
+    let expected = slow.run(entry, args);
+
+    let mut plain = FastInterpreter::new(&m);
+    plain.set_fuel(fuel);
+    let plain_out = plain.run(entry, args);
+    assert_eq!(plain_out, expected, "untraced fast interp diverges on {entry}{args:?}");
+
+    let mut traced = FastInterpreter::new(&m);
+    traced.set_fuel(fuel);
+    traced.enable_tracing(TraceConfig { hot_threshold: 4, max_blocks: 16 });
+    let got = traced.run(entry, args);
+    assert_eq!(got, expected, "traced outcome diverges on {entry}{args:?}");
+    assert_eq!(
+        traced.insts_executed(),
+        slow.insts_executed(),
+        "instruction counts diverge on {entry}{args:?}"
+    );
+    assert_eq!(
+        traced.env.stdout_string(),
+        slow.env.stdout_string(),
+        "intrinsic output diverges on {entry}{args:?}"
+    );
+    assert!(traced.slab_consistent(), "slab inconsistent after {entry}{args:?}");
+    let stats = traced.trace_stats().expect("tracing enabled");
+    (got, stats)
+}
+
+const LOOP_SUM: &str = r#"
+int %main(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %s = phi int [ 0, %entry ], [ %s2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %s2 = add int %s, %i
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %s
+}
+"#;
+
+#[test]
+fn loop_trace_compiles_and_matches() {
+    let (out, stats) = run_traced(LOOP_SUM, "main", &[200]);
+    assert_eq!(out, Ok((0..200).sum()));
+    assert!(stats.traces_compiled >= 1, "loop must form a trace: {stats:?}");
+    assert!(stats.trace_entries >= 1, "dispatch must enter the trace: {stats:?}");
+    assert!(stats.trace_insts > 100, "most retirement inside the trace: {stats:?}");
+    assert!(stats.superinsts >= 1, "setcc+br must fuse: {stats:?}");
+}
+
+#[test]
+fn side_exit_taken_mid_trace() {
+    // the inner branch goes to %spike every 7th iteration: the trace
+    // follows the hot %latch side and must side-exit on the spikes
+    let src = r#"
+int %main(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %latch ]
+    %s = phi int [ 0, %entry ], [ %s3, %latch ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %r = rem int %i, 7
+    %z = seteq int %r, 0
+    br bool %z, label %spike, label %latch
+spike:
+    %sa = add int %s, 100
+    br label %latch
+latch:
+    %sm = phi int [ %s, %body ], [ %sa, %spike ]
+    %s2 = add int %sm, %i
+    %i2 = add int %i, 1
+    %s3 = add int %s2, 0
+    br label %header
+exit:
+    ret int %s
+}
+"#;
+    let n = 100u64;
+    let expect: u64 = (0..n).map(|i| i + u64::from(i % 7 == 0) * 100).sum();
+    let (out, stats) = run_traced(src, "main", &[n]);
+    assert_eq!(out, Ok(expect));
+    assert!(stats.traces_compiled >= 1, "{stats:?}");
+    assert!(stats.side_exits >= 1, "spikes must leave the trace: {stats:?}");
+}
+
+#[test]
+fn deep_recursion_through_cross_procedure_trace() {
+    let src = r#"
+int %helper(int %x) {
+entry:
+    %y = mul int %x, 3
+    %z = add int %y, 1
+    ret int %z
+}
+
+int %rec(int %n, int %acc) {
+entry:
+    %c = setle int %n, 0
+    br bool %c, label %done, label %go
+done:
+    ret int %acc
+go:
+    %h = call int %helper(int %n)
+    %acc2 = add int %acc, %h
+    %n2 = sub int %n, 1
+    %r = call int %rec(int %n2, int %acc2)
+    ret int %r
+}
+
+int %main(int %n) {
+entry:
+    %r = call int %rec(int %n, int 0)
+    ret int %r
+}
+"#;
+    let n = 500u64;
+    let expect: u64 = (1..=n).map(|k| 3 * k + 1).sum();
+    let (out, stats) = run_traced(src, "main", &[n]);
+    assert_eq!(out, Ok(expect));
+    assert!(stats.traces_compiled >= 1, "hot recursion must trace: {stats:?}");
+    assert!(stats.trace_entries >= 1, "{stats:?}");
+}
+
+#[test]
+fn trap_inside_fused_superinstruction_has_exact_coordinates() {
+    // the load fuses with the add consuming it (load+op); at i == 50
+    // the address goes wild and the fused op must report the same
+    // MemoryFault coordinates as the structural interpreter
+    let src = r#"
+int %main(int %n) {
+entry:
+    %buf = alloca int, uint 4
+    %bufi = cast int* %buf to long
+    %nl = cast int %n to long
+    br label %header
+header:
+    %i = phi long [ 0, %entry ], [ %i2, %body ]
+    %s = phi int [ 0, %entry ], [ %s2, %body ]
+    %c = setlt long %i, %nl
+    br bool %c, label %body, label %exit
+body:
+    %isbad = seteq long %i, 50
+    %badi = cast bool %isbad to long
+    %off = mul long %badi, 99999999999
+    %ai = add long %bufi, %off
+    %a = cast long %ai to int*
+    %v = load int* %a
+    %s2 = add int %s, %v
+    %i2 = add long %i, 1
+    br label %header
+exit:
+    ret int %s
+}
+"#;
+    let (out, stats) = run_traced(src, "main", &[100]);
+    let err = out.expect_err("the wild load must trap");
+    let InterpError::Trap(t) = &err else {
+        panic!("expected a trap, got {err:?}");
+    };
+    assert_eq!(t.kind, TrapKind::MemoryFault);
+    assert_eq!(&*t.block, "body");
+    assert!(stats.traces_compiled >= 1, "trap fires after the loop is hot: {stats:?}");
+    assert!(stats.trace_insts > 0, "{stats:?}");
+}
+
+#[test]
+fn div_by_zero_mid_trace_has_exact_coordinates() {
+    let src = r#"
+int %main(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %s = phi int [ 0, %entry ], [ %s2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %d = sub int 50, %i
+    %q = div int 1000, %d
+    %s2 = add int %s, %q
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %s
+}
+"#;
+    let (out, stats) = run_traced(src, "main", &[100]);
+    let err = out.expect_err("division hits zero at i == 50");
+    let InterpError::Trap(t) = &err else {
+        panic!("expected a trap, got {err:?}");
+    };
+    assert_eq!(t.kind, TrapKind::DivideByZero);
+    assert_eq!(&*t.block, "body");
+    assert!(stats.traces_compiled >= 1, "{stats:?}");
+}
+
+#[test]
+fn smc_edit_invalidates_live_trace() {
+    // each outer iteration heats %helper's inner loop into a trace,
+    // then an SMC edit drops it; the next call re-decodes and re-heats
+    let src = r#"
+declare int %llva.smc.invalidate(int (int)*)
+
+int %helper(int %x) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %s = phi int [ 0, %entry ], [ %s2, %body ]
+    %c = setlt int %i, 10
+    br bool %c, label %body, label %exit
+body:
+    %s2 = add int %s, %x
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %s
+}
+
+int %main(int %n) {
+entry:
+    br label %header
+header:
+    %i = phi int [ 0, %entry ], [ %i2, %body ]
+    %s = phi int [ 0, %entry ], [ %s2, %body ]
+    %c = setlt int %i, %n
+    br bool %c, label %body, label %exit
+body:
+    %h = call int %helper(int %i)
+    %x = call int %llva.smc.invalidate(int (int)* %helper)
+    %s2 = add int %s, %h
+    %i2 = add int %i, 1
+    br label %header
+exit:
+    ret int %s
+}
+"#;
+    let n = 20u64;
+    let expect: u64 = (0..n).map(|i| 10 * i).sum();
+    let (out, stats) = run_traced(src, "main", &[n]);
+    assert_eq!(out, Ok(expect));
+    assert!(stats.invalidated >= 1, "SMC must drop compiled traces: {stats:?}");
+    assert!(
+        stats.traces_compiled >= 2,
+        "the helper re-heats after invalidation: {stats:?}"
+    );
+}
+
+#[test]
+fn fuel_exhaustion_mid_trace_matches() {
+    // fuel budgets that land inside the compiled loop trace must
+    // produce the same OutOfFuel point and instruction count
+    for fuel in [37, 64, 100, 317, 1000] {
+        let (out, _) = run_traced_fuel(LOOP_SUM, "main", &[10_000], fuel);
+        assert_eq!(out, Err(InterpError::OutOfFuel), "fuel {fuel}");
+    }
+}
+
+#[test]
+fn traced_results_match_across_workload_shapes() {
+    // memory traffic: gep+load / gep+store fusion paths
+    let src = r#"
+int %main(int %n) {
+entry:
+    %buf = alloca int, uint 64
+    br label %fill
+fill:
+    %i = phi int [ 0, %entry ], [ %i2, %fill ]
+    %p = getelementptr int* %buf, int %i
+    store int %i, int* %p
+    %i2 = add int %i, 1
+    %c = setlt int %i2, 64
+    br bool %c, label %fill, label %sum
+sum:
+    %j = phi int [ 0, %fill ], [ %j2, %sum ]
+    %s = phi int [ 0, %fill ], [ %s2, %sum ]
+    %q = getelementptr int* %buf, int %j
+    %v = load int* %q
+    %s2 = add int %s, %v
+    %j2 = add int %j, 1
+    %d = setlt int %j2, 64
+    br bool %d, label %sum, label %done
+done:
+    ret int %s2
+}
+"#;
+    let (out, stats) = run_traced(src, "main", &[0]);
+    assert_eq!(out, Ok((0..64).sum()));
+    assert!(stats.traces_compiled >= 1, "{stats:?}");
+    assert!(stats.superinsts >= 1, "gep+mem ops must fuse: {stats:?}");
+}

@@ -11,10 +11,18 @@ use llva_conform::oracle::Oracle;
 use llva_core::layout::TargetConfig;
 
 /// The oracle stages the workloads run through: -O0 on every executor
-/// (both interpreters), then the standard pipeline interpreted and on
-/// both processors.
-const STAGES: [&str; 7] =
-    ["interp", "fast-interp", "x86", "sparc", "opt:standard", "x86:opt", "sparc:opt"];
+/// (all three interpreter tiers), then the standard pipeline
+/// interpreted and on both processors.
+const STAGES: [&str; 8] = [
+    "interp",
+    "fast-interp",
+    "traced-interp",
+    "x86",
+    "sparc",
+    "opt:standard",
+    "x86:opt",
+    "sparc:opt",
+];
 
 #[test]
 fn workloads_agree_across_oracle_stages() {

@@ -4,10 +4,11 @@
 //!
 //! The kill set comes from `LLVA_KILL_TIER` (comma-separated tier
 //! names, the same env the CI fault-injection matrix sets); when unset,
-//! the test sweeps every meaningful degradation depth itself:
-//! no kill, `translated`, and `translated,fast-interp`. Kills are
-//! cumulative ladder prefixes — killing only a lower tier would be
-//! masked by the healthy tier above it answering first.
+//! the test sweeps every meaningful degradation depth itself: no kill,
+//! `translated`, `translated,traced`, and
+//! `translated,traced,fast-interp`. Kills are cumulative ladder
+//! prefixes — killing only a lower tier would be masked by the healthy
+//! tier above it answering first.
 //!
 //! For each workload × kill set the test asserts:
 //! * the outcome equals the structural interpreter's (zero wrong
@@ -36,6 +37,11 @@ fn kill_sets() -> Vec<Vec<TierKill>> {
         vec![TierKill::panic(Tier::Translated)],
         vec![
             TierKill::panic(Tier::Translated),
+            TierKill::panic(Tier::Traced),
+        ],
+        vec![
+            TierKill::panic(Tier::Translated),
+            TierKill::panic(Tier::Traced),
             TierKill::panic(Tier::FastInterp),
         ],
     ]
