@@ -25,8 +25,8 @@ pub use interp::{Interpreter, InterpError, LlvaTrap, Name, DEFAULT_MEMORY_SIZE};
 pub use predecode::{FastInterpreter, PreModule};
 pub use llee::{EngineError, ExecutionManager, RunOutcome, TargetIsa, TranslationStats};
 pub use storage::{
-    DirStorage, FaultLog, FaultPlan, FaultyStorage, MemStorage, SharedStorage, Storage,
-    SyncStorage,
+    shard_hash, DirStorage, FaultLog, FaultPlan, FaultyStorage, MemStorage, ShardedStorage,
+    SharedStorage, Storage, SyncStorage,
 };
 pub use traced::{TraceConfig, TraceEngine, TraceStats};
 pub use supervisor::{

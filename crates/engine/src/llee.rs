@@ -139,6 +139,25 @@ pub struct TranslationStats {
     pub invalidations: usize,
 }
 
+impl TranslationStats {
+    /// Accumulates `other` into `self` — per-run managers are ephemeral
+    /// inside the supervisor, so long-running surfaces (the serving
+    /// layer's metrics endpoint) aggregate their stats across calls.
+    pub fn merge(&mut self, other: &TranslationStats) {
+        self.functions_translated += other.functions_translated;
+        self.translate_time += other.translate_time;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_stale += other.cache_stale;
+        self.cache_corrupt += other.cache_corrupt;
+        self.cache_retried += other.cache_retried;
+        self.cache_recovered += other.cache_recovered;
+        self.retried_ok += other.retried_ok;
+        self.gave_up += other.gave_up;
+        self.invalidations += other.invalidations;
+    }
+}
+
 /// Offline-cache counters for one function (see
 /// [`ExecutionManager::func_cache_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -414,6 +414,172 @@ impl<S: Storage> Storage for SyncStorage<S> {
     }
 }
 
+/// Trait-object passthrough so storage stacks can be composed behind a
+/// `Box<dyn Storage + Send>` (the serving layer shards over boxed
+/// storages whose concrete type is chosen at runtime).
+impl<T: Storage + ?Sized> Storage for Box<T> {
+    fn create_cache(&mut self, cache: &str) {
+        (**self).create_cache(cache);
+    }
+    fn delete_cache(&mut self, cache: &str) {
+        (**self).delete_cache(cache);
+    }
+    fn cache_size(&self, cache: &str) -> Option<u64> {
+        (**self).cache_size(cache)
+    }
+    fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
+        (**self).write(cache, name, bytes, timestamp);
+    }
+    fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
+        (**self).read(cache, name)
+    }
+    fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
+        (**self).timestamp(cache, name)
+    }
+    fn remove(&mut self, cache: &str, name: &str) {
+        (**self).remove(cache, name);
+    }
+    fn quarantine(&mut self, cache: &str, name: &str) {
+        (**self).quarantine(cache, name);
+    }
+    fn write_batch(&mut self, cache: &str, entries: &[(String, Vec<u8>, u64)]) {
+        (**self).write_batch(cache, entries);
+    }
+}
+
+/// FNV-1a over an entry name — the shard-routing hash of
+/// [`ShardedStorage`]. Deterministic and stable across processes, so a
+/// fleet of services sharing one directory tree routes identically.
+#[must_use]
+pub fn shard_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A sharded, thread-safe storage: N independent [`SyncStorage`] shards
+/// with entries routed by [`shard_hash`] of the entry name. Contention
+/// on the translation cache then scales with the shard count instead of
+/// serializing every tenant behind one mutex, and a poisoned shard
+/// (a panicking writer) degrades only the functions hashed to it —
+/// every shard recovers independently via [`SyncStorage`]'s
+/// poison-recovery path.
+///
+/// Cloning yields another handle to the same shards (cheap, `Arc`).
+#[derive(Debug)]
+pub struct ShardedStorage<S> {
+    shards: std::sync::Arc<[SyncStorage<S>]>,
+}
+
+// manual impl: cloning the handle must not require S: Clone
+impl<S> Clone for ShardedStorage<S> {
+    fn clone(&self) -> ShardedStorage<S> {
+        ShardedStorage { shards: std::sync::Arc::clone(&self.shards) }
+    }
+}
+
+impl<S: Storage> ShardedStorage<S> {
+    /// `shards` storages (at least 1), one per shard, built by `mk`
+    /// (called with the shard index — e.g. to give each shard its own
+    /// directory or fault seed).
+    pub fn new(shards: usize, mut mk: impl FnMut(usize) -> S) -> ShardedStorage<S> {
+        let n = shards.max(1);
+        ShardedStorage {
+            shards: (0..n).map(|i| SyncStorage::new(mk(i))).collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index entry `name` routes to.
+    #[must_use]
+    pub fn shard_index(&self, name: &str) -> usize {
+        (shard_hash(name) % self.shards.len() as u64) as usize
+    }
+
+    /// Direct access to one shard (tests and fault-injection drivers).
+    #[must_use]
+    pub fn shard(&self, i: usize) -> &SyncStorage<S> {
+        &self.shards[i]
+    }
+
+    /// Sum of [`SyncStorage::pending_batch_len`] across shards — zero
+    /// whenever no flush is in progress; the poison-leak regression
+    /// surface for the whole sharded cache.
+    #[must_use]
+    pub fn pending_batch_total(&self) -> usize {
+        self.shards.iter().map(SyncStorage::pending_batch_len).sum()
+    }
+
+    fn route(&self, name: &str) -> &SyncStorage<S> {
+        &self.shards[self.shard_index(name)]
+    }
+}
+
+impl<S: Storage> Storage for ShardedStorage<S> {
+    fn create_cache(&mut self, cache: &str) {
+        for shard in self.shards.iter() {
+            shard.lock().storage.create_cache(cache);
+        }
+    }
+    fn delete_cache(&mut self, cache: &str) {
+        for shard in self.shards.iter() {
+            shard.lock().storage.delete_cache(cache);
+        }
+    }
+    fn cache_size(&self, cache: &str) -> Option<u64> {
+        // Some if any shard knows the cache (they are created on all
+        // shards together; a fresh shard may legitimately hold nothing)
+        let sizes: Vec<u64> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.cache_size(cache))
+            .collect();
+        if sizes.is_empty() {
+            None
+        } else {
+            Some(sizes.iter().sum())
+        }
+    }
+    fn write(&mut self, cache: &str, name: &str, bytes: &[u8], timestamp: u64) {
+        self.route(name).lock().storage.write(cache, name, bytes, timestamp);
+    }
+    fn read(&self, cache: &str, name: &str) -> Option<(Vec<u8>, u64)> {
+        self.route(name).read(cache, name)
+    }
+    fn timestamp(&self, cache: &str, name: &str) -> Option<u64> {
+        self.route(name).timestamp(cache, name)
+    }
+    fn remove(&mut self, cache: &str, name: &str) {
+        self.route(name).lock().storage.remove(cache, name);
+    }
+    // `quarantine` deliberately keeps the default trait implementation:
+    // the preserved `.quar` copy routes by its own name, so lookups of
+    // either name stay consistent with the routing function.
+    fn write_batch(&mut self, cache: &str, entries: &[(String, Vec<u8>, u64)]) {
+        // split the batch by shard and flush each sub-batch through the
+        // shard's own write_batch, preserving per-shard poison recovery
+        let mut per_shard: Vec<Vec<(String, Vec<u8>, u64)>> =
+            vec![Vec::new(); self.shards.len()];
+        for e in entries {
+            per_shard[self.shard_index(&e.0)].push(e.clone());
+        }
+        for (i, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                let mut shard = self.shards[i].clone();
+                shard.write_batch(cache, &batch);
+            }
+        }
+    }
+}
+
 /// How often [`FaultyStorage`] injects each fault class. Every knob is
 /// "about 1 in N operations" (`0` = never). Faults are drawn from a
 /// seeded xorshift PRNG, so the same seed over the same operation
@@ -956,6 +1122,80 @@ mod tests {
         assert!(log_a.total() > 0, "chaos plan injects faults");
         let (_, log_c) = run(43);
         assert_ne!(log_a, log_c, "different seed, different fault pattern");
+    }
+
+    #[test]
+    fn sharded_storage_contract() {
+        let mut s = ShardedStorage::new(4, |_| MemStorage::new());
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn sharded_storage_routes_deterministically_and_spreads() {
+        let s = ShardedStorage::new(8, |_| MemStorage::new());
+        let mut hit = [false; 8];
+        for i in 0..64 {
+            let name = format!("mod.x86.fn{i}");
+            assert_eq!(s.shard_index(&name), s.shard_index(&name));
+            hit[s.shard_index(&name)] = true;
+        }
+        assert!(
+            hit.iter().filter(|&&h| h).count() >= 4,
+            "64 keys over 8 shards must touch at least half of them"
+        );
+        // a single shard degenerates to one storage and still works
+        let one = ShardedStorage::new(1, |_| MemStorage::new());
+        assert_eq!(one.shard_count(), 1);
+        assert_eq!(one.shard_index("anything"), 0);
+    }
+
+    #[test]
+    fn sharded_storage_handles_share_shards_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedStorage<MemStorage>>();
+
+        let storage = ShardedStorage::new(4, |_| MemStorage::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let mut handle = storage.clone();
+                scope.spawn(move || {
+                    handle.create_cache("app");
+                    handle.write("app", &format!("fn{t}"), &[t as u8; 8], t);
+                });
+            }
+        });
+        for t in 0..8u64 {
+            assert_eq!(
+                storage.read("app", &format!("fn{t}")),
+                Some((vec![t as u8; 8], t)),
+                "entry written by thread {t} must be visible from any handle"
+            );
+        }
+        assert_eq!(storage.pending_batch_total(), 0);
+    }
+
+    #[test]
+    fn sharded_storage_write_batch_splits_by_shard() {
+        let mut storage = ShardedStorage::new(4, |_| MemStorage::new());
+        storage.create_cache("app");
+        let batch: Vec<(String, Vec<u8>, u64)> = (0..32u64)
+            .map(|i| (format!("fn{i}"), vec![i as u8; 4], i))
+            .collect();
+        storage.write_batch("app", &batch);
+        for (name, bytes, ts) in &batch {
+            assert_eq!(storage.read("app", name), Some((bytes.clone(), *ts)));
+        }
+        assert_eq!(storage.pending_batch_total(), 0);
+    }
+
+    #[test]
+    fn boxed_storage_passthrough() {
+        let mut boxed: Box<dyn Storage + Send> = Box::new(MemStorage::new());
+        exercise(&mut boxed);
+        // boxed storages compose: a sharded storage over boxed inners
+        let mut sharded: ShardedStorage<Box<dyn Storage + Send>> =
+            ShardedStorage::new(2, |_| Box::new(MemStorage::new()) as Box<dyn Storage + Send>);
+        exercise(&mut sharded);
     }
 
     #[test]

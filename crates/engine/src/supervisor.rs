@@ -151,6 +151,13 @@ pub enum IncidentCause {
         /// What this tier produced instead.
         got: TierOutcome,
     },
+    /// A quarantine probe succeeded: the pair had earned a one-shot
+    /// retry by serving lower-tier calls, the retry passed (including
+    /// cross-check when enabled), and the tier was restored to service.
+    ProbeRecovered {
+        /// Successful lower-tier calls observed before the probe.
+        successes: u32,
+    },
 }
 
 impl fmt::Display for IncidentCause {
@@ -164,6 +171,9 @@ impl fmt::Display for IncidentCause {
             IncidentCause::Divergence { expected, got } => {
                 write!(f, "divergence: expected {expected}, got {got}")
             }
+            IncidentCause::ProbeRecovered { successes } => {
+                write!(f, "probe recovered (after {successes} lower-tier successes)")
+            }
         }
     }
 }
@@ -176,6 +186,8 @@ pub enum RecoveryAction {
     /// No rung remained; the run failed with
     /// [`SupervisorError::TiersExhausted`].
     Exhausted,
+    /// A quarantine probe passed and this tier returned to service.
+    Restored(Tier),
 }
 
 impl fmt::Display for RecoveryAction {
@@ -183,6 +195,7 @@ impl fmt::Display for RecoveryAction {
         match self {
             RecoveryAction::FellBack(t) => write!(f, "fell back to {t}"),
             RecoveryAction::Exhausted => f.write_str("all tiers exhausted"),
+            RecoveryAction::Restored(t) => write!(f, "restored {t} to service"),
         }
     }
 }
@@ -192,9 +205,11 @@ impl fmt::Display for RecoveryAction {
 /// faulted before this incident.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Incident {
-    /// Ordinal of this incident in the log (0-based, monotonically
-    /// increasing — the log's only notion of time).
-    pub seq: u32,
+    /// Ordinal of this incident across the log's whole lifetime
+    /// (0-based, monotonically increasing — the log's only notion of
+    /// time; stays monotonic even after older incidents are dropped by
+    /// the ring-buffer cap).
+    pub seq: u64,
     /// The faulting tier.
     pub tier: Tier,
     /// The entry function of the supervised run.
@@ -209,65 +224,138 @@ pub struct Incident {
     /// (fault-injection runs use this to separate expected kills from
     /// genuine bugs).
     pub injected: bool,
+    /// True when this incident was produced by a quarantine probe (the
+    /// one-shot retry of a quarantined pair): either the probe's own
+    /// fault, or the [`IncidentCause::ProbeRecovered`] success report.
+    pub probe: bool,
 }
 
 impl fmt::Display for Incident {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "#{} tier {} fn %{}: {} -> {} (prior faults {}{})",
+            "#{} tier {} fn %{}: {} -> {} (prior faults {}{}{})",
             self.seq,
             self.tier,
             self.function,
             self.cause,
             self.recovery,
             self.retries,
-            if self.injected { ", injected" } else { "" }
+            if self.injected { ", injected" } else { "" },
+            if self.probe { ", probe" } else { "" }
         )
     }
 }
 
-/// The append-only incident log of one supervisor.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// The default [`IncidentLog`] ring-buffer capacity: large enough that
+/// a real investigation sees deep history, small enough that a tenant
+/// flapping for weeks cannot grow a long-running service without bound.
+pub const DEFAULT_INCIDENT_CAPACITY: usize = 1024;
+
+/// The bounded incident log of one supervisor: a ring buffer keeping
+/// the most recent [`IncidentLog::capacity`] incidents. Older incidents
+/// are dropped (counted by [`IncidentLog::dropped`]) rather than
+/// accumulated — a flapping function cannot OOM a long-running service.
+/// Sequence numbers stay monotonic across drops, so a gap in `seq` is
+/// visible evidence of discarded history.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IncidentLog {
     incidents: Vec<Incident>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for IncidentLog {
+    fn default() -> IncidentLog {
+        IncidentLog::with_capacity(DEFAULT_INCIDENT_CAPACITY)
+    }
 }
 
 impl IncidentLog {
-    /// All incidents, in the order they occurred.
+    /// An empty log keeping at most `capacity` (≥ 1) incidents.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> IncidentLog {
+        IncidentLog {
+            incidents: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// The retained incidents, oldest first.
     #[must_use]
     pub fn incidents(&self) -> &[Incident] {
         &self.incidents
     }
 
-    /// Number of incidents recorded.
+    /// Number of incidents currently retained.
     #[must_use]
     pub fn len(&self) -> usize {
         self.incidents.len()
     }
 
-    /// True when nothing has ever gone wrong.
+    /// True when nothing has ever gone wrong (no retained incidents
+    /// *and* none dropped).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.incidents.is_empty()
+        self.incidents.is_empty() && self.dropped == 0
     }
 
-    /// A compact one-line summary (for failure reports): every
+    /// The ring-buffer capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Incidents dropped by the ring buffer so far (monotonic).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Incidents ever recorded: retained plus dropped.
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.dropped + self.incidents.len() as u64
+    }
+
+    /// Re-caps the ring buffer (≥ 1), dropping the oldest retained
+    /// incidents if the new capacity is smaller.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        if self.incidents.len() > self.capacity {
+            let excess = self.incidents.len() - self.capacity;
+            self.incidents.drain(..excess);
+            self.dropped += excess as u64;
+        }
+    }
+
+    /// A compact one-line summary (for failure reports): every retained
     /// incident's tier and cause, semicolon separated.
     #[must_use]
     pub fn summary(&self) -> String {
-        if self.incidents.is_empty() {
+        if self.incidents.is_empty() && self.dropped == 0 {
             return "no incidents".to_string();
         }
-        self.incidents
-            .iter()
-            .map(|i| format!("{}: {}", i.tier, i.cause))
-            .collect::<Vec<_>>()
-            .join("; ")
+        let mut parts: Vec<String> = Vec::new();
+        if self.dropped > 0 {
+            parts.push(format!("[{} older dropped]", self.dropped));
+        }
+        parts.extend(
+            self.incidents
+                .iter()
+                .map(|i| format!("{}: {}", i.tier, i.cause)),
+        );
+        parts.join("; ")
     }
 
     fn push(&mut self, mut incident: Incident) {
-        incident.seq = self.incidents.len() as u32;
+        incident.seq = self.total_recorded();
+        if self.incidents.len() >= self.capacity {
+            let excess = self.incidents.len() + 1 - self.capacity;
+            self.incidents.drain(..excess);
+            self.dropped += excess as u64;
+        }
         self.incidents.push(incident);
     }
 }
@@ -290,6 +378,24 @@ pub struct TierCounters {
     /// Runs that skipped this tier because the `(function, tier)` pair
     /// was quarantined.
     pub skipped_quarantined: u64,
+    /// Quarantine probes attempted on this tier (one-shot retries of a
+    /// quarantined pair; see [`Supervisor::set_probe_after`]).
+    pub probes: u64,
+}
+
+impl TierCounters {
+    /// Accumulates `other` into `self` (long-running surfaces aggregate
+    /// per-supervisor counters across modules).
+    pub fn merge(&mut self, other: &TierCounters) {
+        self.attempts += other.attempts;
+        self.served += other.served;
+        self.panics += other.panics;
+        self.faults += other.faults;
+        self.watchdog_expiries += other.watchdog_expiries;
+        self.divergences += other.divergences;
+        self.skipped_quarantined += other.skipped_quarantined;
+        self.probes += other.probes;
+    }
 }
 
 /// A successful supervised run: the outcome plus which rung produced it.
@@ -412,11 +518,14 @@ pub struct Supervisor {
     cross_check: bool,
     kills: Vec<TierKill>,
     max_faults: u32,
+    probe_after: Option<u32>,
     storage: Option<(Box<dyn Storage>, String)>,
     quarantine: BTreeSet<(String, Tier)>,
     fault_counts: BTreeMap<(String, Tier), u32>,
+    probe_successes: BTreeMap<(String, Tier), u32>,
     log: IncidentLog,
     counters: [TierCounters; 4],
+    translation: crate::llee::TranslationStats,
 }
 
 impl fmt::Debug for Supervisor {
@@ -455,11 +564,14 @@ impl Supervisor {
             cross_check: false,
             kills: Vec::new(),
             max_faults: 1,
+            probe_after: None,
             storage: None,
             quarantine: BTreeSet::new(),
             fault_counts: BTreeMap::new(),
+            probe_successes: BTreeMap::new(),
             log: IncidentLog::default(),
             counters: [TierCounters::default(); 4],
+            translation: crate::llee::TranslationStats::default(),
         }
     }
 
@@ -493,6 +605,39 @@ impl Supervisor {
     /// quarantine (default 1: the first fault quarantines).
     pub fn set_max_faults(&mut self, max_faults: u32) {
         self.max_faults = max_faults.max(1);
+    }
+
+    /// Enables quarantine recovery probes: after `calls` (≥ 1)
+    /// successful lower-tier runs of a function, its quarantined
+    /// `(function, tier)` pair earns one supervised retry instead of
+    /// staying quarantined forever. A passing probe (including the
+    /// cross-check when enabled) restores the tier and logs an
+    /// [`IncidentCause::ProbeRecovered`]; a failing probe re-quarantines
+    /// and must earn another `calls` successes before the next probe.
+    /// At most one pair is probed per run, fastest tier first. Default:
+    /// disabled (quarantine is permanent).
+    pub fn set_probe_after(&mut self, calls: u32) {
+        self.probe_after = Some(calls.max(1));
+    }
+
+    /// Disables quarantine recovery probes (the default).
+    pub fn clear_probe_after(&mut self) {
+        self.probe_after = None;
+    }
+
+    /// Re-caps the incident log's ring buffer (see
+    /// [`IncidentLog::set_capacity`]).
+    pub fn set_incident_capacity(&mut self, capacity: usize) {
+        self.log.set_capacity(capacity);
+    }
+
+    /// Translation/cache statistics accumulated across every run's
+    /// translated tier (per-run [`crate::llee::ExecutionManager`]s are
+    /// ephemeral; this is the long-running aggregate a service surfaces
+    /// as metrics).
+    #[must_use]
+    pub fn translation_stats(&self) -> crate::llee::TranslationStats {
+        self.translation
     }
 
     /// Arms a fault-injection kill (additive; see [`kills_from_env`]).
@@ -546,6 +691,16 @@ impl Supervisor {
     pub fn lift_quarantine(&mut self, function: &str, tier: Tier) {
         self.quarantine.remove(&(function.to_string(), tier));
         self.fault_counts.remove(&(function.to_string(), tier));
+        self.probe_successes.remove(&(function.to_string(), tier));
+    }
+
+    /// Lifts every quarantine for one function across all tiers — the
+    /// serving layer's bounded-retry path gives a transiently-exhausted
+    /// function a clean ladder on its next attempt.
+    pub fn lift_all_quarantines(&mut self, function: &str) {
+        for tier in Tier::LADDER {
+            self.lift_quarantine(function, tier);
+        }
     }
 
     fn kill_for(&self, tier: Tier) -> Option<KillMode> {
@@ -573,12 +728,24 @@ impl Supervisor {
         // the structural interpreter's outcome, computed at most once
         // per run (cross-check or the final rung itself)
         let mut oracle: Option<TierOutcome> = None;
+        // at most one quarantined pair gets its one-shot probe per run
+        let mut probe_spent = false;
         for (rung, &tier) in Tier::LADDER.iter().enumerate() {
             let key = (entry.to_string(), tier);
+            let mut probing = false;
             if self.quarantine.contains(&key) {
-                self.counters[tier.index()].skipped_quarantined += 1;
-                degraded = true;
-                continue;
+                let due = !probe_spent
+                    && self.probe_after.is_some_and(|n| {
+                        self.probe_successes.get(&key).copied().unwrap_or(0) >= n
+                    });
+                if !due {
+                    self.counters[tier.index()].skipped_quarantined += 1;
+                    degraded = true;
+                    continue;
+                }
+                probing = true;
+                probe_spent = true;
+                self.counters[tier.index()].probes += 1;
             }
             let is_final = rung == Tier::LADDER.len() - 1;
             let budget = if is_final {
@@ -597,7 +764,12 @@ impl Supervisor {
                         (IncidentCause::Panic(_), Some(KillMode::Panic))
                     );
                     incidents_this_run += 1;
-                    self.record_fault(tier, entry, cause, injected);
+                    self.record_fault(tier, entry, cause, injected, probing);
+                    if probing {
+                        // a failed probe re-quarantines; the pair must
+                        // earn a fresh run of successes before the next
+                        self.probe_successes.insert(key.clone(), 0);
+                    }
                     degraded = true;
                     continue;
                 }
@@ -626,12 +798,47 @@ impl Supervisor {
                         entry,
                         IncidentCause::Divergence { expected, got: outcome },
                         value_killed,
+                        probing,
                     );
+                    if probing {
+                        self.probe_successes.insert(key.clone(), 0);
+                    }
                     degraded = true;
                     continue;
                 }
             }
             self.counters[tier.index()].served += 1;
+            if probing {
+                // the probe passed: lift the quarantine, forget the
+                // fault history, and log the recovery
+                let retries = *self.fault_counts.get(&key).unwrap_or(&0);
+                let successes = self.probe_successes.remove(&key).unwrap_or(0);
+                self.quarantine.remove(&key);
+                self.fault_counts.remove(&key);
+                self.log.push(Incident {
+                    seq: 0, // assigned by the log
+                    tier,
+                    function: entry.to_string(),
+                    cause: IncidentCause::ProbeRecovered { successes },
+                    recovery: RecoveryAction::Restored(tier),
+                    retries,
+                    injected: false,
+                    probe: true,
+                });
+            }
+            // a served call is progress toward probing this function's
+            // (remaining) quarantined pairs
+            if self.probe_after.is_some() {
+                let waiting: Vec<(String, Tier)> = self
+                    .quarantine
+                    .iter()
+                    .filter(|(f, _)| f == entry)
+                    .cloned()
+                    .collect();
+                for pair in waiting {
+                    *self.probe_successes.entry(pair).or_insert(0) += 1;
+                }
+            }
             return Ok(SupervisedRun { outcome, tier, degraded, steps });
         }
         Err(SupervisorError::TiersExhausted {
@@ -643,13 +850,23 @@ impl Supervisor {
     /// Records a fault: bumps the per-pair count, quarantines at the
     /// threshold, and appends the [`Incident`] with its recovery action
     /// (the next rung that will actually be attempted).
-    fn record_fault(&mut self, tier: Tier, entry: &str, cause: IncidentCause, injected: bool) {
+    fn record_fault(
+        &mut self,
+        tier: Tier,
+        entry: &str,
+        cause: IncidentCause,
+        injected: bool,
+        probe: bool,
+    ) {
         let counters = &mut self.counters[tier.index()];
         match &cause {
             IncidentCause::Panic(_) => counters.panics += 1,
             IncidentCause::Fault(_) => counters.faults += 1,
             IncidentCause::Watchdog { .. } => counters.watchdog_expiries += 1,
             IncidentCause::Divergence { .. } => counters.divergences += 1,
+            IncidentCause::ProbeRecovered { .. } => {
+                unreachable!("probe recoveries are logged directly, not as faults")
+            }
         }
         let key = (entry.to_string(), tier);
         let retries = *self.fault_counts.get(&key).unwrap_or(&0);
@@ -673,6 +890,7 @@ impl Supervisor {
             recovery,
             retries,
             injected,
+            probe,
         });
     }
 
@@ -731,6 +949,7 @@ impl Supervisor {
                     }
                 }
                 let steps = mgr.exec_stats().instructions;
+                self.translation.merge(&mgr.stats());
                 match result {
                     Ok(Ok(out)) => TierRun::Done(TierOutcome::Value(out.value), steps),
                     Ok(Err(EngineError::Trapped(t))) => {
@@ -943,6 +1162,99 @@ entry:
         assert_eq!(Tier::parse("predecode"), Some(Tier::FastInterp));
         assert_eq!(Tier::parse(" interp "), Some(Tier::Interp));
         assert_eq!(Tier::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn incident_log_ring_buffer_caps_memory_and_counts_drops() {
+        let mut sup = Supervisor::new(module(), TargetIsa::X86);
+        sup.set_incident_capacity(4);
+        // a flapping tier: never quarantine (high max_faults), so every
+        // run re-faults and appends a fresh incident
+        sup.set_max_faults(u32::MAX);
+        sup.arm_kill(TierKill::panic(Tier::Translated));
+        for _ in 0..10 {
+            sup.run("main", &[]).expect("degrades");
+        }
+        let log = sup.incident_log();
+        assert_eq!(log.len(), 4, "ring buffer keeps exactly the cap");
+        assert_eq!(log.capacity(), 4);
+        assert_eq!(log.dropped(), 6, "older incidents are dropped, counted");
+        assert_eq!(log.total_recorded(), 10);
+        // sequence numbers stay monotonic across the drop horizon
+        let seqs: Vec<u64> = log.incidents().iter().map(|i| i.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert!(log.summary().contains("6 older dropped"), "{}", log.summary());
+        // shrinking the cap trims the oldest retained incidents
+        sup.set_incident_capacity(2);
+        let log = sup.incident_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 8);
+        assert_eq!(log.incidents()[0].seq, 8);
+    }
+
+    #[test]
+    fn quarantine_probe_restores_a_recovered_tier() {
+        let mut sup = Supervisor::new(module(), TargetIsa::X86);
+        sup.set_probe_after(3);
+        sup.arm_kill(TierKill::panic(Tier::Translated));
+        // fault + quarantine
+        let run = sup.run("main", &[]).expect("degrades");
+        assert_eq!(run.tier, Tier::Traced);
+        assert!(sup.is_quarantined("main", Tier::Translated));
+        // the "bug" goes away (e.g. transient storage corruption healed)
+        sup.clear_kills();
+        // the degraded first run already banked one lower-tier success;
+        // two more are needed before the probe is due
+        for _ in 0..2 {
+            let r = sup.run("main", &[]).expect("runs");
+            assert_eq!(r.tier, Tier::Traced, "still quarantined, no probe yet");
+        }
+        // three successes banked: this run re-attempts translated,
+        // succeeds, and restores it
+        let r = sup.run("main", &[]).expect("probe run");
+        assert_eq!(r.tier, Tier::Translated, "probe serves from the restored tier");
+        assert_eq!(r.outcome, TierOutcome::Value(55));
+        assert!(!sup.is_quarantined("main", Tier::Translated));
+        assert_eq!(sup.tier_counters()[Tier::Translated.index()].probes, 1);
+        // the probe outcome is a logged incident
+        let last = sup.incident_log().incidents().last().expect("incident");
+        assert!(last.probe);
+        assert!(matches!(last.cause, IncidentCause::ProbeRecovered { successes: 3 }));
+        assert_eq!(last.recovery, RecoveryAction::Restored(Tier::Translated));
+        // and the tier keeps serving afterwards without new incidents
+        let n = sup.incident_log().total_recorded();
+        let r = sup.run("main", &[]).expect("runs");
+        assert_eq!(r.tier, Tier::Translated);
+        assert_eq!(sup.incident_log().total_recorded(), n);
+    }
+
+    #[test]
+    fn failed_quarantine_probe_requarantines_and_rearms() {
+        let mut sup = Supervisor::new(module(), TargetIsa::X86);
+        sup.set_probe_after(2);
+        sup.arm_kill(TierKill::panic(Tier::Translated));
+        sup.run("main", &[]).expect("degrades");
+        assert!(sup.is_quarantined("main", Tier::Translated));
+        // the degraded run banked success #1; one more banks #2
+        sup.run("main", &[]).expect("runs");
+        let before = sup.incident_log().total_recorded();
+        // the kill stays armed: the probe must fail
+        let r = sup.run("main", &[]).expect("probe fails, ladder degrades");
+        assert_eq!(r.tier, Tier::Traced);
+        assert!(sup.is_quarantined("main", Tier::Translated), "re-quarantined");
+        let log = sup.incident_log();
+        assert_eq!(log.total_recorded(), before + 1, "the failed probe is logged");
+        let last = log.incidents().last().expect("incident");
+        assert!(last.probe, "the fault incident is marked as a probe");
+        assert!(matches!(last.cause, IncidentCause::Panic(_)));
+        // the success counter reset: the very next run must not probe
+        let probes_before = sup.tier_counters()[Tier::Translated.index()].probes;
+        sup.run("main", &[]).expect("runs");
+        assert_eq!(
+            sup.tier_counters()[Tier::Translated.index()].probes,
+            probes_before,
+            "a failed probe re-arms only after fresh successes"
+        );
     }
 
     #[test]

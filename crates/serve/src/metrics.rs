@@ -1,0 +1,269 @@
+//! The `GET /metrics`-style text surface.
+//!
+//! Prometheus exposition format (the `# HELP` / `# TYPE` / labelled
+//! sample layout), rendered from the caller-visible atomics plus each
+//! tenant's latest executor-published snapshot — a scrape never queues
+//! behind an executor, so a wedged tenant cannot stall the metrics
+//! endpoint (it just serves that tenant's last snapshot).
+
+use std::fmt::Write as _;
+
+use llva_engine::supervisor::Tier;
+
+use crate::service::ExecService;
+
+/// One labelled sample: `name{labels} value`.
+fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{v}\"");
+        }
+        out.push('}');
+    }
+    let _ = writeln!(out, " {value}");
+}
+
+fn header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+impl ExecService {
+    /// Renders the whole service state in Prometheus text exposition
+    /// format: per-tenant quota/rejection/outcome counters, fuel
+    /// gauges, per-(tenant, module, tier) occupancy, quarantine and
+    /// incident-log gauges (including ring-buffer drops), translation
+    /// cache statistics, and the most recent incident lines as
+    /// comments.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let tenants = self.tenant_names();
+
+        header(
+            &mut out,
+            "llva_serve_tenants",
+            "gauge",
+            "Registered tenants.",
+        );
+        sample(&mut out, "llva_serve_tenants", &[], tenants.len() as u64);
+        header(
+            &mut out,
+            "llva_serve_cache_shards",
+            "gauge",
+            "Translation cache shards.",
+        );
+        sample(
+            &mut out,
+            "llva_serve_cache_shards",
+            &[],
+            self.config().shards as u64,
+        );
+
+        header(
+            &mut out,
+            "llva_serve_calls_total",
+            "counter",
+            "Calls by admission/outcome result.",
+        );
+        for tenant in &tenants {
+            let Some(c) = self.tenant_counters(tenant) else { continue };
+            let t = tenant.as_str();
+            let rows: [(&str, u64); 9] = [
+                ("admitted", c.admitted),
+                ("rejected_busy", c.rejected_busy),
+                ("rejected_fuel", c.rejected_fuel),
+                ("rejected_module", c.rejected_module),
+                ("deadline_expired", c.deadline_expired),
+                ("ok", c.calls_ok),
+                ("trapped", c.calls_trapped),
+                ("out_of_fuel", c.calls_out_of_fuel),
+                ("tiers_exhausted", c.calls_exhausted),
+            ];
+            for (result, value) in rows {
+                sample(
+                    &mut out,
+                    "llva_serve_calls_total",
+                    &[("tenant", t), ("result", result)],
+                    value,
+                );
+            }
+        }
+
+        header(
+            &mut out,
+            "llva_serve_retries_total",
+            "counter",
+            "Serve-level bounded retries (transient-fault recovery).",
+        );
+        header(
+            &mut out,
+            "llva_serve_fuel_used_total",
+            "counter",
+            "Steps burned against each tenant's fuel budget.",
+        );
+        header(
+            &mut out,
+            "llva_serve_fuel_remaining",
+            "gauge",
+            "Fuel remaining in each tenant's budget.",
+        );
+        header(
+            &mut out,
+            "llva_serve_in_flight",
+            "gauge",
+            "Calls admitted but not yet answered.",
+        );
+        for tenant in &tenants {
+            let Some(c) = self.tenant_counters(tenant) else { continue };
+            let t = tenant.as_str();
+            sample(&mut out, "llva_serve_retries_total", &[("tenant", t)], c.retries);
+            sample(&mut out, "llva_serve_fuel_used_total", &[("tenant", t)], c.fuel_used);
+            if let Some(fuel) = self.tenant_fuel_remaining(tenant) {
+                sample(&mut out, "llva_serve_fuel_remaining", &[("tenant", t)], fuel);
+            }
+            if let Some(inflight) = self.tenant_in_flight(tenant) {
+                sample(
+                    &mut out,
+                    "llva_serve_in_flight",
+                    &[("tenant", t)],
+                    u64::from(inflight),
+                );
+            }
+        }
+
+        header(
+            &mut out,
+            "llva_serve_tier_served_total",
+            "counter",
+            "Calls answered per (tenant, module, tier) — the tier occupancy surface.",
+        );
+        header(
+            &mut out,
+            "llva_serve_tier_faults_total",
+            "counter",
+            "Tier faults (panics + engine faults + watchdog + divergences).",
+        );
+        header(
+            &mut out,
+            "llva_serve_tier_probes_total",
+            "counter",
+            "Quarantine recovery probes attempted.",
+        );
+        header(
+            &mut out,
+            "llva_serve_quarantined",
+            "gauge",
+            "Quarantined (function, tier) pairs right now.",
+        );
+        header(
+            &mut out,
+            "llva_serve_incidents_total",
+            "counter",
+            "Lifetime incidents recorded (including ring-buffer-dropped ones).",
+        );
+        header(
+            &mut out,
+            "llva_serve_incidents_dropped_total",
+            "counter",
+            "Incidents dropped by the ring-buffer cap.",
+        );
+        let mut incident_comments = String::new();
+        for tenant in &tenants {
+            let Some(snapshot) = self.tenant_snapshot(tenant) else { continue };
+            let t = tenant.as_str();
+            for m in &snapshot.modules {
+                let labels = [("tenant", t), ("module", m.name.as_str())];
+                for tier in Tier::LADDER {
+                    let counters = m.tier_counters[tier.index()];
+                    let tier_name = tier.to_string();
+                    let tier_labels = [
+                        ("tenant", t),
+                        ("module", m.name.as_str()),
+                        ("tier", tier_name.as_str()),
+                    ];
+                    sample(
+                        &mut out,
+                        "llva_serve_tier_served_total",
+                        &tier_labels,
+                        counters.served,
+                    );
+                    sample(
+                        &mut out,
+                        "llva_serve_tier_faults_total",
+                        &tier_labels,
+                        counters.panics
+                            + counters.faults
+                            + counters.watchdog_expiries
+                            + counters.divergences,
+                    );
+                    sample(
+                        &mut out,
+                        "llva_serve_tier_probes_total",
+                        &tier_labels,
+                        counters.probes,
+                    );
+                }
+                sample(
+                    &mut out,
+                    "llva_serve_quarantined",
+                    &labels,
+                    m.quarantined.len() as u64,
+                );
+                sample(&mut out, "llva_serve_incidents_total", &labels, m.incidents_total);
+                sample(
+                    &mut out,
+                    "llva_serve_incidents_dropped_total",
+                    &labels,
+                    m.incidents_dropped,
+                );
+                for line in &m.recent_incidents {
+                    let _ = writeln!(incident_comments, "# incident{{tenant=\"{t}\",module=\"{}\"}} {line}", m.name);
+                }
+            }
+        }
+
+        header(
+            &mut out,
+            "llva_serve_translation_total",
+            "counter",
+            "Translation/cache events per (tenant, module), warmup + calls.",
+        );
+        for tenant in &tenants {
+            let Some(snapshot) = self.tenant_snapshot(tenant) else { continue };
+            let t = tenant.as_str();
+            for m in &snapshot.modules {
+                let s = m.translation;
+                let rows: [(&str, u64); 8] = [
+                    ("translated", s.functions_translated as u64),
+                    ("cache_hits", s.cache_hits as u64),
+                    ("cache_misses", s.cache_misses as u64),
+                    ("cache_stale", s.cache_stale as u64),
+                    ("cache_corrupt", s.cache_corrupt as u64),
+                    ("storage_retried_ok", s.retried_ok as u64),
+                    ("storage_gave_up", s.gave_up as u64),
+                    ("invalidations", s.invalidations as u64),
+                ];
+                for (event, value) in rows {
+                    sample(
+                        &mut out,
+                        "llva_serve_translation_total",
+                        &[("tenant", t), ("module", m.name.as_str()), ("event", event)],
+                        value,
+                    );
+                }
+            }
+        }
+
+        if !incident_comments.is_empty() {
+            out.push_str("# Recent incidents (newest last):\n");
+            out.push_str(&incident_comments);
+        }
+        out
+    }
+}

@@ -1,0 +1,486 @@
+//! Length-framed wire protocol for `llva-serve`.
+//!
+//! Every message is one frame: a little-endian `u32` payload length
+//! followed by that many payload bytes. The first payload byte is the
+//! message tag; the rest is tag-specific, built from three primitives:
+//! `u32`/`u64` little-endian integers and strings (`u32` length +
+//! UTF-8 bytes). No self-describing envelope, no external codec crate
+//! — the framing is small enough to audit by eye, and a hostile peer
+//! is bounded by [`MAX_FRAME`] before a single byte is buffered.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload (guards the server against a
+/// hostile length prefix before any allocation happens).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Selects (and auto-registers) the connection's tenant. Must be
+    /// the first request on a connection.
+    Hello {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Loads a module from LLVA assembly text.
+    Load {
+        /// Tenant-chosen module name.
+        module: String,
+        /// Module source text.
+        source: String,
+    },
+    /// Calls a function in a loaded module.
+    Call {
+        /// Module name from a prior [`Request::Load`].
+        module: String,
+        /// Entry function name.
+        entry: String,
+        /// Argument raw bits.
+        args: Vec<u64>,
+        /// Fuel request (`0` = the tenant quota's per-call ceiling).
+        fuel: u64,
+    },
+    /// Asks for the metrics text.
+    Metrics,
+}
+
+const REQ_HELLO: u8 = 0x01;
+const REQ_LOAD: u8 = 0x02;
+const REQ_CALL: u8 = 0x03;
+const REQ_METRICS: u8 = 0x04;
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A call completed normally.
+    Value {
+        /// Returned raw bits.
+        value: u64,
+        /// Name of the tier that answered.
+        tier: String,
+        /// True when a faster tier faulted or was skipped.
+        degraded: bool,
+        /// Serve-level retries the call consumed.
+        retries: u32,
+    },
+    /// A call hit a precise trap.
+    Trap {
+        /// Trap kind display string.
+        kind: String,
+        /// Name of the tier that answered.
+        tier: String,
+    },
+    /// A call genuinely exhausted its fuel.
+    OutOfFuel {
+        /// Name of the tier that answered.
+        tier: String,
+    },
+    /// The request failed ([`crate::ServeError`] display string —
+    /// includes admission rejections, which are expected backpressure).
+    Error {
+        /// Error message.
+        message: String,
+    },
+    /// Free-form text (metrics, hello banner).
+    Text {
+        /// The text body.
+        body: String,
+    },
+    /// A module loaded.
+    Loaded {
+        /// Content-addressed cache name.
+        cache: String,
+        /// Defined functions in the module.
+        functions: u64,
+    },
+}
+
+const RESP_VALUE: u8 = 0x00;
+const RESP_TRAP: u8 = 0x01;
+const RESP_OUT_OF_FUEL: u8 = 0x02;
+const RESP_ERROR: u8 = 0x03;
+const RESP_TEXT: u8 = 0x04;
+const RESP_LOADED: u8 = 0x05;
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before the field did.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversize(usize),
+    /// Bytes remained after the last field.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => f.write_str("truncated payload"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            ProtoError::BadUtf8 => f.write_str("invalid UTF-8 in string field"),
+            ProtoError::Oversize(n) => write!(f, "length {n} exceeds frame limit"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// -- primitive encoding ------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::Oversize(len));
+        }
+        String::from_utf8(self.bytes(len)?.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        let rest = self.buf.len() - self.pos;
+        if rest == 0 {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes(rest))
+        }
+    }
+}
+
+// -- message codecs ----------------------------------------------------------
+
+impl Request {
+    /// Encodes this request as a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Hello { tenant } => {
+                buf.push(REQ_HELLO);
+                put_str(&mut buf, tenant);
+            }
+            Request::Load { module, source } => {
+                buf.push(REQ_LOAD);
+                put_str(&mut buf, module);
+                put_str(&mut buf, source);
+            }
+            Request::Call { module, entry, args, fuel } => {
+                buf.push(REQ_CALL);
+                put_str(&mut buf, module);
+                put_str(&mut buf, entry);
+                put_u32(&mut buf, args.len() as u32);
+                for &a in args {
+                    put_u64(&mut buf, a);
+                }
+                put_u64(&mut buf, *fuel);
+            }
+            Request::Metrics => buf.push(REQ_METRICS),
+        }
+        buf
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] for truncated, oversized, or malformed payloads.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            REQ_HELLO => Request::Hello { tenant: r.str()? },
+            REQ_LOAD => Request::Load {
+                module: r.str()?,
+                source: r.str()?,
+            },
+            REQ_CALL => {
+                let module = r.str()?;
+                let entry = r.str()?;
+                let n = r.u32()? as usize;
+                if n > MAX_FRAME / 8 {
+                    return Err(ProtoError::Oversize(n));
+                }
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    args.push(r.u64()?);
+                }
+                Request::Call {
+                    module,
+                    entry,
+                    args,
+                    fuel: r.u64()?,
+                }
+            }
+            REQ_METRICS => Request::Metrics,
+            tag => return Err(ProtoError::BadTag(tag)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes this response as a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Value { value, tier, degraded, retries } => {
+                buf.push(RESP_VALUE);
+                put_u64(&mut buf, *value);
+                put_str(&mut buf, tier);
+                buf.push(u8::from(*degraded));
+                put_u32(&mut buf, *retries);
+            }
+            Response::Trap { kind, tier } => {
+                buf.push(RESP_TRAP);
+                put_str(&mut buf, kind);
+                put_str(&mut buf, tier);
+            }
+            Response::OutOfFuel { tier } => {
+                buf.push(RESP_OUT_OF_FUEL);
+                put_str(&mut buf, tier);
+            }
+            Response::Error { message } => {
+                buf.push(RESP_ERROR);
+                put_str(&mut buf, message);
+            }
+            Response::Text { body } => {
+                buf.push(RESP_TEXT);
+                put_str(&mut buf, body);
+            }
+            Response::Loaded { cache, functions } => {
+                buf.push(RESP_LOADED);
+                put_str(&mut buf, cache);
+                put_u64(&mut buf, *functions);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] for truncated, oversized, or malformed payloads.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            RESP_VALUE => Response::Value {
+                value: r.u64()?,
+                tier: r.str()?,
+                degraded: r.u8()? != 0,
+                retries: r.u32()?,
+            },
+            RESP_TRAP => Response::Trap {
+                kind: r.str()?,
+                tier: r.str()?,
+            },
+            RESP_OUT_OF_FUEL => Response::OutOfFuel { tier: r.str()? },
+            RESP_ERROR => Response::Error { message: r.str()? },
+            RESP_TEXT => Response::Text { body: r.str()? },
+            RESP_LOADED => Response::Loaded {
+                cache: r.str()?,
+                functions: r.u64()?,
+            },
+            tag => return Err(ProtoError::BadTag(tag)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// -- frame IO ----------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// IO errors; `InvalidInput` when `payload` exceeds [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds limit", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `None` on clean EOF before the
+/// length prefix (the peer hung up between messages).
+///
+/// # Errors
+///
+/// IO errors; `InvalidData` for an oversize length prefix;
+/// `UnexpectedEof` for a connection cut mid-frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection cut inside frame length",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Hello { tenant: "acme".into() },
+            Request::Load {
+                module: "m".into(),
+                source: "module demo\n".into(),
+            },
+            Request::Call {
+                module: "m".into(),
+                entry: "main".into(),
+                args: vec![1, u64::MAX, 0],
+                fuel: 42,
+            },
+            Request::Metrics,
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Value {
+                value: 0xdead_beef,
+                tier: "translated".into(),
+                degraded: true,
+                retries: 2,
+            },
+            Response::Trap {
+                kind: "load out of bounds".into(),
+                tier: "interp".into(),
+            },
+            Response::OutOfFuel { tier: "interp".into() },
+            Response::Error { message: "busy".into() },
+            Response::Text { body: "# HELP x\n".into() },
+            Response::Loaded {
+                cache: "mdeadbeef".into(),
+                functions: 7,
+            },
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_panicked() {
+        assert_eq!(Request::decode(&[]), Err(ProtoError::Truncated));
+        assert_eq!(Request::decode(&[0xff]), Err(ProtoError::BadTag(0xff)));
+        // truncated string length
+        assert_eq!(
+            Request::decode(&[REQ_HELLO, 5, 0, 0, 0, b'a']),
+            Err(ProtoError::Truncated)
+        );
+        // oversize arg count
+        let mut evil = vec![REQ_CALL];
+        put_str(&mut evil, "m");
+        put_str(&mut evil, "f");
+        put_u32(&mut evil, u32::MAX);
+        assert!(matches!(
+            Request::decode(&evil),
+            Err(ProtoError::Oversize(_))
+        ));
+        // trailing garbage
+        let mut trailing = Request::Metrics.encode();
+        trailing.push(0);
+        assert_eq!(
+            Request::decode(&trailing),
+            Err(ProtoError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+        // a hostile length prefix is rejected before allocation
+        let mut evil = std::io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(read_frame(&mut evil).is_err());
+    }
+}

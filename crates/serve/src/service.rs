@@ -1,0 +1,1004 @@
+//! The multi-tenant execution service.
+//!
+//! # Architecture
+//!
+//! One [`ExecService`] owns a sharded translation cache
+//! ([`ShardedStorage`]) and a set of tenants. Each tenant gets its own
+//! **executor thread**: the thread creates and owns one
+//! [`Supervisor`] per loaded module, so all non-[`Send`] execution
+//! state (supervisors hold `Box<dyn Storage>`) lives on exactly one
+//! thread, and only plain data — module source text, argument vectors,
+//! result enums — ever crosses a thread boundary.
+//!
+//! The caller-facing half is pure admission control: quota checks and
+//! an in-flight CAS happen on the *caller's* thread before anything is
+//! queued, so an over-quota tenant is rejected in nanoseconds without
+//! waking its executor. Admitted commands travel over a bounded
+//! [`mpsc::sync_channel`] sized to the in-flight quota — the queue
+//! physically cannot grow beyond what admission already allowed.
+//!
+//! Fault isolation falls out of the ownership structure: a poisoned
+//! function quarantines `(function, tier)` pairs inside one tenant's
+//! supervisor; other tenants never see that supervisor. The only
+//! shared mutable state is the sharded cache, which tolerates
+//! poisoned-lock recovery per shard (see `llva_engine::storage`).
+
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use llva_engine::llee::{self, ExecutionManager};
+use llva_engine::storage::{MemStorage, ShardedStorage, Storage};
+use llva_engine::supervisor::{
+    Supervisor, SupervisorError, Tier, TierCounters, TierKill, TierOutcome,
+};
+use llva_engine::{TargetIsa, TranslationStats};
+
+use crate::quota::{CounterValues, QuotaKind, ServeError, TenantCounters, TenantQuota};
+
+/// The boxed storage backend the service shards over. `Send` because
+/// shards hop between tenant executor threads.
+pub type BoxedStorage = Box<dyn Storage + Send>;
+
+/// Service-wide configuration (per-tenant limits live in
+/// [`TenantQuota`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Target ISA for the translated tier.
+    pub isa: TargetIsa,
+    /// Translation-cache shards (keyed by entry-name hash).
+    pub shards: usize,
+    /// How long a caller waits for a call answer before giving up
+    /// ([`ServeError::DeadlineExpired`]; the call still completes and
+    /// is accounted in the background).
+    pub call_deadline: Duration,
+    /// How long a caller waits for a module load (loads include the
+    /// translation warmup, so the default is more generous).
+    pub load_deadline: Duration,
+    /// Serve-level bounded retry budget for a call whose tier ladder
+    /// ran dry: each retry lifts the function's quarantines (transient
+    /// storage faults heal; a genuinely poisoned function exhausts the
+    /// budget and fails).
+    pub max_retries: u32,
+    /// Base backoff between those retries (attempt `n` sleeps
+    /// `base * 2^(n-1)`).
+    pub retry_backoff: Duration,
+    /// Faults a `(function, tier)` pair tolerates before quarantine.
+    pub max_faults: u32,
+    /// Quarantine recovery probes: after this many successful
+    /// lower-tier calls, a quarantined pair earns one supervised
+    /// retry. `None` disables probing.
+    pub probe_after: Option<u32>,
+    /// Per-module incident-log ring-buffer capacity.
+    pub incident_capacity: usize,
+    /// Worker threads for the translation warmup at module load
+    /// (0 = [`ExecutionManager::default_workers`]).
+    pub translate_workers: usize,
+    /// Step watchdog for fast tiers (see `Supervisor::set_watchdog`).
+    pub watchdog: Option<u64>,
+    /// Cross-check every answer against the structural interpreter
+    /// (expensive; catches silent wrong values).
+    pub cross_check: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            isa: TargetIsa::X86,
+            shards: 4,
+            call_deadline: Duration::from_secs(30),
+            load_deadline: Duration::from_secs(120),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            max_faults: 1,
+            probe_after: None,
+            incident_capacity: llva_engine::supervisor::DEFAULT_INCIDENT_CAPACITY,
+            translate_workers: 0,
+            watchdog: None,
+            cross_check: false,
+        }
+    }
+}
+
+/// What a successful module load reports back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReply {
+    /// The tenant-chosen module name.
+    pub module: String,
+    /// The content-addressed cache this module translates into
+    /// (identical module text ⇒ identical cache, shared across
+    /// tenants; different text ⇒ disjoint cache, zero collision).
+    pub cache: String,
+    /// Defined (body-carrying) functions in the module.
+    pub functions: usize,
+    /// Translation/cache statistics from the load-time warmup.
+    pub warmup: TranslationStats,
+}
+
+/// What a successful call reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallResult {
+    /// The semantic outcome (value, precise trap, or out-of-fuel).
+    pub outcome: TierOutcome,
+    /// The tier that answered.
+    pub tier: Tier,
+    /// True when a faster tier faulted or was skipped on the way.
+    pub degraded: bool,
+    /// Steps the answering tier executed.
+    pub steps: u64,
+    /// Serve-level retries this call consumed.
+    pub retries: u32,
+}
+
+impl CallResult {
+    /// The returned raw bits, if the call completed normally.
+    #[must_use]
+    pub fn value(&self) -> Option<u64> {
+        match self.outcome {
+            TierOutcome::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Executor-published health snapshot for one loaded module.
+#[derive(Debug, Clone)]
+pub struct ModuleSnapshot {
+    /// Tenant-chosen module name.
+    pub name: String,
+    /// Content-addressed cache name.
+    pub cache: String,
+    /// Defined functions.
+    pub functions: usize,
+    /// Incidents currently held in the ring buffer.
+    pub incidents_len: usize,
+    /// Older incidents dropped by the ring-buffer cap.
+    pub incidents_dropped: u64,
+    /// Lifetime incident count (`len + dropped`).
+    pub incidents_total: u64,
+    /// Display lines for the most recent incidents (newest last).
+    pub recent_incidents: Vec<String>,
+    /// Quarantined `(function, tier)` pairs right now.
+    pub quarantined: Vec<(String, Tier)>,
+    /// Per-tier counters, indexed by [`Tier::index`].
+    pub tier_counters: [TierCounters; 4],
+    /// Aggregated translation/cache statistics (warmup + every call).
+    pub translation: TranslationStats,
+}
+
+/// Executor-published health snapshot for one tenant.
+#[derive(Debug, Clone, Default)]
+pub struct TenantSnapshot {
+    /// One entry per loaded module, in load order.
+    pub modules: Vec<ModuleSnapshot>,
+}
+
+/// How many incident display lines a snapshot carries per module.
+const SNAPSHOT_RECENT_INCIDENTS: usize = 8;
+
+/// Caller-visible shared state for one tenant (atomics + the snapshot
+/// mailbox; everything here is written without involving the executor
+/// or read without blocking on it).
+struct TenantShared {
+    counters: TenantCounters,
+    in_flight: AtomicU32,
+    fuel_remaining: AtomicU64,
+    snapshot: Mutex<TenantSnapshot>,
+}
+
+struct TenantHandle {
+    quota: TenantQuota,
+    shared: Arc<TenantShared>,
+    sender: SyncSender<Command>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Commands crossing into an executor thread — plain `Send` data only.
+enum Command {
+    Load {
+        module: String,
+        source: String,
+        reply: mpsc::Sender<Result<LoadReply, ServeError>>,
+    },
+    Unload {
+        module: String,
+        reply: mpsc::Sender<Result<(), ServeError>>,
+    },
+    Call {
+        module: String,
+        entry: String,
+        args: Vec<u64>,
+        fuel: u64,
+        reply: mpsc::Sender<Result<CallResult, ServeError>>,
+    },
+    /// Fault-injection hook (tests, soaks, CI): arm kills on one
+    /// module's supervisor for the next `calls` calls (0 = until
+    /// re-armed or the module is unloaded).
+    ArmKills {
+        module: String,
+        kills: Vec<TierKill>,
+        calls: u32,
+        reply: mpsc::Sender<Result<(), ServeError>>,
+    },
+    Shutdown,
+}
+
+struct Inner {
+    config: ServeConfig,
+    storage: ShardedStorage<BoxedStorage>,
+    tenants: RwLock<BTreeMap<String, Arc<TenantHandle>>>,
+}
+
+/// The fault-isolated multi-tenant execution service. Cheap to clone
+/// (a handle); see the module docs for the architecture.
+#[derive(Clone)]
+pub struct ExecService {
+    inner: Arc<Inner>,
+}
+
+fn lock_snapshot(shared: &TenantShared) -> std::sync::MutexGuard<'_, TenantSnapshot> {
+    shared
+        .snapshot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ExecService {
+    /// A service over in-memory cache shards.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> ExecService {
+        ExecService::with_storage(config, |_| Box::new(MemStorage::new()) as BoxedStorage)
+    }
+
+    /// A service whose cache shards come from `mk` (tests inject
+    /// `FaultyStorage` here).
+    #[must_use]
+    pub fn with_storage(
+        config: ServeConfig,
+        mk: impl FnMut(usize) -> BoxedStorage,
+    ) -> ExecService {
+        let storage = ShardedStorage::new(config.shards, mk);
+        ExecService {
+            inner: Arc::new(Inner {
+                config,
+                storage,
+                tenants: RwLock::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.config
+    }
+
+    /// A handle to the sharded translation cache (tests reach through
+    /// this to disarm fault plans or inspect shards).
+    #[must_use]
+    pub fn storage(&self) -> &ShardedStorage<BoxedStorage> {
+        &self.inner.storage
+    }
+
+    fn tenants(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<TenantHandle>>> {
+        self.inner
+            .tenants
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn handle(&self, tenant: &str) -> Result<Arc<TenantHandle>, ServeError> {
+        self.tenants()
+            .get(tenant)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))
+    }
+
+    /// Registers a tenant and spawns its executor thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::TenantExists`] on a duplicate name.
+    pub fn add_tenant(&self, name: &str, quota: TenantQuota) -> Result<(), ServeError> {
+        let mut tenants = self
+            .inner
+            .tenants
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if tenants.contains_key(name) {
+            return Err(ServeError::TenantExists(name.to_string()));
+        }
+        let shared = Arc::new(TenantShared {
+            counters: TenantCounters::default(),
+            in_flight: AtomicU32::new(0),
+            fuel_remaining: AtomicU64::new(quota.fuel_budget),
+            snapshot: Mutex::new(TenantSnapshot::default()),
+        });
+        // Queue depth = in-flight quota: admission's CAS already gates
+        // every send, so the channel can never reject an admitted
+        // command, and memory stays bounded by construction.
+        let (sender, receiver) = mpsc::sync_channel(quota.max_in_flight.max(1) as usize);
+        let thread = {
+            let shared = Arc::clone(&shared);
+            let config = self.inner.config.clone();
+            let storage = self.inner.storage.clone();
+            std::thread::Builder::new()
+                .name(format!("llva-serve:{name}"))
+                .spawn(move || executor_loop(&receiver, &shared, &config, &storage, quota))
+                .expect("spawn tenant executor")
+        };
+        tenants.insert(
+            name.to_string(),
+            Arc::new(TenantHandle {
+                quota,
+                shared,
+                sender,
+                thread: Mutex::new(Some(thread)),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Unregisters a tenant: shuts its executor down (draining queued
+    /// commands first) and joins the thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`].
+    pub fn remove_tenant(&self, name: &str) -> Result<(), ServeError> {
+        let handle = {
+            let mut tenants = self
+                .inner
+                .tenants
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            tenants
+                .remove(name)
+                .ok_or_else(|| ServeError::UnknownTenant(name.to_string()))?
+        };
+        stop_tenant(&handle);
+        Ok(())
+    }
+
+    /// Registered tenant names, sorted.
+    #[must_use]
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.tenants().keys().cloned().collect()
+    }
+
+    /// The tenant's quota, if it exists.
+    #[must_use]
+    pub fn tenant_quota(&self, tenant: &str) -> Option<TenantQuota> {
+        self.tenants().get(tenant).map(|h| h.quota)
+    }
+
+    /// Calls currently admitted but unanswered for a tenant.
+    #[must_use]
+    pub fn tenant_in_flight(&self, tenant: &str) -> Option<u32> {
+        self.tenants()
+            .get(tenant)
+            .map(|h| h.shared.in_flight.load(Ordering::Acquire))
+    }
+
+    /// A tenant's admission/outcome counters.
+    #[must_use]
+    pub fn tenant_counters(&self, tenant: &str) -> Option<CounterValues> {
+        self.tenants()
+            .get(tenant)
+            .map(|h| h.shared.counters.values())
+    }
+
+    /// Fuel remaining in a tenant's budget.
+    #[must_use]
+    pub fn tenant_fuel_remaining(&self, tenant: &str) -> Option<u64> {
+        self.tenants()
+            .get(tenant)
+            .map(|h| h.shared.fuel_remaining.load(Ordering::Acquire))
+    }
+
+    /// The tenant's latest executor-published health snapshot.
+    #[must_use]
+    pub fn tenant_snapshot(&self, tenant: &str) -> Option<TenantSnapshot> {
+        self.tenants()
+            .get(tenant)
+            .map(|h| lock_snapshot(&h.shared).clone())
+    }
+
+    /// Adds `fuel` back to a tenant's budget (operator hook; saturates
+    /// at `u64::MAX`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`].
+    pub fn refill_fuel(&self, tenant: &str, fuel: u64) -> Result<(), ServeError> {
+        let handle = self.handle(tenant)?;
+        let _ = handle
+            .shared
+            .fuel_remaining
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                Some(cur.saturating_add(fuel))
+            });
+        Ok(())
+    }
+
+    /// Takes one in-flight slot or rejects with [`ServeError::Busy`].
+    fn admit_slot(handle: &TenantHandle) -> Result<(), ServeError> {
+        let shared = &handle.shared;
+        let mut cur = shared.in_flight.load(Ordering::Acquire);
+        loop {
+            if cur >= handle.quota.max_in_flight {
+                shared.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Busy { in_flight: cur });
+            }
+            match shared.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn release_slot(handle: &TenantHandle) {
+        handle.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Sends an admitted command (the slot is already held). `Full`
+    /// can only happen in the narrow race where a slot was released
+    /// before its command left the queue; treat it as busy rather than
+    /// blocking the caller.
+    fn send_admitted(handle: &TenantHandle, command: Command) -> Result<(), ServeError> {
+        match handle.sender.try_send(command) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                Self::release_slot(handle);
+                handle
+                    .shared
+                    .counters
+                    .rejected_busy
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Busy {
+                    in_flight: handle.shared.in_flight.load(Ordering::Acquire),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Self::release_slot(handle);
+                Err(ServeError::Shutdown)
+            }
+        }
+    }
+
+    fn await_reply<T>(
+        handle: &TenantHandle,
+        reply: &mpsc::Receiver<Result<T, ServeError>>,
+        deadline: Duration,
+    ) -> Result<T, ServeError> {
+        match reply.recv_timeout(deadline) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                // The executor still finishes the command (and releases
+                // the slot); only this caller stops waiting.
+                handle
+                    .shared
+                    .counters
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::DeadlineExpired)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Loads a module for a tenant: parse, create/attach the
+    /// content-addressed cache, run the parallel translation warmup,
+    /// and stand up the module's supervisor.
+    ///
+    /// # Errors
+    ///
+    /// Admission rejections ([`ServeError::Busy`],
+    /// [`ServeError::QuotaExceeded`]), [`ServeError::BadModule`], and
+    /// the deadline/shutdown errors.
+    pub fn load_module(
+        &self,
+        tenant: &str,
+        module: &str,
+        source: &str,
+    ) -> Result<LoadReply, ServeError> {
+        let handle = self.handle(tenant)?;
+        if source.len() > handle.quota.max_module_bytes {
+            handle
+                .shared
+                .counters
+                .rejected_module
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QuotaExceeded {
+                kind: QuotaKind::Module,
+                detail: format!(
+                    "module source is {} bytes, quota allows {}",
+                    source.len(),
+                    handle.quota.max_module_bytes
+                ),
+            });
+        }
+        // The module *count* check happens executor-side only: the
+        // executor's module map is authoritative and knows whether this
+        // load is a fresh module or a same-name update.
+        Self::admit_slot(&handle)?;
+        handle.shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        Self::send_admitted(
+            &handle,
+            Command::Load {
+                module: module.to_string(),
+                source: source.to_string(),
+                reply: tx,
+            },
+        )?;
+        Self::await_reply(&handle, &rx, self.inner.config.load_deadline)
+    }
+
+    /// Unloads a module (its supervisor, incidents, and quarantines go
+    /// with it; the shared cache keeps its entries for future loads).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoSuchModule`] and the admission/deadline errors.
+    pub fn unload_module(&self, tenant: &str, module: &str) -> Result<(), ServeError> {
+        let handle = self.handle(tenant)?;
+        Self::admit_slot(&handle)?;
+        let (tx, rx) = mpsc::channel();
+        Self::send_admitted(
+            &handle,
+            Command::Unload {
+                module: module.to_string(),
+                reply: tx,
+            },
+        )?;
+        Self::await_reply(&handle, &rx, self.inner.config.call_deadline)
+    }
+
+    /// Calls `module`'s `entry` with the quota's default per-call fuel.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecService::call_with_fuel`].
+    pub fn call(
+        &self,
+        tenant: &str,
+        module: &str,
+        entry: &str,
+        args: &[u64],
+    ) -> Result<CallResult, ServeError> {
+        self.call_with_fuel(tenant, module, entry, args, 0)
+    }
+
+    /// Calls `module`'s `entry` with an explicit fuel request (`0` =
+    /// the quota's per-call ceiling; always clamped to both the
+    /// ceiling and the remaining budget).
+    ///
+    /// # Errors
+    ///
+    /// Admission rejections ([`ServeError::Busy`],
+    /// [`ServeError::QuotaExceeded`] with [`QuotaKind::Fuel`]),
+    /// [`ServeError::NoSuchModule`] / [`ServeError::NoSuchFunction`],
+    /// [`ServeError::TiersExhausted`] after the bounded retry budget,
+    /// and the deadline/shutdown errors.
+    pub fn call_with_fuel(
+        &self,
+        tenant: &str,
+        module: &str,
+        entry: &str,
+        args: &[u64],
+        fuel: u64,
+    ) -> Result<CallResult, ServeError> {
+        let handle = self.handle(tenant)?;
+        if handle.shared.fuel_remaining.load(Ordering::Acquire) == 0 {
+            handle
+                .shared
+                .counters
+                .rejected_fuel
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QuotaExceeded {
+                kind: QuotaKind::Fuel,
+                detail: format!("fuel budget of {} exhausted", handle.quota.fuel_budget),
+            });
+        }
+        Self::admit_slot(&handle)?;
+        handle.shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        Self::send_admitted(
+            &handle,
+            Command::Call {
+                module: module.to_string(),
+                entry: entry.to_string(),
+                args: args.to_vec(),
+                fuel,
+                reply: tx,
+            },
+        )?;
+        Self::await_reply(&handle, &rx, self.inner.config.call_deadline)
+    }
+
+    /// Arms fault-injection kills on one tenant's module for the next
+    /// `calls` calls (`0` = until re-armed; an empty `kills` disarms).
+    /// Test/ops hook — this is how soaks sabotage a victim tenant
+    /// without touching its neighbours.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoSuchModule`] and the admission/deadline errors.
+    pub fn arm_kills(
+        &self,
+        tenant: &str,
+        module: &str,
+        kills: Vec<TierKill>,
+        calls: u32,
+    ) -> Result<(), ServeError> {
+        let handle = self.handle(tenant)?;
+        Self::admit_slot(&handle)?;
+        let (tx, rx) = mpsc::channel();
+        Self::send_admitted(
+            &handle,
+            Command::ArmKills {
+                module: module.to_string(),
+                kills,
+                calls,
+                reply: tx,
+            },
+        )?;
+        Self::await_reply(&handle, &rx, self.inner.config.call_deadline)
+    }
+
+    /// Shuts every tenant executor down and joins the threads. Called
+    /// automatically when the last service handle drops.
+    pub fn shutdown(&self) {
+        let handles: Vec<Arc<TenantHandle>> = {
+            let mut tenants = self
+                .inner
+                .tenants
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *tenants).into_values().collect()
+        };
+        for handle in handles {
+            stop_tenant(&handle);
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        let tenants = std::mem::take(
+            &mut *self
+                .tenants
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for handle in tenants.into_values() {
+            stop_tenant(&handle);
+        }
+    }
+}
+
+fn stop_tenant(handle: &TenantHandle) {
+    // `send` (not `try_send`): queued commands drain first, then the
+    // executor sees Shutdown. The queue is bounded, so this blocks at
+    // most `max_in_flight` commands long.
+    let _ = handle.sender.send(Command::Shutdown);
+    let thread = handle
+        .thread
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    if let Some(thread) = thread {
+        let _ = thread.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor side (one thread per tenant; owns all non-Send state)
+// ---------------------------------------------------------------------------
+
+struct ModuleRuntime {
+    supervisor: Supervisor,
+    cache: String,
+    functions: usize,
+    warmup: TranslationStats,
+    /// Armed-kill countdown: `Some(n)` clears the kills after `n` more
+    /// calls; `None` leaves them armed.
+    kill_calls_left: Option<u32>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn executor_loop(
+    receiver: &Receiver<Command>,
+    shared: &Arc<TenantShared>,
+    config: &ServeConfig,
+    storage: &ShardedStorage<BoxedStorage>,
+    quota: TenantQuota,
+) {
+    let mut modules: BTreeMap<String, ModuleRuntime> = BTreeMap::new();
+    while let Ok(command) = receiver.recv() {
+        match command {
+            Command::Shutdown => break,
+            Command::Load { module, source, reply } => {
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    handle_load(&mut modules, shared, config, storage, quota, &module, &source)
+                }))
+                .unwrap_or_else(|p| Err(ServeError::Internal(panic_message(p))));
+                // Publish + release before replying: a caller that acts
+                // on the reply (metrics scrape, next call) must see this
+                // command's snapshot and its freed slot.
+                publish_snapshot(shared, &modules);
+                ExecService::release_slot_shared(shared);
+                let _ = reply.send(result);
+            }
+            Command::Unload { module, reply } => {
+                let result = if modules.remove(&module).is_some() {
+                    Ok(())
+                } else {
+                    Err(ServeError::NoSuchModule(module))
+                };
+                publish_snapshot(shared, &modules);
+                ExecService::release_slot_shared(shared);
+                let _ = reply.send(result);
+            }
+            Command::Call { module, entry, args, fuel, reply } => {
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    handle_call(&mut modules, shared, config, quota, &module, &entry, &args, fuel)
+                }))
+                .unwrap_or_else(|p| Err(ServeError::Internal(panic_message(p))));
+                match &result {
+                    Ok(run) => {
+                        let counter = match run.outcome {
+                            TierOutcome::Value(_) => &shared.counters.calls_ok,
+                            TierOutcome::Trap(_) => &shared.counters.calls_trapped,
+                            TierOutcome::OutOfFuel => &shared.counters.calls_out_of_fuel,
+                        };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(ServeError::TiersExhausted { .. }) => {
+                        shared.counters.calls_exhausted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {}
+                }
+                publish_snapshot(shared, &modules);
+                ExecService::release_slot_shared(shared);
+                let _ = reply.send(result);
+            }
+            Command::ArmKills { module, kills, calls, reply } => {
+                let result = match modules.get_mut(&module) {
+                    None => Err(ServeError::NoSuchModule(module)),
+                    Some(rt) => {
+                        rt.supervisor.clear_kills();
+                        for kill in kills {
+                            rt.supervisor.arm_kill(kill);
+                        }
+                        rt.kill_calls_left = (calls > 0).then_some(calls);
+                        Ok(())
+                    }
+                };
+                ExecService::release_slot_shared(shared);
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+impl ExecService {
+    /// Slot release reachable from the executor (which has the shared
+    /// state, not the handle).
+    fn release_slot_shared(shared: &TenantShared) {
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_load(
+    modules: &mut BTreeMap<String, ModuleRuntime>,
+    shared: &TenantShared,
+    config: &ServeConfig,
+    storage: &ShardedStorage<BoxedStorage>,
+    quota: TenantQuota,
+    module_name: &str,
+    source: &str,
+) -> Result<LoadReply, ServeError> {
+    if modules.len() >= quota.max_modules && !modules.contains_key(module_name) {
+        shared.counters.rejected_module.fetch_add(1, Ordering::Relaxed);
+        return Err(ServeError::QuotaExceeded {
+            kind: QuotaKind::Module,
+            detail: format!("{} module(s) already loaded", quota.max_modules),
+        });
+    }
+    let parsed = llva_core::parser::parse_module(source)
+        .map_err(|e| ServeError::BadModule(e.to_string()))?;
+    let functions = parsed
+        .functions()
+        .filter(|(_, f)| !f.is_declaration())
+        .count();
+    // Content-addressed cache: identical module text shares translations
+    // across tenants; different text gets a disjoint cache, so tenants
+    // can never thrash each other's entries.
+    let cache = format!("m{:016x}", llee::stamp(&parsed));
+    {
+        let mut handle = storage.clone();
+        handle.create_cache(&cache);
+    }
+    // Translation warmup through the worker pool: the module's supervisor
+    // then starts with a hot cache (its per-call managers hit, not miss).
+    let workers = if config.translate_workers == 0 {
+        ExecutionManager::default_workers()
+    } else {
+        config.translate_workers
+    };
+    let mut warm =
+        ExecutionManager::with_memory_size(parsed.clone(), config.isa, quota.memory_bytes);
+    warm.set_storage(Box::new(storage.clone()), &cache);
+    warm.translate_all_parallel(workers)
+        .map_err(|e| ServeError::BadModule(format!("translation failed: {e}")))?;
+    let warmup = warm.stats();
+    drop(warm);
+
+    let mut supervisor =
+        Supervisor::with_memory_size(parsed, config.isa, quota.memory_bytes);
+    supervisor.set_storage(Box::new(storage.clone()), &cache);
+    supervisor.set_max_faults(config.max_faults);
+    supervisor.set_incident_capacity(config.incident_capacity);
+    supervisor.set_cross_check(config.cross_check);
+    if let Some(calls) = config.probe_after {
+        supervisor.set_probe_after(calls);
+    }
+    if let Some(budget) = config.watchdog {
+        supervisor.set_watchdog(budget);
+    }
+    modules.insert(
+        module_name.to_string(),
+        ModuleRuntime {
+            supervisor,
+            cache: cache.clone(),
+            functions,
+            warmup,
+            kill_calls_left: None,
+        },
+    );
+    Ok(LoadReply {
+        module: module_name.to_string(),
+        cache,
+        functions,
+        warmup,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_call(
+    modules: &mut BTreeMap<String, ModuleRuntime>,
+    shared: &TenantShared,
+    config: &ServeConfig,
+    quota: TenantQuota,
+    module: &str,
+    entry: &str,
+    args: &[u64],
+    fuel: u64,
+) -> Result<CallResult, ServeError> {
+    let rt = modules
+        .get_mut(module)
+        .ok_or_else(|| ServeError::NoSuchModule(module.to_string()))?;
+    // Clamp to the per-call ceiling AND the remaining budget: a tenant
+    // on its last fuel can never overshoot the budget by more than the
+    // final clamped call actually burns.
+    let remaining = shared.fuel_remaining.load(Ordering::Acquire);
+    let requested = if fuel == 0 { quota.max_call_fuel } else { fuel };
+    let call_fuel = requested.min(quota.max_call_fuel).min(remaining.max(1));
+    rt.supervisor.set_fuel(call_fuel);
+
+    let mut retries_used = 0u32;
+    let mut incidents_total = 0u32;
+    let result = loop {
+        let attempt = rt.supervisor.run(entry, args);
+        // The armed-kill countdown ticks per supervisor attempt, not per
+        // command: kills armed for N calls model a transient fault that
+        // clears while the serve-level retry loop is still working the
+        // same call, so a retry after the countdown runs against healthy
+        // tiers — the deterministic stand-in for a fault that healed.
+        if let Some(left) = rt.kill_calls_left {
+            if left <= 1 {
+                rt.supervisor.clear_kills();
+                rt.kill_calls_left = None;
+            } else {
+                rt.kill_calls_left = Some(left - 1);
+            }
+        }
+        match attempt {
+            Ok(run) => {
+                break Ok(CallResult {
+                    outcome: run.outcome,
+                    tier: run.tier,
+                    degraded: run.degraded,
+                    steps: run.steps,
+                    retries: retries_used,
+                });
+            }
+            Err(SupervisorError::NoSuchFunction(n)) => {
+                break Err(ServeError::NoSuchFunction(n));
+            }
+            Err(SupervisorError::TiersExhausted { function, incidents }) => {
+                incidents_total += incidents;
+                if retries_used >= config.max_retries {
+                    break Err(ServeError::TiersExhausted {
+                        incidents: incidents_total,
+                        retries: retries_used,
+                    });
+                }
+                retries_used += 1;
+                shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+                // Exponential backoff, then a clean ladder: a transient
+                // storage fault heals across the retry; a genuinely
+                // poisoned function just re-quarantines and exhausts
+                // the bounded budget.
+                std::thread::sleep(config.retry_backoff * (1u32 << (retries_used - 1).min(16)));
+                rt.supervisor.lift_all_quarantines(&function);
+            }
+        }
+    };
+    if let Ok(run) = &result {
+        shared.counters.fuel_used.fetch_add(run.steps, Ordering::Relaxed);
+        let _ = shared
+            .fuel_remaining
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                Some(cur.saturating_sub(run.steps))
+            });
+    }
+    result
+}
+
+fn publish_snapshot(shared: &TenantShared, modules: &BTreeMap<String, ModuleRuntime>) {
+    let snapshot = TenantSnapshot {
+        modules: modules
+            .iter()
+            .map(|(name, rt)| {
+                let log = rt.supervisor.incident_log();
+                let recent = log
+                    .incidents()
+                    .iter()
+                    .rev()
+                    .take(SNAPSHOT_RECENT_INCIDENTS)
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                let mut translation = rt.warmup;
+                translation.merge(&rt.supervisor.translation_stats());
+                ModuleSnapshot {
+                    name: name.clone(),
+                    cache: rt.cache.clone(),
+                    functions: rt.functions,
+                    incidents_len: log.len(),
+                    incidents_dropped: log.dropped(),
+                    incidents_total: log.total_recorded(),
+                    recent_incidents: recent,
+                    quarantined: rt.supervisor.quarantined(),
+                    tier_counters: *rt.supervisor.tier_counters(),
+                    translation,
+                }
+            })
+            .collect(),
+    };
+    *lock_snapshot(shared) = snapshot;
+}

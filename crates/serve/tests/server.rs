@@ -1,0 +1,135 @@
+//! End-to-end tests for the TCP front-end: the length-framed protocol
+//! (hello → load → call → metrics) and the HTTP `GET /metrics` sniff
+//! on the same port.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use llva_core::layout::TargetConfig;
+use llva_core::printer::print_module;
+use llva_serve::server::Client;
+use llva_serve::{ExecService, Request, Response, ServeConfig, Server, TenantQuota};
+
+const MINIC_SRC: &str = r"
+int answer() {
+    int acc = 0;
+    for (int i = 0; i < 7; i++) acc = acc + 6;
+    return acc;
+}
+";
+
+fn module_text() -> String {
+    let module = llva_minic::compile(MINIC_SRC, "wire", TargetConfig::default())
+        .expect("test module compiles");
+    print_module(&module)
+}
+
+fn start_server() -> std::net::SocketAddr {
+    let service = ExecService::new(ServeConfig::default());
+    let server = Server::bind(service, "127.0.0.1:0", TenantQuota::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    drop(server.spawn());
+    addr
+}
+
+#[test]
+fn framed_protocol_load_call_metrics() {
+    let addr = start_server();
+    let mut client = Client::connect(addr, "acme").expect("hello");
+
+    let loaded = client
+        .request(&Request::Load {
+            module: "m".to_string(),
+            source: module_text(),
+        })
+        .unwrap();
+    let Response::Loaded { cache, functions } = loaded else {
+        panic!("expected Loaded, got {loaded:?}");
+    };
+    assert!(cache.starts_with('m'), "content-addressed cache: {cache}");
+    assert_eq!(functions, 1);
+
+    let answered = client
+        .request(&Request::Call {
+            module: "m".to_string(),
+            entry: "answer".to_string(),
+            args: Vec::new(),
+            fuel: 0,
+        })
+        .unwrap();
+    let Response::Value { value, degraded, .. } = answered else {
+        panic!("expected Value, got {answered:?}");
+    };
+    assert_eq!(value, 42);
+    assert!(!degraded);
+
+    let metrics = client.request(&Request::Metrics).unwrap();
+    let Response::Text { body } = metrics else {
+        panic!("expected Text, got {metrics:?}");
+    };
+    assert!(body.contains(r#"llva_serve_calls_total{tenant="acme",result="ok"} 1"#));
+
+    // structured errors, not dropped connections
+    let err = client
+        .request(&Request::Call {
+            module: "ghost".to_string(),
+            entry: "answer".to_string(),
+            args: Vec::new(),
+            fuel: 0,
+        })
+        .unwrap();
+    assert!(matches!(err, Response::Error { .. }), "got {err:?}");
+}
+
+#[test]
+fn hello_is_required_before_load_or_call() {
+    let addr = start_server();
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = std::io::BufWriter::new(stream);
+    let req = Request::Call {
+        module: "m".to_string(),
+        entry: "f".to_string(),
+        args: Vec::new(),
+        fuel: 0,
+    };
+    llva_serve::proto::write_frame(&mut writer, &req.encode()).unwrap();
+    let payload = llva_serve::proto::read_frame(&mut reader).unwrap().unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::Error { message } => assert!(message.contains("Hello"), "{message}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+}
+
+#[test]
+fn http_metrics_scrape_on_the_same_port() {
+    let addr = start_server();
+    // a framed client creates some state to scrape
+    let mut client = Client::connect(addr, "acme").expect("hello");
+    let loaded = client.request(&Request::Load {
+        module: "m".to_string(),
+        source: module_text(),
+    });
+    assert!(matches!(loaded, Ok(Response::Loaded { .. })));
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+    assert!(response.contains("text/plain"));
+    assert!(response.contains("llva_serve_tenants 1"));
+    assert!(response.contains(r#"llva_serve_in_flight{tenant="acme"} 0"#));
+
+    // other paths 404 without disturbing the service
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /nope HTTP/1.0\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+}
