@@ -1,4 +1,6 @@
-//! Code-generation helpers shared by both back ends.
+//! Code-generation helpers shared by all three back ends.
+
+pub use crate::peephole::{self, PeepholeConfig, PeepholeStats};
 
 use llva_core::function::Function;
 use llva_core::instruction::{InstId, Opcode};

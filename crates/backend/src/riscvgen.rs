@@ -1,23 +1,26 @@
-//! The SPARC-V9 code generator.
+//! The RV64 code generator — the third LLEE target.
 //!
-//! Per the paper (§5.2), "the Sparc back-end produces higher quality
-//! code, but requires more instructions because of the RISC
-//! architecture". Quality: a use-count register assignment keeps hot
-//! SSA values in the 14 callee-saved registers `%l0`–`%l7`/`%i0`–`%i5`
-//! (flat registers here — no register windows, see DESIGN.md), sparing
-//! the reload traffic the x86 back end generates. RISC cost: constants
-//! beyond 13 bits need `sethi`/`or` pairs, address constants need
-//! relocation pairs, and narrow arithmetic needs explicit shift-pair
-//! normalization.
+//! Same use-count register assignment discipline as the SPARC back end
+//! (hot SSA values live in the 12 callee-saved registers
+//! `s1`/`s2`–`s11`), but shaped by the RISC-V model: **no condition
+//! codes**. Comparisons that feed a branch fuse directly into
+//! compare-and-branch instructions (`beq`/`blt`/…); comparisons whose
+//! boolean is consumed as a value materialize it with
+//! `slt`/`sltu`/`xor`+`sltiu` sequences, and float comparisons write
+//! 0/1 through `feq`/`flt`/`fle`. Constants beyond 12 bits need
+//! `lui`/`addi` pairs (one bit tighter than SPARC's 13-bit fields), and
+//! loads/stores carry immediate-only offsets, so wide frame offsets
+//! route through an address add.
 //!
-//! Frame discipline: `%fp` holds the caller's stack pointer; spill
-//! slots, phi staging slots, preallocated `alloca`s and the saved
-//! registers live at negative `%fp` offsets; outgoing argument overflow
-//! lives at `[%sp + 8j]`; incoming overflow at `[%fp + 8j]`.
+//! Frame discipline mirrors the SPARC back end: `s0`/`fp` holds the
+//! caller's stack pointer; spill slots, phi staging slots, preallocated
+//! `alloca`s and the saved registers live at negative `fp` offsets;
+//! outgoing argument overflow lives at `[sp + 8j]`; incoming overflow
+//! at `[fp + 8*(i-8)]` (eight register arguments `a0`–`a7`).
 
 use crate::common::{
     access_of, canonical_const, classify, fused_compares, inst_defining, intrinsic_target,
-    use_counts, ValClass,
+    peephole, use_counts, PeepholeConfig, ValClass,
 };
 use llva_core::function::{BlockId, Function};
 use llva_core::instruction::{InstId, Opcode};
@@ -25,37 +28,39 @@ use llva_core::module::{FuncId, Module};
 use llva_core::types::{TypeId, TypeKind};
 use llva_core::value::{Constant, ValueId};
 use llva_machine::common::Sym;
-use llva_machine::sparc::{
-    fits_imm13, AluOp, Cond, FReg, Reg, RegOrImm, SparcInst, G0, G1, G2, G3, G4, O0, SP,
+use llva_machine::riscv::{
+    fits_imm12, AluOp, BrCond, FReg, FSetOp, Reg, RegOrImm, RiscvInst, A0, FP, SP, T0, T1, T2, X0,
 };
 use std::collections::{HashMap, HashSet};
 
-/// The frame pointer register (`%i6`).
-pub const FP: Reg = Reg(30);
+/// Address-materialization scratch `x28`/`t3`.
+const T3: Reg = Reg(28);
+/// Constant-materialization scratch `x29`/`t4` (internal to `mat_const`).
+const T4: Reg = Reg(29);
 
-/// Compiles one function to SPARC code. The module must verify.
-pub fn compile_sparc(module: &Module, fid: FuncId) -> Vec<SparcInst> {
-    compile_sparc_with(module, fid, &crate::peephole::PeepholeConfig::from_env())
+/// Compiles one function to RV64 code. The module must verify.
+pub fn compile_riscv(module: &Module, fid: FuncId) -> Vec<RiscvInst> {
+    compile_riscv_with(module, fid, &PeepholeConfig::from_env())
 }
 
-/// [`compile_sparc`] with an explicit peephole configuration (used by
+/// [`compile_riscv`] with an explicit peephole configuration (used by
 /// the conformance oracle's off-vs-on stages and perf-smoke deltas).
-pub fn compile_sparc_with(
+pub fn compile_riscv_with(
     module: &Module,
     fid: FuncId,
-    peep: &crate::peephole::PeepholeConfig,
-) -> Vec<SparcInst> {
+    peep: &PeepholeConfig,
+) -> Vec<RiscvInst> {
     let func = module.function(fid);
     assert!(!func.is_declaration(), "cannot compile a declaration");
     let mut cg = CodeGen::new(module, func);
     cg.run();
-    crate::peephole::run_sparc(cg.finish(), peep)
+    peephole::run_riscv(cg.finish(), peep)
 }
 
-/// Allocatable callee-saved registers: `%l0..%l7`, `%i0..%i5`.
-const ALLOCATABLE: [Reg; 14] = [
-    Reg(16),
-    Reg(17),
+/// Allocatable callee-saved registers: `s1` (`x9`), `s2`–`s11`
+/// (`x18`–`x27`). `s0` is the frame pointer.
+const ALLOCATABLE: [Reg; 11] = [
+    Reg(9),
     Reg(18),
     Reg(19),
     Reg(20),
@@ -66,20 +71,18 @@ const ALLOCATABLE: [Reg; 14] = [
     Reg(25),
     Reg(26),
     Reg(27),
-    Reg(28),
-    Reg(29),
 ];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Loc {
     Reg(Reg),
-    Slot(i32), // negative offset from %fp
+    Slot(i32), // negative offset from fp
 }
 
 struct CodeGen<'a> {
     module: &'a Module,
     func: &'a Function,
-    code: Vec<SparcInst>,
+    code: Vec<RiscvInst>,
     locs: HashMap<ValueId, Loc>,
     staging: HashMap<InstId, i32>,
     alloca_home: HashMap<InstId, i32>,
@@ -182,13 +185,13 @@ impl<'a> CodeGen<'a> {
                 self.alloca_home.insert(inst_id, -self.frame_size);
             }
             if matches!(inst.opcode(), Opcode::Call | Opcode::Invoke) {
-                let extra = inst.operands().len().saturating_sub(1).saturating_sub(6) as i32;
+                let extra = inst.operands().len().saturating_sub(1).saturating_sub(8) as i32;
                 self.out_area = self.out_area.max(extra * 8);
             }
         }
     }
 
-    fn finish(self) -> Vec<SparcInst> {
+    fn finish(self) -> Vec<RiscvInst> {
         self.code
     }
 
@@ -196,14 +199,14 @@ impl<'a> CodeGen<'a> {
         self.func.value_type(v, self.bool_ty)
     }
 
-    fn emit(&mut self, inst: SparcInst) {
+    fn emit(&mut self, inst: RiscvInst) {
         self.code.push(inst);
     }
 
     fn mov(&mut self, dst: Reg, src: Reg) {
         if dst != src {
-            self.emit(SparcInst::Alu {
-                op: AluOp::Or,
+            self.emit(RiscvInst::Alu {
+                op: AluOp::Add,
                 rs1: src,
                 rhs: RegOrImm::Imm(0),
                 rd: dst,
@@ -212,92 +215,127 @@ impl<'a> CodeGen<'a> {
         }
     }
 
-    /// Materializes an integer constant into `dst`.
-    fn mat_const(&mut self, bits: u64, dst: Reg) {
-        let v = bits as i64;
-        if v == 0 {
-            self.mov(dst, G0);
-            return;
-        }
-        if fits_imm13(v) {
-            self.emit(SparcInst::Alu {
-                op: AluOp::Or,
-                rs1: G0,
-                rhs: RegOrImm::Imm(v as i16),
+    /// Materializes the low 32 bits of `w` into `dst` (`lui`+`addi`;
+    /// the upper 32 bits of the register may hold sign-extension
+    /// garbage — callers mask or shift it away).
+    fn mat_low32(&mut self, w: u32, dst: Reg) {
+        let sv = w as i32 as i64;
+        if fits_imm12(sv) {
+            self.emit(RiscvInst::Alu {
+                op: AluOp::Add,
+                rs1: X0,
+                rhs: RegOrImm::Imm(sv as i16),
                 rd: dst,
                 trapping: false,
             });
             return;
         }
-        let low32 = bits & 0xFFFF_FFFF;
-        let high32 = bits >> 32;
-        self.emit(SparcInst::Sethi {
-            imm22: (low32 >> 10) as u32,
-            rd: dst,
-        });
-        if low32 & 0x3FF != 0 {
-            self.emit(SparcInst::Alu {
-                op: AluOp::Or,
+        let hi20 = (w.wrapping_add(0x800) >> 12) & 0xF_FFFF;
+        let lo12 = ((w & 0xFFF) as i32) << 20 >> 20; // sign-extend 12 bits
+        self.emit(RiscvInst::Lui { imm20: hi20, rd: dst });
+        if lo12 != 0 {
+            self.emit(RiscvInst::Alu {
+                op: AluOp::Add,
                 rs1: dst,
-                rhs: RegOrImm::Imm((low32 & 0x3FF) as i16),
-                rd: dst,
-                trapping: false,
-            });
-        }
-        if high32 != 0 && high32 != 0xFFFF_FFFF {
-            self.emit(SparcInst::Sethi {
-                imm22: (high32 >> 10) as u32,
-                rd: G4,
-            });
-            if high32 & 0x3FF != 0 {
-                self.emit(SparcInst::Alu {
-                    op: AluOp::Or,
-                    rs1: G4,
-                    rhs: RegOrImm::Imm((high32 & 0x3FF) as i16),
-                    rd: G4,
-                    trapping: false,
-                });
-            }
-            self.emit(SparcInst::Alu {
-                op: AluOp::Sll,
-                rs1: G4,
-                rhs: RegOrImm::Imm(32),
-                rd: G4,
-                trapping: false,
-            });
-            self.emit(SparcInst::Alu {
-                op: AluOp::Or,
-                rs1: dst,
-                rhs: RegOrImm::Reg(G4),
-                rd: dst,
-                trapping: false,
-            });
-        } else if high32 == 0xFFFF_FFFF {
-            self.emit(SparcInst::Alu {
-                op: AluOp::Sll,
-                rs1: dst,
-                rhs: RegOrImm::Imm(32),
-                rd: dst,
-                trapping: false,
-            });
-            self.emit(SparcInst::Alu {
-                op: AluOp::Sra,
-                rs1: dst,
-                rhs: RegOrImm::Imm(32),
+                rhs: RegOrImm::Imm(lo12 as i16),
                 rd: dst,
                 trapping: false,
             });
         }
     }
 
-    /// A (base, offset) pair addressing `%fp + off`, routing wide
-    /// offsets through `%g4`.
-    fn fp_mem(&mut self, off: i32) -> (Reg, RegOrImm) {
-        if fits_imm13(i64::from(off)) {
-            (FP, RegOrImm::Imm(off as i16))
+    /// Materializes an integer constant into `dst` (clobbers `t4` for
+    /// full 64-bit constants).
+    fn mat_const(&mut self, bits: u64, dst: Reg) {
+        let v = bits as i64;
+        if v == 0 {
+            self.mov(dst, X0);
+            return;
+        }
+        if fits_imm12(v) {
+            self.emit(RiscvInst::Alu {
+                op: AluOp::Add,
+                rs1: X0,
+                rhs: RegOrImm::Imm(v as i16),
+                rd: dst,
+                trapping: false,
+            });
+            return;
+        }
+        if v == (v as i32) as i64 {
+            // standard li expansion; the +0x800 rounding keeps lo12 in
+            // range except at the very top of the i32 range, which
+            // falls through to the general path
+            let hi20 = (((v + 0x800) >> 12) & 0xF_FFFF) as u32;
+            let base = i64::from(((hi20 << 12) as u32) as i32);
+            let lo = v - base;
+            if fits_imm12(lo) {
+                self.emit(RiscvInst::Lui { imm20: hi20, rd: dst });
+                if lo != 0 {
+                    self.emit(RiscvInst::Alu {
+                        op: AluOp::Add,
+                        rs1: dst,
+                        rhs: RegOrImm::Imm(lo as i16),
+                        rd: dst,
+                        trapping: false,
+                    });
+                }
+                return;
+            }
+        }
+        // general 64-bit: high half shifted up, low half masked in
+        let low32 = (bits & 0xFFFF_FFFF) as u32;
+        let high32 = (bits >> 32) as u32;
+        self.mat_low32(high32, dst);
+        self.emit(RiscvInst::Alu {
+            op: AluOp::Sll,
+            rs1: dst,
+            rhs: RegOrImm::Imm(32),
+            rd: dst,
+            trapping: false,
+        });
+        if low32 != 0 {
+            self.mat_low32(low32, T4);
+            self.emit(RiscvInst::Alu {
+                op: AluOp::Sll,
+                rs1: T4,
+                rhs: RegOrImm::Imm(32),
+                rd: T4,
+                trapping: false,
+            });
+            self.emit(RiscvInst::Alu {
+                op: AluOp::Srl,
+                rs1: T4,
+                rhs: RegOrImm::Imm(32),
+                rd: T4,
+                trapping: false,
+            });
+            self.emit(RiscvInst::Alu {
+                op: AluOp::Or,
+                rs1: dst,
+                rhs: RegOrImm::Reg(T4),
+                rd: dst,
+                trapping: false,
+            });
+        }
+    }
+
+    /// A (base, offset) pair addressing `fp + off`. Loads and stores
+    /// only take 12-bit immediate offsets, so wide offsets compute the
+    /// address into `t3` first.
+    fn fp_addr(&mut self, off: i32) -> (Reg, i16) {
+        if fits_imm12(i64::from(off)) {
+            (FP, off as i16)
         } else {
-            self.mat_const(off as i64 as u64, G4);
-            (FP, RegOrImm::Reg(G4))
+            self.mat_const(off as i64 as u64, T3);
+            self.emit(RiscvInst::Alu {
+                op: AluOp::Add,
+                rs1: FP,
+                rhs: RegOrImm::Reg(T3),
+                rd: T3,
+                trapping: false,
+            });
+            (T3, 0)
         }
     }
 
@@ -307,13 +345,13 @@ impl<'a> CodeGen<'a> {
         if let Some(c) = self.func.value_as_const(v) {
             match c {
                 Constant::GlobalAddr { global, .. } => {
-                    self.emit(SparcInst::MovSym {
+                    self.emit(RiscvInst::MovSym {
                         rd: scratch,
                         sym: Sym::Global(global.index() as u32),
                     });
                 }
                 Constant::FunctionAddr { func, .. } => {
-                    self.emit(SparcInst::MovSym {
+                    self.emit(RiscvInst::MovSym {
                         rd: scratch,
                         sym: Sym::Function(func.index() as u32),
                     });
@@ -321,7 +359,7 @@ impl<'a> CodeGen<'a> {
                 _ => {
                     let bits = canonical_const(self.module, c);
                     if bits == 0 {
-                        return G0;
+                        return X0;
                     }
                     self.mat_const(bits, scratch);
                 }
@@ -331,8 +369,8 @@ impl<'a> CodeGen<'a> {
         match self.locs[&v] {
             Loc::Reg(r) => r,
             Loc::Slot(off) => {
-                let (base, o) = self.fp_mem(off);
-                self.emit(SparcInst::Ld {
+                let (base, o) = self.fp_addr(off);
+                self.emit(RiscvInst::Ld {
                     rd: scratch,
                     rs1: base,
                     off: o,
@@ -344,7 +382,7 @@ impl<'a> CodeGen<'a> {
         }
     }
 
-    /// The second-operand form: a 13-bit immediate when possible.
+    /// The second-operand form: a 12-bit immediate when possible.
     fn rhs_of(&mut self, v: ValueId, scratch: Reg) -> RegOrImm {
         if let Some(c) = self.func.value_as_const(v) {
             if !matches!(
@@ -352,7 +390,7 @@ impl<'a> CodeGen<'a> {
                 Constant::GlobalAddr { .. } | Constant::FunctionAddr { .. }
             ) {
                 let bits = canonical_const(self.module, c) as i64;
-                if fits_imm13(bits) {
+                if fits_imm12(bits) {
                     return RegOrImm::Imm(bits as i16);
                 }
             }
@@ -372,8 +410,8 @@ impl<'a> CodeGen<'a> {
 
     fn finish_dst(&mut self, reg: Reg, spill: Option<i32>) {
         if let Some(off) = spill {
-            let (base, o) = self.fp_mem(off);
-            self.emit(SparcInst::St {
+            let (base, o) = self.fp_addr(off);
+            self.emit(RiscvInst::St {
                 rs: reg,
                 rs1: base,
                 off: o,
@@ -386,15 +424,15 @@ impl<'a> CodeGen<'a> {
     fn freg_of(&mut self, v: ValueId, f: FReg) {
         if let Some(c) = self.func.value_as_const(v) {
             let bits = canonical_const(self.module, c);
-            self.mat_const(bits, G1);
-            self.emit(SparcInst::MovFG(f, G1));
+            self.mat_const(bits, T0);
+            self.emit(RiscvInst::MovFG(f, T0));
             return;
         }
         match self.locs[&v] {
-            Loc::Reg(r) => self.emit(SparcInst::MovFG(f, r)),
+            Loc::Reg(r) => self.emit(RiscvInst::MovFG(f, r)),
             Loc::Slot(off) => {
-                let (base, o) = self.fp_mem(off);
-                self.emit(SparcInst::LdF {
+                let (base, o) = self.fp_addr(off);
+                self.emit(RiscvInst::LdF {
                     fd: f,
                     rs1: base,
                     off: o,
@@ -407,10 +445,10 @@ impl<'a> CodeGen<'a> {
     fn fstore_result(&mut self, inst: InstId, f: FReg) {
         let v = self.func.inst_result(inst).expect("has result");
         match self.locs[&v] {
-            Loc::Reg(r) => self.emit(SparcInst::MovGF(r, f)),
+            Loc::Reg(r) => self.emit(RiscvInst::MovGF(r, f)),
             Loc::Slot(off) => {
-                let (base, o) = self.fp_mem(off);
-                self.emit(SparcInst::StF {
+                let (base, o) = self.fp_addr(off);
+                self.emit(RiscvInst::StF {
                     fs: f,
                     rs1: base,
                     off: o,
@@ -427,14 +465,14 @@ impl<'a> CodeGen<'a> {
         if let Some(w) = tt.int_bits(ty) {
             if w < 64 {
                 let sh = (64 - w.max(8)) as i16;
-                self.emit(SparcInst::Alu {
+                self.emit(RiscvInst::Alu {
                     op: AluOp::Sll,
                     rs1: r,
                     rhs: RegOrImm::Imm(sh),
                     rd: r,
                     trapping: false,
                 });
-                self.emit(SparcInst::Alu {
+                self.emit(RiscvInst::Alu {
                     op: if tt.is_signed_integer(ty) {
                         AluOp::Sra
                     } else {
@@ -451,51 +489,172 @@ impl<'a> CodeGen<'a> {
 
     fn jump(&mut self, target: BlockId) {
         self.fixups.push((self.code.len(), target));
-        self.emit(SparcInst::Ba { target: 0 });
+        self.emit(RiscvInst::J { target: 0 });
     }
 
-    fn jcc(&mut self, cond: Cond, target: BlockId) {
+    /// Compare-and-branch to `target` — the RISC-V fusion of what SPARC
+    /// expresses as `cmp` + `b<cond>`. `rs1`/`rs2` are already ordered
+    /// for the branch opcode.
+    fn jcc(&mut self, cond: BrCond, rs1: Reg, rs2: Reg, target: BlockId) {
         self.fixups.push((self.code.len(), target));
-        self.emit(SparcInst::Br { cond, target: 0 });
+        self.emit(RiscvInst::Br {
+            cond,
+            rs1,
+            rs2,
+            target: 0,
+        });
     }
 
-    fn cond_for(&self, op: Opcode, ty: TypeId) -> Cond {
+    /// Maps a comparison opcode to a branch condition and operand
+    /// order: `(cond, swap)` — `swap` means branch on `(b, a)`.
+    fn br_cond_for(&self, op: Opcode, ty: TypeId) -> (BrCond, bool) {
         let tt = self.module.types();
         let signed = tt.is_signed_integer(ty) || tt.is_float(ty);
         match (op, signed) {
-            (Opcode::SetEq, _) => Cond::E,
-            (Opcode::SetNe, _) => Cond::Ne,
-            (Opcode::SetLt, true) => Cond::L,
-            (Opcode::SetLt, false) => Cond::Lu,
-            (Opcode::SetGt, true) => Cond::G,
-            (Opcode::SetGt, false) => Cond::Gu,
-            (Opcode::SetLe, true) => Cond::Le,
-            (Opcode::SetLe, false) => Cond::Leu,
-            (Opcode::SetGe, true) => Cond::Ge,
-            (Opcode::SetGe, false) => Cond::Geu,
+            (Opcode::SetEq, _) => (BrCond::Eq, false),
+            (Opcode::SetNe, _) => (BrCond::Ne, false),
+            (Opcode::SetLt, true) => (BrCond::Lt, false),
+            (Opcode::SetLt, false) => (BrCond::Ltu, false),
+            (Opcode::SetGt, true) => (BrCond::Lt, true),
+            (Opcode::SetGt, false) => (BrCond::Ltu, true),
+            (Opcode::SetLe, true) => (BrCond::Ge, true),
+            (Opcode::SetLe, false) => (BrCond::Geu, true),
+            (Opcode::SetGe, true) => (BrCond::Ge, false),
+            (Opcode::SetGe, false) => (BrCond::Geu, false),
             _ => unreachable!("not a comparison"),
         }
     }
 
-    fn emit_compare_flags(&mut self, inst_id: InstId) {
-        let inst = self.func.inst(inst_id);
+    /// Emits a fused comparison as a direct branch to `target`.
+    fn emit_compare_branch(&mut self, def: InstId, target: BlockId) {
+        let inst = self.func.inst(def);
+        let op = inst.opcode();
         let (a, b) = (inst.operands()[0], inst.operands()[1]);
         let ty = self.vty(a);
         match classify(self.module, ty) {
             ValClass::Int => {
-                let ra = self.reg_of(a, G1);
-                let rb = self.rhs_of(b, G2);
-                self.emit(SparcInst::Cmp { rs1: ra, rhs: rb });
+                let ra = self.reg_of(a, T0);
+                let rb = self.reg_of(b, T1);
+                let (cond, swap) = self.br_cond_for(op, ty);
+                let (r1, r2) = if swap { (rb, ra) } else { (ra, rb) };
+                self.jcc(cond, r1, r2, target);
             }
-            class => {
-                self.freg_of(a, FReg(0));
-                self.freg_of(b, FReg(1));
-                self.emit(SparcInst::FCmp {
-                    fs1: FReg(0),
-                    fs2: FReg(1),
-                    is32: class == ValClass::F32,
+            _ => {
+                // float: materialize the 0/1 with feq/flt/fle, branch on it
+                self.emit_float_setcc(op, a, b, T0);
+                self.jcc(BrCond::Ne, T0, X0, target);
+            }
+        }
+    }
+
+    /// Materializes a float comparison's 0/1 into `rd` (NaN operands
+    /// make every `FSet` false; `Ne` is the complement, so unordered
+    /// compares agree with the interpreter's semantics).
+    fn emit_float_setcc(&mut self, op: Opcode, a: ValueId, b: ValueId, rd: Reg) {
+        let is32 = classify(self.module, self.vty(a)) == ValClass::F32;
+        self.freg_of(a, FReg(0));
+        self.freg_of(b, FReg(1));
+        let (fop, swap, negate) = match op {
+            Opcode::SetEq => (FSetOp::Feq, false, false),
+            Opcode::SetNe => (FSetOp::Feq, false, true),
+            Opcode::SetLt => (FSetOp::Flt, false, false),
+            Opcode::SetGt => (FSetOp::Flt, true, false),
+            Opcode::SetLe => (FSetOp::Fle, false, false),
+            Opcode::SetGe => (FSetOp::Fle, true, false),
+            _ => unreachable!("not a comparison"),
+        };
+        let (f1, f2) = if swap {
+            (FReg(1), FReg(0))
+        } else {
+            (FReg(0), FReg(1))
+        };
+        self.emit(RiscvInst::FSet {
+            op: fop,
+            rd,
+            fs1: f1,
+            fs2: f2,
+            is32,
+        });
+        if negate {
+            self.emit(RiscvInst::Alu {
+                op: AluOp::Xor,
+                rs1: rd,
+                rhs: RegOrImm::Imm(1),
+                rd,
+                trapping: false,
+            });
+        }
+    }
+
+    /// Materializes an integer comparison's 0/1 into `rd` with
+    /// `slt`/`sltu`/`xor`+`sltiu` sequences — no flags to read.
+    fn emit_int_setcc(&mut self, op: Opcode, a: ValueId, b: ValueId, rd: Reg) {
+        let ty = self.vty(a);
+        let signed = self.module.types().is_signed_integer(ty);
+        let slt = if signed { AluOp::Slt } else { AluOp::Sltu };
+        let ra = self.reg_of(a, T0);
+        let rb = self.reg_of(b, T1);
+        match op {
+            Opcode::SetEq | Opcode::SetNe => {
+                self.emit(RiscvInst::Alu {
+                    op: AluOp::Xor,
+                    rs1: ra,
+                    rhs: RegOrImm::Reg(rb),
+                    rd,
+                    trapping: false,
+                });
+                if op == Opcode::SetEq {
+                    // seqz: rd = (rd unsigned< 1)
+                    self.emit(RiscvInst::Alu {
+                        op: AluOp::Sltu,
+                        rs1: rd,
+                        rhs: RegOrImm::Imm(1),
+                        rd,
+                        trapping: false,
+                    });
+                } else {
+                    // snez: rd = (0 unsigned< rd)
+                    self.emit(RiscvInst::Alu {
+                        op: AluOp::Sltu,
+                        rs1: X0,
+                        rhs: RegOrImm::Reg(rd),
+                        rd,
+                        trapping: false,
+                    });
+                }
+            }
+            Opcode::SetLt => self.emit(RiscvInst::Alu {
+                op: slt,
+                rs1: ra,
+                rhs: RegOrImm::Reg(rb),
+                rd,
+                trapping: false,
+            }),
+            Opcode::SetGt => self.emit(RiscvInst::Alu {
+                op: slt,
+                rs1: rb,
+                rhs: RegOrImm::Reg(ra),
+                rd,
+                trapping: false,
+            }),
+            Opcode::SetGe | Opcode::SetLe => {
+                let (r1, r2) = if op == Opcode::SetGe { (ra, rb) } else { (rb, ra) };
+                self.emit(RiscvInst::Alu {
+                    op: slt,
+                    rs1: r1,
+                    rhs: RegOrImm::Reg(r2),
+                    rd,
+                    trapping: false,
+                });
+                self.emit(RiscvInst::Alu {
+                    op: AluOp::Xor,
+                    rs1: rd,
+                    rhs: RegOrImm::Imm(1),
+                    rd,
+                    trapping: false,
                 });
             }
+            _ => unreachable!("not a comparison"),
         }
     }
 
@@ -513,8 +672,8 @@ impl<'a> CodeGen<'a> {
         for (idx, block) in std::mem::take(&mut self.fixups) {
             let target = self.block_starts[&block];
             match &mut self.code[idx] {
-                SparcInst::Ba { target: t } | SparcInst::Br { target: t, .. } => *t = target,
-                SparcInst::Call { unwind, .. } | SparcInst::CallIndirect { unwind, .. } => {
+                RiscvInst::J { target: t } | RiscvInst::Br { target: t, .. } => *t = target,
+                RiscvInst::Call { unwind, .. } | RiscvInst::CallIndirect { unwind, .. } => {
                     *unwind = Some(target);
                 }
                 other => unreachable!("fixup on {other:?}"),
@@ -524,10 +683,10 @@ impl<'a> CodeGen<'a> {
 
     fn emit_prologue(&mut self) {
         let frame = (self.frame_size + self.out_area + 15) & !15;
-        // g1 = old sp
-        self.mov(G1, SP);
-        if fits_imm13(i64::from(frame)) {
-            self.emit(SparcInst::Alu {
+        // t0 = old sp
+        self.mov(T0, SP);
+        if fits_imm12(i64::from(frame)) {
+            self.emit(RiscvInst::Alu {
                 op: AluOp::Sub,
                 rs1: SP,
                 rhs: RegOrImm::Imm(frame as i16),
@@ -535,23 +694,23 @@ impl<'a> CodeGen<'a> {
                 trapping: false,
             });
         } else {
-            self.mat_const(frame as u64, G2);
-            self.emit(SparcInst::Alu {
+            self.mat_const(frame as u64, T1);
+            self.emit(RiscvInst::Alu {
                 op: AluOp::Sub,
                 rs1: SP,
-                rhs: RegOrImm::Reg(G2),
+                rhs: RegOrImm::Reg(T1),
                 rd: SP,
                 trapping: false,
             });
         }
-        // save old fp at [g1 - 8]; fp = old sp
-        self.emit(SparcInst::St {
+        // save old fp at [t0 - 8]; fp = old sp
+        self.emit(RiscvInst::St {
             rs: FP,
-            rs1: G1,
-            off: RegOrImm::Imm(-8),
+            rs1: T0,
+            off: -8,
             width: llva_machine::Width::B8,
         });
-        self.mov(FP, G1);
+        self.mov(FP, T0);
         // save used callee-saved registers
         let saves: Vec<(Reg, i32)> = self
             .used_saved
@@ -559,8 +718,8 @@ impl<'a> CodeGen<'a> {
             .map(|r| (*r, self.save_slots[r]))
             .collect();
         for (r, off) in saves {
-            let (base, o) = self.fp_mem(off);
-            self.emit(SparcInst::St {
+            let (base, o) = self.fp_addr(off);
+            self.emit(RiscvInst::St {
                 rs: r,
                 rs1: base,
                 off: o,
@@ -570,13 +729,13 @@ impl<'a> CodeGen<'a> {
         // move incoming arguments to their homes
         let args = self.func.args().to_vec();
         for (i, &a) in args.iter().enumerate() {
-            if i < 6 {
-                let src = Reg(8 + i as u8);
+            if i < 8 {
+                let src = Reg(10 + i as u8);
                 match self.locs[&a] {
                     Loc::Reg(r) => self.mov(r, src),
                     Loc::Slot(off) => {
-                        let (base, o) = self.fp_mem(off);
-                        self.emit(SparcInst::St {
+                        let (base, o) = self.fp_addr(off);
+                        self.emit(RiscvInst::St {
                             rs: src,
                             rs1: base,
                             off: o,
@@ -585,21 +744,21 @@ impl<'a> CodeGen<'a> {
                     }
                 }
             } else {
-                // incoming overflow at [fp + 8*(i-6)]
-                let off = 8 * (i as i32 - 6);
-                self.emit(SparcInst::Ld {
-                    rd: G1,
+                // incoming overflow at [fp + 8*(i-8)]
+                let off = 8 * (i as i32 - 8);
+                self.emit(RiscvInst::Ld {
+                    rd: T0,
                     rs1: FP,
-                    off: RegOrImm::Imm(off as i16),
+                    off: off as i16,
                     width: llva_machine::Width::B8,
                     signed: false,
                 });
                 match self.locs[&a] {
-                    Loc::Reg(r) => self.mov(r, G1),
+                    Loc::Reg(r) => self.mov(r, T0),
                     Loc::Slot(soff) => {
-                        let (base, o) = self.fp_mem(soff);
-                        self.emit(SparcInst::St {
-                            rs: G1,
+                        let (base, o) = self.fp_addr(soff);
+                        self.emit(RiscvInst::St {
+                            rs: T0,
                             rs1: base,
                             off: o,
                             width: llva_machine::Width::B8,
@@ -617,8 +776,8 @@ impl<'a> CodeGen<'a> {
             .map(|r| (*r, self.save_slots[r]))
             .collect();
         for (r, off) in saves {
-            let (base, o) = self.fp_mem(off);
-            self.emit(SparcInst::Ld {
+            let (base, o) = self.fp_addr(off);
+            self.emit(RiscvInst::Ld {
                 rd: r,
                 rs1: base,
                 off: o,
@@ -627,16 +786,16 @@ impl<'a> CodeGen<'a> {
             });
         }
         // old fp at [fp - 8]; sp = fp
-        self.emit(SparcInst::Ld {
-            rd: G1,
+        self.emit(RiscvInst::Ld {
+            rd: T0,
             rs1: FP,
-            off: RegOrImm::Imm(-8),
+            off: -8,
             width: llva_machine::Width::B8,
             signed: false,
         });
         self.mov(SP, FP);
-        self.mov(FP, G1);
-        self.emit(SparcInst::Ret);
+        self.mov(FP, T0);
+        self.emit(RiscvInst::Ret);
     }
 
     fn emit_phi_copies(&mut self, block: BlockId, succ: BlockId) {
@@ -653,9 +812,9 @@ impl<'a> CodeGen<'a> {
                 continue;
             };
             let off = self.staging[&phi];
-            let r = self.reg_of(incoming, G1);
-            let (base, o) = self.fp_mem(off);
-            self.emit(SparcInst::St {
+            let r = self.reg_of(incoming, T0);
+            let (base, o) = self.fp_addr(off);
+            self.emit(RiscvInst::St {
                 rs: r,
                 rs1: base,
                 off: o,
@@ -719,10 +878,10 @@ impl<'a> CodeGen<'a> {
                             }
                             _ => unreachable!(),
                         };
-                        let ra = self.reg_of(ops[0], G1);
-                        let rb = self.rhs_of(ops[1], G2);
-                        let (rd, spill) = self.dst_of(inst_id, G3);
-                        self.emit(SparcInst::Alu {
+                        let ra = self.reg_of(ops[0], T0);
+                        let rb = self.rhs_of(ops[1], T1);
+                        let (rd, spill) = self.dst_of(inst_id, T2);
+                        self.emit(RiscvInst::Alu {
                             op: alu,
                             rs1: ra,
                             rhs: rb,
@@ -747,48 +906,48 @@ impl<'a> CodeGen<'a> {
                         self.freg_of(ops[0], FReg(0));
                         self.freg_of(ops[1], FReg(1));
                         let fop = match op {
-                            Opcode::Add => llva_machine::sparc::FpOp::Add,
-                            Opcode::Sub => llva_machine::sparc::FpOp::Sub,
-                            Opcode::Mul => llva_machine::sparc::FpOp::Mul,
-                            Opcode::Div | Opcode::Rem => llva_machine::sparc::FpOp::Div,
+                            Opcode::Add => llva_machine::riscv::FpOp::Add,
+                            Opcode::Sub => llva_machine::riscv::FpOp::Sub,
+                            Opcode::Mul => llva_machine::riscv::FpOp::Mul,
+                            Opcode::Div | Opcode::Rem => llva_machine::riscv::FpOp::Div,
                             _ => panic!("bitwise op on float"),
                         };
                         if op == Opcode::Rem {
-                            self.emit(SparcInst::FAlu {
-                                op: llva_machine::sparc::FpOp::Div,
+                            self.emit(RiscvInst::FAlu {
+                                op: llva_machine::riscv::FpOp::Div,
                                 fs1: FReg(0),
                                 fs2: FReg(1),
                                 fd: FReg(2),
                                 is32,
                             });
-                            self.emit(SparcInst::CvtFI {
-                                rd: G1,
+                            self.emit(RiscvInst::CvtFI {
+                                rd: T0,
                                 fs: FReg(2),
                                 from32: is32,
                                 signed: true,
                             });
-                            self.emit(SparcInst::CvtIF {
+                            self.emit(RiscvInst::CvtIF {
                                 fd: FReg(2),
-                                rs: G1,
+                                rs: T0,
                                 to32: is32,
                                 signed: true,
                             });
-                            self.emit(SparcInst::FAlu {
-                                op: llva_machine::sparc::FpOp::Mul,
+                            self.emit(RiscvInst::FAlu {
+                                op: llva_machine::riscv::FpOp::Mul,
                                 fs1: FReg(2),
                                 fs2: FReg(1),
                                 fd: FReg(2),
                                 is32,
                             });
-                            self.emit(SparcInst::FAlu {
-                                op: llva_machine::sparc::FpOp::Sub,
+                            self.emit(RiscvInst::FAlu {
+                                op: llva_machine::riscv::FpOp::Sub,
                                 fs1: FReg(0),
                                 fs2: FReg(2),
                                 fd: FReg(0),
                                 is32,
                             });
                         } else {
-                            self.emit(SparcInst::FAlu {
+                            self.emit(RiscvInst::FAlu {
                                 op: fop,
                                 fs1: FReg(0),
                                 fs2: FReg(1),
@@ -801,35 +960,24 @@ impl<'a> CodeGen<'a> {
                 }
             }
             _ if op.is_comparison() => {
-                self.emit_compare_flags(inst_id);
-                let cond = self.cond_for(op, self.vty(ops[0]));
-                let (rd, spill) = self.dst_of(inst_id, G3);
-                self.mov(rd, G0);
-                let skip = self.code.len() as u32 + 2;
-                self.emit(SparcInst::Br {
-                    cond: invert(cond),
-                    target: skip,
-                });
-                self.emit(SparcInst::Alu {
-                    op: AluOp::Or,
-                    rs1: G0,
-                    rhs: RegOrImm::Imm(1),
-                    rd,
-                    trapping: false,
-                });
+                let (rd, spill) = self.dst_of(inst_id, T2);
+                match classify(self.module, self.vty(ops[0])) {
+                    ValClass::Int => self.emit_int_setcc(op, ops[0], ops[1], rd),
+                    _ => self.emit_float_setcc(op, ops[0], ops[1], rd),
+                }
                 self.finish_dst(rd, spill);
             }
             Opcode::Ret => {
                 if let Some(&v) = ops.first() {
                     match classify(self.module, self.vty(v)) {
                         ValClass::Int => {
-                            let r = self.reg_of(v, G1);
-                            self.mov(O0, r);
+                            let r = self.reg_of(v, T0);
+                            self.mov(A0, r);
                         }
                         _ => {
-                            // float returns as raw bits in %o0
+                            // float returns as raw bits in a0
                             self.freg_of(v, FReg(0));
-                            self.emit(SparcInst::MovGF(O0, FReg(0)));
+                            self.emit(RiscvInst::MovGF(A0, FReg(0)));
                         }
                     }
                 }
@@ -843,22 +991,15 @@ impl<'a> CodeGen<'a> {
                     }
                 } else {
                     let cond_val = ops[0];
-                    let cond = match inst_defining(self.func, cond_val) {
+                    match inst_defining(self.func, cond_val) {
                         Some(def) if self.fused.contains(&def) => {
-                            self.emit_compare_flags(def);
-                            let def_inst = self.func.inst(def);
-                            self.cond_for(def_inst.opcode(), self.vty(def_inst.operands()[0]))
+                            self.emit_compare_branch(def, blocks[0]);
                         }
                         _ => {
-                            let r = self.reg_of(cond_val, G1);
-                            self.emit(SparcInst::Cmp {
-                                rs1: r,
-                                rhs: RegOrImm::Imm(0),
-                            });
-                            Cond::Ne
+                            let r = self.reg_of(cond_val, T0);
+                            self.jcc(BrCond::Ne, r, X0, blocks[0]);
                         }
-                    };
-                    self.jcc(cond, blocks[0]);
+                    }
                     if next_block != Some(blocks[1]) {
                         self.jump(blocks[1]);
                     }
@@ -866,11 +1007,10 @@ impl<'a> CodeGen<'a> {
             }
             Opcode::Mbr => {
                 self.emit_all_phi_copies(block);
-                let r = self.reg_of(ops[0], G1);
+                let r = self.reg_of(ops[0], T0);
                 for (i, &case) in ops[1..].iter().enumerate() {
-                    let rb = self.rhs_of(case, G2);
-                    self.emit(SparcInst::Cmp { rs1: r, rhs: rb });
-                    self.jcc(Cond::E, blocks[1 + i]);
+                    let rc = self.reg_of(case, T1);
+                    self.jcc(BrCond::Eq, r, rc, blocks[1 + i]);
                 }
                 if next_block != Some(blocks[0]) {
                     self.jump(blocks[0]);
@@ -879,28 +1019,28 @@ impl<'a> CodeGen<'a> {
             Opcode::Call | Opcode::Invoke => {
                 self.emit_call(block, inst_id, op, &ops, &blocks);
             }
-            Opcode::Unwind => self.emit(SparcInst::Unwind),
+            Opcode::Unwind => self.emit(RiscvInst::Unwind),
             Opcode::Load => {
                 let pointee = tt.pointee(self.vty(ops[0])).expect("pointer");
                 let (width, signed) = access_of(self.module, pointee);
-                let rp = self.reg_of(ops[0], G1);
+                let rp = self.reg_of(ops[0], T0);
                 match classify(self.module, pointee) {
                     ValClass::Int => {
-                        let (rd, spill) = self.dst_of(inst_id, G3);
-                        self.emit(SparcInst::Ld {
+                        let (rd, spill) = self.dst_of(inst_id, T2);
+                        self.emit(RiscvInst::Ld {
                             rd,
                             rs1: rp,
-                            off: RegOrImm::Imm(0),
+                            off: 0,
                             width,
                             signed,
                         });
                         self.finish_dst(rd, spill);
                     }
                     class => {
-                        self.emit(SparcInst::LdF {
+                        self.emit(RiscvInst::LdF {
                             fd: FReg(0),
                             rs1: rp,
-                            off: RegOrImm::Imm(0),
+                            off: 0,
                             is32: class == ValClass::F32,
                         });
                         self.fstore_result(inst_id, FReg(0));
@@ -910,22 +1050,22 @@ impl<'a> CodeGen<'a> {
             Opcode::Store => {
                 let pointee = tt.pointee(self.vty(ops[1])).expect("pointer");
                 let (width, _) = access_of(self.module, pointee);
-                let rv = self.reg_of(ops[0], G1);
-                let rp = self.reg_of(ops[1], G2);
-                self.emit(SparcInst::St {
+                let rv = self.reg_of(ops[0], T0);
+                let rp = self.reg_of(ops[1], T1);
+                self.emit(RiscvInst::St {
                     rs: rv,
                     rs1: rp,
-                    off: RegOrImm::Imm(0),
+                    off: 0,
                     width,
                 });
             }
             Opcode::GetElementPtr => self.emit_gep(inst_id, &ops),
             Opcode::Alloca => {
-                let (rd, spill) = self.dst_of(inst_id, G3);
+                let (rd, spill) = self.dst_of(inst_id, T2);
                 if ops.is_empty() {
                     let off = self.alloca_home[&inst_id];
-                    if fits_imm13(i64::from(off)) {
-                        self.emit(SparcInst::Alu {
+                    if fits_imm12(i64::from(off)) {
+                        self.emit(RiscvInst::Alu {
                             op: AluOp::Add,
                             rs1: FP,
                             rhs: RegOrImm::Imm(off as i16),
@@ -933,11 +1073,11 @@ impl<'a> CodeGen<'a> {
                             trapping: false,
                         });
                     } else {
-                        self.mat_const(off as i64 as u64, G4);
-                        self.emit(SparcInst::Alu {
+                        self.mat_const(off as i64 as u64, T3);
+                        self.emit(RiscvInst::Alu {
                             op: AluOp::Add,
                             rs1: FP,
-                            rhs: RegOrImm::Reg(G4),
+                            rhs: RegOrImm::Reg(T3),
                             rd,
                             trapping: false,
                         });
@@ -946,19 +1086,19 @@ impl<'a> CodeGen<'a> {
                     let pointee = tt.pointee(inst.result_type()).expect("pointer");
                     let size = self.module.target().size_of(tt, pointee).max(1);
                     let size = (size + 7) & !7;
-                    let rc = self.reg_of(ops[0], G1);
-                    self.mat_const(size, G2);
-                    self.emit(SparcInst::Alu {
+                    let rc = self.reg_of(ops[0], T0);
+                    self.mat_const(size, T1);
+                    self.emit(RiscvInst::Alu {
                         op: AluOp::Mul,
                         rs1: rc,
-                        rhs: RegOrImm::Reg(G2),
-                        rd: G1,
+                        rhs: RegOrImm::Reg(T1),
+                        rd: T0,
                         trapping: false,
                     });
-                    self.emit(SparcInst::Alu {
+                    self.emit(RiscvInst::Alu {
                         op: AluOp::Sub,
                         rs1: SP,
-                        rhs: RegOrImm::Reg(G1),
+                        rhs: RegOrImm::Reg(T0),
                         rd: SP,
                         trapping: false,
                     });
@@ -969,9 +1109,9 @@ impl<'a> CodeGen<'a> {
             Opcode::Cast => self.emit_cast(inst_id, ops[0], inst.result_type()),
             Opcode::Phi => {
                 let off = self.staging[&inst_id];
-                let (rd, spill) = self.dst_of(inst_id, G3);
-                let (base, o) = self.fp_mem(off);
-                self.emit(SparcInst::Ld {
+                let (rd, spill) = self.dst_of(inst_id, T2);
+                let (base, o) = self.fp_addr(off);
+                self.emit(RiscvInst::Ld {
                     rd,
                     rs1: base,
                     off: o,
@@ -993,8 +1133,8 @@ impl<'a> CodeGen<'a> {
         blocks: &[BlockId],
     ) {
         let args = &ops[1..];
-        for (i, &a) in args.iter().take(6).enumerate() {
-            let dst = Reg(8 + i as u8);
+        for (i, &a) in args.iter().take(8).enumerate() {
+            let dst = Reg(10 + i as u8);
             match classify(self.module, self.vty(a)) {
                 ValClass::Int => {
                     let r = self.reg_of(a, dst);
@@ -1002,34 +1142,34 @@ impl<'a> CodeGen<'a> {
                 }
                 _ => {
                     self.freg_of(a, FReg(0));
-                    self.emit(SparcInst::MovGF(dst, FReg(0)));
+                    self.emit(RiscvInst::MovGF(dst, FReg(0)));
                 }
             }
         }
-        for (j, &a) in args.iter().skip(6).enumerate() {
-            let r = self.reg_of(a, G1);
-            self.emit(SparcInst::St {
+        for (j, &a) in args.iter().skip(8).enumerate() {
+            let r = self.reg_of(a, T0);
+            self.emit(RiscvInst::St {
                 rs: r,
                 rs1: SP,
-                off: RegOrImm::Imm((8 * j) as i16),
+                off: (8 * j) as i16,
                 width: llva_machine::Width::B8,
             });
         }
         let call_idx = self.code.len();
         if let Some(intr) = intrinsic_target(self.module, self.func, ops[0]) {
-            self.emit(SparcInst::CallIntrinsic {
+            self.emit(RiscvInst::CallIntrinsic {
                 which: intr,
-                nargs: args.len().min(6) as u8,
+                nargs: args.len().min(8) as u8,
             });
         } else if let Some(Constant::FunctionAddr { func, .. }) = self.func.value_as_const(ops[0])
         {
-            self.emit(SparcInst::Call {
+            self.emit(RiscvInst::Call {
                 func: func.index() as u32,
                 unwind: None,
             });
         } else {
-            let r = self.reg_of(ops[0], G1);
-            self.emit(SparcInst::CallIndirect {
+            let r = self.reg_of(ops[0], T0);
+            self.emit(RiscvInst::CallIndirect {
                 rs: r,
                 unwind: None,
             });
@@ -1037,11 +1177,11 @@ impl<'a> CodeGen<'a> {
         if let Some(result) = self.func.inst_result(inst_id) {
             match classify(self.module, self.func.inst(inst_id).result_type()) {
                 ValClass::Int => match self.locs[&result] {
-                    Loc::Reg(r) => self.mov(r, O0),
+                    Loc::Reg(r) => self.mov(r, A0),
                     Loc::Slot(off) => {
-                        let (base, o) = self.fp_mem(off);
-                        self.emit(SparcInst::St {
-                            rs: O0,
+                        let (base, o) = self.fp_addr(off);
+                        self.emit(RiscvInst::St {
+                            rs: A0,
                             rs1: base,
                             off: o,
                             width: llva_machine::Width::B8,
@@ -1049,7 +1189,7 @@ impl<'a> CodeGen<'a> {
                     }
                 },
                 _ => {
-                    self.emit(SparcInst::MovFG(FReg(0), O0));
+                    self.emit(RiscvInst::MovFG(FReg(0), A0));
                     self.fstore_result(inst_id, FReg(0));
                 }
             }
@@ -1061,7 +1201,7 @@ impl<'a> CodeGen<'a> {
             self.emit_phi_copies(block, blocks[1]);
             self.jump(blocks[1]);
             match &mut self.code[call_idx] {
-                SparcInst::Call { unwind, .. } | SparcInst::CallIndirect { unwind, .. } => {
+                RiscvInst::Call { unwind, .. } | RiscvInst::CallIndirect { unwind, .. } => {
                     *unwind = Some(pad);
                 }
                 _ => {}
@@ -1072,8 +1212,8 @@ impl<'a> CodeGen<'a> {
     fn emit_gep(&mut self, inst_id: InstId, ops: &[ValueId]) {
         let tt = self.module.types();
         let cfg = self.module.target();
-        let base = self.reg_of(ops[0], G1);
-        self.mov(G1, base);
+        let base = self.reg_of(ops[0], T0);
+        self.mov(T0, base);
         let mut cur = tt.pointee(self.vty(ops[0])).expect("pointer");
         let mut static_off: i64 = 0;
         for (i, &idx) in ops[1..].iter().enumerate() {
@@ -1107,56 +1247,56 @@ impl<'a> CodeGen<'a> {
             {
                 static_off += k * elem_size as i64;
             } else {
-                let ri = self.reg_of(idx, G2);
+                let ri = self.reg_of(idx, T1);
                 if elem_size.is_power_of_two() {
-                    self.emit(SparcInst::Alu {
+                    self.emit(RiscvInst::Alu {
                         op: AluOp::Sll,
                         rs1: ri,
                         rhs: RegOrImm::Imm(elem_size.trailing_zeros() as i16),
-                        rd: G2,
+                        rd: T1,
                         trapping: false,
                     });
                 } else {
-                    self.mat_const(elem_size, G3);
-                    self.emit(SparcInst::Alu {
+                    self.mat_const(elem_size, T2);
+                    self.emit(RiscvInst::Alu {
                         op: AluOp::Mul,
                         rs1: ri,
-                        rhs: RegOrImm::Reg(G3),
-                        rd: G2,
+                        rhs: RegOrImm::Reg(T2),
+                        rd: T1,
                         trapping: false,
                     });
                 }
-                self.emit(SparcInst::Alu {
+                self.emit(RiscvInst::Alu {
                     op: AluOp::Add,
-                    rs1: G1,
-                    rhs: RegOrImm::Reg(G2),
-                    rd: G1,
+                    rs1: T0,
+                    rhs: RegOrImm::Reg(T1),
+                    rd: T0,
                     trapping: false,
                 });
             }
         }
-        let (rd, spill) = self.dst_of(inst_id, G3);
+        let (rd, spill) = self.dst_of(inst_id, T2);
         if static_off != 0 {
-            if fits_imm13(static_off) {
-                self.emit(SparcInst::Alu {
+            if fits_imm12(static_off) {
+                self.emit(RiscvInst::Alu {
                     op: AluOp::Add,
-                    rs1: G1,
+                    rs1: T0,
                     rhs: RegOrImm::Imm(static_off as i16),
                     rd,
                     trapping: false,
                 });
             } else {
-                self.mat_const(static_off as u64, G4);
-                self.emit(SparcInst::Alu {
+                self.mat_const(static_off as u64, T3);
+                self.emit(RiscvInst::Alu {
                     op: AluOp::Add,
-                    rs1: G1,
-                    rhs: RegOrImm::Reg(G4),
+                    rs1: T0,
+                    rhs: RegOrImm::Reg(T3),
                     rd,
                     trapping: false,
                 });
             }
         } else {
-            self.mov(rd, G1);
+            self.mov(rd, T0);
         }
         self.finish_dst(rd, spill);
     }
@@ -1168,23 +1308,14 @@ impl<'a> CodeGen<'a> {
         let to_class = classify(self.module, to);
         match (from_class, to_class) {
             (ValClass::Int, ValClass::Int) => {
-                let rs = self.reg_of(src, G1);
-                let (rd, spill) = self.dst_of(inst_id, G3);
+                let rs = self.reg_of(src, T0);
+                let (rd, spill) = self.dst_of(inst_id, T2);
                 if matches!(tt.kind(to), TypeKind::Bool) {
-                    self.emit(SparcInst::Cmp {
-                        rs1: rs,
-                        rhs: RegOrImm::Imm(0),
-                    });
-                    self.mov(rd, G0);
-                    let skip = self.code.len() as u32 + 2;
-                    self.emit(SparcInst::Br {
-                        cond: Cond::E,
-                        target: skip,
-                    });
-                    self.emit(SparcInst::Alu {
-                        op: AluOp::Or,
-                        rs1: G0,
-                        rhs: RegOrImm::Imm(1),
+                    // snez rd, rs
+                    self.emit(RiscvInst::Alu {
+                        op: AluOp::Sltu,
+                        rs1: X0,
+                        rhs: RegOrImm::Reg(rs),
                         rd,
                         trapping: false,
                     });
@@ -1195,8 +1326,8 @@ impl<'a> CodeGen<'a> {
                 self.finish_dst(rd, spill);
             }
             (ValClass::Int, fc) => {
-                let rs = self.reg_of(src, G1);
-                self.emit(SparcInst::CvtIF {
+                let rs = self.reg_of(src, T0);
+                self.emit(RiscvInst::CvtIF {
                     fd: FReg(0),
                     rs,
                     to32: fc == ValClass::F32,
@@ -1206,29 +1337,26 @@ impl<'a> CodeGen<'a> {
             }
             (fc, ValClass::Int) => {
                 self.freg_of(src, FReg(0));
-                let (rd, spill) = self.dst_of(inst_id, G3);
+                let (rd, spill) = self.dst_of(inst_id, T2);
                 if matches!(tt.kind(to), TypeKind::Bool) {
-                    self.emit(SparcInst::MovFG(FReg(1), G0));
-                    self.emit(SparcInst::FCmp {
+                    // rd = !(src == 0.0); feq is false on NaN, so NaN → true
+                    self.emit(RiscvInst::MovFG(FReg(1), X0));
+                    self.emit(RiscvInst::FSet {
+                        op: FSetOp::Feq,
+                        rd,
                         fs1: FReg(0),
                         fs2: FReg(1),
                         is32: fc == ValClass::F32,
                     });
-                    self.mov(rd, G0);
-                    let skip = self.code.len() as u32 + 2;
-                    self.emit(SparcInst::Br {
-                        cond: Cond::E,
-                        target: skip,
-                    });
-                    self.emit(SparcInst::Alu {
-                        op: AluOp::Or,
-                        rs1: G0,
+                    self.emit(RiscvInst::Alu {
+                        op: AluOp::Xor,
+                        rs1: rd,
                         rhs: RegOrImm::Imm(1),
                         rd,
                         trapping: false,
                     });
                 } else {
-                    self.emit(SparcInst::CvtFI {
+                    self.emit(RiscvInst::CvtFI {
                         rd,
                         fs: FReg(0),
                         from32: fc == ValClass::F32,
@@ -1241,7 +1369,7 @@ impl<'a> CodeGen<'a> {
             (fa, fb) => {
                 self.freg_of(src, FReg(0));
                 if fa != fb {
-                    self.emit(SparcInst::CvtFF {
+                    self.emit(RiscvInst::CvtFF {
                         fd: FReg(0),
                         fs: FReg(0),
                         to32: fb == ValClass::F32,
@@ -1253,43 +1381,28 @@ impl<'a> CodeGen<'a> {
     }
 }
 
-fn invert(c: Cond) -> Cond {
-    match c {
-        Cond::E => Cond::Ne,
-        Cond::Ne => Cond::E,
-        Cond::L => Cond::Ge,
-        Cond::G => Cond::Le,
-        Cond::Le => Cond::G,
-        Cond::Ge => Cond::L,
-        Cond::Lu => Cond::Geu,
-        Cond::Gu => Cond::Leu,
-        Cond::Leu => Cond::Gu,
-        Cond::Geu => Cond::Lu,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use llva_machine::common::Exit;
     use llva_machine::memory::Memory;
-    use llva_machine::sparc::{SparcMachine, SparcProgram};
+    use llva_machine::riscv::{RiscvMachine, RiscvProgram};
 
     fn compile_and_run(src: &str, args: &[u64]) -> Exit {
         let mut m = llva_core::parser::parse_module(src).expect("parses");
-        m.set_target(llva_core::layout::TargetConfig::sparc_v9());
+        m.set_target(llva_core::layout::TargetConfig::riscv64());
         llva_core::verifier::verify_module(&m).expect("verifies");
         let image = crate::common::layout_globals(&m);
-        let mut program = SparcProgram::new(m.num_functions(), image.addrs.clone());
+        let mut program = RiscvProgram::new(m.num_functions(), image.addrs.clone());
         for (fid, f) in m.functions() {
             if !f.is_declaration() {
-                program.install(fid.index() as u32, compile_sparc(&m, fid));
+                program.install(fid.index() as u32, compile_riscv(&m, fid));
             }
         }
         let mut mem = Memory::new(1 << 22, image.heap_base, m.target().endianness);
         mem.write_bytes(llva_machine::memory::GLOBAL_BASE, &image.image)
             .expect("image fits");
-        let mut machine = SparcMachine::new(mem);
+        let mut machine = RiscvMachine::new(mem);
         let main = m.function_by_name("main").expect("main");
         machine
             .call_entry(main.index() as u32, args)
@@ -1371,7 +1484,7 @@ exit:
     }
 
     #[test]
-    fn globals_and_memory_big_endian() {
+    fn globals_and_memory_little_endian() {
         let exit = compile_and_run(
             r#"
 @counter = global int 41
@@ -1391,7 +1504,7 @@ entry:
     }
 
     #[test]
-    fn large_constants_need_sethi() {
+    fn large_constants_need_lui() {
         let exit = compile_and_run(
             r#"
 long %main() {
@@ -1407,10 +1520,28 @@ entry:
     }
 
     #[test]
-    fn many_args_spill_to_stack() {
+    fn full_64bit_constants_materialize() {
+        // forces the general lui/shift/or path, including the i32-edge
         let exit = compile_and_run(
             r#"
-int %sum8(int %a, int %b, int %c, int %d, int %e, int %f, int %g, int %h) {
+long %main() {
+entry:
+    %a = add long 0, 81985529216486895
+    %b = sub long %a, 81985529216486890
+    ret long %b
+}
+"#,
+            &[],
+        );
+        // 0x0123456789ABCDEF - (0x0123456789ABCDEF - 5) = 5
+        assert_eq!(exit, Exit::Halt(5));
+    }
+
+    #[test]
+    fn many_args_use_a_regs_then_stack() {
+        let exit = compile_and_run(
+            r#"
+int %sum10(int %a, int %b, int %c, int %d, int %e, int %f, int %g, int %h, int %i, int %j) {
 entry:
     %s1 = add int %a, %b
     %s2 = add int %s1, %c
@@ -1419,18 +1550,20 @@ entry:
     %s5 = add int %s4, %f
     %s6 = add int %s5, %g
     %s7 = add int %s6, %h
-    ret int %s7
+    %s8 = add int %s7, %i
+    %s9 = add int %s8, %j
+    ret int %s9
 }
 
 int %main() {
 entry:
-    %r = call int %sum8(int 1, int 2, int 3, int 4, int 5, int 6, int 7, int 8)
+    %r = call int %sum10(int 1, int 2, int 3, int 4, int 5, int 6, int 7, int 8, int 9, int 10)
     ret int %r
 }
 "#,
             &[],
         );
-        assert_eq!(exit, Exit::Halt(36));
+        assert_eq!(exit, Exit::Halt(55));
     }
 
     #[test]
@@ -1491,32 +1624,24 @@ caught:
     }
 
     #[test]
-    fn sparc_ratio_exceeds_x86_for_constant_heavy_code() {
-        // The paper's SPARC ratios (2.3–4.2) exceed x86 (2.2–3.3)
-        // largely from constant materialization.
-        let src = r#"
-int %work(int %x) {
+    fn unsigned_comparisons_use_unsigned_branches() {
+        // 0xFFFFFFFFFFFFFFFF as ulong is huge, as long is -1
+        let exit = compile_and_run(
+            r#"
+int %main() {
 entry:
-    %a = add int %x, 100000
-    %b = mul int %a, 31337
-    %c = div int %b, 127
-    %d = rem int %c, 65537
-    ret int %d
+    %big = sub ulong 0, 1
+    %c = setgt ulong %big, 10
+    br bool %c, label %yes, label %no
+yes:
+    ret int 1
+no:
+    ret int 0
 }
-"#;
-        let mut m = llva_core::parser::parse_module(src).expect("parses");
-        m.set_target(llva_core::layout::TargetConfig::sparc_v9());
-        let f = m.function_by_name("work").expect("work");
-        let sparc_count: usize = compile_sparc(&m, f)
-            .iter()
-            .map(|i| i.weight() as usize)
-            .sum();
-        m.set_target(llva_core::layout::TargetConfig::ia32());
-        let x86_count = crate::x86gen::compile_x86(&m, f).len();
-        assert!(
-            sparc_count >= x86_count,
-            "sparc {sparc_count} >= x86 {x86_count}"
+"#,
+            &[],
         );
+        assert_eq!(exit, Exit::Halt(1));
     }
 
     #[test]
@@ -1563,5 +1688,31 @@ entry:
             &[],
         );
         assert_eq!(exit, Exit::Halt(42));
+    }
+
+    #[test]
+    fn setcc_materializes_without_flags() {
+        // each comparison consumed as a value, not a branch
+        let exit = compile_and_run(
+            r#"
+int %main(int %x) {
+entry:
+    %eq = seteq int %x, 7
+    %ne = setne int %x, 9
+    %lt = setlt int %x, 100
+    %ge = setge int %x, 7
+    %a = cast bool %eq to int
+    %b = cast bool %ne to int
+    %c = cast bool %lt to int
+    %d = cast bool %ge to int
+    %s1 = add int %a, %b
+    %s2 = add int %s1, %c
+    %s3 = add int %s2, %d
+    ret int %s3
+}
+"#,
+            &[7],
+        );
+        assert_eq!(exit, Exit::Halt(4));
     }
 }

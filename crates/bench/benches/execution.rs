@@ -73,7 +73,7 @@ fn bench_executors(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     let w = llva_workloads::by_name("ptrdist-ft").expect("workload");
-    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    for isa in TargetIsa::ALL {
         group.bench_function(format!("machine/{isa}"), |b| {
             b.iter_batched(
                 || w.compile(TargetConfig::default()),

@@ -14,7 +14,7 @@ fn bench_translate(c: &mut Criterion) {
     group.sample_size(20);
     for name in ["ptrdist-anagram", "181.mcf", "300.twolf", "254.gap"] {
         let w = llva_workloads::by_name(name).expect("workload");
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        for isa in TargetIsa::ALL {
             group.bench_function(format!("{name}/{isa}"), |b| {
                 b.iter_batched(
                     || {

@@ -12,7 +12,14 @@
 //!
 //! Exit code is non-zero only on a *correctness* divergence between the
 //! interpreters — throughput numbers never fail the build.
+//!
+//! A second table reports the x86 register-allocator trajectory: static
+//! spill-slot traffic and instruction counts for the naive
+//! slot-everything translator (the paper's §5.2 baseline, kept as
+//! `compile_x86_naive`) against the use-count linear-scan allocator +
+//! shared peephole pass that `compile_x86` now runs.
 
+use llva_backend::{compile_x86, compile_x86_naive, spill_count};
 use llva_core::layout::TargetConfig;
 use llva_engine::{FastInterpreter, Interpreter, PreModule, TraceConfig};
 use std::fmt::Write as _;
@@ -214,6 +221,57 @@ fn main() {
             r.traced_speedup
         );
     }
+    // x86 allocator trajectory: naive (slot-everything, no peephole)
+    // vs linear-scan + peephole, static counts over the same workloads
+    println!();
+    println!(
+        "{:<16} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "x86 codegen", "naive spill", "ls spill", "Δspill", "naive insts", "ls insts", "Δinsts"
+    );
+    let mut alloc_rows: Vec<(String, usize, usize, usize, usize)> = Vec::new();
+    for w in llva_workloads::all() {
+        if let Some(f) = &only {
+            if !w.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let m = w.compile(TargetConfig::ia32());
+        let (mut naive_spills, mut ls_spills) = (0usize, 0usize);
+        let (mut naive_insts, mut ls_insts) = (0usize, 0usize);
+        for fid in m.function_ids() {
+            let naive = compile_x86_naive(&m, fid);
+            naive_spills += spill_count(&naive);
+            naive_insts += naive.len();
+            let ls = compile_x86(&m, fid);
+            ls_spills += spill_count(&ls);
+            ls_insts += ls.len();
+        }
+        println!(
+            "{:<16} {:>12} {:>12} {:>7.1}% {:>12} {:>12} {:>7.1}%",
+            w.name,
+            naive_spills,
+            ls_spills,
+            100.0 * (naive_spills as f64 - ls_spills as f64) / naive_spills.max(1) as f64,
+            naive_insts,
+            ls_insts,
+            100.0 * (naive_insts as f64 - ls_insts as f64) / naive_insts.max(1) as f64,
+        );
+        alloc_rows.push((w.name.to_string(), naive_spills, ls_spills, naive_insts, ls_insts));
+    }
+    let spill_drop = {
+        let (n, l): (usize, usize) = alloc_rows.iter().fold((0, 0), |(n, l), r| (n + r.1, l + r.2));
+        100.0 * (n as f64 - l as f64) / n.max(1) as f64
+    };
+    let inst_drop = {
+        let (n, l): (usize, usize) = alloc_rows.iter().fold((0, 0), |(n, l), r| (n + r.3, l + r.4));
+        100.0 * (n as f64 - l as f64) / n.max(1) as f64
+    };
+    println!(
+        "x86 linear-scan + peephole vs naive over {} workloads: \
+         spill traffic -{spill_drop:.1}%, instruction count -{inst_drop:.1}%",
+        alloc_rows.len()
+    );
+
     let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
     let traced_geomean =
         (rows.iter().map(|r| r.traced_speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
@@ -248,9 +306,18 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
+    json.push_str("  ],\n  \"x86_alloc\": [\n");
+    for (i, (name, ns, ls, ni, li)) in alloc_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"naive_spills\": {ns}, \"ls_spills\": {ls}, \
+             \"naive_insts\": {ni}, \"ls_insts\": {li}}}{}",
+            if i + 1 < alloc_rows.len() { "," } else { "" }
+        );
+    }
     let _ = write!(
         json,
-        "  ],\n  \"geomean_speedup\": {geomean:.3},\n  \"traced_geomean_speedup\": {traced_geomean:.3},\n  \"traced_over_predecoded\": {trace_over_fast:.3},\n  \"divergences\": {divergences}\n}}\n"
+        "  ],\n  \"x86_spill_drop_pct\": {spill_drop:.1},\n  \"x86_inst_drop_pct\": {inst_drop:.1},\n  \"geomean_speedup\": {geomean:.3},\n  \"traced_geomean_speedup\": {traced_geomean:.3},\n  \"traced_over_predecoded\": {trace_over_fast:.3},\n  \"divergences\": {divergences}\n}}\n"
     );
     if only.is_none() {
         std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");

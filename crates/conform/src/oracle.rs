@@ -17,9 +17,14 @@
 //! | `opt:standard`   | the full `standard_pipeline()`, then interpreter      |
 //! | `opt:linktime`   | the full `link_time_pipeline()`, then interpreter     |
 //! | `reopt`          | profile → trace → `trace::reoptimize`, verified, then interpreter |
-//! | `x86` / `sparc`  | LLEE translation + simulated processor                |
-//! | `x86:opt` / `sparc:opt` | standard-optimized module on each processor    |
+//! | `x86` / `sparc` / `riscv` | LLEE translation + simulated processor       |
+//! | `<isa>:opt`      | standard-optimized module on each processor           |
+//! | `<isa>:nopeep`   | LLEE translation with the shared peephole pass disabled |
 //! | `supervisor`     | tiered supervisor, translated tier killed, cross-check on |
+//!
+//! The `<isa>:nopeep` stages assert the target-independent peephole
+//! pass never changes observable outcomes: peephole-off translation
+//! must agree with the baseline exactly like peephole-on does.
 //!
 //! The `supervisor` stage proves graceful degradation never changes
 //! observable semantics: every seed runs with the translated tier
@@ -149,8 +154,10 @@ impl Oracle {
         self
     }
 
-    /// Drops the four native-processor stages (used by the shrinker's
-    /// inner loop when the divergence is known to be interpreter-only).
+    /// Drops the native-processor stages — the per-target `-O0`,
+    /// `:opt`, and `:nopeep` runs plus `supervisor` (used by the
+    /// shrinker's inner loop when the divergence is known to be
+    /// interpreter-only).
     pub fn skip_native(&mut self, skip: bool) -> &mut Oracle {
         self.skip_native = skip;
         self
@@ -213,18 +220,25 @@ impl Oracle {
             // LLEE translation + simulated processor, -O0
             "x86" => native_outcome(module.clone(), TargetIsa::X86, entry, args, fuel),
             "sparc" => native_outcome(module.clone(), TargetIsa::Sparc, entry, args, fuel),
+            "riscv" => native_outcome(module.clone(), TargetIsa::Riscv, entry, args, fuel),
             // tiered supervisor under forced degradation + cross-check
             "supervisor" => supervisor_outcome(module, entry, args, fuel),
             // standard-optimized module on each processor
-            "x86:opt" | "sparc:opt" => {
+            "x86:opt" | "sparc:opt" | "riscv:opt" => {
                 let mut m2 = module.clone();
                 llva_opt::standard_pipeline().run(&mut m2);
                 if let Err(e) = llva_core::verifier::verify_module(&m2) {
                     Outcome::Reject(format!("verify: {e}"))
                 } else {
-                    let isa = if name == "x86:opt" { TargetIsa::X86 } else { TargetIsa::Sparc };
+                    let isa = stage_isa(name).expect("matched arm has an isa prefix");
                     native_outcome(m2, isa, entry, args, fuel)
                 }
+            }
+            // translation with the shared peephole pass off — must be
+            // observably identical to the peephole-on stages
+            "x86:nopeep" | "sparc:nopeep" | "riscv:nopeep" => {
+                let isa = stage_isa(name).expect("matched arm has an isa prefix");
+                native_outcome_nopeep(module.clone(), isa, entry, args, fuel)
             }
             _ => {
                 // one optimization pass alone
@@ -301,11 +315,14 @@ impl Oracle {
         names.push("opt:linktime".to_string());
         names.push("reopt".to_string());
         if !self.skip_native {
-            for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            for isa in TargetIsa::ALL {
                 names.push(isa.to_string());
             }
-            for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+            for isa in TargetIsa::ALL {
                 names.push(format!("{isa}:opt"));
+            }
+            for isa in TargetIsa::ALL {
+                names.push(format!("{isa}:nopeep"));
             }
             names.push("supervisor".to_string());
         }
@@ -452,9 +469,33 @@ pub fn supervisor_outcome(module: &Module, entry: &str, args: &[u64], fuel: u64)
     }
 }
 
+/// Maps a native stage name (`x86`, `sparc:opt`, `riscv:nopeep`, ...)
+/// onto the target it runs.
+fn stage_isa(name: &str) -> Option<TargetIsa> {
+    let base = name.split(':').next().unwrap_or(name);
+    TargetIsa::ALL.into_iter().find(|isa| isa.to_string() == base)
+}
+
 /// Translates with LLEE and runs on the simulated `isa` processor.
 pub fn native_outcome(module: Module, isa: TargetIsa, entry: &str, args: &[u64], fuel: u64) -> Outcome {
+    native_run(ExecutionManager::new(module, isa), entry, args, fuel)
+}
+
+/// Like [`native_outcome`], but with the shared target-independent
+/// peephole pass disabled — the `<isa>:nopeep` oracle stages.
+pub fn native_outcome_nopeep(
+    module: Module,
+    isa: TargetIsa,
+    entry: &str,
+    args: &[u64],
+    fuel: u64,
+) -> Outcome {
     let mut mgr = ExecutionManager::new(module, isa);
+    mgr.set_peephole(false);
+    native_run(mgr, entry, args, fuel)
+}
+
+fn native_run(mut mgr: ExecutionManager, entry: &str, args: &[u64], fuel: u64) -> Outcome {
     mgr.set_fuel(fuel);
     match mgr.run(entry, args) {
         Ok(out) => Outcome::Value(out.value),
@@ -516,6 +557,35 @@ mod tests {
                 .run_stage("supervisor", &tc.module, &tc.entry, &tc.args)
                 .expect("known stage");
             assert_eq!(supervised, baseline, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn native_stages_cover_all_targets_in_all_modes() {
+        let names = Oracle::new().stage_names("main");
+        for isa in TargetIsa::ALL {
+            for stage in [isa.to_string(), format!("{isa}:opt"), format!("{isa}:nopeep")] {
+                assert!(names.iter().any(|n| *n == stage), "missing stage {stage}");
+            }
+        }
+    }
+
+    #[test]
+    fn peephole_off_agrees_with_baseline() {
+        // the `<isa>:nopeep` stages are the "peephole off vs on" oracle:
+        // disabling the shared pass must not change any observable outcome
+        for seed in [8, 9] {
+            let tc = generate(seed, &GenConfig::default());
+            let oracle = Oracle::new();
+            let baseline = oracle
+                .run_stage("interp", &tc.module, &tc.entry, &tc.args)
+                .expect("known stage");
+            for isa in TargetIsa::ALL {
+                let off = oracle
+                    .run_stage(&format!("{isa}:nopeep"), &tc.module, &tc.entry, &tc.args)
+                    .expect("known stage");
+                assert_eq!(off, baseline, "seed {seed} isa {isa}");
+            }
         }
     }
 

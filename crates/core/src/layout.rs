@@ -71,6 +71,14 @@ impl TargetConfig {
         }
     }
 
+    /// A 64-bit little-endian target (RV64-like).
+    pub fn riscv64() -> TargetConfig {
+        TargetConfig {
+            pointer_size: PointerSize::Bits64,
+            endianness: Endianness::Little,
+        }
+    }
+
     /// Size of `ty` in bytes under this target.
     ///
     /// Aggregates include interior padding and tail padding to their

@@ -8,6 +8,7 @@
 
 use llva_core::intrinsics::Intrinsic;
 use llva_machine::common::{Sym, Width};
+use llva_machine::riscv::{self, RiscvInst};
 use llva_machine::sparc::{self, SparcInst};
 use llva_machine::x86::{self, X86Inst};
 use std::fmt;
@@ -1035,6 +1036,369 @@ fn decode_sparc_inst(r: &mut R<'_>) -> Result<SparcInst> {
     })
 }
 
+const RISCV_ALU: [riscv::AluOp; 15] = [
+    riscv::AluOp::Add,
+    riscv::AluOp::Sub,
+    riscv::AluOp::Mul,
+    riscv::AluOp::Sdiv,
+    riscv::AluOp::Udiv,
+    riscv::AluOp::Srem,
+    riscv::AluOp::Urem,
+    riscv::AluOp::And,
+    riscv::AluOp::Or,
+    riscv::AluOp::Xor,
+    riscv::AluOp::Sll,
+    riscv::AluOp::Srl,
+    riscv::AluOp::Sra,
+    riscv::AluOp::Slt,
+    riscv::AluOp::Sltu,
+];
+
+const RISCV_BR: [riscv::BrCond; 6] = [
+    riscv::BrCond::Eq,
+    riscv::BrCond::Ne,
+    riscv::BrCond::Lt,
+    riscv::BrCond::Ge,
+    riscv::BrCond::Ltu,
+    riscv::BrCond::Geu,
+];
+
+const RISCV_FP: [riscv::FpOp; 4] = [
+    riscv::FpOp::Add,
+    riscv::FpOp::Sub,
+    riscv::FpOp::Mul,
+    riscv::FpOp::Div,
+];
+
+const RISCV_FSET: [riscv::FSetOp; 3] =
+    [riscv::FSetOp::Feq, riscv::FSetOp::Flt, riscv::FSetOp::Fle];
+
+fn rv_roi_w(w: &mut W, v: riscv::RegOrImm) {
+    match v {
+        riscv::RegOrImm::Reg(r) => {
+            w.u8(0);
+            w.u8(r.0);
+        }
+        riscv::RegOrImm::Imm(i) => {
+            w.u8(1);
+            w.i16(i);
+        }
+    }
+}
+
+fn rv_roi_r(r: &mut R<'_>) -> Result<riscv::RegOrImm> {
+    Ok(match r.u8()? {
+        0 => riscv::RegOrImm::Reg(riscv::Reg(r.u8()?)),
+        1 => riscv::RegOrImm::Imm(r.i16()?),
+        _ => return Err(CodecError("bad reg-or-imm".into())),
+    })
+}
+
+/// Encodes RISC-V code for the cache.
+pub fn encode_riscv(code: &[RiscvInst]) -> Vec<u8> {
+    let mut w = W(Vec::with_capacity(code.len() * 8));
+    w.u32(code.len() as u32);
+    for inst in code {
+        encode_riscv_inst(&mut w, inst);
+    }
+    w.0
+}
+
+#[allow(clippy::too_many_lines)]
+fn encode_riscv_inst(w: &mut W, inst: &RiscvInst) {
+    use RiscvInst as I;
+    match inst {
+        I::Lui { imm20, rd } => {
+            w.u8(0);
+            w.u32(*imm20);
+            w.u8(rd.0);
+        }
+        I::Alu {
+            op,
+            rs1,
+            rhs,
+            rd,
+            trapping,
+        } => {
+            w.u8(1);
+            w.u8(pos_of(&RISCV_ALU, op));
+            w.u8(rs1.0);
+            rv_roi_w(w, *rhs);
+            w.u8(rd.0);
+            w.boolean(*trapping);
+        }
+        I::Ld {
+            rd,
+            rs1,
+            off,
+            width,
+            signed,
+        } => {
+            w.u8(2);
+            w.u8(rd.0);
+            w.u8(rs1.0);
+            w.i16(*off);
+            w.u8(width.tag());
+            w.boolean(*signed);
+        }
+        I::St {
+            rs,
+            rs1,
+            off,
+            width,
+        } => {
+            w.u8(3);
+            w.u8(rs.0);
+            w.u8(rs1.0);
+            w.i16(*off);
+            w.u8(width.tag());
+        }
+        I::LdF { fd, rs1, off, is32 } => {
+            w.u8(4);
+            w.u8(fd.0);
+            w.u8(rs1.0);
+            w.i16(*off);
+            w.boolean(*is32);
+        }
+        I::StF { fs, rs1, off, is32 } => {
+            w.u8(5);
+            w.u8(fs.0);
+            w.u8(rs1.0);
+            w.i16(*off);
+            w.boolean(*is32);
+        }
+        I::Br {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            w.u8(6);
+            w.u8(pos_of(&RISCV_BR, cond));
+            w.u8(rs1.0);
+            w.u8(rs2.0);
+            w.u32(*target);
+        }
+        I::J { target } => {
+            w.u8(7);
+            w.u32(*target);
+        }
+        I::Call { func, unwind } => {
+            w.u8(8);
+            w.u32(*func);
+            w.opt_u32(*unwind);
+        }
+        I::CallIndirect { rs, unwind } => {
+            w.u8(9);
+            w.u8(rs.0);
+            w.opt_u32(*unwind);
+        }
+        I::CallIntrinsic { which, nargs } => {
+            w.u8(10);
+            w.u8(intrinsic_tag(*which));
+            w.u8(*nargs);
+        }
+        I::Ret => w.u8(11),
+        I::Unwind => w.u8(12),
+        I::MovSym { rd, sym } => {
+            w.u8(13);
+            w.u8(rd.0);
+            w.sym(*sym);
+        }
+        I::FMov(a, b) => {
+            w.u8(14);
+            w.u8(a.0);
+            w.u8(b.0);
+        }
+        I::FAlu {
+            op,
+            fs1,
+            fs2,
+            fd,
+            is32,
+        } => {
+            w.u8(15);
+            w.u8(pos_of(&RISCV_FP, op));
+            w.u8(fs1.0);
+            w.u8(fs2.0);
+            w.u8(fd.0);
+            w.boolean(*is32);
+        }
+        I::FSet {
+            op,
+            rd,
+            fs1,
+            fs2,
+            is32,
+        } => {
+            w.u8(16);
+            w.u8(pos_of(&RISCV_FSET, op));
+            w.u8(rd.0);
+            w.u8(fs1.0);
+            w.u8(fs2.0);
+            w.boolean(*is32);
+        }
+        I::CvtIF {
+            fd,
+            rs,
+            to32,
+            signed,
+        } => {
+            w.u8(17);
+            w.u8(fd.0);
+            w.u8(rs.0);
+            w.boolean(*to32);
+            w.boolean(*signed);
+        }
+        I::CvtFI {
+            rd,
+            fs,
+            from32,
+            signed,
+        } => {
+            w.u8(18);
+            w.u8(rd.0);
+            w.u8(fs.0);
+            w.boolean(*from32);
+            w.boolean(*signed);
+        }
+        I::CvtFF { fd, fs, to32 } => {
+            w.u8(19);
+            w.u8(fd.0);
+            w.u8(fs.0);
+            w.boolean(*to32);
+        }
+        I::MovGF(r, f) => {
+            w.u8(20);
+            w.u8(r.0);
+            w.u8(f.0);
+        }
+        I::MovFG(f, r) => {
+            w.u8(21);
+            w.u8(f.0);
+            w.u8(r.0);
+        }
+    }
+}
+
+/// Decodes cached RISC-V code.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncation or bad tags.
+pub fn decode_riscv(bytes: &[u8]) -> Result<Vec<RiscvInst>> {
+    let mut r = R { buf: bytes, pos: 0 };
+    let n = checked_count(&mut r)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_riscv_inst(&mut r)?);
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_lines)]
+fn decode_riscv_inst(r: &mut R<'_>) -> Result<RiscvInst> {
+    use RiscvInst as I;
+    Ok(match r.u8()? {
+        0 => I::Lui {
+            imm20: r.u32()?,
+            rd: riscv::Reg(r.u8()?),
+        },
+        1 => I::Alu {
+            op: at(&RISCV_ALU, r.u8()?, "alu")?,
+            rs1: riscv::Reg(r.u8()?),
+            rhs: rv_roi_r(r)?,
+            rd: riscv::Reg(r.u8()?),
+            trapping: r.boolean()?,
+        },
+        2 => I::Ld {
+            rd: riscv::Reg(r.u8()?),
+            rs1: riscv::Reg(r.u8()?),
+            off: r.i16()?,
+            width: Width::from_tag(r.u8()?).ok_or_else(|| CodecError("width".into()))?,
+            signed: r.boolean()?,
+        },
+        3 => I::St {
+            rs: riscv::Reg(r.u8()?),
+            rs1: riscv::Reg(r.u8()?),
+            off: r.i16()?,
+            width: Width::from_tag(r.u8()?).ok_or_else(|| CodecError("width".into()))?,
+        },
+        4 => I::LdF {
+            fd: riscv::FReg(r.u8()?),
+            rs1: riscv::Reg(r.u8()?),
+            off: r.i16()?,
+            is32: r.boolean()?,
+        },
+        5 => I::StF {
+            fs: riscv::FReg(r.u8()?),
+            rs1: riscv::Reg(r.u8()?),
+            off: r.i16()?,
+            is32: r.boolean()?,
+        },
+        6 => I::Br {
+            cond: at(&RISCV_BR, r.u8()?, "cond")?,
+            rs1: riscv::Reg(r.u8()?),
+            rs2: riscv::Reg(r.u8()?),
+            target: r.u32()?,
+        },
+        7 => I::J { target: r.u32()? },
+        8 => I::Call {
+            func: r.u32()?,
+            unwind: r.opt_u32()?,
+        },
+        9 => I::CallIndirect {
+            rs: riscv::Reg(r.u8()?),
+            unwind: r.opt_u32()?,
+        },
+        10 => I::CallIntrinsic {
+            which: at(&Intrinsic::ALL, r.u8()?, "intrinsic")?,
+            nargs: r.u8()?,
+        },
+        11 => I::Ret,
+        12 => I::Unwind,
+        13 => I::MovSym {
+            rd: riscv::Reg(r.u8()?),
+            sym: r.sym()?,
+        },
+        14 => I::FMov(riscv::FReg(r.u8()?), riscv::FReg(r.u8()?)),
+        15 => I::FAlu {
+            op: at(&RISCV_FP, r.u8()?, "fpop")?,
+            fs1: riscv::FReg(r.u8()?),
+            fs2: riscv::FReg(r.u8()?),
+            fd: riscv::FReg(r.u8()?),
+            is32: r.boolean()?,
+        },
+        16 => I::FSet {
+            op: at(&RISCV_FSET, r.u8()?, "fset")?,
+            rd: riscv::Reg(r.u8()?),
+            fs1: riscv::FReg(r.u8()?),
+            fs2: riscv::FReg(r.u8()?),
+            is32: r.boolean()?,
+        },
+        17 => I::CvtIF {
+            fd: riscv::FReg(r.u8()?),
+            rs: riscv::Reg(r.u8()?),
+            to32: r.boolean()?,
+            signed: r.boolean()?,
+        },
+        18 => I::CvtFI {
+            rd: riscv::Reg(r.u8()?),
+            fs: riscv::FReg(r.u8()?),
+            from32: r.boolean()?,
+            signed: r.boolean()?,
+        },
+        19 => I::CvtFF {
+            fd: riscv::FReg(r.u8()?),
+            fs: riscv::FReg(r.u8()?),
+            to32: r.boolean()?,
+        },
+        20 => I::MovGF(riscv::Reg(r.u8()?), riscv::FReg(r.u8()?)),
+        21 => I::MovFG(riscv::FReg(r.u8()?), riscv::Reg(r.u8()?)),
+        other => return Err(CodecError(format!("bad riscv tag {other}"))),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1093,13 +1457,50 @@ entry:
     }
 
     #[test]
+    fn riscv_round_trip() {
+        let mut m = llva_core::parser::parse_module(
+            r#"
+@g = global long 123456789
+
+double %f(long %x, double %w) {
+entry:
+    %v = load long* @g
+    %s = add long %v, %x
+    %c = setlt long %s, 99999999999
+    br bool %c, label %a, label %b
+a:
+    store long %s, long* @g
+    %d = cast long %s to double
+    %e = mul double %d, %w
+    ret double %e
+b:
+    %r = call double %f(long 1, double %w)
+    ret double %r
+}
+"#,
+        )
+        .expect("parses");
+        m.set_target(llva_core::layout::TargetConfig::riscv64());
+        let f = m.function_by_name("f").expect("f");
+        let code = llva_backend::compile_riscv(&m, f);
+        let bytes = encode_riscv(&code);
+        let decoded = decode_riscv(&bytes).expect("decodes");
+        assert_eq!(code, decoded);
+    }
+
+    #[test]
     fn corrupt_blobs_rejected() {
         assert!(decode_x86(&[1, 2, 3]).is_err());
         assert!(decode_sparc(&[9]).is_err());
+        assert!(decode_riscv(&[7, 7]).is_err());
         let bytes = encode_x86(&[X86Inst::Ret]);
         let mut corrupt = bytes.clone();
         corrupt[4] = 250; // bad tag
         assert!(decode_x86(&corrupt).is_err());
+        let bytes = encode_riscv(&[RiscvInst::Ret]);
+        let mut corrupt = bytes.clone();
+        corrupt[4] = 250; // bad tag
+        assert!(decode_riscv(&corrupt).is_err());
     }
 
     #[test]
@@ -1108,6 +1509,7 @@ entry:
         let bomb = u32::MAX.to_le_bytes();
         assert!(decode_x86(&bomb).is_err());
         assert!(decode_sparc(&bomb).is_err());
+        assert!(decode_riscv(&bomb).is_err());
     }
 
     #[test]

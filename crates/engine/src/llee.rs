@@ -43,10 +43,13 @@ use crate::env::{Env, StackView};
 use crate::interp::trap_number;
 use crate::storage::Storage;
 use llva_backend::common::layout_globals;
-use llva_backend::{compile_sparc, compile_x86};
+use llva_backend::{
+    compile_riscv_with, compile_sparc_with, compile_x86_with, PeepholeConfig,
+};
 use llva_core::module::{FuncId, Module};
 use llva_machine::common::{ExecStats, Exit, Trap};
 use llva_machine::memory::{Memory, GLOBAL_BASE};
+use llva_machine::riscv::{RiscvMachine, RiscvProgram};
 use llva_machine::sparc::{SparcMachine, SparcProgram};
 use llva_machine::x86::{X86Machine, X86Program};
 use std::fmt;
@@ -59,6 +62,14 @@ pub enum TargetIsa {
     X86,
     /// The SPARC-V9-like RISC target.
     Sparc,
+    /// The RV64-like RISC target (no condition codes).
+    Riscv,
+}
+
+impl TargetIsa {
+    /// All implementation ISAs, for code enumerating translation
+    /// targets (conformance stages, kill matrices, benchmarks).
+    pub const ALL: [TargetIsa; 3] = [TargetIsa::X86, TargetIsa::Sparc, TargetIsa::Riscv];
 }
 
 impl fmt::Display for TargetIsa {
@@ -66,6 +77,7 @@ impl fmt::Display for TargetIsa {
         f.write_str(match self {
             TargetIsa::X86 => "x86",
             TargetIsa::Sparc => "sparc",
+            TargetIsa::Riscv => "riscv",
         })
     }
 }
@@ -213,6 +225,10 @@ enum Engine {
         program: SparcProgram,
         machine: SparcMachine,
     },
+    Riscv {
+        program: RiscvProgram,
+        machine: RiscvMachine,
+    },
 }
 
 /// The LLVA execution environment: owns the module, the simulated
@@ -232,6 +248,10 @@ pub struct ExecutionManager {
     func_cache: Vec<FuncCacheStats>,
     func_names: Vec<String>,
     fuel: u64,
+    /// Whether translations run the shared peephole pass. Part of the
+    /// cache key: peephole-off code must never be served to (or from)
+    /// a peephole-on manager.
+    peephole: PeepholeConfig,
 }
 
 impl fmt::Debug for ExecutionManager {
@@ -256,6 +276,7 @@ impl ExecutionManager {
         let target = match isa {
             TargetIsa::X86 => llva_core::layout::TargetConfig::ia32(),
             TargetIsa::Sparc => llva_core::layout::TargetConfig::sparc_v9(),
+            TargetIsa::Riscv => llva_core::layout::TargetConfig::riscv64(),
         };
         module.set_target(target);
         let image = layout_globals(&module);
@@ -270,6 +291,10 @@ impl ExecutionManager {
             TargetIsa::Sparc => Engine::Sparc {
                 program: SparcProgram::new(module.num_functions(), image.addrs.clone()),
                 machine: SparcMachine::new(mem),
+            },
+            TargetIsa::Riscv => Engine::Riscv {
+                program: RiscvProgram::new(module.num_functions(), image.addrs.clone()),
+                machine: RiscvMachine::new(mem),
             },
         };
         let func_names = module
@@ -290,7 +315,19 @@ impl ExecutionManager {
             func_cache,
             func_names,
             fuel: 10_000_000_000,
+            peephole: PeepholeConfig::from_env(),
         }
+    }
+
+    /// Enables or disables the shared peephole pass for all future
+    /// translations (the conformance oracle's off-vs-on stages). Does
+    /// not retranslate already-installed code.
+    pub fn set_peephole(&mut self, enabled: bool) {
+        self.peephole = if enabled {
+            PeepholeConfig::on()
+        } else {
+            PeepholeConfig::off()
+        };
     }
 
     /// Attaches an OS storage implementation for offline caching
@@ -331,6 +368,7 @@ impl ExecutionManager {
         match &self.engine {
             Engine::X86 { machine, .. } => machine.stats(),
             Engine::Sparc { machine, .. } => machine.stats(),
+            Engine::Riscv { machine, .. } => machine.stats(),
         }
     }
 
@@ -339,6 +377,7 @@ impl ExecutionManager {
         match &self.engine {
             Engine::X86 { program, .. } => program.total_insts(),
             Engine::Sparc { program, .. } => program.total_insts(),
+            Engine::Riscv { program, .. } => program.total_insts(),
         }
     }
 
@@ -347,6 +386,7 @@ impl ExecutionManager {
         match &self.engine {
             Engine::X86 { program, .. } => program.total_bytes(),
             Engine::Sparc { program, .. } => program.total_bytes(),
+            Engine::Riscv { program, .. } => program.total_bytes(),
         }
     }
 
@@ -355,6 +395,7 @@ impl ExecutionManager {
         let mem = match &self.engine {
             Engine::X86 { machine, .. } => &machine.mem,
             Engine::Sparc { machine, .. } => &machine.mem,
+            Engine::Riscv { machine, .. } => &machine.mem,
         };
         mem.read_bytes(addr, len).ok().map(<[u8]>::to_vec)
     }
@@ -364,6 +405,7 @@ impl ExecutionManager {
         match &self.engine {
             Engine::X86 { program, .. } => program.global_addr(g.index() as u32),
             Engine::Sparc { program, .. } => program.global_addr(g.index() as u32),
+            Engine::Riscv { program, .. } => program.global_addr(g.index() as u32),
         }
     }
 
@@ -372,7 +414,8 @@ impl ExecutionManager {
     /// write-back path (and for tests or tools that need to inspect or
     /// corrupt a specific entry).
     pub fn cache_key(&self, f: u32) -> String {
-        format!("{}.{}.fn{}", self.module.name(), self.isa, f)
+        let peep = if self.peephole.enabled { "" } else { ".nopeep" };
+        format!("{}.{}{}.fn{}", self.module.name(), self.isa, peep, f)
     }
 
     /// This manager's per-function cache counters, indexed by function
@@ -425,6 +468,9 @@ impl ExecutionManager {
                         .ok()
                         .map(|code| program.install(f, code)),
                     Engine::Sparc { program, .. } => codec::decode_sparc(payload)
+                        .ok()
+                        .map(|code| program.install(f, code)),
+                    Engine::Riscv { program, .. } => codec::decode_riscv(payload)
                         .ok()
                         .map(|code| program.install(f, code)),
                 })
@@ -514,16 +560,23 @@ impl ExecutionManager {
         }
         // JIT translation
         let start = Instant::now();
+        let peep = self.peephole;
         let blob = match &mut self.engine {
             Engine::X86 { program, .. } => {
-                let code = compile_x86(&self.module, fid);
+                let code = compile_x86_with(&self.module, fid, &peep);
                 let blob = codec::encode_x86(&code);
                 program.install(f, code);
                 blob
             }
             Engine::Sparc { program, .. } => {
-                let code = compile_sparc(&self.module, fid);
+                let code = compile_sparc_with(&self.module, fid, &peep);
                 let blob = codec::encode_sparc(&code);
+                program.install(f, code);
+                blob
+            }
+            Engine::Riscv { program, .. } => {
+                let code = compile_riscv_with(&self.module, fid, &peep);
+                let blob = codec::encode_riscv(&code);
                 program.install(f, code);
                 blob
             }
@@ -615,13 +668,14 @@ impl ExecutionManager {
         // serial install pass in work-list order for determinism
         let start = Instant::now();
         let module = &self.module;
+        let peep = self.peephole;
         let mut blobs: Vec<(u32, Vec<u8>)> = Vec::with_capacity(work.len());
         let mut poisoned: Option<u32> = None;
         match &mut self.engine {
             Engine::X86 { program, .. } => {
                 let compiled = compile_batch(&work, n_workers, |fid| {
                     catch_unwind(AssertUnwindSafe(|| {
-                        let code = compile_x86(module, fid);
+                        let code = compile_x86_with(module, fid, &peep);
                         let blob = codec::encode_x86(&code);
                         (code, blob)
                     }))
@@ -639,8 +693,26 @@ impl ExecutionManager {
             Engine::Sparc { program, .. } => {
                 let compiled = compile_batch(&work, n_workers, |fid| {
                     catch_unwind(AssertUnwindSafe(|| {
-                        let code = compile_sparc(module, fid);
+                        let code = compile_sparc_with(module, fid, &peep);
                         let blob = codec::encode_sparc(&code);
+                        (code, blob)
+                    }))
+                });
+                for (&f, result) in work.iter().zip(compiled) {
+                    match result {
+                        Ok((code, blob)) => {
+                            program.install(f, code);
+                            blobs.push((f, blob));
+                        }
+                        Err(_) => poisoned = poisoned.or(Some(f)),
+                    }
+                }
+            }
+            Engine::Riscv { program, .. } => {
+                let compiled = compile_batch(&work, n_workers, |fid| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let code = compile_riscv_with(module, fid, &peep);
+                        let blob = codec::encode_riscv(&code);
                         (code, blob)
                     }))
                 });
@@ -724,6 +796,7 @@ impl ExecutionManager {
             match &mut self.engine {
                 Engine::X86 { program, .. } => program.invalidate(fid.index() as u32),
                 Engine::Sparc { program, .. } => program.invalidate(fid.index() as u32),
+                Engine::Riscv { program, .. } => program.invalidate(fid.index() as u32),
             }
             self.stats.invalidations += 1;
         }
@@ -747,6 +820,7 @@ impl ExecutionManager {
         match &mut self.engine {
             Engine::X86 { program, .. } => program.ensure_slots(self.module.num_functions()),
             Engine::Sparc { program, .. } => program.ensure_slots(self.module.num_functions()),
+            Engine::Riscv { program, .. } => program.ensure_slots(self.module.num_functions()),
         }
         self.func_names = self
             .module
@@ -775,11 +849,15 @@ impl ExecutionManager {
             Engine::Sparc { machine, .. } => machine
                 .call_entry(f, args)
                 .map_err(EngineError::Trapped)?,
+            Engine::Riscv { machine, .. } => machine
+                .call_entry(f, args)
+                .map_err(EngineError::Trapped)?,
         }
         loop {
             let exit = match &mut self.engine {
                 Engine::X86 { program, machine } => machine.run(program, self.fuel),
                 Engine::Sparc { program, machine } => machine.run(program, self.fuel),
+                Engine::Riscv { program, machine } => machine.run(program, self.fuel),
             };
             match exit {
                 Exit::Halt(value) => {
@@ -827,6 +905,14 @@ impl ExecutionManager {
                 },
                 machine.current_location(),
             ),
+            Engine::Riscv { machine, .. } => (
+                StackView {
+                    functions: (0..machine.call_depth())
+                        .filter_map(|d| machine.frame_function(d))
+                        .collect(),
+                },
+                machine.current_location(),
+            ),
         };
         let result = match &mut self.engine {
             Engine::X86 { machine, .. } => {
@@ -834,6 +920,10 @@ impl ExecutionManager {
                     .handle(which, args, &mut machine.mem, &stack, &self.func_names)
             }
             Engine::Sparc { machine, .. } => {
+                self.env
+                    .handle(which, args, &mut machine.mem, &stack, &self.func_names)
+            }
+            Engine::Riscv { machine, .. } => {
                 self.env
                     .handle(which, args, &mut machine.mem, &stack, &self.func_names)
             }
@@ -860,12 +950,14 @@ impl ExecutionManager {
             match &mut self.engine {
                 Engine::X86 { program, .. } => program.invalidate(f),
                 Engine::Sparc { program, .. } => program.invalidate(f),
+                Engine::Riscv { program, .. } => program.invalidate(f),
             }
             self.stats.invalidations += 1;
         }
         match &mut self.engine {
             Engine::X86 { machine, .. } => machine.finish_intrinsic(ret),
             Engine::Sparc { machine, .. } => machine.finish_intrinsic(ret),
+            Engine::Riscv { machine, .. } => machine.finish_intrinsic(ret),
         }
         Ok(())
     }
@@ -899,6 +991,9 @@ impl ExecutionManager {
             Engine::Sparc { machine, .. } => {
                 machine.call_entry(handler, &[u64::from(no), 0]).is_ok()
             }
+            Engine::Riscv { machine, .. } => {
+                machine.call_entry(handler, &[u64::from(no), 0]).is_ok()
+            }
         };
         if !entry_ok {
             return;
@@ -907,6 +1002,7 @@ impl ExecutionManager {
             let exit = match &mut self.engine {
                 Engine::X86 { program, machine } => machine.run(program, 1_000_000),
                 Engine::Sparc { program, machine } => machine.run(program, 1_000_000),
+                Engine::Riscv { program, machine } => machine.run(program, 1_000_000),
             };
             match exit {
                 Exit::Halt(_) => break,
@@ -1032,7 +1128,7 @@ entry:
 
     #[test]
     fn jit_on_demand_both_targets() {
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        for isa in TargetIsa::ALL {
             let mut mgr = ExecutionManager::new(module(FIB), isa);
             let out = mgr.run("main", &[]).expect("runs");
             assert_eq!(out.value, 610, "{isa}");
@@ -1127,7 +1223,7 @@ entry:
 
     #[test]
     fn parallel_offline_translation_avoids_online_jit() {
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        for isa in TargetIsa::ALL {
             let mut mgr = ExecutionManager::new(module(FIB), isa);
             mgr.translate_all_parallel(4).expect("translates");
             assert_eq!(mgr.stats().functions_translated, 2, "{isa}");
@@ -1194,7 +1290,7 @@ entry:
     fn incremental_invalidation_misses_exactly_one_function() {
         const N: usize = 9; // 8 f* functions + main
         let src = many_functions(N - 1);
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        for isa in TargetIsa::ALL {
             let storage = crate::storage::SharedStorage::new(MemStorage::new());
             // populate the cache
             {
@@ -1239,7 +1335,7 @@ entry:
     #[test]
     fn parallel_translation_is_deterministic_across_worker_counts() {
         let src = many_functions(12);
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        for isa in TargetIsa::ALL {
             // serial reference: cache contents + installed sizes
             let serial_storage = crate::storage::SharedStorage::new(MemStorage::new());
             let mut serial = ExecutionManager::new(module(&src), isa);
@@ -1309,7 +1405,7 @@ entry:
     ret int 0
 }
 "#;
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        for isa in TargetIsa::ALL {
             let mut mgr = ExecutionManager::new(module(src), isa);
             mgr.run("main", &[]).expect("runs");
             assert_eq!(mgr.env.stdout_string(), "ok", "{isa}");
@@ -1330,7 +1426,7 @@ entry:
     ret int %v
 }
 "#;
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        for isa in TargetIsa::ALL {
             let mut mgr = ExecutionManager::new(module(src), isa);
             let out = mgr.run("main", &[]).expect("runs");
             assert_eq!(out.value, 42, "{isa}");

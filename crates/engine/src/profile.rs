@@ -220,8 +220,8 @@ exit:
     }
 
     #[test]
-    fn counters_identical_on_both_targets() {
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    fn counters_identical_on_all_targets() {
+        for isa in TargetIsa::ALL {
             let mut m = llva_core::parser::parse_module(LOOPY).expect("parses");
             let map = instrument(&mut m);
             let fid = m.function_by_name("main").expect("main");

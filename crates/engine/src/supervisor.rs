@@ -1115,6 +1115,30 @@ entry:
     }
 
     #[test]
+    fn translated_rung_serves_every_target() {
+        // the ladder's fast rung must work for all three back ends,
+        // including the RISC-V one
+        for isa in TargetIsa::ALL {
+            let mut sup = Supervisor::new(module(), isa);
+            let run = sup.run("main", &[]).expect("runs");
+            assert_eq!(run.outcome, TierOutcome::Value(55), "{isa}");
+            assert_eq!(run.tier, Tier::Translated, "{isa}");
+            assert!(sup.incident_log().is_empty(), "{isa}");
+        }
+    }
+
+    #[test]
+    fn killed_translated_tier_degrades_on_riscv() {
+        let mut sup = Supervisor::new(module(), TargetIsa::Riscv);
+        sup.arm_kill(TierKill::panic(Tier::Translated));
+        let run = sup.run("main", &[]).expect("degrades");
+        assert_eq!(run.outcome, TierOutcome::Value(55));
+        assert_eq!(run.tier, Tier::Traced);
+        assert!(run.degraded);
+        assert!(sup.is_quarantined("main", Tier::Translated));
+    }
+
+    #[test]
     fn missing_entry_is_not_a_tier_fault() {
         let mut sup = Supervisor::new(module(), TargetIsa::X86);
         match sup.run("nope", &[]) {

@@ -10,7 +10,10 @@
 //!   instruction sizes;
 //! * [`sparc`]: RISC, three-address, 32 GPRs (`%g0` = 0), 13-bit
 //!   immediates (`sethi`/`or` for larger constants), fixed 4-byte
-//!   instructions, big-endian memory.
+//!   instructions, big-endian memory;
+//! * [`riscv`]: RISC, three-address, 32 GPRs (`x0` = 0), 12-bit
+//!   immediates (`lui`/`addi` for larger constants), compare-and-branch
+//!   instead of condition codes, little-endian memory.
 //!
 //! Both expose the execution-manager interface the paper's LLEE needs:
 //! a call to untranslated code exits with [`common::Exit::NeedFunction`]
@@ -20,6 +23,7 @@
 
 pub mod common;
 pub mod memory;
+pub mod riscv;
 pub mod sparc;
 pub mod x86;
 

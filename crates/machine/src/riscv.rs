@@ -1,13 +1,23 @@
-//! The SPARC-V9-like implementation ISA and its simulated processor.
+//! The RV64-like implementation ISA and its simulated processor.
 //!
-//! The second I-ISA of the reproduction: a big-endian, 3-address RISC
-//! with 32 integer registers (`%g0` hard-wired to zero), 13-bit
-//! immediates (larger constants need `sethi`/`or` sequences — the main
-//! reason the paper's SPARC instruction-count ratios exceed the x86
-//! ones), and fixed 4-byte instruction encoding. Deviations from real
-//! SPARC V9, documented in DESIGN.md: no register windows (the backend
-//! uses an explicit callee-save discipline instead), no branch delay
-//! slots, and return addresses live in a simulator-internal frame stack.
+//! The third I-ISA of the reproduction: a little-endian, 3-address RISC
+//! with 32 integer registers (`x0` hard-wired to zero), 12-bit
+//! immediates (one bit narrower than SPARC's — larger constants need
+//! `lui`/`addi` pairs), fixed 4-byte instructions, and **no condition
+//! codes**: comparisons either fuse into compare-and-branch
+//! instructions (`beq`/`bne`/`blt`/…) or materialize booleans with
+//! `slt`/`sltu`, exactly the RISC-V model. This is the structural
+//! divergence from the SPARC back end that makes the 3-way conformance
+//! vote interesting — a flag-model bug in one back end cannot be
+//! mirrored here.
+//!
+//! Deviations from real RV64, documented in DESIGN.md: divide-by-zero
+//! traps when the `trapping` flag is set (real RV64M returns all-ones;
+//! the flag stands in for the explicit zero-check branch a faithful
+//! translation would emit), loads/stores keep their immediate-only
+//! 12-bit offsets but ALU ops accept an immediate second operand for
+//! every opcode, and return addresses live in a simulator-internal
+//! frame stack (no architectural `ra` linkage).
 
 use crate::common::{Exit, Sym, Trap, TrapKind, Width};
 use crate::memory::Memory;
@@ -18,40 +28,40 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(pub u8);
 
-/// The hard-wired zero register `%g0`.
-pub const G0: Reg = Reg(0);
-/// The stack pointer `%sp` (`%o6`).
-pub const SP: Reg = Reg(14);
-/// First argument / return-value register `%o0`.
-pub const O0: Reg = Reg(8);
-/// Scratch register `%g1`.
-pub const G1: Reg = Reg(1);
-/// Scratch register `%g2`.
-pub const G2: Reg = Reg(2);
-/// Scratch register `%g3`.
-pub const G3: Reg = Reg(3);
-/// Scratch register `%g4` (used for address materialization).
-pub const G4: Reg = Reg(4);
+/// The hard-wired zero register `x0`/`zero`.
+pub const X0: Reg = Reg(0);
+/// The stack pointer `x2`/`sp`.
+pub const SP: Reg = Reg(2);
+/// The frame pointer `x8`/`s0`.
+pub const FP: Reg = Reg(8);
+/// First argument / return-value register `x10`/`a0`.
+pub const A0: Reg = Reg(10);
+/// Scratch register `x5`/`t0`.
+pub const T0: Reg = Reg(5);
+/// Scratch register `x6`/`t1`.
+pub const T1: Reg = Reg(6);
+/// Scratch register `x7`/`t2` (used for address materialization).
+pub const T2: Reg = Reg(7);
 
 /// A float register number (0–15, each 64 bits wide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FReg(pub u8);
 
-/// Second ALU operand: register or 13-bit immediate.
+/// Second ALU operand: register or 12-bit immediate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegOrImm {
     /// Register operand.
     Reg(Reg),
-    /// Sign-extended 13-bit immediate.
+    /// Sign-extended 12-bit immediate.
     Imm(i16),
 }
 
-/// Whether `v` fits a signed 13-bit immediate field.
-pub fn fits_imm13(v: i64) -> bool {
-    (-4096..=4095).contains(&v)
+/// Whether `v` fits a signed 12-bit immediate field.
+pub fn fits_imm12(v: i64) -> bool {
+    (-2048..=2047).contains(&v)
 }
 
-/// Integer ALU operations.
+/// Integer ALU operations (RV64IM plus `slt`/`sltu` as ordinary ops).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AluOp {
     /// Addition.
@@ -80,30 +90,27 @@ pub enum AluOp {
     Srl,
     /// Arithmetic shift right.
     Sra,
+    /// Set if signed less-than (rd := rs1 < rhs).
+    Slt,
+    /// Set if unsigned less-than.
+    Sltu,
 }
 
-/// Branch conditions over the condition codes.
+/// Compare-and-branch conditions (the six real RV branch opcodes;
+/// greater-than forms come from swapping operands).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Cond {
-    /// Equal.
-    E,
-    /// Not equal.
+pub enum BrCond {
+    /// `beq` — equal.
+    Eq,
+    /// `bne` — not equal.
     Ne,
-    /// Signed less.
-    L,
-    /// Signed greater.
-    G,
-    /// Signed less-or-equal.
-    Le,
-    /// Signed greater-or-equal.
+    /// `blt` — signed less.
+    Lt,
+    /// `bge` — signed greater-or-equal.
     Ge,
-    /// Unsigned below.
-    Lu,
-    /// Unsigned above.
-    Gu,
-    /// Unsigned below-or-equal.
-    Leu,
-    /// Unsigned above-or-equal.
+    /// `bltu` — unsigned below.
+    Ltu,
+    /// `bgeu` — unsigned above-or-equal.
     Geu,
 }
 
@@ -120,14 +127,26 @@ pub enum FpOp {
     Div,
 }
 
-/// One SPARC-like instruction (4 bytes each; `MovSym` is the
-/// `sethi`+`or` relocation pair and counts as two).
+/// Float comparisons writing 0/1 into an integer register (`feq`,
+/// `flt`, `fle`; all false on unordered operands, as in real RISC-V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FSetOp {
+    /// Equal.
+    Feq,
+    /// Less-than.
+    Flt,
+    /// Less-or-equal.
+    Fle,
+}
+
+/// One RV64-like instruction (4 bytes each; `MovSym` is the
+/// `auipc`+`addi` relocation pair and counts as two).
 #[derive(Debug, Clone, PartialEq)]
-pub enum SparcInst {
-    /// `sethi imm22, rd` — rd := imm22 << 10.
-    Sethi {
-        /// The 22-bit immediate.
-        imm22: u32,
+pub enum RiscvInst {
+    /// `lui imm20, rd` — rd := sign-extend32(imm20 << 12).
+    Lui {
+        /// The 20-bit immediate.
+        imm20: u32,
         /// Destination.
         rd: Reg,
     },
@@ -137,7 +156,7 @@ pub enum SparcInst {
         op: AluOp,
         /// First source.
         rs1: Reg,
-        /// Second source (register or imm13).
+        /// Second source (register or imm12).
         rhs: RegOrImm,
         /// Destination.
         rd: Reg,
@@ -145,21 +164,14 @@ pub enum SparcInst {
         /// `[noexc]` LLVA `div`, §3.3).
         trapping: bool,
     },
-    /// `subcc rs1, rhs, %g0` — compare, setting condition codes.
-    Cmp {
-        /// First source.
-        rs1: Reg,
-        /// Second source.
-        rhs: RegOrImm,
-    },
-    /// Integer load.
+    /// Integer load (immediate-only 12-bit offset, as in real RV).
     Ld {
         /// Destination.
         rd: Reg,
         /// Base register.
         rs1: Reg,
-        /// Offset.
-        off: RegOrImm,
+        /// Signed 12-bit offset.
+        off: i16,
         /// Width.
         width: Width,
         /// Sign-extend.
@@ -171,8 +183,8 @@ pub enum SparcInst {
         rs: Reg,
         /// Base.
         rs1: Reg,
-        /// Offset.
-        off: RegOrImm,
+        /// Signed 12-bit offset.
+        off: i16,
         /// Width.
         width: Width,
     },
@@ -182,8 +194,8 @@ pub enum SparcInst {
         fd: FReg,
         /// Base.
         rs1: Reg,
-        /// Offset.
-        off: RegOrImm,
+        /// Signed 12-bit offset.
+        off: i16,
         /// 32-bit vs 64-bit.
         is32: bool,
     },
@@ -193,20 +205,24 @@ pub enum SparcInst {
         fs: FReg,
         /// Base.
         rs1: Reg,
-        /// Offset.
-        off: RegOrImm,
+        /// Signed 12-bit offset.
+        off: i16,
         /// 32-bit vs 64-bit.
         is32: bool,
     },
-    /// Conditional branch.
+    /// Compare-and-branch — no condition codes anywhere in this ISA.
     Br {
         /// Condition.
-        cond: Cond,
+        cond: BrCond,
+        /// First compared register.
+        rs1: Reg,
+        /// Second compared register.
+        rs2: Reg,
         /// Target instruction index.
         target: u32,
     },
-    /// Unconditional branch.
-    Ba {
+    /// Unconditional jump (`jal x0`).
+    J {
         /// Target instruction index.
         target: u32,
     },
@@ -217,14 +233,14 @@ pub enum SparcInst {
         /// Optional unwind landing pad.
         unwind: Option<u32>,
     },
-    /// Indirect call through a register.
+    /// Indirect call through a register (`jalr`).
     CallIndirect {
         /// Register with the tagged function value.
         rs: Reg,
         /// Optional unwind landing pad.
         unwind: Option<u32>,
     },
-    /// Intrinsic call (§3.5); arguments in `%o0`–`%o5`.
+    /// Intrinsic call (§3.5); arguments in `a0`–`a7`.
     CallIntrinsic {
         /// Which intrinsic.
         which: Intrinsic,
@@ -235,15 +251,15 @@ pub enum SparcInst {
     Ret,
     /// LLVA `unwind`.
     Unwind,
-    /// Relocated symbol address (assembles to `sethi`+`or`, counted as
-    /// 2 instructions / 8 bytes).
+    /// Relocated symbol address (assembles to `auipc`+`addi`, counted
+    /// as 2 instructions / 8 bytes).
     MovSym {
         /// Destination.
         rd: Reg,
         /// The symbol.
         sym: Sym,
     },
-    /// Float register move.
+    /// Float register move (`fsgnj.d fd, fs, fs`).
     FMov(FReg, FReg),
     /// Float ALU: `fd := fs1 ⊕ fs2`.
     FAlu {
@@ -258,8 +274,12 @@ pub enum SparcInst {
         /// 32-bit vs 64-bit.
         is32: bool,
     },
-    /// Float compare, setting the condition codes.
-    FCmp {
+    /// Float compare writing 0/1 into an integer register.
+    FSet {
+        /// Comparison.
+        op: FSetOp,
+        /// Integer destination.
+        rd: Reg,
         /// First source.
         fs1: FReg,
         /// Second source.
@@ -298,17 +318,17 @@ pub enum SparcInst {
         /// Destination is f32.
         to32: bool,
     },
-    /// Move float bits into an integer register.
+    /// Move float bits into an integer register (`fmv.x.d`).
     MovGF(Reg, FReg),
-    /// Move integer bits into a float register.
+    /// Move integer bits into a float register (`fmv.d.x`).
     MovFG(FReg, Reg),
 }
 
-impl SparcInst {
-    /// How many real SPARC instructions this represents (MovSym = 2).
+impl RiscvInst {
+    /// How many real RV instructions this represents (MovSym = 2).
     pub fn weight(&self) -> u32 {
         match self {
-            SparcInst::MovSym { .. } => 2,
+            RiscvInst::MovSym { .. } => 2,
             _ => 1,
         }
     }
@@ -319,17 +339,17 @@ impl SparcInst {
     }
 }
 
-/// A translated SPARC program.
+/// A translated RISC-V program.
 #[derive(Debug, Clone, Default)]
-pub struct SparcProgram {
-    functions: Vec<Option<Arc<Vec<SparcInst>>>>,
+pub struct RiscvProgram {
+    functions: Vec<Option<Arc<Vec<RiscvInst>>>>,
     global_addrs: Vec<u64>,
 }
 
-impl SparcProgram {
+impl RiscvProgram {
     /// Creates an empty program.
-    pub fn new(num_functions: usize, global_addrs: Vec<u64>) -> SparcProgram {
-        SparcProgram {
+    pub fn new(num_functions: usize, global_addrs: Vec<u64>) -> RiscvProgram {
+        RiscvProgram {
             functions: vec![None; num_functions],
             global_addrs,
         }
@@ -344,7 +364,7 @@ impl SparcProgram {
     }
 
     /// Installs translated code for a function.
-    pub fn install(&mut self, idx: u32, code: Vec<SparcInst>) {
+    pub fn install(&mut self, idx: u32, code: Vec<RiscvInst>) {
         self.functions[idx as usize] = Some(Arc::new(code));
     }
 
@@ -362,7 +382,7 @@ impl SparcProgram {
     }
 
     /// Installed code for `idx`.
-    pub fn code(&self, idx: u32) -> Option<&Arc<Vec<SparcInst>>> {
+    pub fn code(&self, idx: u32) -> Option<&Arc<Vec<RiscvInst>>> {
         self.functions.get(idx as usize).and_then(Option::as_ref)
     }
 
@@ -371,8 +391,7 @@ impl SparcProgram {
         self.global_addrs[idx as usize]
     }
 
-    /// Total native instruction count (weighted; the "#SPARC Inst."
-    /// column of Table 2).
+    /// Total native instruction count (weighted, Table 2 style).
     pub fn total_insts(&self) -> usize {
         self.functions
             .iter()
@@ -399,31 +418,19 @@ struct Frame {
     unwind: Option<u32>,
     // The caller's register file at the call site — what a real
     // unwinder reconstructs from unwind tables. Restored when an
-    // `unwind` lands at this call's landing pad, so values the back
-    // end homed in callee-saved registers (and the frame pointer)
-    // survive the non-local exit.
+    // `unwind` lands at this call's landing pad, so the frame pointer
+    // and values homed in `s`-registers survive the non-local exit.
     saved_regs: [u64; 32],
     saved_fregs: [u64; 16],
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Flags {
-    lhs: u64,
-    rhs: u64,
-    float: bool,
-    unordered: bool,
-    flhs: f64,
-    frhs: f64,
-}
-
-/// The simulated SPARC-like processor.
+/// The simulated RV64-like processor.
 #[derive(Debug)]
-pub struct SparcMachine {
+pub struct RiscvMachine {
     /// The processor's memory.
     pub mem: Memory,
     regs: [u64; 32],
     fregs: [u64; 16],
-    flags: Flags,
     frames: Vec<Frame>,
     cur_func: u32,
     pc: u32,
@@ -431,15 +438,14 @@ pub struct SparcMachine {
     pending_intrinsic: bool,
 }
 
-impl SparcMachine {
+impl RiscvMachine {
     /// Creates a machine over `mem`.
-    pub fn new(mem: Memory) -> SparcMachine {
+    pub fn new(mem: Memory) -> RiscvMachine {
         let sp = mem.initial_sp();
-        let mut m = SparcMachine {
+        let mut m = RiscvMachine {
             mem,
             regs: [0; 32],
             fregs: [0; 16],
-            flags: Flags::default(),
             frames: Vec::new(),
             cur_func: 0,
             pc: 0,
@@ -455,7 +461,7 @@ impl SparcMachine {
         self.stats
     }
 
-    /// Reads a register (`%g0` reads zero).
+    /// Reads a register (`x0` reads zero).
     pub fn reg(&self, r: Reg) -> u64 {
         if r.0 == 0 {
             0
@@ -464,7 +470,7 @@ impl SparcMachine {
         }
     }
 
-    /// Writes a register (writes to `%g0` are discarded).
+    /// Writes a register (writes to `x0` are discarded).
     pub fn set_reg(&mut self, r: Reg, v: u64) {
         if r.0 != 0 {
             self.regs[r.0 as usize] = v;
@@ -477,13 +483,13 @@ impl SparcMachine {
     }
 
     /// Positions the machine at the entry of `func` with register
-    /// arguments in `%o0`–`%o5` (extras on the stack).
+    /// arguments in `a0`–`a7` (extras on the stack).
     pub fn call_entry(&mut self, func: u32, args: &[u64]) -> Result<(), Trap> {
-        for (i, &a) in args.iter().take(6).enumerate() {
-            self.set_reg(Reg(8 + i as u8), a);
+        for (i, &a) in args.iter().take(8).enumerate() {
+            self.set_reg(Reg(10 + i as u8), a);
         }
-        if args.len() > 6 {
-            let extra = &args[6..];
+        if args.len() > 8 {
+            let extra = &args[8..];
             let mut sp = self.reg(SP);
             sp -= (extra.len() as u64) * 8;
             for (i, &a) in extra.iter().enumerate() {
@@ -536,47 +542,28 @@ impl SparcMachine {
         }
     }
 
-    fn cond(&self, c: Cond) -> bool {
-        if self.flags.float {
-            let (a, b) = (self.flags.flhs, self.flags.frhs);
-            if self.flags.unordered {
-                return matches!(c, Cond::Ne);
-            }
-            return match c {
-                Cond::E => a == b,
-                Cond::Ne => a != b,
-                Cond::L | Cond::Lu => a < b,
-                Cond::G | Cond::Gu => a > b,
-                Cond::Le | Cond::Leu => a <= b,
-                Cond::Ge | Cond::Geu => a >= b,
-            };
-        }
-        let (a, b) = (self.flags.lhs, self.flags.rhs);
-        let (sa, sb) = (a as i64, b as i64);
+    fn br_cond(&self, c: BrCond, rs1: Reg, rs2: Reg) -> bool {
+        let (a, b) = (self.reg(rs1), self.reg(rs2));
         match c {
-            Cond::E => a == b,
-            Cond::Ne => a != b,
-            Cond::L => sa < sb,
-            Cond::G => sa > sb,
-            Cond::Le => sa <= sb,
-            Cond::Ge => sa >= sb,
-            Cond::Lu => a < b,
-            Cond::Gu => a > b,
-            Cond::Leu => a <= b,
-            Cond::Geu => a >= b,
+            BrCond::Eq => a == b,
+            BrCond::Ne => a != b,
+            BrCond::Lt => (a as i64) < (b as i64),
+            BrCond::Ge => (a as i64) >= (b as i64),
+            BrCond::Ltu => a < b,
+            BrCond::Geu => a >= b,
         }
     }
 
-    /// Completes a pending intrinsic call; result goes to `%o0`.
+    /// Completes a pending intrinsic call; result goes to `a0`.
     pub fn finish_intrinsic(&mut self, ret: u64) {
         debug_assert!(self.pending_intrinsic);
-        self.set_reg(O0, ret);
+        self.set_reg(A0, ret);
         self.pending_intrinsic = false;
         self.pc += 1;
     }
 
     /// Runs until an [`Exit`], executing at most `fuel` instructions.
-    pub fn run(&mut self, program: &SparcProgram, fuel: u64) -> Exit {
+    pub fn run(&mut self, program: &RiscvProgram, fuel: u64) -> Exit {
         let mut remaining = fuel;
         loop {
             if remaining == 0 {
@@ -604,7 +591,7 @@ impl SparcMachine {
 
     fn do_ret(&mut self) -> Option<Exit> {
         match self.frames.pop() {
-            None => Some(Exit::Halt(self.reg(O0))),
+            None => Some(Exit::Halt(self.reg(A0))),
             Some(f) => {
                 self.cur_func = f.func;
                 self.pc = f.ret_pc;
@@ -614,13 +601,14 @@ impl SparcMachine {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn step(&mut self, inst: &SparcInst, program: &SparcProgram) -> Result<Option<Exit>, TrapKind> {
-        use SparcInst as I;
+    fn step(&mut self, inst: &RiscvInst, program: &RiscvProgram) -> Result<Option<Exit>, TrapKind> {
+        use RiscvInst as I;
         let mut next_pc = self.pc + 1;
         let mut cycles = 1u64;
         match inst {
-            I::Sethi { imm22, rd } => {
-                self.set_reg(*rd, u64::from(*imm22) << 10);
+            I::Lui { imm20, rd } => {
+                // lui sign-extends bit 31 on RV64
+                self.set_reg(*rd, (((*imm20 as u32) << 12) as i32) as i64 as u64);
             }
             I::Alu {
                 op,
@@ -661,15 +649,10 @@ impl SparcMachine {
                     AluOp::Sll => a.wrapping_shl((b & 63) as u32),
                     AluOp::Srl => a.wrapping_shr((b & 63) as u32),
                     AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+                    AluOp::Slt => u64::from((a as i64) < (b as i64)),
+                    AluOp::Sltu => u64::from(a < b),
                 };
                 self.set_reg(*rd, v);
-            }
-            I::Cmp { rs1, rhs } => {
-                self.flags = Flags {
-                    lhs: self.reg(*rs1),
-                    rhs: self.operand(*rhs),
-                    ..Flags::default()
-                };
             }
             I::Ld {
                 rd,
@@ -678,7 +661,7 @@ impl SparcMachine {
                 width,
                 signed,
             } => {
-                let a = self.reg(*rs1).wrapping_add(self.operand(*off));
+                let a = self.reg(*rs1).wrapping_add(*off as i64 as u64);
                 let v = if *signed {
                     self.mem.load_signed(a, *width)?
                 } else {
@@ -694,13 +677,13 @@ impl SparcMachine {
                 off,
                 width,
             } => {
-                let a = self.reg(*rs1).wrapping_add(self.operand(*off));
+                let a = self.reg(*rs1).wrapping_add(*off as i64 as u64);
                 self.mem.store(a, self.reg(*rs), *width)?;
                 self.stats.stores += 1;
                 cycles = 2;
             }
             I::LdF { fd, rs1, off, is32 } => {
-                let a = self.reg(*rs1).wrapping_add(self.operand(*off));
+                let a = self.reg(*rs1).wrapping_add(*off as i64 as u64);
                 let v = if *is32 {
                     self.mem.load(a, Width::B4)?
                 } else {
@@ -711,7 +694,7 @@ impl SparcMachine {
                 cycles = 2;
             }
             I::StF { fs, rs1, off, is32 } => {
-                let a = self.reg(*rs1).wrapping_add(self.operand(*off));
+                let a = self.reg(*rs1).wrapping_add(*off as i64 as u64);
                 let v = self.fregs[fs.0 as usize];
                 if *is32 {
                     self.mem.store(a, v & 0xFFFF_FFFF, Width::B4)?;
@@ -721,13 +704,18 @@ impl SparcMachine {
                 self.stats.stores += 1;
                 cycles = 2;
             }
-            I::Br { cond, target } => {
-                if self.cond(*cond) {
+            I::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if self.br_cond(*cond, *rs1, *rs2) {
                     next_pc = *target;
                     self.stats.taken_branches += 1;
                 }
             }
-            I::Ba { target } => {
+            I::J { target } => {
                 next_pc = *target;
                 self.stats.taken_branches += 1;
             }
@@ -776,7 +764,7 @@ impl SparcMachine {
             }
             I::CallIntrinsic { which, nargs } => {
                 self.stats.calls += 1;
-                let args: Vec<u64> = (0..*nargs).map(|i| self.reg(Reg(8 + i))).collect();
+                let args: Vec<u64> = (0..*nargs).map(|i| self.reg(Reg(10 + i))).collect();
                 self.pending_intrinsic = true;
                 return Ok(Some(Exit::Intrinsic {
                     which: *which,
@@ -809,7 +797,7 @@ impl SparcMachine {
                     Sym::Function(f) => function_value(*f),
                 };
                 self.set_reg(*rd, v);
-                cycles = 2; // sethi + or
+                cycles = 2; // auipc + addi
             }
             I::FMov(d, s) => self.fregs[d.0 as usize] = self.fregs[s.0 as usize],
             I::FAlu {
@@ -830,16 +818,22 @@ impl SparcMachine {
                 self.fregs[fd.0 as usize] = to_fbits(r, *is32);
                 cycles = 3;
             }
-            I::FCmp { fs1, fs2, is32 } => {
+            I::FSet {
+                op,
+                rd,
+                fs1,
+                fs2,
+                is32,
+            } => {
                 let a = fbits(self.fregs[fs1.0 as usize], *is32);
                 let b = fbits(self.fregs[fs2.0 as usize], *is32);
-                self.flags = Flags {
-                    float: true,
-                    unordered: a.is_nan() || b.is_nan(),
-                    flhs: a,
-                    frhs: b,
-                    ..Flags::default()
+                // all comparisons are false on unordered operands
+                let v = match op {
+                    FSetOp::Feq => a == b,
+                    FSetOp::Flt => a < b,
+                    FSetOp::Fle => a <= b,
                 };
+                self.set_reg(*rd, u64::from(v));
                 cycles = 2;
             }
             I::CvtIF {
@@ -899,35 +893,35 @@ mod tests {
     use super::*;
     use llva_core::layout::Endianness;
 
-    fn machine() -> SparcMachine {
-        SparcMachine::new(Memory::new(1 << 20, 0x2000, Endianness::Big))
+    fn machine() -> RiscvMachine {
+        RiscvMachine::new(Memory::new(1 << 20, 0x2000, Endianness::Little))
     }
 
     #[test]
-    fn g0_is_always_zero() {
+    fn x0_is_always_zero() {
         let mut m = machine();
-        m.set_reg(G0, 42);
-        assert_eq!(m.reg(G0), 0);
+        m.set_reg(X0, 42);
+        assert_eq!(m.reg(X0), 0);
     }
 
     #[test]
-    fn sethi_or_builds_constants() {
-        use SparcInst as I;
-        let mut p = SparcProgram::new(1, vec![]);
-        // build 0x12345678 into %o0: sethi hi22, o0; or o0, lo10
-        let v = 0x1234_5678u64;
+    fn lui_addi_builds_constants() {
+        use RiscvInst as I;
+        let mut p = RiscvProgram::new(1, vec![]);
+        // build 0x12345678 into a0 via the standard li expansion:
+        // lui hi20 (rounded for the sign of lo12), addi lo12
+        let v = 0x1234_5678i64;
+        let hi20 = (((v + 0x800) >> 12) & 0xFFFFF) as u32;
+        let lo12 = (v - ((i64::from(hi20 as i32) << 12) as i32 as i64)) as i16;
         p.install(
             0,
             vec![
-                I::Sethi {
-                    imm22: (v >> 10) as u32,
-                    rd: O0,
-                },
+                I::Lui { imm20: hi20, rd: A0 },
                 I::Alu {
-                    op: AluOp::Or,
-                    rs1: O0,
-                    rhs: RegOrImm::Imm((v & 0x3FF) as i16),
-                    rd: O0,
+                    op: AluOp::Add,
+                    rs1: A0,
+                    rhs: RegOrImm::Imm(lo12),
+                    rd: A0,
                     trapping: false,
                 },
                 I::Ret,
@@ -935,22 +929,22 @@ mod tests {
         );
         let mut m = machine();
         m.call_entry(0, &[]).unwrap();
-        assert_eq!(m.run(&p, 100), Exit::Halt(v));
+        assert_eq!(m.run(&p, 100), Exit::Halt(v as u64));
     }
 
     #[test]
     fn register_args_and_return() {
-        use SparcInst as I;
-        let mut p = SparcProgram::new(1, vec![]);
-        // o0 = o0 + o1
+        use RiscvInst as I;
+        let mut p = RiscvProgram::new(1, vec![]);
+        // a0 = a0 + a1
         p.install(
             0,
             vec![
                 I::Alu {
                     op: AluOp::Add,
-                    rs1: Reg(8),
-                    rhs: RegOrImm::Reg(Reg(9)),
-                    rd: O0,
+                    rs1: Reg(10),
+                    rhs: RegOrImm::Reg(Reg(11)),
+                    rd: A0,
                     trapping: false,
                 },
                 I::Ret,
@@ -962,48 +956,46 @@ mod tests {
     }
 
     #[test]
-    fn branch_loop_sums() {
-        use SparcInst as I;
-        // sum 1..=n: l0 (r16) = acc, o0 = n
-        let mut p = SparcProgram::new(1, vec![]);
+    fn compare_and_branch_loop_sums() {
+        use RiscvInst as I;
+        // sum 1..=n without any condition codes: s1 (x9) = acc, a0 = n
+        let mut p = RiscvProgram::new(1, vec![]);
         p.install(
             0,
             vec![
                 I::Alu {
-                    op: AluOp::Or,
-                    rs1: G0,
+                    op: AluOp::Add,
+                    rs1: X0,
                     rhs: RegOrImm::Imm(0),
-                    rd: Reg(16),
+                    rd: Reg(9),
                     trapping: false,
                 }, // acc = 0
                 // loop:
                 I::Alu {
                     op: AluOp::Add,
-                    rs1: Reg(16),
-                    rhs: RegOrImm::Reg(O0),
-                    rd: Reg(16),
+                    rs1: Reg(9),
+                    rhs: RegOrImm::Reg(A0),
+                    rd: Reg(9),
                     trapping: false,
                 },
                 I::Alu {
                     op: AluOp::Sub,
-                    rs1: O0,
+                    rs1: A0,
                     rhs: RegOrImm::Imm(1),
-                    rd: O0,
+                    rd: A0,
                     trapping: false,
                 },
-                I::Cmp {
-                    rs1: O0,
-                    rhs: RegOrImm::Imm(0),
-                },
                 I::Br {
-                    cond: Cond::G,
+                    cond: BrCond::Lt,
+                    rs1: X0,
+                    rs2: A0,
                     target: 1,
-                },
+                }, // 0 < a0 → loop
                 I::Alu {
-                    op: AluOp::Or,
-                    rs1: Reg(16),
+                    op: AluOp::Add,
+                    rs1: Reg(9),
                     rhs: RegOrImm::Imm(0),
-                    rd: O0,
+                    rd: A0,
                     trapping: false,
                 },
                 I::Ret,
@@ -1015,29 +1007,29 @@ mod tests {
     }
 
     #[test]
-    fn memory_is_big_endian() {
-        use SparcInst as I;
-        let mut p = SparcProgram::new(1, vec![]);
+    fn memory_is_little_endian() {
+        use RiscvInst as I;
+        let mut p = RiscvProgram::new(1, vec![]);
         p.install(
             0,
             vec![
                 I::Alu {
-                    op: AluOp::Or,
-                    rs1: G0,
+                    op: AluOp::Add,
+                    rs1: X0,
                     rhs: RegOrImm::Imm(0x1AB),
-                    rd: G1,
+                    rd: T0,
                     trapping: false,
                 },
                 I::St {
-                    rs: G1,
+                    rs: T0,
                     rs1: SP,
-                    off: RegOrImm::Imm(-8),
+                    off: -8,
                     width: Width::B4,
                 },
                 I::Ld {
-                    rd: O0,
+                    rd: A0,
                     rs1: SP,
-                    off: RegOrImm::Imm(-8),
+                    off: -8,
                     width: Width::B1,
                     signed: false,
                 },
@@ -1046,23 +1038,65 @@ mod tests {
         );
         let mut m = machine();
         m.call_entry(0, &[]).unwrap();
-        // big-endian: first byte of 0x000001AB is 0x00
-        assert_eq!(m.run(&p, 100), Exit::Halt(0));
+        // little-endian: first byte of 0x000001AB is 0xAB
+        assert_eq!(m.run(&p, 100), Exit::Halt(0xAB));
+    }
+
+    #[test]
+    fn slt_materializes_comparisons() {
+        use RiscvInst as I;
+        // a0 = (a0 < a1 signed) — exercised with a negative operand so
+        // slt and sltu differ
+        let mut p = RiscvProgram::new(1, vec![]);
+        p.install(
+            0,
+            vec![
+                I::Alu {
+                    op: AluOp::Slt,
+                    rs1: Reg(10),
+                    rhs: RegOrImm::Reg(Reg(11)),
+                    rd: A0,
+                    trapping: false,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[(-5i64) as u64, 3]).unwrap();
+        assert_eq!(m.run(&p, 100), Exit::Halt(1));
+        let mut m2 = machine();
+        m2.call_entry(0, &[(-5i64) as u64, 3]).unwrap();
+        // same bits through sltu: huge unsigned value is not < 3
+        let mut p2 = RiscvProgram::new(1, vec![]);
+        p2.install(
+            0,
+            vec![
+                I::Alu {
+                    op: AluOp::Sltu,
+                    rs1: Reg(10),
+                    rhs: RegOrImm::Reg(Reg(11)),
+                    rd: A0,
+                    trapping: false,
+                },
+                I::Ret,
+            ],
+        );
+        assert_eq!(m2.run(&p2, 100), Exit::Halt(0));
     }
 
     #[test]
     fn div_by_zero_trap_and_nontrapping() {
-        use SparcInst as I;
+        use RiscvInst as I;
         for (trapping, expect_trap) in [(true, true), (false, false)] {
-            let mut p = SparcProgram::new(1, vec![]);
+            let mut p = RiscvProgram::new(1, vec![]);
             p.install(
                 0,
                 vec![
                     I::Alu {
                         op: AluOp::Sdiv,
-                        rs1: O0,
-                        rhs: RegOrImm::Reg(G0),
-                        rd: O0,
+                        rs1: A0,
+                        rhs: RegOrImm::Reg(X0),
+                        rd: A0,
                         trapping,
                     },
                     I::Ret,
@@ -1080,14 +1114,14 @@ mod tests {
 
     #[test]
     fn movsym_weight_counts_double() {
-        use SparcInst as I;
+        use RiscvInst as I;
         let inst = I::MovSym {
-            rd: O0,
+            rd: A0,
             sym: Sym::Global(0),
         };
         assert_eq!(inst.weight(), 2);
         assert_eq!(inst.native_size(), 8);
-        let mut p = SparcProgram::new(1, vec![0x4000]);
+        let mut p = RiscvProgram::new(1, vec![0x4000]);
         p.install(0, vec![inst, I::Ret]);
         assert_eq!(p.total_insts(), 3);
         let mut m = machine();
@@ -1096,36 +1130,72 @@ mod tests {
     }
 
     #[test]
+    fn fset_handles_nan_as_all_false() {
+        use RiscvInst as I;
+        // f0 = 0/0 (NaN), a0 = feq f0, f0 — must be 0 on unordered
+        let mut p = RiscvProgram::new(1, vec![]);
+        p.install(
+            0,
+            vec![
+                I::CvtIF {
+                    fd: FReg(0),
+                    rs: X0,
+                    to32: false,
+                    signed: true,
+                }, // f0 = 0.0
+                I::FAlu {
+                    op: FpOp::Div,
+                    fs1: FReg(0),
+                    fs2: FReg(0),
+                    fd: FReg(1),
+                    is32: false,
+                }, // NaN
+                I::FSet {
+                    op: FSetOp::Feq,
+                    rd: A0,
+                    fs1: FReg(1),
+                    fs2: FReg(1),
+                    is32: false,
+                },
+                I::Ret,
+            ],
+        );
+        let mut m = machine();
+        m.call_entry(0, &[]).unwrap();
+        assert_eq!(m.run(&p, 100), Exit::Halt(0));
+    }
+
+    #[test]
     fn float_and_conversion() {
-        use SparcInst as I;
-        let mut p = SparcProgram::new(1, vec![]);
-        // o0 = (int)(1.5 + 2.25) -> 3
+        use RiscvInst as I;
+        let mut p = RiscvProgram::new(1, vec![]);
+        // a0 = (int)(3.0 / 2.0) -> 1
         p.install(
             0,
             vec![
                 I::Alu {
-                    op: AluOp::Or,
-                    rs1: G0,
+                    op: AluOp::Add,
+                    rs1: X0,
                     rhs: RegOrImm::Imm(3),
-                    rd: G1,
+                    rd: T0,
                     trapping: false,
                 },
                 I::CvtIF {
                     fd: FReg(0),
-                    rs: G1,
+                    rs: T0,
                     to32: false,
                     signed: true,
                 }, // f0 = 3.0
                 I::Alu {
-                    op: AluOp::Or,
-                    rs1: G0,
+                    op: AluOp::Add,
+                    rs1: X0,
                     rhs: RegOrImm::Imm(2),
-                    rd: G1,
+                    rd: T0,
                     trapping: false,
                 },
                 I::CvtIF {
                     fd: FReg(1),
-                    rs: G1,
+                    rs: T0,
                     to32: false,
                     signed: true,
                 }, // f1 = 2.0
@@ -1137,7 +1207,7 @@ mod tests {
                     is32: false,
                 }, // 1.5
                 I::CvtFI {
-                    rd: O0,
+                    rd: A0,
                     fs: FReg(2),
                     from32: false,
                     signed: true,
@@ -1151,17 +1221,17 @@ mod tests {
     }
 
     #[test]
-    fn intrinsic_args_from_o_regs() {
-        use SparcInst as I;
-        let mut p = SparcProgram::new(1, vec![]);
+    fn intrinsic_args_from_a_regs() {
+        use RiscvInst as I;
+        let mut p = RiscvProgram::new(1, vec![]);
         p.install(
             0,
             vec![
                 I::Alu {
-                    op: AluOp::Or,
-                    rs1: G0,
+                    op: AluOp::Add,
+                    rs1: X0,
                     rhs: RegOrImm::Imm(65),
-                    rd: O0,
+                    rd: A0,
                     trapping: false,
                 },
                 I::CallIntrinsic {
@@ -1186,8 +1256,8 @@ mod tests {
 
     #[test]
     fn unwind_across_frames() {
-        use SparcInst as I;
-        let mut p = SparcProgram::new(3, vec![]);
+        use RiscvInst as I;
+        let mut p = RiscvProgram::new(3, vec![]);
         p.install(2, vec![I::Unwind]); // innermost
         p.install(
             1,
@@ -1207,18 +1277,18 @@ mod tests {
                     unwind: Some(3),
                 },
                 I::Alu {
-                    op: AluOp::Or,
-                    rs1: G0,
+                    op: AluOp::Add,
+                    rs1: X0,
                     rhs: RegOrImm::Imm(1),
-                    rd: O0,
+                    rd: A0,
                     trapping: false,
                 },
                 I::Ret,
                 I::Alu {
-                    op: AluOp::Or,
-                    rs1: G0,
+                    op: AluOp::Add,
+                    rs1: X0,
                     rhs: RegOrImm::Imm(99),
-                    rd: O0,
+                    rd: A0,
                     trapping: false,
                 }, // pad
                 I::Ret,

@@ -469,6 +469,12 @@ struct Frame {
     ret_pc: u32,
     saved_sp: u64,
     unwind: Option<u32>,
+    // The caller's register file at the call site — what a real
+    // unwinder reconstructs from unwind tables. Restored when an
+    // `unwind` lands at this call's landing pad, so EBP and values
+    // homed in callee-saved registers survive the non-local exit.
+    saved_regs: [u64; 8],
+    saved_fregs: [u64; 8],
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -818,6 +824,8 @@ impl X86Machine {
                     ret_pc: next_pc,
                     saved_sp: self.regs[Gpr::Esp.idx()],
                     unwind: *unwind,
+                    saved_regs: self.regs,
+                    saved_fregs: self.fregs,
                 });
                 self.cur_func = *func;
                 self.pc = 0;
@@ -840,6 +848,8 @@ impl X86Machine {
                     ret_pc: next_pc,
                     saved_sp: self.regs[Gpr::Esp.idx()],
                     unwind: *unwind,
+                    saved_regs: self.regs,
+                    saved_fregs: self.fregs,
                 });
                 self.cur_func = func;
                 self.pc = 0;
@@ -870,6 +880,8 @@ impl X86Machine {
                         if let Some(pad) = f.unwind {
                             self.cur_func = f.func;
                             self.pc = pad;
+                            self.regs = f.saved_regs;
+                            self.fregs = f.saved_fregs;
                             self.regs[Gpr::Esp.idx()] = f.saved_sp;
                             self.stats.cycles += 2;
                             return Ok(None);

@@ -13,7 +13,7 @@ fn run_all(src: &str, args: &[u64]) -> u64 {
     llva_core::verifier::verify_module(&m).expect("verifies");
     let mut interp = Interpreter::new(&m);
     let expected = interp.run("main", args).expect("interprets");
-    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    for isa in TargetIsa::ALL {
         let m = llva_minic::compile(src, "t", TargetConfig::default()).expect("compiles");
         let mut mgr = ExecutionManager::new(m, isa);
         let out = mgr.run("main", args).expect("runs natively");

@@ -29,7 +29,7 @@ fn native_result(w: &llva_workloads::Workload, isa: TargetIsa) -> u64 {
 fn all_workloads_agree_across_executors() {
     for w in llva_workloads::all() {
         let reference = interp_result(&w);
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        for isa in TargetIsa::ALL {
             let native = native_result(&w, isa);
             assert_eq!(
                 native, reference,

@@ -3,7 +3,10 @@
 //! interpreter's outcome even when fast tiers are deliberately killed.
 //!
 //! The kill set comes from `LLVA_KILL_TIER` (comma-separated tier
-//! names, the same env the CI fault-injection matrix sets); when unset,
+//! names, the same env the CI fault-injection matrix sets), and the
+//! translated tier's target from `LLVA_KILL_ISA` (`x86`, `sparc`, or
+//! `riscv`; default `x86` — the CI matrix sweeps the others so every
+//! back end sits under the same degradation ladder); when unset,
 //! the test sweeps every meaningful degradation depth itself: no kill,
 //! `translated`, `translated,traced`, and
 //! `translated,traced,fast-interp`. Kills are cumulative ladder
@@ -24,6 +27,15 @@ use llva_engine::supervisor::{kills_from_env, Supervisor, Tier, TierKill, TierOu
 use llva_engine::Interpreter;
 
 const FUEL: u64 = 2_000_000_000;
+
+/// The translated tier's back end: `LLVA_KILL_ISA`, default x86.
+fn isa_from_env() -> TargetIsa {
+    match std::env::var("LLVA_KILL_ISA").ok().as_deref() {
+        Some("sparc") => TargetIsa::Sparc,
+        Some("riscv") => TargetIsa::Riscv,
+        _ => TargetIsa::X86,
+    }
+}
 
 /// The kill sets to sweep: from the environment if set, else every
 /// cumulative ladder prefix.
@@ -60,7 +72,7 @@ fn workloads_survive_tier_kills_with_interpreter_outcomes() {
                 panic!("{}: structural interpreter must complete: {e}", w.name)
             });
 
-            let mut sup = Supervisor::new(module.clone(), TargetIsa::X86);
+            let mut sup = Supervisor::new(module.clone(), isa_from_env());
             sup.set_fuel(FUEL);
             for &kill in &kills {
                 sup.arm_kill(kill);

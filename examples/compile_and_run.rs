@@ -47,8 +47,8 @@ fn main() {
         100 * optimized.total_insts() / module.total_insts().max(1)
     );
 
-    // translate + execute on both processors, optimized and not
-    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    // translate + execute on all three processors, optimized and not
+    for isa in TargetIsa::ALL {
         for (label, m) in [("unoptimized", module.clone()), ("optimized", optimized.clone())] {
             let mut mgr = ExecutionManager::new(m, isa);
             let out = mgr.run("main", &[]).expect("runs");

@@ -69,8 +69,8 @@ fn main() {
     let reference = interp.run("main", &[]).expect("interprets");
     println!("interpreter result    : {reference}");
 
-    // 5. JIT-translate and execute on both simulated processors
-    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    // 5. JIT-translate and execute on all three simulated processors
+    for isa in TargetIsa::ALL {
         let m = llva::minic::compile(FIGURE_2_C, "figure2", TargetConfig::default())
             .expect("compiles");
         let mut mgr = ExecutionManager::new(m, isa);

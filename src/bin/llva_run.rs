@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //!   llva-run program.bc [args...]
-//!       [--isa x86|sparc|interp] [--entry NAME]
+//!       [--isa x86|sparc|riscv|interp] [--entry NAME]
 //!       [--cache DIR]            # enable the offline storage API (§4.1)
 //!       [--stats]
 
@@ -47,7 +47,7 @@ fn main() {
             "--stats" => stats = true,
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: llva-run program.bc [args...] [--isa x86|sparc|interp] \
+                    "usage: llva-run program.bc [args...] [--isa x86|sparc|riscv|interp] \
                      [--entry NAME] [--cache DIR] [--stats]"
                 );
                 exit(0);
@@ -90,8 +90,9 @@ fn main() {
     let target = match isa.as_str() {
         "x86" => TargetIsa::X86,
         "sparc" => TargetIsa::Sparc,
+        "riscv" => TargetIsa::Riscv,
         other => {
-            eprintln!("llva-run: unknown --isa '{other}' (x86|sparc|interp)");
+            eprintln!("llva-run: unknown --isa '{other}' (x86|sparc|riscv|interp)");
             exit(1);
         }
     };

@@ -154,7 +154,8 @@ fn corruption_bursts_never_panic() {
 }
 
 /// The native-code codecs (cached translation payloads) are equally
-/// untrusted: random bytes and truncations must error, never panic.
+/// untrusted: random bytes and truncations must error, never panic —
+/// for all three targets.
 #[test]
 fn native_codec_decode_never_panics() {
     let mut rng = Rng::new(0xc0de_c0de);
@@ -163,6 +164,62 @@ fn native_codec_decode_never_panics() {
         let buf = rng.bytes(len);
         let _ = codec::decode_x86(&buf);
         let _ = codec::decode_sparc(&buf);
+        let _ = codec::decode_riscv(&buf);
         let _ = codec::unframe_entry("some.key", &buf);
+    }
+}
+
+/// Mutation fuzzing of the RISC-V codec: start from *well-formed*
+/// encodings of real translated functions, then bit-flip, overwrite,
+/// and truncate them. Corruptions near valid structure probe deeper
+/// decoder states than pure random bytes (tags decode, then counts,
+/// operands, and register fields go wrong); every one must surface as
+/// `Err`, never a panic, and a blob that still round-trips must equal
+/// what a fresh decode says it is.
+#[test]
+fn riscv_codec_survives_mutations_of_valid_blobs() {
+    let src = r#"
+int %grind(int %n) {
+entry:
+    %c = setle int %n, 1
+    br bool %c, label %base, label %rec
+base:
+    ret int 1
+rec:
+    %n1 = sub int %n, 1
+    %r = call int %grind(int %n1)
+    %d = div int %r, 3
+    %f = cast int %d to double
+    %g = mul double %f, 2.5
+    %h = cast double %g to int
+    %m = mul int %h, %n
+    ret int %m
+}
+"#;
+    let mut module = llva::core::parser::parse_module(src).expect("parses");
+    module.set_target(llva::core::layout::TargetConfig::riscv64());
+    let fid = *module.function_ids().first().expect("one function");
+    let code = llva::backend::compile_riscv(&module, fid);
+    let blob = codec::encode_riscv(&code);
+    let mut rng = Rng::new(0x715c_u64);
+    for _ in 0..4000 {
+        let mut corrupt = blob.clone();
+        // truncate, then mutate 1..=4 bytes
+        if rng.usize(4) == 0 {
+            corrupt.truncate(rng.usize(corrupt.len()));
+        }
+        if !corrupt.is_empty() {
+            for _ in 0..1 + rng.usize(4) {
+                let at = rng.usize(corrupt.len());
+                corrupt[at] = rng.next() as u8;
+            }
+        }
+        if let Ok(decoded) = codec::decode_riscv(&corrupt) {
+            // a mutation the codec accepts must still be
+            // re-encodable: decode is total on its own image
+            let reencoded = codec::encode_riscv(&decoded);
+            let redecoded = codec::decode_riscv(&reencoded).expect("round trip");
+            assert_eq!(decoded, redecoded);
+        }
     }
 }

@@ -140,7 +140,7 @@ fn wide_mbr_dispatch() {
     for x in [0u64, 5, 9, 77] {
         let mut i = Interpreter::new(&m);
         let expected = i.run("main", &[x]).expect("interprets");
-        for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+        for isa in TargetIsa::ALL {
             let m = llva::core::parser::parse_module(&src).expect("parses");
             let mut mgr = ExecutionManager::new(m, isa);
             assert_eq!(mgr.run("main", &[x]).expect("runs").value, expected);
@@ -215,7 +215,7 @@ entry:
     let m = llva::core::parser::parse_module(src).expect("parses");
     let mut i = Interpreter::new(&m);
     assert_eq!(i.run("main", &[]), Ok(3), "main -> mid -> leaf = 3 frames");
-    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    for isa in TargetIsa::ALL {
         let m = llva::core::parser::parse_module(src).expect("parses");
         let mut mgr = ExecutionManager::new(m, isa);
         assert_eq!(mgr.run("main", &[]).expect("runs").value, 3, "{isa}");

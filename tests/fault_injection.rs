@@ -113,7 +113,7 @@ fn cache_recovery_end_to_end() {
 /// lets a corrupt translation through.
 #[test]
 fn corrupt_every_read_matches_no_storage() {
-    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    for isa in TargetIsa::ALL {
         let reference = ExecutionManager::new(module(), isa)
             .run("main", &[])
             .expect("runs")

@@ -44,8 +44,8 @@ int main() {
     let m = llva::core::bytecode::decode_module(&bytes).expect("decodes");
     llva::core::verifier::verify_module(&m).expect("decoded module verifies");
 
-    // execute on both processors through the execution manager
-    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    // execute on all three processors through the execution manager
+    for isa in TargetIsa::ALL {
         let m = llva::core::bytecode::decode_module(&bytes).expect("decodes");
         let mut mgr = ExecutionManager::new(m, isa);
         assert_eq!(mgr.run("main", &[]).expect("runs").value, reference, "{isa}");
@@ -141,16 +141,17 @@ int main() {
     // is exactly the pointer-size exposure the paper describes for
     // non-type-safe code (§3.2).
     let mut results = Vec::new();
-    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    for isa in TargetIsa::ALL {
         let target = match isa {
             TargetIsa::X86 => TargetConfig::ia32(),
             TargetIsa::Sparc => TargetConfig::sparc_v9(),
+            TargetIsa::Riscv => TargetConfig::riscv64(),
         };
         let m = llva::minic::compile(src, "portable", target).expect("compiles");
         let mut mgr = ExecutionManager::new(m, isa);
         results.push(mgr.run("main", &[]).expect("runs").value);
     }
-    assert_eq!(results[0], results[1]);
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
     assert_eq!(results[0], (1..=7).map(|i| i * i).sum::<u64>());
 }
 
@@ -207,7 +208,7 @@ int main(int idx) {
         panic!("expected trap")
     };
     assert_eq!(t.kind, llva::machine::TrapKind::MemoryFault);
-    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    for isa in TargetIsa::ALL {
         let m = llva::minic::compile(src, "trapper", TargetConfig::default()).expect("compiles");
         let mut mgr = ExecutionManager::new(m, isa);
         match mgr.run("main", &[0]) {
@@ -237,7 +238,7 @@ int main() {
     let mut interp = Interpreter::new(&m);
     interp.run("main", &[]).expect("runs");
     assert_eq!(interp.env.stdout_string(), "31337\n");
-    for isa in [TargetIsa::X86, TargetIsa::Sparc] {
+    for isa in TargetIsa::ALL {
         let m = llva::minic::compile(src, "io", TargetConfig::default()).expect("compiles");
         let mut mgr = ExecutionManager::new(m, isa);
         mgr.run("main", &[]).expect("runs");
