@@ -267,7 +267,7 @@ impl<'a> CodeGen<'a> {
             // range except at the very top of the i32 range, which
             // falls through to the general path
             let hi20 = (((v + 0x800) >> 12) & 0xF_FFFF) as u32;
-            let base = i64::from(((hi20 << 12) as u32) as i32);
+            let base = i64::from((hi20 << 12) as i32);
             let lo = v - base;
             if fits_imm12(lo) {
                 self.emit(RiscvInst::Lui { imm20: hi20, rd: dst });

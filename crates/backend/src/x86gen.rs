@@ -185,15 +185,10 @@ impl<'a> CodeGen<'a> {
         }
         // arguments not promoted live where the caller pushed them
         for (i, &a) in self.func.args().to_vec().iter().enumerate() {
-            if !self.locs.contains_key(&a) {
-                self.locs.insert(
-                    a,
-                    Loc::Slot(MemOp {
-                        base: Gpr::Ebp,
-                        disp: 8 + 8 * i as i32,
-                    }),
-                );
-            }
+            self.locs.entry(a).or_insert(Loc::Slot(MemOp {
+                base: Gpr::Ebp,
+                disp: 8 + 8 * i as i32,
+            }));
         }
         for (_, inst_id) in self.func.inst_iter().collect::<Vec<_>>() {
             if let Some(r) = self.func.inst_result(inst_id) {

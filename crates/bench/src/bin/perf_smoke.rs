@@ -89,8 +89,27 @@ struct Row {
     fast_mips: f64,
     traced_mips: f64,
     decode_us: f64,
+    cold_load_us: f64,
+    warm_load_us: f64,
+    warm_speedup: f64,
     speedup: f64,
     traced_speedup: f64,
+}
+
+/// Best-of-N wall time of `f` in microseconds — load paths are µs-scale
+/// one-shot events, so the minimum over a bounded burst is the stable
+/// statistic (throughput-style averaging would fold in allocator noise).
+fn measure_us(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while iters < 3 || (start.elapsed().as_secs_f64() < 0.02 && iters < 200) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+        iters += 1;
+    }
+    best
 }
 
 fn main() {
@@ -166,6 +185,47 @@ fn main() {
             );
         }
 
+        // Persistent-image load trajectory: cold = full SSA→PreFunction
+        // lowering; warm = parse the image, checksum the predecode
+        // section, and attach its zero-copy record index (records
+        // deserialize lazily at first call). Both are one-shot load
+        // costs, measured best-of-N.
+        let image_bytes = {
+            let mut b = llva_engine::ImageBuilder::new(&m);
+            b.add_predecode(&pre);
+            b.finish()
+        };
+        let cold_load_us = measure_us(|| {
+            let p = PreModule::new(&m);
+            p.decode_all();
+        });
+        let warm_load_us = measure_us(|| {
+            let img = std::sync::Arc::new(
+                llva_engine::LlvaImage::parse(image_bytes.clone()).expect("image parses"),
+            );
+            let _ = img.premodule(&m).expect("warm load");
+        });
+        // warm execution must be byte-identical to the structural run
+        {
+            let img = std::sync::Arc::new(
+                llva_engine::LlvaImage::parse(image_bytes.clone()).expect("image parses"),
+            );
+            let (warm_pre, installed) = img.premodule(&m).expect("warm load");
+            let defined = m.functions().filter(|(_, f)| !f.is_declaration()).count();
+            let mut warm = FastInterpreter::with_predecoded(warm_pre);
+            let warm_value = warm.run("main", &[]).expect("warm interpreter runs");
+            if warm_value != slow_value || warm.insts_executed() != insts || installed != defined {
+                eprintln!(
+                    "DIVERGENCE in {}: structural = ({slow_value}, {insts} insts), \
+                     image-warm = ({warm_value}, {} insts, {installed}/{defined} installed)",
+                    w.name,
+                    warm.insts_executed()
+                );
+                divergences += 1;
+                continue;
+            }
+        }
+
         let slow_rate = measure(|| {
             let mut i = Interpreter::new(&m);
             i.run("main", &[]).expect("runs");
@@ -199,24 +259,30 @@ fn main() {
             fast_mips: fast_rate / 1e6,
             traced_mips: traced_rate / 1e6,
             decode_us,
+            cold_load_us,
+            warm_load_us,
+            warm_speedup: cold_load_us / warm_load_us,
             speedup: fast_rate / slow_rate,
             traced_speedup: traced_rate / slow_rate,
         });
     }
 
     println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>11} {:>9} {:>9}",
-        "workload", "insts", "interp MIPS", "fast MIPS", "traced MIPS", "decode(us)", "fast", "traced"
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "insts", "interp MIPS", "fast MIPS", "traced MIPS", "decode(us)",
+        "cold(us)", "warm(us)", "fast", "traced"
     );
     for r in &rows {
         println!(
-            "{:<16} {:>12} {:>12.2} {:>12.2} {:>12.2} {:>11.1} {:>8.2}x {:>8.2}x",
+            "{:<16} {:>12} {:>12.2} {:>12.2} {:>12.2} {:>11.1} {:>9.1} {:>9.1} {:>8.2}x {:>8.2}x",
             r.name,
             r.insts,
             r.slow_mips,
             r.fast_mips,
             r.traced_mips,
             r.decode_us,
+            r.cold_load_us,
+            r.warm_load_us,
             r.speedup,
             r.traced_speedup
         );
@@ -275,6 +341,12 @@ fn main() {
     let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
     let traced_geomean =
         (rows.iter().map(|r| r.traced_speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let warm_load_geomean =
+        (rows.iter().map(|r| r.warm_speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    println!(
+        "warm image load vs cold pre-decode over {} workloads: geomean {warm_load_geomean:.2}x faster",
+        rows.len()
+    );
     let trace_over_fast = (rows
         .iter()
         .map(|r| (r.traced_mips / r.fast_mips).ln())
@@ -294,6 +366,7 @@ fn main() {
             json,
             "    {{\"name\": \"{}\", \"insts\": {}, \"structural_mips\": {:.3}, \
              \"predecoded_mips\": {:.3}, \"traced_mips\": {:.3}, \"decode_us\": {:.1}, \
+             \"cold_load_us\": {:.1}, \"warm_load_us\": {:.1}, \"warm_speedup\": {:.3}, \
              \"speedup\": {:.3}, \"traced_speedup\": {:.3}}}{}",
             r.name,
             r.insts,
@@ -301,6 +374,9 @@ fn main() {
             r.fast_mips,
             r.traced_mips,
             r.decode_us,
+            r.cold_load_us,
+            r.warm_load_us,
+            r.warm_speedup,
             r.speedup,
             r.traced_speedup,
             if i + 1 < rows.len() { "," } else { "" }
@@ -317,7 +393,7 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"x86_spill_drop_pct\": {spill_drop:.1},\n  \"x86_inst_drop_pct\": {inst_drop:.1},\n  \"geomean_speedup\": {geomean:.3},\n  \"traced_geomean_speedup\": {traced_geomean:.3},\n  \"traced_over_predecoded\": {trace_over_fast:.3},\n  \"divergences\": {divergences}\n}}\n"
+        "  ],\n  \"x86_spill_drop_pct\": {spill_drop:.1},\n  \"x86_inst_drop_pct\": {inst_drop:.1},\n  \"geomean_speedup\": {geomean:.3},\n  \"traced_geomean_speedup\": {traced_geomean:.3},\n  \"warm_load_geomean\": {warm_load_geomean:.3},\n  \"traced_over_predecoded\": {trace_over_fast:.3},\n  \"divergences\": {divergences}\n}}\n"
     );
     if only.is_none() {
         std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");

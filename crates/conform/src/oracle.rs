@@ -13,6 +13,7 @@
 //! | `traced-interp`  | fast interpreter with the hot-trace tier enabled at a low threshold |
 //! | `print-parse`    | printer → parser round trip, then interpreter         |
 //! | `bytecode`       | bytecode encode → decode round trip, then interpreter |
+//! | `image-roundtrip` | persistent image serialize → reload → warm-load execute |
 //! | `pass:<name>`    | one optimization pass alone, verified, then interpreter |
 //! | `opt:standard`   | the full `standard_pipeline()`, then interpreter      |
 //! | `opt:linktime`   | the full `link_time_pipeline()`, then interpreter     |
@@ -204,6 +205,9 @@ impl Oracle {
                     Err(e) => Outcome::Reject(format!("decode: {e}")),
                 }
             }
+            // persistent module image: serialize → reload → execute
+            // from the deserialized pre-decode, no SSA re-lowering
+            "image-roundtrip" => image_roundtrip_outcome(module, entry, args, fuel),
             // full pipelines
             "opt:standard" | "opt:linktime" => {
                 let mut pm = if name == "opt:standard" {
@@ -307,6 +311,7 @@ impl Oracle {
             "traced-interp".to_string(),
             "print-parse".to_string(),
             "bytecode".to_string(),
+            "image-roundtrip".to_string(),
         ];
         for pass in individual_passes(entry) {
             names.push(format!("pass:{}", pass.name()));
@@ -424,6 +429,48 @@ pub fn reopt_outcome(module: &Module, entry: &str, args: &[u64], fuel: u64) -> O
     let cache = trace::form_traces(&m2, &map, &counts, 8, 16);
     trace::reoptimize(&mut m2, &cache);
     checked_interp(&m2, entry, args, fuel)
+}
+
+/// Serializes the module into a persistent image (bytecode + full
+/// pre-decode section), reloads it cold, and executes from the
+/// *deserialized* `PreFunction` records — the warm-load fast path with
+/// zero SSA re-lowering. Any parse failure, partial install, or
+/// divergence from the baseline is an image-format bug.
+pub fn image_roundtrip_outcome(module: &Module, entry: &str, args: &[u64], fuel: u64) -> Outcome {
+    use llva_engine::{ImageBuilder, LlvaImage, PreModule};
+    let pre = PreModule::new(module);
+    pre.decode_all();
+    let mut builder = ImageBuilder::new(module);
+    builder.add_predecode(&pre);
+    let image = match LlvaImage::parse(builder.finish()) {
+        Ok(image) => std::sync::Arc::new(image),
+        Err(e) => return Outcome::Reject(format!("image parse: {e}")),
+    };
+    let m2 = match image.decode_module() {
+        Ok(m2) => m2,
+        Err(e) => return Outcome::Reject(format!("image bytecode: {e}")),
+    };
+    if let Err(e) = llva_core::verifier::verify_module(&m2) {
+        return Outcome::Reject(format!("verify: {e}"));
+    }
+    let (pre2, installed) = match image.premodule(&m2) {
+        Ok(warm) => warm,
+        Err(e) => return Outcome::Reject(format!("image predecode: {e}")),
+    };
+    let defined = m2.functions().filter(|(_, f)| !f.is_declaration()).count();
+    if installed != defined {
+        // a stale or missing record would silently re-lower; for a
+        // same-process round trip that is a stamp bug, not a fallback
+        return Outcome::Reject(format!("warm install covered {installed}/{defined} functions"));
+    }
+    let mut i = FastInterpreter::with_predecoded(pre2);
+    i.set_fuel(fuel);
+    match i.run(entry, args) {
+        Ok(v) => Outcome::Value(v),
+        Err(InterpError::Trap(t)) => Outcome::Trap(t.kind),
+        Err(InterpError::OutOfFuel) => Outcome::Fuel,
+        Err(e @ InterpError::NoSuchFunction(_)) => Outcome::Error(e.to_string()),
+    }
 }
 
 /// Verifies `module` first (a derived representation must still
@@ -565,7 +612,7 @@ mod tests {
         let names = Oracle::new().stage_names("main");
         for isa in TargetIsa::ALL {
             for stage in [isa.to_string(), format!("{isa}:opt"), format!("{isa}:nopeep")] {
-                assert!(names.iter().any(|n| *n == stage), "missing stage {stage}");
+                assert!(names.contains(&stage), "missing stage {stage}");
             }
         }
     }

@@ -11,6 +11,7 @@
 
 pub mod codec;
 pub mod env;
+pub mod image;
 pub mod interp;
 pub mod llee;
 pub mod predecode;
@@ -21,6 +22,10 @@ pub mod trace;
 pub mod traced;
 
 pub use env::Env;
+pub use image::{
+    read_image_file, repair_image, repair_image_file, write_image_file, ImageBuilder, ImageError,
+    LlvaImage, RepairReport, SectionKind, IMAGE_ENTRY, IMAGE_TMP_MARKER,
+};
 pub use interp::{Interpreter, InterpError, LlvaTrap, Name, DEFAULT_MEMORY_SIZE};
 pub use predecode::{FastInterpreter, PreModule};
 pub use llee::{EngineError, ExecutionManager, RunOutcome, TargetIsa, TranslationStats};

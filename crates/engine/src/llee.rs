@@ -149,6 +149,15 @@ pub struct TranslationStats {
     pub gave_up: usize,
     /// Translations discarded by SMC invalidation.
     pub invalidations: usize,
+    /// Translations installed from a persistent module image
+    /// ([`crate::image::LlvaImage`]) instead of storage or the JIT.
+    pub image_hits: usize,
+    /// Image entries skipped because their per-function content hash no
+    /// longer matched the module.
+    pub image_stale: usize,
+    /// Image native sections (or individual entries) that failed
+    /// checksum/decode validation and were ignored.
+    pub image_corrupt: usize,
 }
 
 impl TranslationStats {
@@ -167,6 +176,9 @@ impl TranslationStats {
         self.retried_ok += other.retried_ok;
         self.gave_up += other.gave_up;
         self.invalidations += other.invalidations;
+        self.image_hits += other.image_hits;
+        self.image_stale += other.image_stale;
+        self.image_corrupt += other.image_corrupt;
     }
 }
 
@@ -252,6 +264,17 @@ pub struct ExecutionManager {
     /// cache key: peephole-off code must never be served to (or from)
     /// a peephole-on manager.
     peephole: PeepholeConfig,
+    /// Warm-start native code: the attached image's entry index for
+    /// this ISA, probed by [`ExecutionManager::translate`] before the
+    /// storage cache. Blobs decode lazily, one function at a time.
+    image: Option<ImageIndex>,
+}
+
+/// A checksummed-and-indexed view of an attached image's native section:
+/// `(function id, content hash, blob byte range)`, sorted by id.
+struct ImageIndex {
+    image: std::sync::Arc<crate::image::LlvaImage>,
+    entries: Vec<(u32, u64, std::ops::Range<usize>)>,
 }
 
 impl fmt::Debug for ExecutionManager {
@@ -316,6 +339,7 @@ impl ExecutionManager {
             func_names,
             fuel: 10_000_000_000,
             peephole: PeepholeConfig::from_env(),
+            image: None,
         }
     }
 
@@ -422,6 +446,123 @@ impl ExecutionManager {
     /// id: hits, misses, and stale entries (content hash mismatch).
     pub fn func_cache_stats(&self) -> &[FuncCacheStats] {
         &self.func_cache
+    }
+
+    /// Whether function `f`'s translation is already installed.
+    pub fn is_function_installed(&self, f: u32) -> bool {
+        match &self.engine {
+            Engine::X86 { program, .. } => program.is_installed(f),
+            Engine::Sparc { program, .. } => program.is_installed(f),
+            Engine::Riscv { program, .. } => program.is_installed(f),
+        }
+    }
+
+    /// Attaches a persistent image's native section for this manager's
+    /// ISA — the warm-load fast path: no cache probe, no JIT, no
+    /// per-function storage round trips. The section is checksummed
+    /// and its entry frames indexed *once, here*; each function's blob
+    /// is decoded and installed lazily, when [`Self::translate`] (or
+    /// the [`Self::translate_all_parallel`] probe) first reaches that
+    /// function. Entries whose content hash no longer matches the
+    /// module are skipped at probe time (`image_stale`), undecodable
+    /// blobs or a corrupt section fall back to cache/JIT
+    /// (`image_corrupt`). Returns how many functions the index covers.
+    pub fn set_image(&mut self, image: std::sync::Arc<crate::image::LlvaImage>) -> usize {
+        let mut entries = match image.native_entry_ranges(self.isa) {
+            Ok(entries) => entries,
+            Err(_) => {
+                // absent is a quiet miss; corrupt is worth counting
+                if image
+                    .sections()
+                    .contains(&crate::image::SectionKind::Native(self.isa))
+                {
+                    self.stats.image_corrupt += 1;
+                }
+                return 0;
+            }
+        };
+        entries.sort_unstable_by_key(|&(f, _, _)| f);
+        let covered = entries.len();
+        self.image = Some(ImageIndex { image, entries });
+        covered
+    }
+
+    /// Probes the attached image (if any) for function `f`, decoding
+    /// and installing its native blob on a fresh hit.
+    fn try_image_load(&mut self, f: u32) -> bool {
+        let Some(idx) = &self.image else {
+            return false;
+        };
+        let Ok(i) = idx.entries.binary_search_by_key(&f, |&(f, _, _)| f) else {
+            return false;
+        };
+        let (_, stamp, ref range) = idx.entries[i];
+        if self.func_hashes.get(f as usize).copied() != Some(stamp) {
+            self.stats.image_stale += 1;
+            return false;
+        }
+        let blob = &idx.image.raw_bytes()[range.clone()];
+        let ok = match &mut self.engine {
+            Engine::X86 { program, .. } => codec::decode_x86(blob)
+                .ok()
+                .map(|code| program.install(f, code))
+                .is_some(),
+            Engine::Sparc { program, .. } => codec::decode_sparc(blob)
+                .ok()
+                .map(|code| program.install(f, code))
+                .is_some(),
+            Engine::Riscv { program, .. } => codec::decode_riscv(blob)
+                .ok()
+                .map(|code| program.install(f, code))
+                .is_some(),
+        };
+        if ok {
+            self.stats.image_hits += 1;
+        } else {
+            self.stats.image_corrupt += 1;
+        }
+        ok
+    }
+
+    /// The installed translations as image-section entries: `(function
+    /// id, content hash, encoded code)` triples for this manager's ISA,
+    /// ready for [`crate::image::ImageBuilder::add_native`]. Stamps are
+    /// this manager's [`function_stamps`] (computed over the
+    /// target-configured module), so a warm consumer of the same ISA
+    /// validates them exactly as the storage cache would.
+    pub fn native_image_entries(&self) -> Vec<(u32, u64, Vec<u8>)> {
+        self.defined_functions()
+            .into_iter()
+            .filter_map(|f| {
+                let blob = match &self.engine {
+                    Engine::X86 { program, .. } => {
+                        program.code(f).map(|code| codec::encode_x86(code))
+                    }
+                    Engine::Sparc { program, .. } => {
+                        program.code(f).map(|code| codec::encode_sparc(code))
+                    }
+                    Engine::Riscv { program, .. } => {
+                        program.code(f).map(|code| codec::encode_riscv(code))
+                    }
+                };
+                blob.map(|blob| (f, self.func_hashes[f as usize], blob))
+            })
+            .collect()
+    }
+
+    /// Builds a persistent module image from this manager: the module's
+    /// bytecode, optionally the full pre-decode section, and a native
+    /// section holding every currently-installed translation (call
+    /// [`Self::translate_all_parallel`] first for a complete one).
+    pub fn build_image(&self, include_predecode: bool) -> Vec<u8> {
+        let mut builder = crate::image::ImageBuilder::new(&self.module);
+        if include_predecode {
+            let pre = crate::predecode::PreModule::new(&self.module);
+            pre.decode_all();
+            builder.add_predecode(&pre);
+        }
+        builder.add_native(self.isa, &self.native_image_entries());
+        builder.finish()
     }
 
     /// Probes the offline cache for function `f` and installs the
@@ -553,6 +694,15 @@ impl ExecutionManager {
                 self.module.function(fid).name().to_string(),
             ));
         }
+        // a translation already installed (warm image load, or an
+        // earlier call) is authoritative until invalidated
+        if self.is_function_installed(f) {
+            return Ok(true);
+        }
+        // persistent image probe: decode the pre-translated blob lazily
+        if self.try_image_load(f) {
+            return Ok(true);
+        }
         // cache lookup with frame + per-function hash validation (§4.1)
         let probe = self.try_cache_load(f);
         if probe == CacheProbe::Hit {
@@ -648,8 +798,17 @@ impl ExecutionManager {
         // corrupt entries are quarantined and tracked for recovery
         // accounting after their retranslation lands
         let mut corrupt: Vec<u32> = Vec::new();
-        let work: Vec<u32> = self
+        let candidates: Vec<u32> = self
             .defined_functions()
+            .into_iter()
+            .filter(|&f| !self.is_function_installed(f))
+            .collect();
+        // image probe before the storage cache, mirroring translate()
+        let candidates: Vec<u32> = candidates
+            .into_iter()
+            .filter(|&f| !self.try_image_load(f))
+            .collect();
+        let work: Vec<u32> = candidates
             .into_iter()
             .filter(|&f| match self.try_cache_load(f) {
                 CacheProbe::Hit => false,

@@ -738,7 +738,17 @@ pub struct PreModule<'m> {
     intrinsics: Vec<Option<Intrinsic>>,
     pub(crate) is_declaration: Vec<bool>,
     decoded: RefCell<Vec<Option<Rc<PreFunction>>>>,
+    /// Warm-start hook: asked for a function body *before* SSA lowering.
+    /// A persistent module image installs one that deserializes its
+    /// pre-decode records on demand ([`crate::image::LlvaImage`]);
+    /// `None` from the loader falls back to lowering, so a bad record
+    /// degrades to the cold path instead of failing the call.
+    loader: RefCell<Option<RecordLoader>>,
 }
+
+/// A warm-start record loader: function index → pre-decoded body, or
+/// `None` to fall back to SSA lowering for that function.
+pub type RecordLoader = Box<dyn Fn(usize) -> Option<Rc<PreFunction>>>;
 
 impl<'m> fmt::Debug for PreModule<'m> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -775,6 +785,7 @@ impl<'m> PreModule<'m> {
             intrinsics,
             is_declaration,
             decoded: RefCell::new(vec![None; n]),
+            loader: RefCell::new(None),
         }
     }
 
@@ -783,19 +794,29 @@ impl<'m> PreModule<'m> {
         self.module
     }
 
-    /// The pre-decoded body of `fid`, decoding it on first use.
+    /// The pre-decoded body of `fid`, decoding it on first use: the
+    /// warm loader (if one is attached) is probed first, then SSA
+    /// lowering.
     pub fn get(&self, fid: FuncId) -> Rc<PreFunction> {
         if let Some(p) = &self.decoded.borrow()[fid.index()] {
             return p.clone();
         }
-        let p = Rc::new(decode_function(
-            self.module,
-            fid,
-            &self.image.addrs,
-            self.bool_ty,
-        ));
+        let p = self
+            .loader
+            .borrow()
+            .as_ref()
+            .and_then(|l| l(fid.index()))
+            .unwrap_or_else(|| {
+                Rc::new(decode_function(self.module, fid, &self.image.addrs, self.bool_ty))
+            });
         self.decoded.borrow_mut()[fid.index()] = Some(p.clone());
         p
+    }
+
+    /// Attaches a warm-start loader consulted by [`PreModule::get`]
+    /// before SSA lowering. Already-cached functions are unaffected.
+    pub fn set_loader(&self, loader: RecordLoader) {
+        *self.loader.borrow_mut() = Some(loader);
     }
 
     /// Eagerly decodes every defined function (benchmark harnesses use
@@ -811,6 +832,20 @@ impl<'m> PreModule<'m> {
     /// How many functions have been decoded so far.
     pub fn decoded_functions(&self) -> usize {
         self.decoded.borrow().iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Whether `func`'s body is already in the cache.
+    pub fn is_decoded(&self, func: usize) -> bool {
+        matches!(self.decoded.borrow().get(func), Some(Some(_)))
+    }
+
+    /// Installs an externally-produced pre-decode for `func` (a warm
+    /// image load deserializes records instead of re-lowering SSA).
+    /// Out-of-range ids are ignored.
+    pub fn install(&self, func: usize, pre: Rc<PreFunction>) {
+        if let Some(slot) = self.decoded.borrow_mut().get_mut(func) {
+            *slot = Some(pre);
+        }
     }
 
     /// Drops the cached pre-decode of one function (§3.4 SMC: the next

@@ -142,9 +142,13 @@ const TMP_MARKER: &str = ".__tmp";
 
 impl DirStorage {
     /// Creates storage rooted at `root` (created on demand) and sweeps
-    /// temp files orphaned by earlier crashed writers.
+    /// temp files orphaned by earlier crashed writers — both cache-entry
+    /// temps inside cache subdirectories and partially-written module
+    /// images ([`crate::image::IMAGE_TMP_MARKER`]), which may sit at the
+    /// root level next to the cache directories.
     pub fn new(root: impl Into<PathBuf>) -> DirStorage {
         let storage = DirStorage { root: root.into() };
+        sweep_orphaned_tmp(&storage.root);
         if let Ok(dir) = std::fs::read_dir(&storage.root) {
             for entry in dir.flatten() {
                 sweep_orphaned_tmp(&entry.path());
@@ -162,13 +166,17 @@ impl DirStorage {
     }
 }
 
-/// Deletes files under `dir` whose names carry [`TMP_MARKER`].
+/// Deletes files under `dir` whose names carry [`TMP_MARKER`] or the
+/// image writer's [`crate::image::IMAGE_TMP_MARKER`] — both are
+/// in-flight tmp+rename writes a killed process never renamed.
 fn sweep_orphaned_tmp(dir: &Path) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
     for entry in entries.flatten() {
-        if entry.file_name().to_string_lossy().contains(TMP_MARKER) {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.contains(TMP_MARKER) || name.contains(crate::image::IMAGE_TMP_MARKER) {
             let _ = std::fs::remove_file(entry.path());
         }
     }
@@ -1099,6 +1107,48 @@ mod tests {
                 "startup sweep collects orphaned temp files"
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_storage_sweeps_orphaned_image_temp_files() {
+        let marker = crate::image::IMAGE_TMP_MARKER;
+        let dir = std::env::temp_dir().join(format!("llva-storage-imgtmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("app")).expect("mkdir");
+        // a killed process left half-written images behind: one at the
+        // storage root (CLI image output) and one inside a cache dir
+        std::fs::write(dir.join(format!("prog.llvi{marker}4242")), b"torn image")
+            .expect("writes");
+        std::fs::write(
+            dir.join("app").join(format!("m0.llvi{marker}4242")),
+            b"torn image",
+        )
+        .expect("writes");
+        // a finished image must NOT be swept
+        std::fs::write(dir.join("prog.llvi"), b"complete image").expect("writes");
+        let s = DirStorage::new(&dir);
+        let survivors: Vec<String> = std::fs::read_dir(&dir)
+            .expect("root")
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            !survivors.iter().any(|n| n.contains(marker)),
+            "root-level image temp files are swept, got {survivors:?}"
+        );
+        assert!(
+            survivors.iter().any(|n| n == "prog.llvi"),
+            "completed images survive the sweep"
+        );
+        assert!(
+            !std::fs::read_dir(dir.join("app"))
+                .expect("cache dir")
+                .flatten()
+                .any(|e| e.file_name().to_string_lossy().contains(marker)),
+            "cache-level image temp files are swept"
+        );
+        drop(s);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -526,6 +526,9 @@ pub struct Supervisor {
     log: IncidentLog,
     counters: [TierCounters; 4],
     translation: crate::llee::TranslationStats,
+    /// Warm-load fast path: a persistent module image probed before
+    /// any tier lowers or translates (shared across tiers and runs).
+    image: Option<std::sync::Arc<crate::image::LlvaImage>>,
 }
 
 impl fmt::Debug for Supervisor {
@@ -572,7 +575,27 @@ impl Supervisor {
             log: IncidentLog::default(),
             counters: [TierCounters::default(); 4],
             translation: crate::llee::TranslationStats::default(),
+            image: None,
         }
+    }
+
+    /// Attaches a persistent module image ([`crate::image::LlvaImage`]):
+    /// the translated tier installs its native section instead of
+    /// probing storage per function, and the pre-decoded interpreter
+    /// tiers deserialize its predecode section on demand instead of
+    /// re-lowering SSA. The image's module stamp is verified against
+    /// this supervisor's module *once, here* — so the per-execution
+    /// warm loads can trust the records without re-deriving content
+    /// hashes. A mismatched image is refused (returns `false`) and the
+    /// supervisor keeps its cold paths; corrupt sections degrade the
+    /// same way at load time. Attaching an image never changes
+    /// outcomes, only costs.
+    pub fn set_image(&mut self, image: std::sync::Arc<crate::image::LlvaImage>) -> bool {
+        if crate::llee::stamp(&self.module) != image.stamp() {
+            return false;
+        }
+        self.image = Some(image);
+        true
     }
 
     /// The module being supervised.
@@ -934,6 +957,9 @@ impl Supervisor {
                 if let (Some((storage, _)), Some(cache)) = (self.storage.take(), &cache) {
                     mgr.set_storage(storage, cache);
                 }
+                if let Some(image) = &self.image {
+                    mgr.set_image(image.clone());
+                }
                 mgr.set_fuel(budget);
                 let result = catch_quiet(AssertUnwindSafe(|| {
                     if kill == Some(KillMode::Panic) {
@@ -969,9 +995,17 @@ impl Supervisor {
             Tier::Traced | Tier::FastInterp => {
                 let module = &self.module;
                 let mem = self.memory_size;
+                let image = self.image.clone();
                 let mut steps = 0;
                 let result = catch_quiet(AssertUnwindSafe(|| {
-                    let mut interp = FastInterpreter::with_memory_size(module, mem);
+                    let pre = std::rc::Rc::new(crate::predecode::PreModule::new(module));
+                    if let Some(image) = &image {
+                        // best-effort warm attach (stamp was verified at
+                        // set_image): corrupt sections or records fall
+                        // back to lazy SSA lowering
+                        let _ = image.attach_loader(&pre);
+                    }
+                    let mut interp = FastInterpreter::with_predecoded_memory(pre, mem);
                     interp.set_fuel(budget);
                     if tier == Tier::Traced {
                         interp.enable_tracing(TraceConfig::default());

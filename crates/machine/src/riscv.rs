@@ -608,7 +608,7 @@ impl RiscvMachine {
         match inst {
             I::Lui { imm20, rd } => {
                 // lui sign-extends bit 31 on RV64
-                self.set_reg(*rd, (((*imm20 as u32) << 12) as i32) as i64 as u64);
+                self.set_reg(*rd, ((*imm20 << 12) as i32) as i64 as u64);
             }
             I::Alu {
                 op,

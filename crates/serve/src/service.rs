@@ -36,7 +36,8 @@ use llva_engine::storage::{MemStorage, ShardedStorage, Storage};
 use llva_engine::supervisor::{
     Supervisor, SupervisorError, Tier, TierCounters, TierKill, TierOutcome,
 };
-use llva_engine::{TargetIsa, TranslationStats};
+use llva_engine::image::{ImageBuilder, LlvaImage, IMAGE_ENTRY};
+use llva_engine::{PreModule, TargetIsa, TranslationStats};
 
 use crate::quota::{CounterValues, QuotaKind, ServeError, TenantCounters, TenantQuota};
 
@@ -835,13 +836,26 @@ fn handle_load(
     // Content-addressed cache: identical module text shares translations
     // across tenants; different text gets a disjoint cache, so tenants
     // can never thrash each other's entries.
-    let cache = format!("m{:016x}", llee::stamp(&parsed));
+    let module_stamp = llee::stamp(&parsed);
+    let cache = format!("m{module_stamp:016x}");
     {
         let mut handle = storage.clone();
         handle.create_cache(&cache);
     }
+    // Warm-load probe: an earlier process (or another tenant of this
+    // shared cache) may have published a persistent module image under
+    // IMAGE_ENTRY. Validate the storage timestamp AND the image's own
+    // stamp against this module before trusting it; a corrupt or stale
+    // image degrades to the cold path, never to an error.
+    let mut image: Option<Arc<LlvaImage>> = storage
+        .read(&cache, IMAGE_ENTRY)
+        .filter(|&(_, ts)| ts == module_stamp)
+        .and_then(|(bytes, _)| LlvaImage::parse(bytes).ok())
+        .filter(|img| img.stamp() == module_stamp)
+        .map(Arc::new);
     // Translation warmup through the worker pool: the module's supervisor
     // then starts with a hot cache (its per-call managers hit, not miss).
+    // With an image, installed native code makes the warmup a no-op.
     let workers = if config.translate_workers == 0 {
         ExecutionManager::default_workers()
     } else {
@@ -850,14 +864,36 @@ fn handle_load(
     let mut warm =
         ExecutionManager::with_memory_size(parsed.clone(), config.isa, quota.memory_bytes);
     warm.set_storage(Box::new(storage.clone()), &cache);
+    if let Some(img) = &image {
+        warm.set_image(img.clone());
+    }
     warm.translate_all_parallel(workers)
         .map_err(|e| ServeError::BadModule(format!("translation failed: {e}")))?;
     let warmup = warm.stats();
+    // Cold start: publish an image so every later load of this module —
+    // any tenant, any process — skips translation AND SSA re-lowering.
+    // Built over the *parsed* module (its stamp is the cache address);
+    // the native section carries the warm manager's target-configured
+    // per-function stamps.
+    if image.is_none() {
+        let pre = PreModule::new(&parsed);
+        pre.decode_all();
+        let mut builder = ImageBuilder::new(&parsed);
+        builder.add_predecode(&pre);
+        builder.add_native(config.isa, &warm.native_image_entries());
+        let bytes = builder.finish();
+        let mut handle = storage.clone();
+        handle.write(&cache, IMAGE_ENTRY, &bytes, module_stamp);
+        image = LlvaImage::parse(bytes).ok().map(Arc::new);
+    }
     drop(warm);
 
     let mut supervisor =
         Supervisor::with_memory_size(parsed, config.isa, quota.memory_bytes);
     supervisor.set_storage(Box::new(storage.clone()), &cache);
+    if let Some(img) = image {
+        supervisor.set_image(img);
+    }
     supervisor.set_max_faults(config.max_faults);
     supervisor.set_incident_capacity(config.incident_capacity);
     supervisor.set_cross_check(config.cross_check);
