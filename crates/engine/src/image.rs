@@ -1008,6 +1008,125 @@ impl ImageBuilder {
 }
 
 // ---------------------------------------------------------------------------
+// Memory-mapped image bytes
+// ---------------------------------------------------------------------------
+
+/// A read-only, private `mmap` of a whole file. No external crates: the
+/// two libc symbols are declared directly (they are always present in
+/// the already-linked C runtime on unix).
+#[cfg(unix)]
+mod mapped {
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: core::ffi::c_int,
+            flags: core::ffi::c_int,
+            fd: core::ffi::c_int,
+            offset: core::ffi::c_long,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> core::ffi::c_int;
+    }
+
+    const PROT_READ: core::ffi::c_int = 1;
+    const MAP_PRIVATE: core::ffi::c_int = 2;
+
+    /// An owned mapping; unmapped on drop. Derefs to the file bytes.
+    pub struct MappedFile {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ + MAP_PRIVATE — no writer inside
+    // this process exists, and the pointer is exclusively owned until
+    // munmap in Drop, so shared references across threads are sound.
+    // (A concurrent *external* truncation of the file could fault; the
+    // image writer's tmp+rename discipline replaces files atomically
+    // and never truncates in place.)
+    unsafe impl Send for MappedFile {}
+    unsafe impl Sync for MappedFile {}
+
+    impl MappedFile {
+        /// Maps the whole file read-only. Fails on empty files (a
+        /// zero-length mmap is an error by spec) and on any OS error —
+        /// callers fall back to `std::fs::read`.
+        pub fn open(path: &std::path::Path) -> std::io::Result<MappedFile> {
+            let file = std::fs::File::open(path)?;
+            let len = usize::try_from(file.metadata()?.len())
+                .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large"))?;
+            if len == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "empty file",
+                ));
+            }
+            // SAFETY: null hint, length from metadata, read-only
+            // private mapping over a file descriptor we own; the
+            // result is checked against MAP_FAILED below.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(MappedFile { ptr, len })
+        }
+    }
+
+    impl std::ops::Deref for MappedFile {
+        type Target = [u8];
+        fn deref(&self) -> &[u8] {
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned
+            // by self; the borrow cannot outlive the Drop that unmaps.
+            unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+        }
+    }
+
+    impl Drop for MappedFile {
+        fn drop(&mut self) {
+            // SAFETY: exactly the pointer/length pair mmap returned.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use mapped::MappedFile;
+
+/// The backing bytes of a parsed [`LlvaImage`]: either an owned buffer
+/// or a zero-copy file mapping (with `offset` skipping a container
+/// prefix, e.g. [`crate::storage::DirStorage`]'s 8-byte timestamp).
+/// The image layout is offset-based, so all parsing and section access
+/// work identically through `Deref`.
+enum ImageBytes {
+    Owned(Vec<u8>),
+    #[cfg(unix)]
+    Mapped { map: MappedFile, offset: usize },
+}
+
+impl std::ops::Deref for ImageBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            ImageBytes::Owned(v) => v,
+            #[cfg(unix)]
+            ImageBytes::Mapped { map, offset } => &map[*offset..],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Parsed image
 // ---------------------------------------------------------------------------
 
@@ -1026,7 +1145,7 @@ struct SectionEntry {
 /// individual section payloads are validated on access, so one corrupt
 /// section leaves the others loadable (per-section fault isolation).
 pub struct LlvaImage {
-    bytes: Vec<u8>,
+    bytes: ImageBytes,
     stamp: u64,
     table: Vec<SectionEntry>,
     /// Bitmask of section-table indices whose payload checksum has
@@ -1058,6 +1177,10 @@ impl LlvaImage {
     /// table, or section ranges outside the byte buffer. Payload
     /// corruption is *not* an error here — see [`LlvaImage::section_ok`].
     pub fn parse(bytes: Vec<u8>) -> Result<LlvaImage> {
+        LlvaImage::parse_bytes(ImageBytes::Owned(bytes))
+    }
+
+    fn parse_bytes(bytes: ImageBytes) -> Result<LlvaImage> {
         if bytes.len() < HEADER_LEN + 8 {
             return err(format!("image truncated: {} bytes", bytes.len()));
         }
@@ -1112,6 +1235,16 @@ impl LlvaImage {
     /// [`crate::llee::stamp`] of the module the image was built from).
     pub fn stamp(&self) -> u64 {
         self.stamp
+    }
+
+    /// True when this image reads straight out of a file mapping
+    /// (zero-copy warm load) rather than an owned buffer.
+    pub fn is_mapped(&self) -> bool {
+        match self.bytes {
+            ImageBytes::Owned(_) => false,
+            #[cfg(unix)]
+            ImageBytes::Mapped { .. } => true,
+        }
     }
 
     /// The kinds of the sections present, in file order.
@@ -1452,13 +1585,45 @@ pub fn write_image_file(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result
     Ok(())
 }
 
-/// Reads and parses an image file.
+/// Maps an image file read-only and parses it zero-copy, with `offset`
+/// bytes of container prefix skipped (0 for a bare image file; 8 for a
+/// [`crate::storage::DirStorage`] blob, whose entries lead with a
+/// little-endian timestamp). The section payloads are then served
+/// straight from the page cache — the warm-load path never copies the
+/// image.
+///
+/// # Errors
+///
+/// [`ImageError`] for OS mapping failures, an offset past the end of
+/// the file, and anything [`LlvaImage::parse`] rejects. Callers should
+/// fall back to [`read_image_file`] / [`LlvaImage::parse`] on error.
+#[cfg(unix)]
+pub fn map_image_file(path: impl AsRef<Path>, offset: usize) -> Result<LlvaImage> {
+    let path = path.as_ref();
+    let map = MappedFile::open(path)
+        .map_err(|e| ImageError(format!("mmap {}: {e}", path.display())))?;
+    if map.len() < offset {
+        return err(format!(
+            "image file {} shorter than its {offset}-byte container prefix",
+            path.display()
+        ));
+    }
+    LlvaImage::parse_bytes(ImageBytes::Mapped { map, offset })
+}
+
+/// Reads and parses an image file: on unix, by `mmap` (zero-copy; see
+/// [`map_image_file`]), falling back to `std::fs::read` on any mapping
+/// error; elsewhere, always by reading into an owned buffer.
 ///
 /// # Errors
 ///
 /// [`ImageError`] for I/O failures and anything [`LlvaImage::parse`]
 /// rejects.
 pub fn read_image_file(path: impl AsRef<Path>) -> Result<LlvaImage> {
+    #[cfg(unix)]
+    if let Ok(image) = map_image_file(path.as_ref(), 0) {
+        return Ok(image);
+    }
     let bytes = std::fs::read(path.as_ref())
         .map_err(|e| ImageError(format!("read {}: {e}", path.as_ref().display())))?;
     LlvaImage::parse(bytes)
@@ -1699,10 +1864,47 @@ entry:
         assert_eq!(residue, 0);
         let image = read_image_file(&path).expect("reads");
         assert_eq!(image.stamp(), crate::llee::stamp(&m));
+        // warm loads take the zero-copy mmap fast path on unix
+        #[cfg(unix)]
+        assert!(image.is_mapped(), "read_image_file should mmap on unix");
         // healthy file: repair is a no-op
         let report = repair_image_file(&path).expect("checks");
         assert!(report.rebuilt.is_empty());
         assert!(report.quarantined.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mapped_image_at_offset_matches_owned_parse() {
+        let m = module();
+        let bytes = predecode_image(&m);
+        let dir = std::env::temp_dir().join(format!("llva-image-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("prefixed.blob");
+        // a DirStorage-style blob: 8-byte LE timestamp prefix + image
+        let stamp = crate::llee::stamp(&m);
+        let mut blob = stamp.to_le_bytes().to_vec();
+        blob.extend_from_slice(&bytes);
+        std::fs::write(&path, &blob).expect("writes");
+
+        let mapped = map_image_file(&path, 8).expect("maps past the prefix");
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.stamp(), stamp);
+        let owned = LlvaImage::parse(bytes).expect("parses");
+        assert!(!owned.is_mapped());
+        assert_eq!(mapped.stamp(), owned.stamp());
+        // decoding through the mapped bytes gives the same module
+        assert_eq!(
+            crate::llee::stamp(&mapped.decode_module().expect("decodes")),
+            crate::llee::stamp(&owned.decode_module().expect("decodes")),
+        );
+        // an offset past EOF is an error, not UB
+        assert!(map_image_file(&path, blob.len() + 1).is_err());
+        // empty files are rejected before mmap
+        let empty = dir.join("empty.blob");
+        std::fs::write(&empty, b"").expect("writes");
+        assert!(map_image_file(&empty, 0).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

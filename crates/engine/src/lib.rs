@@ -26,6 +26,8 @@ pub use image::{
     read_image_file, repair_image, repair_image_file, write_image_file, ImageBuilder, ImageError,
     LlvaImage, RepairReport, SectionKind, IMAGE_ENTRY, IMAGE_TMP_MARKER,
 };
+#[cfg(unix)]
+pub use image::{map_image_file, MappedFile};
 pub use interp::{Interpreter, InterpError, LlvaTrap, Name, DEFAULT_MEMORY_SIZE};
 pub use predecode::{FastInterpreter, PreModule};
 pub use llee::{EngineError, ExecutionManager, RunOutcome, TargetIsa, TranslationStats};

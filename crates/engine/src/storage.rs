@@ -60,6 +60,18 @@ pub trait Storage {
         self.remove(cache, name);
     }
 
+    /// The on-disk path of a named vector, when this storage keeps
+    /// entries as individual files ([`DirStorage`]). `None` for
+    /// in-memory backends, for absent entries, and for wrappers that
+    /// intercept reads (fault injection must not be bypassed by a
+    /// caller mapping the file directly). Callers use this as a
+    /// zero-copy fast path (`mmap`) and must fall back to
+    /// [`Storage::read`] when it returns `None`.
+    fn file_path(&self, cache: &str, name: &str) -> Option<PathBuf> {
+        let _ = (cache, name);
+        None
+    }
+
     /// Writes several `(name, bytes, timestamp)` entries as one logical
     /// flush. The default just loops [`Storage::write`]; wrappers with a
     /// real notion of a dirty batch ([`SyncStorage`]) override this so a
@@ -257,6 +269,11 @@ impl Storage for DirStorage {
     fn remove(&mut self, cache: &str, name: &str) {
         let _ = std::fs::remove_file(self.entry_path(cache, name));
     }
+
+    fn file_path(&self, cache: &str, name: &str) -> Option<PathBuf> {
+        let path = self.entry_path(cache, name);
+        path.is_file().then_some(path)
+    }
 }
 
 /// A cloneable handle sharing one underlying storage — lets a test or
@@ -310,6 +327,9 @@ impl<S: Storage> Storage for SharedStorage<S> {
     }
     fn quarantine(&mut self, cache: &str, name: &str) {
         self.0.borrow_mut().quarantine(cache, name);
+    }
+    fn file_path(&self, cache: &str, name: &str) -> Option<PathBuf> {
+        self.0.borrow().file_path(cache, name)
     }
 }
 
@@ -405,6 +425,9 @@ impl<S: Storage> Storage for SyncStorage<S> {
     fn quarantine(&mut self, cache: &str, name: &str) {
         self.lock().storage.quarantine(cache, name);
     }
+    fn file_path(&self, cache: &str, name: &str) -> Option<PathBuf> {
+        self.lock().storage.file_path(cache, name)
+    }
     fn write_batch(&mut self, cache: &str, entries: &[(String, Vec<u8>, u64)]) {
         let mut guard = self.lock();
         guard.in_flight = entries
@@ -449,6 +472,9 @@ impl<T: Storage + ?Sized> Storage for Box<T> {
     }
     fn quarantine(&mut self, cache: &str, name: &str) {
         (**self).quarantine(cache, name);
+    }
+    fn file_path(&self, cache: &str, name: &str) -> Option<PathBuf> {
+        (**self).file_path(cache, name)
     }
     fn write_batch(&mut self, cache: &str, entries: &[(String, Vec<u8>, u64)]) {
         (**self).write_batch(cache, entries);
@@ -567,6 +593,9 @@ impl<S: Storage> Storage for ShardedStorage<S> {
     }
     fn remove(&mut self, cache: &str, name: &str) {
         self.route(name).lock().storage.remove(cache, name);
+    }
+    fn file_path(&self, cache: &str, name: &str) -> Option<PathBuf> {
+        self.route(name).file_path(cache, name)
     }
     // `quarantine` deliberately keeps the default trait implementation:
     // the preserved `.quar` copy routes by its own name, so lookups of
@@ -794,6 +823,9 @@ impl<S: Storage> FaultyStorage<S> {
 }
 
 impl<S: Storage> Storage for FaultyStorage<S> {
+    // `file_path` deliberately keeps the default `None`: a caller that
+    // mapped the underlying file directly would bypass every read-side
+    // fault hook, making chaos runs quietly easier than production.
     fn create_cache(&mut self, cache: &str) {
         self.inner.create_cache(cache);
     }

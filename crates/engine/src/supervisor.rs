@@ -709,6 +709,20 @@ impl Supervisor {
         self.quarantine.iter().cloned().collect()
     }
 
+    /// Re-imposes a quarantine without a fresh fault — the serving
+    /// layer's crash-recovery path replays journaled quarantine state
+    /// into a respawned supervisor so a faulty tier is not retried
+    /// just because the executor process state was rebuilt. The fault
+    /// count is pinned at the quarantine threshold so a later
+    /// recovery-probe failure re-quarantines exactly as if the faults
+    /// had happened in this supervisor.
+    pub fn impose_quarantine(&mut self, function: &str, tier: Tier) {
+        let key = (function.to_string(), tier);
+        self.fault_counts
+            .insert(key.clone(), self.max_faults.max(1));
+        self.quarantine.insert(key);
+    }
+
     /// Lifts the quarantine for one pair (e.g. after an SMC edit
     /// replaced the function body that kept crashing a tier).
     pub fn lift_quarantine(&mut self, function: &str, tier: Tier) {

@@ -19,13 +19,17 @@ use std::time::Duration;
 
 use llva_core::layout::TargetConfig;
 use llva_engine::supervisor::{Tier, TierKill};
-use llva_engine::{Interpreter, TargetIsa};
+use llva_engine::{DirStorage, Interpreter, TargetIsa};
 use llva_serve::{ExecService, ServeConfig, Server, TenantQuota};
 
 const USAGE: &str = "usage: llva-serve [options]
   --listen ADDR     bind address (default 127.0.0.1:7411)
-  --isa x86|sparc   translated-tier target ISA (default x86)
+  --isa x86|sparc|riscv
+                    translated-tier target ISA (default x86)
   --shards N        translation cache shards (default 4)
+  --cache-dir DIR   persist the translation cache (and module images)
+                    under DIR instead of in memory; warm loads mmap the
+                    images zero-copy
   --probe-after N   quarantine recovery probe threshold (default off)
   --cross-check     cross-check every answer against the interpreter
   --selfcheck       run the in-process smoke test and exit
@@ -34,6 +38,7 @@ const USAGE: &str = "usage: llva-serve [options]
 struct Args {
     listen: String,
     config: ServeConfig,
+    cache_dir: Option<std::path::PathBuf>,
     selfcheck: bool,
 }
 
@@ -41,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         listen: "127.0.0.1:7411".to_string(),
         config: ServeConfig::default(),
+        cache_dir: None,
         selfcheck: false,
     };
     let mut it = std::env::args().skip(1);
@@ -54,8 +60,12 @@ fn parse_args() -> Result<Args, String> {
                 args.config.isa = match value("--isa")?.as_str() {
                     "x86" => TargetIsa::X86,
                     "sparc" => TargetIsa::Sparc,
+                    "riscv" => TargetIsa::Riscv,
                     other => return Err(format!("unknown ISA '{other}'")),
                 }
+            }
+            "--cache-dir" => {
+                args.cache_dir = Some(std::path::PathBuf::from(value("--cache-dir")?));
             }
             "--shards" => {
                 args.config.shards = value("--shards")?
@@ -93,7 +103,16 @@ fn main() -> ExitCode {
     if args.selfcheck {
         return selfcheck(args.config);
     }
-    let service = ExecService::new(args.config);
+    let service = match &args.cache_dir {
+        // Persistent shards: each shard gets its own subdirectory, so
+        // restarts of the whole process find yesterday's translations
+        // and mmap the module images zero-copy on warm loads.
+        Some(dir) => ExecService::with_storage(args.config, |i| {
+            Box::new(DirStorage::new(dir.join(format!("shard-{i}"))))
+                as llva_serve::BoxedStorage
+        }),
+        None => ExecService::new(args.config),
+    };
     let server = match Server::bind(service, args.listen.as_str(), TenantQuota::default()) {
         Ok(server) => server,
         Err(e) => {

@@ -23,6 +23,10 @@
 //! only that tenant; quotas reject instead of queueing unboundedly;
 //! transient storage faults heal within bounded retries) are proven by
 //! `tests/service.rs` and the `tests/soak.rs` fault-isolation soak.
+//! The self-healing claims (dead/wedged executors respawn warm from a
+//! journal; every accepted call resolves; circuit breakers shed load
+//! from poisoned functions; drain shuts down cleanly) are proven by
+//! the `tests/chaos.rs` executor-kill soak — see DESIGN.md §16.
 
 pub mod metrics;
 pub mod proto;
@@ -34,5 +38,7 @@ pub use proto::{Request, Response};
 pub use quota::{CounterValues, QuotaKind, ServeError, TenantCounters, TenantQuota};
 pub use server::Server;
 pub use service::{
-    BoxedStorage, CallResult, ExecService, LoadReply, ModuleSnapshot, ServeConfig, TenantSnapshot,
+    executor_kill_from_env, BoxedStorage, BreakerSnapshot, BreakerState, CallResult, DrainReport,
+    ExecService, ExecutorKill, ExecutorKillPoint, LoadReply, ModuleSnapshot, ServeConfig,
+    TenantSnapshot,
 };

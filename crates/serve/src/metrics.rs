@@ -74,12 +74,15 @@ impl ExecService {
         for tenant in &tenants {
             let Some(c) = self.tenant_counters(tenant) else { continue };
             let t = tenant.as_str();
-            let rows: [(&str, u64); 9] = [
+            let rows: [(&str, u64); 12] = [
                 ("admitted", c.admitted),
                 ("rejected_busy", c.rejected_busy),
                 ("rejected_fuel", c.rejected_fuel),
                 ("rejected_module", c.rejected_module),
+                ("rejected_breaker", c.rejected_breaker),
+                ("rejected_draining", c.rejected_draining),
                 ("deadline_expired", c.deadline_expired),
+                ("executor_lost", c.executor_lost),
                 ("ok", c.calls_ok),
                 ("trapped", c.calls_trapped),
                 ("out_of_fuel", c.calls_out_of_fuel),
@@ -136,6 +139,106 @@ impl ExecService {
                 );
             }
         }
+
+        header(
+            &mut out,
+            "llva_serve_executor_restarts_total",
+            "counter",
+            "Executor respawns by the supervision monitor (dead or wedged).",
+        );
+        header(
+            &mut out,
+            "llva_serve_journal_modules",
+            "gauge",
+            "Modules held in each tenant's crash-recovery journal.",
+        );
+        header(
+            &mut out,
+            "llva_serve_journal_bytes",
+            "gauge",
+            "Approximate size of each tenant's crash-recovery journal.",
+        );
+        for tenant in &tenants {
+            let t = tenant.as_str();
+            if let Some(restarts) = self.tenant_restarts(tenant) {
+                sample(
+                    &mut out,
+                    "llva_serve_executor_restarts_total",
+                    &[("tenant", t)],
+                    restarts,
+                );
+            }
+            if let Some((modules, bytes)) = self.tenant_journal(tenant) {
+                sample(
+                    &mut out,
+                    "llva_serve_journal_modules",
+                    &[("tenant", t)],
+                    modules as u64,
+                );
+                sample(&mut out, "llva_serve_journal_bytes", &[("tenant", t)], bytes);
+            }
+        }
+
+        header(
+            &mut out,
+            "llva_serve_breaker_state",
+            "gauge",
+            "Circuit breaker state per (tenant, module, function): 0 closed, 1 half-open, 2 open.",
+        );
+        header(
+            &mut out,
+            "llva_serve_breaker_opens_total",
+            "counter",
+            "Lifetime circuit-breaker opens per (tenant, module, function).",
+        );
+        for tenant in &tenants {
+            let Some(breakers) = self.tenant_breakers(tenant) else { continue };
+            let t = tenant.as_str();
+            for b in &breakers {
+                let labels = [
+                    ("tenant", t),
+                    ("module", b.module.as_str()),
+                    ("function", b.function.as_str()),
+                ];
+                sample(
+                    &mut out,
+                    "llva_serve_breaker_state",
+                    &labels,
+                    b.state.as_metric(),
+                );
+                sample(
+                    &mut out,
+                    "llva_serve_breaker_opens_total",
+                    &labels,
+                    b.opened_total,
+                );
+            }
+        }
+
+        header(
+            &mut out,
+            "llva_serve_draining",
+            "gauge",
+            "1 once a graceful drain has started (admission closed).",
+        );
+        sample(
+            &mut out,
+            "llva_serve_draining",
+            &[],
+            u64::from(self.draining()),
+        );
+        header(
+            &mut out,
+            "llva_serve_drain_duration_ms",
+            "gauge",
+            "How long the drain waited for in-flight work (0 until a drain ran).",
+        );
+        sample(
+            &mut out,
+            "llva_serve_drain_duration_ms",
+            &[],
+            self.drain_duration_ms(),
+        );
 
         header(
             &mut out,

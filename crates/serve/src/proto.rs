@@ -43,12 +43,20 @@ pub enum Request {
     },
     /// Asks for the metrics text.
     Metrics,
+    /// Gracefully drains the whole service: admission closes, in-flight
+    /// work is awaited up to the deadline, and the final metrics come
+    /// back as the response body. The server exits afterwards.
+    Drain {
+        /// How long to wait for in-flight work, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 const REQ_HELLO: u8 = 0x01;
 const REQ_LOAD: u8 = 0x02;
 const REQ_CALL: u8 = 0x03;
 const REQ_METRICS: u8 = 0x04;
+const REQ_DRAIN: u8 = 0x05;
 
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -225,6 +233,10 @@ impl Request {
                 put_u64(&mut buf, *fuel);
             }
             Request::Metrics => buf.push(REQ_METRICS),
+            Request::Drain { deadline_ms } => {
+                buf.push(REQ_DRAIN);
+                put_u64(&mut buf, *deadline_ms);
+            }
         }
         buf
     }
@@ -261,6 +273,9 @@ impl Request {
                 }
             }
             REQ_METRICS => Request::Metrics,
+            REQ_DRAIN => Request::Drain {
+                deadline_ms: r.u64()?,
+            },
             tag => return Err(ProtoError::BadTag(tag)),
         };
         r.finish()?;
@@ -411,6 +426,7 @@ mod tests {
                 fuel: 42,
             },
             Request::Metrics,
+            Request::Drain { deadline_ms: 1_500 },
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);

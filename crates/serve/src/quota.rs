@@ -127,6 +127,22 @@ pub enum ServeError {
     DeadlineExpired,
     /// The tenant's executor is gone (service shut down).
     Shutdown,
+    /// The tenant's executor died (panic or wedge) while this call was
+    /// accepted; the supervisor is respawning it. The call's in-flight
+    /// slot has been released — retry against the new executor epoch.
+    ExecutorLost {
+        /// Executor epoch at the time the loss was observed.
+        epoch: u64,
+    },
+    /// The per-(module, function) circuit breaker is open after
+    /// repeated [`ServeError::TiersExhausted`] outcomes.
+    BreakerOpen {
+        /// Suggested wait before the next attempt, in milliseconds.
+        retry_in_ms: u64,
+    },
+    /// The service is draining: admission is closed while queued work
+    /// finishes ahead of shutdown.
+    Draining,
     /// A malformed request (wire protocol violations, bad arguments).
     BadRequest(String),
     /// An unexpected internal failure (caught panic in the executor —
@@ -154,6 +170,13 @@ impl fmt::Display for ServeError {
             ),
             ServeError::DeadlineExpired => f.write_str("deadline expired"),
             ServeError::Shutdown => f.write_str("service shut down"),
+            ServeError::ExecutorLost { epoch } => {
+                write!(f, "executor lost (epoch {epoch}); respawning")
+            }
+            ServeError::BreakerOpen { retry_in_ms } => {
+                write!(f, "circuit breaker open; retry in {retry_in_ms}ms")
+            }
+            ServeError::Draining => f.write_str("service draining"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -188,6 +211,13 @@ pub struct TenantCounters {
     pub retries: AtomicU64,
     /// Total steps burned against the fuel budget.
     pub fuel_used: AtomicU64,
+    /// Accepted calls answered with [`ServeError::ExecutorLost`]
+    /// because the executor died while they were queued or running.
+    pub executor_lost: AtomicU64,
+    /// Calls rejected by an open circuit breaker.
+    pub rejected_breaker: AtomicU64,
+    /// Requests rejected because the service was draining.
+    pub rejected_draining: AtomicU64,
 }
 
 /// A plain-value copy of [`TenantCounters`] (one consistent-enough
@@ -205,6 +235,9 @@ pub struct CounterValues {
     pub calls_exhausted: u64,
     pub retries: u64,
     pub fuel_used: u64,
+    pub executor_lost: u64,
+    pub rejected_breaker: u64,
+    pub rejected_draining: u64,
 }
 
 impl TenantCounters {
@@ -224,6 +257,9 @@ impl TenantCounters {
             calls_exhausted: self.calls_exhausted.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             fuel_used: self.fuel_used.load(Ordering::Relaxed),
+            executor_lost: self.executor_lost.load(Ordering::Relaxed),
+            rejected_breaker: self.rejected_breaker.load(Ordering::Relaxed),
+            rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
         }
     }
 }
@@ -232,6 +268,6 @@ impl CounterValues {
     /// Total admission rejections across all reasons.
     #[must_use]
     pub fn rejected_total(&self) -> u64 {
-        self.rejected_busy + self.rejected_fuel + self.rejected_module
+        self.rejected_busy + self.rejected_fuel + self.rejected_module + self.rejected_breaker
     }
 }

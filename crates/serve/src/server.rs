@@ -59,9 +59,14 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop on this thread until the listener fails.
+    /// Runs the accept loop on this thread until the listener fails or
+    /// a [`Request::Drain`] shuts the service down (the draining
+    /// connection nudges the listener awake so this loop observes it).
     pub fn run(self) {
         for stream in self.listener.incoming() {
+            if self.service.draining() {
+                break;
+            }
             let Ok(stream) = stream else { continue };
             let service = self.service.clone();
             let quota = self.default_quota;
@@ -165,9 +170,14 @@ fn serve_framed(
     stream: TcpStream,
     default_quota: TenantQuota,
 ) -> io::Result<()> {
+    // This connection's local address IS the listener address (the
+    // server side of an accepted stream); a drain uses it to nudge the
+    // blocked accept loop awake after the service is down.
+    let listener_addr = stream.local_addr();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut tenant: Option<String> = None;
+    let mut drained = false;
     while let Some(payload) = read_frame(&mut reader)? {
         let response = match Request::decode(&payload) {
             Err(e) => Response::Error {
@@ -187,6 +197,15 @@ fn serve_framed(
             Ok(Request::Metrics) => Response::Text {
                 body: service.metrics_text(),
             },
+            // Admin-scoped like Metrics: no Hello needed. The reply
+            // body is the final metrics flush.
+            Ok(Request::Drain { deadline_ms }) => {
+                let report = service.drain(std::time::Duration::from_millis(deadline_ms));
+                drained = true;
+                Response::Text {
+                    body: report.final_metrics,
+                }
+            }
             Ok(request) => match &tenant {
                 None => Response::Error {
                     message: "bad request: Hello must precede Load/Call".to_string(),
@@ -204,11 +223,20 @@ fn serve_framed(
                     Request::Call { module, entry, args, fuel } => call_response(
                         service.call_with_fuel(tenant, &module, &entry, &args, fuel),
                     ),
-                    Request::Hello { .. } | Request::Metrics => unreachable!("handled above"),
+                    Request::Hello { .. } | Request::Metrics | Request::Drain { .. } => {
+                        unreachable!("handled above")
+                    }
                 },
             },
         };
         write_frame(&mut writer, &response.encode())?;
+        if drained {
+            // Wake the accept loop so it observes the drain and exits.
+            if let Ok(addr) = listener_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            break;
+        }
     }
     Ok(())
 }

@@ -1,0 +1,670 @@
+//! Self-healing soak and supervision tests — the acceptance proof for
+//! executor lifecycle supervision (ISSUE 10).
+//!
+//! The headline soak kills a victim tenant's executor at every
+//! injection point (`recv`, `pre-reply`, `post-reply`, and a chained
+//! `recv`+`rebuild` crash loop) across several storage-chaos seeds,
+//! while two healthy tenants hammer the same service. The claims under
+//! test:
+//!
+//! * **healthy tenants never notice** — every bystander call is
+//!   oracle-identical with zero incidents, while the victim's executor
+//!   is being murdered on the thread next door;
+//! * **no call hangs** — every call accepted before a crash resolves
+//!   to a result or a structured error (`ExecutorLost`), and its
+//!   in-flight slot is released exactly once;
+//! * **recovery is fast and warm** — the victim serves oracle-correct
+//!   answers within three calls of the respawn, with its modules
+//!   rebuilt from the journal and re-attached from the shared image
+//!   cache;
+//! * **everything is observable** — restarts, lost calls, breaker
+//!   transitions, and drain state all appear in the metrics text.
+//!
+//! CI crosses `LLVA_KILL_EXECUTOR` injection plans with
+//! `LLVA_FAULT_SEED` storage chaos and `LLVA_KILL_TIER` tier kills;
+//! all three env knobs are honored here.
+
+use std::time::{Duration, Instant};
+
+use llva_core::layout::TargetConfig;
+use llva_core::printer::print_module;
+use llva_engine::storage::{FaultPlan, FaultyStorage, MemStorage};
+use llva_engine::supervisor::{kills_from_env, Tier, TierKill, TierOutcome};
+use llva_serve::{
+    executor_kill_from_env, BoxedStorage, BreakerState, ExecService, ExecutorKill,
+    ExecutorKillPoint, ServeConfig, ServeError, TenantQuota,
+};
+
+/// Test module: a cheap oracle function and a fuel burner (the wedge
+/// and deadline tests need a call that outlives its deadline).
+const MINIC_SRC: &str = r"
+int cheap() {
+    int acc = 0;
+    for (int i = 0; i < 7; i++) acc = acc + 6;
+    return acc;
+}
+
+int spin() {
+    int acc = 0;
+    for (int i = 0; i < 1000000000; i++) acc = acc + i;
+    return acc;
+}
+";
+
+const ORACLE: u64 = 42;
+
+fn module_text() -> String {
+    let module = llva_minic::compile(MINIC_SRC, "chaostest", TargetConfig::default())
+        .expect("test module compiles");
+    print_module(&module)
+}
+
+/// A supervision-tuned config: fast monitor sweeps so respawn latency
+/// doesn't dominate the soak, everything else default.
+fn config() -> ServeConfig {
+    ServeConfig {
+        monitor_interval: Duration::from_millis(2),
+        ..ServeConfig::default()
+    }
+}
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("LLVA_FAULT_SEED") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![11, 23, 47],
+    }
+}
+
+fn chaos(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        read_fail: 5,
+        read_truncate: 6,
+        read_bit_flip: 7,
+        torn_write: 9,
+        stale_timestamp: 8,
+    }
+}
+
+/// The executor kill plans to sweep: one per injection point, plus a
+/// chained plan whose second kill fires *inside the respawn's journal
+/// rebuild* (a crash-during-recovery loop). `LLVA_KILL_EXECUTOR`
+/// overrides with a single plan (the CI matrix axis).
+fn kill_plans() -> Vec<Vec<ExecutorKill>> {
+    let from_env = executor_kill_from_env();
+    if !from_env.is_empty() {
+        return vec![from_env];
+    }
+    vec![
+        vec![ExecutorKill { point: ExecutorKillPoint::Recv, after: 1 }],
+        vec![ExecutorKill { point: ExecutorKillPoint::PreReply, after: 1 }],
+        vec![ExecutorKill { point: ExecutorKillPoint::PostReply, after: 1 }],
+        vec![
+            ExecutorKill { point: ExecutorKillPoint::Recv, after: 1 },
+            ExecutorKill { point: ExecutorKillPoint::Rebuild, after: 1 },
+        ],
+    ]
+}
+
+/// Extracts `name{labels} value` from the metrics text.
+fn metric_value(metrics: &str, sample: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|line| line.strip_prefix(sample)?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metrics sample '{sample}' missing:\n{metrics}"))
+}
+
+fn wait_until(what: &str, deadline: Duration, mut done: impl FnMut() -> bool) {
+    let limit = Instant::now() + deadline;
+    while !done() {
+        assert!(Instant::now() < limit, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The headline soak
+// ---------------------------------------------------------------------------
+
+#[test]
+fn executor_murder_soak_heals_without_touching_neighbours() {
+    let text = module_text();
+    let tier_kills = kills_from_env();
+    let mut healthy_calls = 0u64;
+
+    for seed in seeds() {
+        let svc = ExecService::with_storage(config(), |i| {
+            Box::new(FaultyStorage::new(
+                MemStorage::new(),
+                chaos(seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64)),
+            )) as BoxedStorage
+        });
+        svc.add_tenant("victim", TenantQuota::default()).unwrap();
+        svc.add_tenant("healthy-1", TenantQuota::default()).unwrap();
+        svc.add_tenant("healthy-2", TenantQuota::default()).unwrap();
+        for tenant in ["victim", "healthy-1", "healthy-2"] {
+            svc.load_module(tenant, "w", &text)
+                .unwrap_or_else(|e| panic!("seed {seed}: load for {tenant}: {e}"));
+        }
+        if !tier_kills.is_empty() {
+            // the CI matrix crosses tier kills in: the victim's calls
+            // then also degrade down the ladder while its executor is
+            // being killed around them
+            svc.arm_kills("victim", "w", tier_kills.clone(), 0).unwrap();
+        }
+
+        let mut expected_restarts = 0u64;
+        for plan in kill_plans() {
+            let before = svc.tenant_restarts("victim").unwrap();
+            svc.arm_executor_kills("victim", &plan).unwrap();
+            expected_restarts += plan.len() as u64;
+
+            std::thread::scope(|scope| {
+                // a burst of concurrent victim calls: at least one dies
+                // with the executor; every single one must RESOLVE —
+                // Ok(oracle) or a structured error, never a hang
+                let victims: Vec<_> = (0..4)
+                    .map(|i| {
+                        let svc = svc.clone();
+                        scope.spawn(move || {
+                            match svc.call("victim", "w", "cheap", &[]) {
+                                Ok(run) => {
+                                    assert_eq!(
+                                        run.value(),
+                                        Some(ORACLE),
+                                        "seed {seed} caller {i}: victim answered WRONG"
+                                    );
+                                }
+                                Err(
+                                    ServeError::ExecutorLost { .. }
+                                    | ServeError::Busy { .. }
+                                    | ServeError::TiersExhausted { .. }
+                                    | ServeError::NoSuchModule(_),
+                                ) => {}
+                                Err(e) =>
+
+                                    panic!("seed {seed} caller {i}: unstructured failure: {e}"),
+                            }
+                        })
+                    })
+                    .collect();
+                // bystanders hammer concurrently with the murders
+                let healthy: Vec<_> = ["healthy-1", "healthy-2"]
+                    .into_iter()
+                    .map(|tenant| {
+                        let svc = svc.clone();
+                        scope.spawn(move || {
+                            for round in 0..3 {
+                                let run =
+                                    svc.call(tenant, "w", "cheap", &[]).unwrap_or_else(|e| {
+                                        panic!("seed {seed} round {round}: {tenant}: {e}")
+                                    });
+                                assert_eq!(
+                                    run.value(),
+                                    Some(ORACLE),
+                                    "seed {seed} round {round}: {tenant} diverged"
+                                );
+                            }
+                        })
+                    })
+                    .collect();
+                for v in victims {
+                    v.join().expect("victim caller hung or panicked");
+                }
+                for h in healthy {
+                    h.join().expect("healthy caller hung or panicked");
+                }
+                healthy_calls += 6;
+            });
+
+            // the monitor must notice every kill in the plan (a Rebuild
+            // kill crashes the respawned executor and forces another)
+            wait_until("executor respawn", Duration::from_secs(20), || {
+                svc.tenant_restarts("victim").unwrap() >= before + plan.len() as u64
+            });
+            // exactly-once slot release: a leak would pin this above
+            // zero forever, a double release would wrap the u32
+            wait_until("victim in-flight drain", Duration::from_secs(20), || {
+                svc.tenant_in_flight("victim") == Some(0)
+            });
+
+            // warm recovery: oracle-correct within three calls of the
+            // respawn, through the journal-rebuilt executor
+            let mut recovered = false;
+            for _ in 0..3 {
+                match svc.call("victim", "w", "cheap", &[]) {
+                    Ok(run) if run.value() == Some(ORACLE) => {
+                        recovered = true;
+                        break;
+                    }
+                    Ok(run) => panic!("seed {seed}: recovered victim answered {run:?}"),
+                    Err(ServeError::ExecutorLost { .. } | ServeError::NoSuchModule(_)) => {
+                        // a racing respawn (or a rebuild the chaos seed
+                        // made fail on first try) — the next call counts
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(ServeError::TiersExhausted { .. }) if !tier_kills.is_empty() => {
+                        // all-tier kills from the CI matrix: no rung can
+                        // answer by design; recovery is proven by the
+                        // structured error itself coming from a live,
+                        // rebuilt executor
+                        recovered = true;
+                        break;
+                    }
+                    Err(e) => panic!("seed {seed}: recovery call failed: {e}"),
+                }
+            }
+            assert!(
+                recovered,
+                "seed {seed}: victim not oracle-correct within 3 calls of respawn (plan {plan:?})"
+            );
+        }
+
+        assert_eq!(
+            svc.tenant_restarts("victim").unwrap(),
+            expected_restarts,
+            "seed {seed}: every injected kill produced exactly one respawn"
+        );
+        assert!(
+            svc.tenant_last_crash("victim")
+                .unwrap()
+                .expect("crash message recorded")
+                .contains("injected executor kill"),
+            "seed {seed}: the injected panic is attributed"
+        );
+        // the victim's epoch advanced in lockstep with the restarts
+        assert_eq!(
+            svc.tenant_epoch("victim").unwrap(),
+            1 + expected_restarts,
+            "seed {seed}"
+        );
+
+        // --- bystanders: zero divergences, zero collateral ---
+        for tenant in ["healthy-1", "healthy-2"] {
+            let counters = svc.tenant_counters(tenant).unwrap();
+            assert_eq!(counters.rejected_total(), 0, "seed {seed}: {tenant}");
+            assert_eq!(counters.executor_lost, 0, "seed {seed}: {tenant}");
+            let snapshot = svc.tenant_snapshot(tenant).unwrap();
+            assert_eq!(snapshot.epoch, 1, "seed {seed}: {tenant} never respawned");
+            assert_eq!(
+                snapshot.modules[0].incidents_total, 0,
+                "seed {seed}: {tenant} must see no incidents during the murders"
+            );
+        }
+
+        // --- observability: restarts and losses in the metrics text ---
+        let metrics = svc.metrics_text();
+        assert_eq!(
+            metric_value(
+                &metrics,
+                r#"llva_serve_executor_restarts_total{tenant="victim"}"#
+            ),
+            expected_restarts,
+            "seed {seed}: restarts visible in metrics"
+        );
+        assert_eq!(
+            metric_value(
+                &metrics,
+                r#"llva_serve_calls_total{tenant="victim",result="executor_lost"}"#
+            ),
+            svc.tenant_counters("victim").unwrap().executor_lost,
+            "seed {seed}: lost calls visible in metrics"
+        );
+        assert_eq!(
+            metric_value(&metrics, r#"llva_serve_journal_modules{tenant="victim"}"#),
+            1,
+            "seed {seed}: the journal holds the loaded module"
+        );
+    }
+    assert!(healthy_calls > 0, "the soak exercised bystanders");
+}
+
+// ---------------------------------------------------------------------------
+// Slot accounting (satellite: exactly-once release)
+// ---------------------------------------------------------------------------
+
+/// A `pre-reply` kill fires *after* the work is done but *before* the
+/// executor's explicit slot release — the release must happen on the
+/// unwind path (ticket drop), exactly once, and the caller must get a
+/// structured `ExecutorLost`, not a hang.
+#[test]
+fn pre_reply_crash_releases_the_slot_exactly_once() {
+    let svc = ExecService::new(config());
+    svc.add_tenant("acme", TenantQuota::default()).unwrap();
+    svc.load_module("acme", "m", &module_text()).unwrap();
+
+    svc.arm_executor_kills(
+        "acme",
+        &[ExecutorKill { point: ExecutorKillPoint::PreReply, after: 1 }],
+    )
+    .unwrap();
+    match svc.call("acme", "m", "cheap", &[]) {
+        Err(ServeError::ExecutorLost { epoch }) => assert!(epoch >= 1),
+        other => panic!("expected ExecutorLost, got {other:?}"),
+    }
+    wait_until("slot release", Duration::from_secs(10), || {
+        svc.tenant_in_flight("acme") == Some(0)
+    });
+    wait_until("respawn", Duration::from_secs(10), || {
+        svc.tenant_restarts("acme") == Some(1)
+    });
+    // the respawned executor serves, and admission still has all its
+    // slots (a leak would eventually reject with Busy)
+    for _ in 0..TenantQuota::default().max_in_flight + 2 {
+        let run = svc.call("acme", "m", "cheap", &[]).unwrap();
+        assert_eq!(run.value(), Some(ORACLE));
+    }
+    assert_eq!(svc.tenant_counters("acme").unwrap().executor_lost, 1);
+}
+
+/// A deadline-expired call keeps running in the background; its slot
+/// must be released exactly once by the background completion — and a
+/// racing executor death must not double-release it.
+#[test]
+fn deadline_expired_slot_releases_once_in_the_background() {
+    let svc = ExecService::new(ServeConfig {
+        call_deadline: Duration::from_millis(60),
+        wedge_multiple: 0, // never declare the burner wedged: this test
+        // is about the *background completion* path
+        ..config()
+    });
+    svc.add_tenant("acme", TenantQuota { max_call_fuel: 30_000_000, ..TenantQuota::default() })
+        .unwrap();
+    svc.load_module("acme", "m", &module_text()).unwrap();
+
+    match svc.call("acme", "m", "spin", &[]) {
+        Err(ServeError::DeadlineExpired) => {}
+        other => panic!("expected DeadlineExpired, got {other:?}"),
+    }
+    assert_eq!(svc.tenant_counters("acme").unwrap().deadline_expired, 1);
+    // the burner finishes in the background and releases the slot once
+    wait_until("background completion", Duration::from_secs(30), || {
+        svc.tenant_in_flight("acme") == Some(0)
+    });
+    // slot pool intact: a full window of cheap calls still admits
+    for _ in 0..TenantQuota::default().max_in_flight {
+        let run = svc.call("acme", "m", "cheap", &[]).unwrap();
+        assert_eq!(run.value(), Some(ORACLE));
+    }
+    assert_eq!(svc.tenant_in_flight("acme"), Some(0));
+
+    // now race a deadline-expired call against an executor murder: the
+    // queued command is dropped with the dead executor — drop-path
+    // release — while the caller already went home with its error
+    svc.arm_executor_kills(
+        "acme",
+        &[ExecutorKill { point: ExecutorKillPoint::PostReply, after: 1 }],
+    )
+    .unwrap();
+    let _ = svc.call("acme", "m", "cheap", &[]); // trips the post-reply kill
+    match svc.call("acme", "m", "spin", &[]) {
+        // either the death or the deadline wins the race; both are
+        // structured, and both release the slot exactly once
+        Err(ServeError::DeadlineExpired | ServeError::ExecutorLost { .. }) | Ok(_) => {}
+        Err(e) => panic!("unstructured failure: {e}"),
+    }
+    wait_until("slot drain after race", Duration::from_secs(30), || {
+        svc.tenant_in_flight("acme") == Some(0)
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown / unregister racing live calls (satellite)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shutdown_drains_queued_commands_and_never_deadlocks() {
+    let svc = ExecService::new(config());
+    svc.add_tenant("acme", TenantQuota { max_in_flight: 4, ..TenantQuota::default() })
+        .unwrap();
+    svc.load_module("acme", "m", &module_text()).unwrap();
+
+    let done = std::thread::scope(|scope| {
+        // fill the window with short calls racing the shutdown
+        let callers: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = svc.clone();
+                scope.spawn(move || svc.call("acme", "m", "cheap", &[]))
+            })
+            .collect();
+        let shutter = {
+            let svc = svc.clone();
+            scope.spawn(move || svc.shutdown())
+        };
+        let results: Vec<_> = callers
+            .into_iter()
+            .map(|c| c.join().expect("caller hung"))
+            .collect();
+        shutter.join().expect("shutdown hung");
+        results
+    });
+    // every racing call resolved: a real answer (it drained before the
+    // Shutdown command) or a structured teardown error — never a hang
+    for result in done {
+        match result {
+            Ok(run) => assert_eq!(run.value(), Some(ORACLE)),
+            Err(ServeError::Shutdown | ServeError::UnknownTenant(_)) => {}
+            Err(e) => panic!("unstructured failure during shutdown: {e}"),
+        }
+    }
+    // late senders: structured error, no deadlock
+    match svc.call("acme", "m", "cheap", &[]) {
+        Err(ServeError::UnknownTenant(_)) => {}
+        other => panic!("expected UnknownTenant after shutdown, got {other:?}"),
+    }
+}
+
+#[test]
+fn remove_tenant_races_live_calls_without_hanging() {
+    let svc = ExecService::new(config());
+    svc.add_tenant("acme", TenantQuota { max_in_flight: 4, ..TenantQuota::default() })
+        .unwrap();
+    svc.load_module("acme", "m", &module_text()).unwrap();
+
+    std::thread::scope(|scope| {
+        let callers: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = svc.clone();
+                scope.spawn(move || svc.call("acme", "m", "cheap", &[]))
+            })
+            .collect();
+        let remover = {
+            let svc = svc.clone();
+            scope.spawn(move || svc.remove_tenant("acme"))
+        };
+        for caller in callers {
+            match caller.join().expect("caller hung") {
+                Ok(run) => assert_eq!(run.value(), Some(ORACLE)),
+                Err(
+                    ServeError::Shutdown | ServeError::UnknownTenant(_) | ServeError::Busy { .. },
+                ) => {}
+                Err(e) => panic!("unstructured failure during remove: {e}"),
+            }
+        }
+        remover.join().expect("remove hung").expect("tenant existed");
+    });
+    assert!(svc.tenant_names().is_empty());
+    // the service survives: a fresh tenant works
+    svc.add_tenant("next", TenantQuota::default()).unwrap();
+    svc.load_module("next", "m", &module_text()).unwrap();
+    assert_eq!(
+        svc.call("next", "m", "cheap", &[]).unwrap().value(),
+        Some(ORACLE)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker lifecycle
+// ---------------------------------------------------------------------------
+
+#[test]
+fn breaker_opens_backs_off_probes_and_closes() {
+    let svc = ExecService::new(ServeConfig {
+        breaker_threshold: 2,
+        breaker_backoff: Duration::from_millis(50),
+        // one serve-level retry: while the kills are armed both
+        // attempts fail (the breaker counts one failure per call); once
+        // healed, the retry's quarantine lift lets the probe succeed
+        max_retries: 1,
+        ..config()
+    });
+    svc.add_tenant("acme", TenantQuota::default()).unwrap();
+    svc.load_module("acme", "m", &module_text()).unwrap();
+
+    // poison every rung: calls exhaust the ladder deterministically
+    let all_tiers: Vec<TierKill> = Tier::LADDER.into_iter().map(TierKill::panic).collect();
+    svc.arm_kills("acme", "m", all_tiers, 0).unwrap();
+    for _ in 0..2 {
+        match svc.call("acme", "m", "cheap", &[]) {
+            Err(ServeError::TiersExhausted { .. }) => {}
+            other => panic!("expected TiersExhausted, got {other:?}"),
+        }
+    }
+    // threshold reached: the breaker is open, admission sheds load
+    // without waking the executor
+    match svc.call("acme", "m", "cheap", &[]) {
+        Err(ServeError::BreakerOpen { retry_in_ms }) => assert!(retry_in_ms <= 50),
+        other => panic!("expected BreakerOpen, got {other:?}"),
+    }
+    let breakers = svc.tenant_breakers("acme").unwrap();
+    assert_eq!(breakers.len(), 1);
+    assert_eq!(breakers[0].state, BreakerState::Open);
+    assert_eq!(breakers[0].opened_total, 1);
+    let metrics = svc.metrics_text();
+    assert_eq!(
+        metric_value(
+            &metrics,
+            r#"llva_serve_breaker_state{tenant="acme",module="m",function="cheap"}"#
+        ),
+        2,
+        "open state visible in metrics"
+    );
+    assert_eq!(
+        metric_value(
+            &metrics,
+            r#"llva_serve_calls_total{tenant="acme",result="rejected_breaker"}"#
+        ),
+        1
+    );
+
+    // heal the tiers, wait out the backoff: the next call is the
+    // half-open probe, succeeds, and closes the breaker
+    svc.arm_kills("acme", "m", Vec::new(), 0).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let run = svc.call("acme", "m", "cheap", &[]).unwrap();
+    assert_eq!(run.value(), Some(ORACLE));
+    let breakers = svc.tenant_breakers("acme").unwrap();
+    assert_eq!(breakers[0].state, BreakerState::Closed);
+
+    // a failed probe re-opens with DEEPER backoff
+    let all_tiers: Vec<TierKill> = Tier::LADDER.into_iter().map(TierKill::panic).collect();
+    svc.arm_kills("acme", "m", all_tiers, 0).unwrap();
+    for _ in 0..2 {
+        let _ = svc.call("acme", "m", "cheap", &[]);
+    }
+    std::thread::sleep(Duration::from_millis(60));
+    let _ = svc.call("acme", "m", "cheap", &[]); // the probe, fails
+    let breakers = svc.tenant_breakers("acme").unwrap();
+    assert_eq!(breakers[0].state, BreakerState::Open);
+    assert_eq!(breakers[0].opened_total, 3, "initial + re-trip + failed probe");
+}
+
+// ---------------------------------------------------------------------------
+// Wedge detection
+// ---------------------------------------------------------------------------
+
+/// An executor stuck in a long command past `call_deadline ×
+/// wedge_multiple` is declared wedged and replaced; the stuck thread
+/// finishes its (fuel-bounded) command in the background and parks
+/// itself at the epoch fence.
+#[test]
+fn wedged_executor_is_replaced_and_tenant_recovers() {
+    let svc = ExecService::new(ServeConfig {
+        call_deadline: Duration::from_millis(50),
+        wedge_multiple: 2,
+        monitor_interval: Duration::from_millis(2),
+        ..ServeConfig::default()
+    });
+    svc.add_tenant("acme", TenantQuota { max_call_fuel: 50_000_000, ..TenantQuota::default() })
+        .unwrap();
+    svc.load_module("acme", "m", &module_text()).unwrap();
+
+    // the burner blows through deadline × multiple: the caller leaves
+    // at 50ms, the monitor declares the executor wedged at ~100ms
+    match svc.call("acme", "m", "spin", &[]) {
+        Err(ServeError::DeadlineExpired) => {}
+        other => panic!("expected DeadlineExpired, got {other:?}"),
+    }
+    wait_until("wedge respawn", Duration::from_secs(30), || {
+        svc.tenant_restarts("acme") == Some(1)
+    });
+    // the replacement serves immediately, warm from the journal
+    let run = svc.call("acme", "m", "cheap", &[]).unwrap();
+    assert_eq!(run.value(), Some(ORACLE), "respawned executor serves the oracle");
+    assert_eq!(svc.tenant_epoch("acme"), Some(2));
+    // the abandoned burner eventually finishes and its slot releases
+    wait_until("abandoned burner drain", Duration::from_secs(60), || {
+        svc.tenant_in_flight("acme") == Some(0)
+    });
+    // shutdown joins the abandoned thread without deadlocking
+    svc.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn drain_stops_admission_waits_and_flushes_metrics() {
+    let svc = ExecService::new(ServeConfig {
+        call_deadline: Duration::from_secs(30),
+        ..config()
+    });
+    svc.add_tenant("acme", TenantQuota { max_call_fuel: 30_000_000, ..TenantQuota::default() })
+        .unwrap();
+    svc.load_module("acme", "m", &module_text()).unwrap();
+
+    let report = std::thread::scope(|scope| {
+        // in-flight work the drain must wait for
+        let burner = {
+            let svc = svc.clone();
+            scope.spawn(move || svc.call("acme", "m", "spin", &[]))
+        };
+        wait_until("burner admitted", Duration::from_secs(10), || {
+            svc.tenant_in_flight("acme") == Some(1)
+        });
+        let drainer = {
+            let svc = svc.clone();
+            scope.spawn(move || svc.drain(Duration::from_secs(60)))
+        };
+        // admission is closed the moment the drain starts
+        wait_until("draining flag", Duration::from_secs(10), || svc.draining());
+        match svc.call("acme", "m", "cheap", &[]) {
+            Err(ServeError::Draining) => {}
+            other => panic!("expected Draining during drain, got {other:?}"),
+        }
+        let run = burner.join().expect("burner hung").expect("burner completes");
+        assert_eq!(run.outcome, TierOutcome::OutOfFuel);
+        drainer.join().expect("drain hung")
+    });
+
+    assert!(report.drained, "all in-flight work resolved before the deadline");
+    assert_eq!(report.abandoned_in_flight, 0);
+    // the final metrics flush captured the drained state and the
+    // rejected-during-drain call
+    assert_eq!(metric_value(&report.final_metrics, "llva_serve_draining"), 1);
+    assert_eq!(
+        metric_value(
+            &report.final_metrics,
+            r#"llva_serve_calls_total{tenant="acme",result="rejected_draining"}"#
+        ),
+        1
+    );
+    assert_eq!(svc.drain_duration_ms(), report.waited.as_millis() as u64);
+    // the service is down: everything after is a structured error
+    match svc.call("acme", "m", "cheap", &[]) {
+        Err(ServeError::UnknownTenant(_)) => {}
+        other => panic!("expected UnknownTenant after drain, got {other:?}"),
+    }
+    assert!(svc.add_tenant("late", TenantQuota::default()).is_err());
+}

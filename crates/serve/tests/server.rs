@@ -133,3 +133,32 @@ fn http_metrics_scrape_on_the_same_port() {
     stream.read_to_string(&mut response).unwrap();
     assert!(response.starts_with("HTTP/1.0 404"), "{response}");
 }
+
+/// A wire-level drain: the response body is the final metrics flush,
+/// the accept loop exits, and the port stops serving.
+#[test]
+fn drain_over_the_wire_shuts_the_server_down() {
+    let service = ExecService::new(ServeConfig::default());
+    let server = Server::bind(service, "127.0.0.1:0", TenantQuota::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let accept_loop = server.spawn();
+
+    let mut client = Client::connect(addr, "acme").expect("hello");
+    let loaded = client.request(&Request::Load {
+        module: "m".to_string(),
+        source: module_text(),
+    });
+    assert!(matches!(loaded, Ok(Response::Loaded { .. })));
+
+    let drained = client
+        .request(&Request::Drain { deadline_ms: 10_000 })
+        .unwrap();
+    let Response::Text { body } = drained else {
+        panic!("expected the final metrics flush, got {drained:?}");
+    };
+    assert!(body.contains("llva_serve_draining 1"), "{body}");
+
+    // the accept loop observed the drain and exited (no hang here)
+    accept_loop.join().expect("accept loop exits after drain");
+}

@@ -469,3 +469,48 @@ fn per_call_deadline_expires_without_losing_the_tenant() {
     assert_eq!(counters.calls_out_of_fuel, 1);
     assert!(counters.fuel_used > 0);
 }
+
+/// Warm loads over directory-backed shards take the zero-copy `mmap`
+/// fast path: the first service publishes the module image, a second
+/// service over the same directory re-attaches it mapped, and the
+/// mapped answer is oracle-identical.
+#[cfg(unix)]
+#[test]
+fn warm_image_load_is_mmapped_from_dir_storage() {
+    use llva_engine::storage::DirStorage;
+
+    let dir = std::env::temp_dir().join(format!("llva-serve-mmap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let text = module_text();
+
+    // cold process: translates, publishes the image, answers owned
+    {
+        let svc = ExecService::with_storage(ServeConfig::default(), |i| {
+            Box::new(DirStorage::new(dir.join(format!("shard-{i}")))) as BoxedStorage
+        });
+        svc.add_tenant("acme", TenantQuota::default()).unwrap();
+        let reply = svc.load_module("acme", "m", &text).unwrap();
+        assert!(
+            !reply.image_mapped,
+            "first-ever load has no image to map (cold start)"
+        );
+        assert_eq!(svc.call("acme", "m", "cheap", &[]).unwrap().value(), Some(42));
+        svc.shutdown();
+    }
+
+    // warm process: same directory, the image is re-attached zero-copy
+    let svc = ExecService::with_storage(ServeConfig::default(), |i| {
+        Box::new(DirStorage::new(dir.join(format!("shard-{i}")))) as BoxedStorage
+    });
+    svc.add_tenant("acme", TenantQuota::default()).unwrap();
+    let reply = svc.load_module("acme", "m", &text).unwrap();
+    assert!(reply.image_mapped, "warm load must mmap the published image");
+    // the warmup ran entirely against the image: zero fresh translations
+    assert_eq!(reply.warmup.functions_translated, 0);
+    assert_eq!(svc.call("acme", "m", "cheap", &[]).unwrap().value(), Some(42));
+    // memory-backed shards can never map (no file to point at)
+    let mem = ExecService::new(ServeConfig::default());
+    mem.add_tenant("acme", TenantQuota::default()).unwrap();
+    assert!(!mem.load_module("acme", "m", &text).unwrap().image_mapped);
+    let _ = std::fs::remove_dir_all(&dir);
+}
